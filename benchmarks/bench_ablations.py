@@ -1,0 +1,214 @@
+"""Ablations of the design choices called out in DESIGN.md §5.
+
+A1  Bloom parameters: bits/entry x hash count -> false-positive rate,
+    filter size and build time (the paper fixes 10 bits/entry, k=3, ~1%).
+A2  Update modes: traffic per propagated change for full-only vs immediate
+    (incremental) vs Bloom updates (why §3.3 says immediate mode "is
+    almost always advantageous").
+A3  Partitioning vs Bloom compression: wire bytes per update (why §3.5
+    says partitioning "is rarely used in practice").
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.common import record_series, scaled
+from repro.core.bloom import BloomFilter, BloomParameters
+from repro.core.lrc import LocalReplicaCatalog
+from repro.core.updates import UpdateManager, UpdatePolicy
+from repro.db.mysql_engine import MySQLEngine
+from repro.db.odbc import Connection
+from repro.workload.names import sequential_names
+
+
+def bench_ablation_bloom_parameters(benchmark):
+    """A1: sweep bits/entry and k; the paper's (10, 3) is the sweet spot."""
+    n = scaled(200_000, minimum=5_000)
+    names = sequential_names(n)
+    absent = sequential_names(n, prefix="absent")
+    rows = []
+    results = {}
+    for bits_per_entry in (5, 10, 20):
+        for k in (1, 3, 5):
+            params = BloomParameters.for_entries(n, bits_per_entry, k)
+            start = time.perf_counter()
+            bf = BloomFilter.from_names(names, params)
+            build = time.perf_counter() - start
+            fp = float(bf.contains_batch(absent).mean())
+            results[(bits_per_entry, k)] = fp
+            rows.append(
+                [
+                    bits_per_entry,
+                    k,
+                    f"{fp * 100:.2f}%",
+                    f"{bf.size_bytes / 1024:.0f} KiB",
+                    f"{build:.2f}s",
+                ]
+            )
+
+    benchmark.pedantic(
+        lambda: BloomFilter.from_names(
+            names[: n // 4], BloomParameters.for_entries(n // 4)
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+    record_series(
+        "Ablation A1 — Bloom parameters (n=%d)" % n,
+        ["bits/entry", "k", "measured FP", "size", "build time"],
+        rows,
+        notes=[
+            "paper choice: 10 bits/entry, k=3 -> ~1% FP; fewer bits or "
+            "k=1 inflate FP, more bits/hashes cost size/build time",
+        ],
+    )
+
+    # The paper's configuration achieves ~1% FP.
+    assert results[(10, 3)] < 0.04
+    # Halving bits/entry must hurt; k=3 beats k=1 at 10 bits/entry.
+    assert results[(5, 3)] > results[(10, 3)]
+    assert results[(10, 1)] > results[(10, 3)]
+
+
+class _CountingSink:
+    """Sink measuring wire traffic per update flavour."""
+
+    def __init__(self) -> None:
+        self.full_names = 0
+        self.incremental_names = 0
+        self.bloom_bytes = 0
+        self.updates = 0
+
+    def full_update(self, lrc_name, lfns):
+        self.full_names += len(lfns)
+        self.updates += 1
+
+    def incremental_update(self, lrc_name, added, removed):
+        self.incremental_names += len(added) + len(removed)
+        self.updates += 1
+
+    def bloom_update(self, lrc_name, bitmap, *args):
+        self.bloom_bytes += len(bitmap)
+        self.updates += 1
+
+
+def _catalog(name: str):
+    engine = MySQLEngine(flush_on_commit=False, sync_latency=0.0)
+    lrc = LocalReplicaCatalog(Connection(engine, name), name=name)
+    lrc.init_schema()
+    return lrc
+
+
+NAME_BYTES = 80  # wire bytes per name, matching the LAN calibration
+
+
+def bench_ablation_update_modes(benchmark):
+    """A2: traffic to propagate 100 changes on a loaded catalog."""
+    base = scaled(100_000, minimum=5_000)
+    changes = 100
+
+    def run_mode(mode: str) -> float:
+        lrc = _catalog(f"ablation-{mode}")
+        lrc.bulk_load(
+            (lfn, f"pfn://{lfn}") for lfn in sequential_names(base)
+        )
+        sink = _CountingSink()
+        policy = UpdatePolicy(bloom_expected_entries=base)
+        manager = UpdateManager(lrc, lambda name: sink, policy=policy)
+        lrc.add_rli("target", bloom=(mode == "bloom"))
+        if mode == "bloom":
+            manager.rebuild_bloom()
+        # Baseline propagation, then 100 changes, then propagate them.
+        manager.send_full_update()
+        for i in range(changes):
+            lrc.create_mapping(f"fresh{i}", f"pfn://fresh{i}")
+        if mode == "full":
+            manager.send_full_update()
+        else:
+            manager.send_incremental_update()
+        if mode == "full":
+            traffic = sink.full_names * NAME_BYTES
+        elif mode == "immediate":
+            traffic = (
+                sink.full_names + sink.incremental_names
+            ) * NAME_BYTES
+        else:
+            traffic = sink.bloom_bytes
+        return traffic
+
+    full = run_mode("full")
+    immediate = run_mode("immediate")
+    bloom = run_mode("bloom")
+
+    benchmark.pedantic(lambda: run_mode("immediate"), rounds=1, iterations=1)
+
+    record_series(
+        "Ablation A2 — wire traffic to propagate 100 changes "
+        f"(catalog of {base})",
+        ["mode", "bytes (baseline + delta)"],
+        [
+            ["full-only (two full updates)", f"{full:,}"],
+            ["immediate mode (full + delta)", f"{immediate:,}"],
+            ["bloom (two filter snapshots)", f"{bloom:,}"],
+        ],
+        notes=[
+            "immediate mode's delta is ~the changes only — why §3.3 says "
+            "it is 'almost always advantageous'; bloom pays a fixed "
+            "filter-size cost per refresh regardless of change count",
+        ],
+    )
+
+    # Immediate mode must send far less than a second full update.
+    assert immediate < full * 0.6
+    # For a SMALL change set the bloom snapshot is bigger than the delta
+    # but far smaller than a full name list at paper scale.
+    assert bloom < full
+
+
+def bench_ablation_partitioning_vs_bloom(benchmark):
+    """A3: bytes per update for namespace partitioning vs Bloom filters."""
+    base = scaled(100_000, minimum=5_000)
+    lrc = _catalog("ablation-part")
+    # Two runs, each half the namespace.
+    lrc.bulk_load(
+        (f"run{1 + (i % 2)}/{lfn}", f"pfn://{lfn}")
+        for i, lfn in enumerate(sequential_names(base))
+    )
+    sinks = {
+        "rli-run1": _CountingSink(),
+        "rli-run2": _CountingSink(),
+        "rli-bloom": _CountingSink(),
+    }
+    manager = UpdateManager(
+        lrc,
+        lambda name: sinks[name],
+        policy=UpdatePolicy(bloom_expected_entries=base),
+    )
+    lrc.add_rli("rli-run1", patterns=["^run1/"])
+    lrc.add_rli("rli-run2", patterns=["^run2/"])
+    lrc.add_rli("rli-bloom", bloom=True)
+    manager.rebuild_bloom()
+    manager.send_full_update()
+
+    benchmark.pedantic(manager.send_full_update, rounds=1, iterations=1)
+
+    partitioned = (
+        sinks["rli-run1"].full_names + sinks["rli-run2"].full_names
+    ) * NAME_BYTES
+    bloom = sinks["rli-bloom"].bloom_bytes
+    record_series(
+        "Ablation A3 — partitioned full updates vs one Bloom update",
+        ["strategy", "bytes on the wire"],
+        [
+            ["partitioned (2 RLIs, half namespace each)", f"{partitioned:,}"],
+            ["bloom filter (whole namespace, 1 RLI)", f"{bloom:,}"],
+        ],
+        notes=[
+            "partitioning halves each update but total bytes stay ~full "
+            "size; a 10-bit/entry bitmap is ~64x smaller than 80-byte "
+            "names — why §3.5 says partitioning is rarely used",
+        ],
+    )
+    assert bloom < partitioned / 10

@@ -1,0 +1,122 @@
+"""Deployment-shape sanity benchmarks (paper §6, informational).
+
+Scaled-down versions of the three production deployments the paper
+reports, verifying that each configuration sustains its workload:
+
+* LIGO: few LRCs, many replicas per LFN, Bloom updates to one RLI;
+* Earth System Grid: 4 fully-connected LRC+RLI servers;
+* Pegasus: 6 LRCs updating 4 RLIs, bulk-heavy workflow traffic.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import measure_rate, record_series, scaled
+from repro.core.client import connect
+from repro.core.config import ServerConfig, ServerRole
+from repro.core.server import RLSServer
+from repro.workload.driver import LoadDriver
+from repro.workload.names import ligo_names, pegasus_names
+
+
+def bench_deployment_ligo(benchmark):
+    """LIGO shape: 3 sites x N frames x Bloom updates -> query throughput."""
+    frames = ligo_names(scaled(100_000, minimum=2_000))
+    rli = RLSServer(ServerConfig(name="dep-ligo-rli", role=ServerRole.RLI))
+    sites = [
+        RLSServer(ServerConfig(name=f"dep-ligo-{i}", role=ServerRole.LRC))
+        for i in range(3)
+    ]
+    try:
+        share = len(frames) // 3
+        for i, site in enumerate(sites):
+            mine = frames[i * share : (i + 1) * share]
+            site.lrc.bulk_load(
+                (f, f"gsiftp://site{i}/frames/{f}") for f in mine
+            )
+            client = connect(site.config.name)
+            client.add_rli("dep-ligo-rli", bloom=True)
+            client.rebuild_bloom()
+            client.trigger_full_update()
+            client.close()
+
+        loaded = share * 3  # the tail remainder is never registered
+        probe = frames[: min(loaded, 2000)]
+        rate = measure_rate(
+            "dep-ligo-rli",
+            LoadDriver.rli_query_op(probe),
+            clients=2,
+            threads_per_client=3,
+            total_operations=2000,
+        )
+        benchmark.pedantic(
+            lambda: measure_rate(
+                "dep-ligo-rli", LoadDriver.rli_query_op(probe), 1, 3, 1000
+            ),
+            rounds=3,
+            iterations=1,
+        )
+        record_series(
+            "Deployment — LIGO shape (3 LRCs, Bloom updates, 1 RLI)",
+            ["metric", "value"],
+            [
+                ["frames indexed", len(frames)],
+                ["bloom filters at RLI", rli.rli.bloom_filter_count()],
+                ["RLI query rate", f"{rate:.0f}/s"],
+            ],
+        )
+        assert rli.rli.bloom_filter_count() == 3
+        assert rate > 100
+    finally:
+        for site in sites:
+            site.stop()
+        rli.stop()
+
+
+def bench_deployment_pegasus(benchmark):
+    """Pegasus shape: 6 LRCs -> 4 RLIs, bulk register + bulk query."""
+    outputs = pegasus_names(scaled(100_000, minimum=1_200))
+    rlis = [
+        RLSServer(ServerConfig(name=f"dep-peg-rli{i}", role=ServerRole.RLI))
+        for i in range(4)
+    ]
+    lrcs = [
+        RLSServer(ServerConfig(name=f"dep-peg-lrc{i}", role=ServerRole.LRC))
+        for i in range(6)
+    ]
+    try:
+        share = len(outputs) // 6
+        for i, lrc in enumerate(lrcs):
+            mine = outputs[i * share : (i + 1) * share]
+            lrc.lrc.bulk_load((f, f"gsiftp://cs{i}/{f}") for f in mine)
+            client = connect(lrc.config.name)
+            for rli in rlis:
+                client.add_rli(rli.config.name)
+            client.trigger_full_update()
+            client.close()
+
+        def bulk_plan():
+            client = connect("dep-peg-rli0")
+            found = client.rli_bulk_query(outputs[:1000])
+            client.close()
+            return found
+
+        found = bulk_plan()
+        benchmark.pedantic(bulk_plan, rounds=3, iterations=1)
+        coverage = len(found) / 1000
+        record_series(
+            "Deployment — Pegasus shape (6 LRCs, 4 RLIs)",
+            ["metric", "value"],
+            [
+                ["outputs registered", share * 6],
+                ["bulk-plan coverage (1000 probes)", f"{coverage * 100:.1f}%"],
+                ["RLIs consistent", all(
+                    len(r.rli.lrc_list()) == 6 for r in rlis
+                )],
+            ],
+        )
+        assert coverage > 0.95
+        for rli in rlis:
+            assert len(rli.rli.lrc_list()) == 6
+    finally:
+        for server in lrcs + rlis:
+            server.stop()

@@ -1,0 +1,95 @@
+"""Figure 4: LRC add rates with database flush enabled vs disabled.
+
+Paper setup: LRC with 1 M entries, MySQL back end, a single client with
+1-10 threads.  Result: ~84 adds/s with flush enabled versus >700 adds/s
+with it disabled — the flush policy dominates add throughput.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import delete_all, measure_rate, record_series, scaled
+from repro.workload.driver import LoadDriver
+from repro.workload.scenarios import loaded_lrc_server
+
+PAPER_ENTRIES = 1_000_000
+THREAD_COUNTS = [1, 2, 4, 6, 8, 10]
+# Paper's approximate series (read from Figure 4).
+PAPER_FLUSH_ON = {1: 84, 2: 84, 4: 85, 6: 85, 8: 85, 10: 85}
+PAPER_FLUSH_OFF = {1: 700, 2: 720, 4: 730, 6: 720, 8: 710, 10: 700}
+
+
+@pytest.fixture(scope="module")
+def lrc_server():
+    server, mappings = loaded_lrc_server(
+        scaled(PAPER_ENTRIES), name="fig4-lrc", sync_latency=0.011
+    )
+    yield server, mappings
+    server.stop()
+
+
+def _add_rate(server, threads: int, ops: int, start: int) -> float:
+    lfns = [f"fig4-add-{start + i}" for i in range(ops)]
+    pfn_of = lambda lfn: f"pfn://{lfn}"
+    rate = measure_rate(
+        server.config.name,
+        LoadDriver.add_op(lfns, pfn_of),
+        clients=1,
+        threads_per_client=threads,
+        total_operations=ops,
+    )
+    delete_all(server.config.name, [(l, pfn_of(l)) for l in lfns])
+    return rate
+
+
+def bench_fig04_add_rates(lrc_server, benchmark):
+    server, _ = lrc_server
+    rows = []
+    start = 0
+    # Flush enabled: each add pays the 11 ms modelled disk barrier.
+    server.engine.set_flush_on_commit(True)
+    on_rates = {}
+    for threads in THREAD_COUNTS:
+        on_rates[threads] = _add_rate(server, threads, ops=60, start=start)
+        start += 60
+    # Flush disabled (the paper's recommendation).
+    server.engine.set_flush_on_commit(False)
+    off_rates = {}
+    for threads in THREAD_COUNTS:
+        off_rates[threads] = _add_rate(server, threads, ops=1500, start=start)
+        start += 1500
+
+    def one_add_trial():
+        nonlocal start
+        rate = _add_rate(server, threads=10, ops=300, start=start)
+        start += 300
+        return rate
+
+    benchmark.pedantic(one_add_trial, rounds=3, iterations=1)
+
+    for threads in THREAD_COUNTS:
+        rows.append(
+            [
+                threads,
+                PAPER_FLUSH_ON[threads],
+                f"{on_rates[threads]:.0f}",
+                PAPER_FLUSH_OFF[threads],
+                f"{off_rates[threads]:.0f}",
+            ]
+        )
+    record_series(
+        "Figure 4 — LRC add rate (adds/s), flush enabled vs disabled",
+        ["threads", "paper flush-on", "ours flush-on", "paper flush-off", "ours flush-off"],
+        rows,
+        notes=[
+            f"LRC pre-loaded with {scaled(PAPER_ENTRIES)} entries "
+            f"(paper: {PAPER_ENTRIES}); modelled disk barrier 11 ms",
+        ],
+    )
+
+    # Shape assertions: flush-off must dominate flush-on at every point.
+    for threads in THREAD_COUNTS:
+        assert off_rates[threads] > 3 * on_rates[threads]
+    # Flush-on rates are pinned near 1/sync_latency regardless of threads.
+    assert max(on_rates.values()) < 140

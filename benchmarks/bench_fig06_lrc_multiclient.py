@@ -1,0 +1,98 @@
+"""Figure 6: LRC operation rates, multiple clients x 10 threads each.
+
+Paper setup: MySQL back end with 1 M entries, flush disabled, 1-10 clients
+with 10 threads per client.  Result: queries 1700-2100/s, adds 600-900/s,
+deletes 470-570/s; rates decline as total threads grow (queries/deletes
+about -20%, adds about -35% from 10 to 100 threads).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import measure_rate, record_series, scaled
+from repro.workload.driver import LoadDriver
+from repro.workload.scenarios import loaded_lrc_server
+
+PAPER_ENTRIES = 1_000_000
+CLIENT_COUNTS = [1, 2, 4, 6, 8, 10]
+PAPER = {
+    "query": {1: 2100, 2: 2050, 4: 1950, 6: 1850, 8: 1750, 10: 1700},
+    "add": {1: 900, 2: 850, 4: 760, 6: 700, 8: 640, 10: 600},
+    "delete": {1: 570, 2: 560, 4: 530, 6: 510, 8: 490, 10: 470},
+}
+
+
+@pytest.fixture(scope="module")
+def lrc_server():
+    server, mappings = loaded_lrc_server(
+        scaled(PAPER_ENTRIES), name="fig6-lrc", sync_latency=0.0
+    )
+    yield server, mappings
+    server.stop()
+
+
+def bench_fig06_operation_rates(lrc_server, benchmark):
+    server, mappings = lrc_server
+    name = server.config.name
+    query_lfns = mappings.random_lfns(2000)
+
+    query_rates, add_rates, delete_rates = {}, {}, {}
+    start = 0
+    for clients in CLIENT_COUNTS:
+        ops = 2000
+        query_rates[clients] = measure_rate(
+            name, LoadDriver.query_op(query_lfns), clients, 10, ops, trials=2
+        )
+        add_lfns = [f"fig6-{start + i}" for i in range(ops)]
+        start += ops
+        pfn_of = lambda lfn: f"pfn://{lfn}"
+        add_rates[clients] = measure_rate(
+            name, LoadDriver.add_op(add_lfns, pfn_of), clients, 10, ops
+        )
+        delete_rates[clients] = measure_rate(
+            name, LoadDriver.delete_op(add_lfns, pfn_of), clients, 10, ops
+        )
+
+    benchmark.pedantic(
+        lambda: measure_rate(
+            name, LoadDriver.query_op(query_lfns), 2, 10, 1000
+        ),
+        rounds=3,
+        iterations=1,
+    )
+
+    rows = [
+        [
+            c,
+            PAPER["query"][c],
+            f"{query_rates[c]:.0f}",
+            PAPER["add"][c],
+            f"{add_rates[c]:.0f}",
+            PAPER["delete"][c],
+            f"{delete_rates[c]:.0f}",
+        ]
+        for c in CLIENT_COUNTS
+    ]
+    record_series(
+        "Figure 6 — LRC op rates (ops/s), N clients x 10 threads, flush off",
+        [
+            "clients",
+            "paper query", "ours query",
+            "paper add", "ours add",
+            "paper delete", "ours delete",
+        ],
+        rows,
+        notes=[
+            f"{scaled(PAPER_ENTRIES)} entries (paper: {PAPER_ENTRIES}); "
+            "paper shape: rates decline 20-35% from 10 to 100 threads",
+        ],
+    )
+
+    # Shape: queries are the fastest operation class at every point.
+    for c in CLIENT_COUNTS:
+        assert query_rates[c] > add_rates[c]
+    # Rates must not *improve* dramatically at 100 threads vs 10
+    # (loose bounds: single trials of a Python server are noisy).
+    assert query_rates[10] < query_rates[1] * 2.0
+    assert add_rates[10] < add_rates[1] * 2.5

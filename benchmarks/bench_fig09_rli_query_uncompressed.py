@@ -1,0 +1,63 @@
+"""Figure 9: RLI query rates with full uncompressed updates.
+
+Paper setup: RLI with 1 M mappings in a MySQL back end (populated by
+uncompressed soft-state updates), 1-10 clients x 3 threads.
+Result: ~3000 queries/s, roughly flat with client count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import measure_rate, record_series, scaled
+from repro.workload.driver import LoadDriver
+from repro.workload.scenarios import loaded_rli_server_uncompressed
+
+PAPER_MAPPINGS = 1_000_000
+CLIENT_COUNTS = [1, 2, 4, 6, 8, 10]
+PAPER_RATE = {1: 2900, 2: 3000, 4: 3000, 6: 3000, 8: 2950, 10: 2900}
+
+
+@pytest.fixture(scope="module")
+def rli_server():
+    server, lfns = loaded_rli_server_uncompressed(
+        scaled(PAPER_MAPPINGS), num_lrcs=1, name="fig9-rli"
+    )
+    yield server, lfns
+    server.stop()
+
+
+def bench_fig09_rli_query_rates(rli_server, benchmark):
+    server, lfns = rli_server
+    probe = lfns[:: max(1, len(lfns) // 2000)]
+    op = LoadDriver.rli_query_op(probe)
+
+    rates = {}
+    for clients in CLIENT_COUNTS:
+        rates[clients] = measure_rate(
+            server.config.name, op, clients, 3, total_operations=3000
+        )
+
+    benchmark.pedantic(
+        lambda: measure_rate(server.config.name, op, 1, 3, 2000),
+        rounds=3,
+        iterations=1,
+    )
+
+    rows = [
+        [c, PAPER_RATE[c], f"{rates[c]:.0f}"] for c in CLIENT_COUNTS
+    ]
+    record_series(
+        "Figure 9 — RLI full-LFN query rate (queries/s), uncompressed updates",
+        ["clients (x3 threads)", "paper", "ours"],
+        rows,
+        notes=[
+            f"RLI holds {scaled(PAPER_MAPPINGS)} mappings "
+            f"(paper: {PAPER_MAPPINGS})",
+        ],
+    )
+
+    # Shape: roughly flat across client counts (within 2x of the 1-client rate).
+    base = rates[1]
+    for c in CLIENT_COUNTS:
+        assert 0.5 * base < rates[c] < 2.0 * base

@@ -1,0 +1,94 @@
+"""Figure 10: RLI query rates against in-memory Bloom filters.
+
+Paper setup: each Bloom filter summarizes 1 M mappings; the RLI holds 1,
+10 or 100 filters; 1-10 clients x 3 threads.  Result: ~10000+ queries/s
+for 1 and 10 filters — much faster than the relational store (Figure 9) —
+dropping substantially at 100 filters because every query probes every
+filter.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import measure_rate, record_series, scaled
+from repro.workload.driver import LoadDriver
+from repro.workload.scenarios import loaded_rli_server_bloom
+
+PAPER_ENTRIES_PER_FILTER = 1_000_000
+FILTER_COUNTS = [1, 10, 100]
+CLIENT_COUNTS = [1, 4, 10]
+PAPER_RATE = {
+    1: {1: 11000, 4: 12000, 10: 12000},
+    10: {1: 10000, 4: 11500, 10: 11500},
+    100: {1: 2500, 4: 3000, 10: 3000},
+}
+
+
+@pytest.fixture(scope="module", params=FILTER_COUNTS)
+def bloom_rli(request):
+    num_filters = request.param
+    server, lfns = loaded_rli_server_bloom(
+        scaled(PAPER_ENTRIES_PER_FILTER),
+        num_filters=num_filters,
+        name=f"fig10-rli-{num_filters}",
+    )
+    yield server, lfns, num_filters
+    server.stop()
+
+
+RESULTS: dict[int, dict[int, float]] = {}
+
+
+def bench_fig10_bloom_query_rates(bloom_rli, benchmark):
+    server, lfns, num_filters = bloom_rli
+    probe = lfns[:: max(1, len(lfns) // 2000)]
+    op = LoadDriver.rli_query_op(probe)
+
+    rates = {}
+    for clients in CLIENT_COUNTS:
+        rates[clients] = measure_rate(
+            server.config.name, op, clients, 3, total_operations=3000
+        )
+    RESULTS[num_filters] = rates
+
+    benchmark.pedantic(
+        lambda: measure_rate(server.config.name, op, 1, 3, 1500),
+        rounds=3,
+        iterations=1,
+    )
+
+    # Per-filter-count shape: flat-ish across clients.
+    base = rates[1]
+    for c in CLIENT_COUNTS:
+        assert rates[c] > 0.4 * base
+
+    if len(RESULTS) == len(FILTER_COUNTS):
+        rows = []
+        for c in CLIENT_COUNTS:
+            rows.append(
+                [
+                    c,
+                    PAPER_RATE[1][c], f"{RESULTS[1][c]:.0f}",
+                    PAPER_RATE[10][c], f"{RESULTS[10][c]:.0f}",
+                    PAPER_RATE[100][c], f"{RESULTS[100][c]:.0f}",
+                ]
+            )
+        record_series(
+            "Figure 10 — RLI Bloom-filter query rate (queries/s)",
+            [
+                "clients (x3 thr)",
+                "paper 1bf", "ours 1bf",
+                "paper 10bf", "ours 10bf",
+                "paper 100bf", "ours 100bf",
+            ],
+            rows,
+            notes=[
+                f"each filter summarizes {scaled(PAPER_ENTRIES_PER_FILTER)} "
+                f"mappings (paper: {PAPER_ENTRIES_PER_FILTER})",
+                "paper shape: 1bf ~= 10bf >> 100bf",
+            ],
+        )
+        # Cross-series shape: 100 filters must be much slower than 1 filter.
+        for c in CLIENT_COUNTS:
+            assert RESULTS[100][c] < 0.5 * RESULTS[1][c]

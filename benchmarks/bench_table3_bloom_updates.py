@@ -1,0 +1,76 @@
+"""Table 3: Bloom filter update performance (WAN).
+
+Paper setup: single client pushing Bloom updates from Los Angeles to an
+RLI in Chicago (63.8 ms mean RTT), filter sized at ~10 bits/mapping.
+Columns: soft-state update time (WAN), one-time filter generation time,
+filter size in bits.
+
+Update times come from the WAN simulation; generation times are REAL
+measurements of this implementation's Bloom construction (extrapolated
+linearly from a sample at reduced scale).
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import SCALE, record_series
+from repro.sim.models import bloom_table3_row
+
+ROWS = [
+    # (entries, paper update s, paper generation s, paper bits)
+    (100_000, "<1", 2.0, 1_000_000),
+    (1_000_000, 1.67, 18.4, 10_000_000),
+    (5_000_000, 6.8, 91.6, 50_000_000),
+]
+
+
+def bench_table3_bloom_update_performance(benchmark):
+    generation_sample = max(20_000, int(200_000 * SCALE * 10))
+    measured = [
+        bloom_table3_row(entries, generation_sample=generation_sample)
+        for entries, *_ in ROWS
+    ]
+
+    benchmark.pedantic(
+        lambda: bloom_table3_row(100_000, measure_generation=False),
+        rounds=3,
+        iterations=1,
+    )
+
+    table = []
+    for (entries, p_upd, p_gen, p_bits), row in zip(ROWS, measured):
+        table.append(
+            [
+                f"{entries:,}",
+                p_upd,
+                f"{row.update_time:.2f}",
+                p_gen,
+                f"{row.generation_time:.1f}",
+                f"{p_bits:,}",
+                f"{row.filter_bits:,}",
+            ]
+        )
+    record_series(
+        "Table 3 — Bloom filter update performance (single WAN client)",
+        [
+            "mappings",
+            "paper update(s)", "ours update(s)",
+            "paper gen(s)", "ours gen(s)",
+            "paper bits", "ours bits",
+        ],
+        table,
+        notes=[
+            "update times simulated (63.8 ms RTT WAN, 64 KiB TCP window); "
+            f"generation measured for real from a {generation_sample:,}-name "
+            "sample and extrapolated linearly",
+            "our generation is faster than the paper's 2003 testbed "
+            "(NumPy bit ops vs their C implementation on a 547 MHz P-III)",
+        ],
+    )
+
+    # Shape/values: filter bits identical to the paper; update times within
+    # ~25% of the paper's; generation grows ~linearly with entries.
+    assert [r.filter_bits for r in measured] == [r[3] for r in ROWS]
+    assert measured[0].update_time < 1.0
+    assert abs(measured[1].update_time - 1.67) < 0.5
+    assert abs(measured[2].update_time - 6.8) < 1.7
+    assert measured[2].generation_time > 3 * measured[1].generation_time

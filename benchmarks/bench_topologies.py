@@ -1,0 +1,140 @@
+"""Topology comparison bench (Giggle configurations, framework paper [1]).
+
+Compares the canonical RLS index structures on equal workloads: update
+fan-out cost (how much soft-state traffic a change generates) and query
+availability under RLI failure.  Not a paper figure — an ablation of the
+"variety of index structures ... with different performance and
+reliability characteristics" the paper's §2 describes.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import record_series, scaled
+from repro.core import topology
+from repro.core.client import connect
+from repro.core.errors import MappingNotFoundError
+from repro.workload.names import sequential_names
+
+
+def _load_and_push(deployment, entries: int) -> dict:
+    """Load each LRC with entries, push, and collect traffic stats."""
+    names_per_lrc = {}
+    for i, lrc in enumerate(deployment.lrcs):
+        lfns = sequential_names(entries, prefix=f"t{i}-")
+        assert lrc.lrc is not None
+        lrc.lrc.bulk_load((lfn, f"pfn://{lfn}") for lfn in lfns)
+        names_per_lrc[lrc.config.name] = lfns
+    deployment.push_all()
+    stats = {"names_sent": 0, "bloom_bytes": 0, "updates": 0}
+    for lrc in deployment.lrcs:
+        s = lrc.update_manager.stats
+        stats["names_sent"] += s.names_sent
+        stats["bloom_bytes"] += s.bytes_sent_bloom
+        stats["updates"] += s.full_updates + s.bloom_updates
+    return {"names": names_per_lrc, "stats": stats}
+
+
+def _query_survives_failure(deployment, probe_lfn: str) -> bool:
+    """Kill the first RLI; can any surviving RLI still answer?"""
+    deployment.rlis[0].stop()
+    for rli in deployment.rlis[1:]:
+        try:
+            client = connect(rli.config.name)
+        except Exception:
+            continue
+        try:
+            if client.rli_query(probe_lfn):
+                return True
+        except MappingNotFoundError:
+            continue
+        finally:
+            client.close()
+    return False
+
+
+def bench_topology_comparison(benchmark):
+    entries = scaled(20_000, minimum=500)
+    rows = []
+
+    # --- single RLI, uncompressed ---
+    dep = topology.single_rli("bt-single", num_lrcs=3)
+    loaded = _load_and_push(dep, entries)
+    probe = loaded["names"]["bt-single-lrc0"][0]
+    survives = _query_survives_failure(dep, probe)
+    rows.append(
+        [
+            "single RLI (uncompressed)",
+            f"{loaded['stats']['names_sent'] * 80:,}",
+            loaded["stats"]["updates"],
+            "no" if not survives else "yes",
+        ]
+    )
+    dep.stop()
+
+    # --- redundant: 2 RLIs, bloom ---
+    dep = topology.redundant("bt-red", num_lrcs=3, num_rlis=2, bloom=True)
+    loaded = _load_and_push(dep, entries)
+    probe = loaded["names"]["bt-red-lrc0"][0]
+    survives = _query_survives_failure(dep, probe)
+    rows.append(
+        [
+            "redundant 2x RLI (bloom)",
+            f"{loaded['stats']['bloom_bytes']:,}",
+            loaded["stats"]["updates"],
+            "yes" if survives else "no",
+        ]
+    )
+    dep.stop()
+
+    # --- partitioned by namespace ---
+    dep = topology.partitioned_by_namespace(
+        "bt-part",
+        num_lrcs=3,
+        partitions=[("even", "[02468]$"), ("odd", "[13579]$")],
+    )
+    loaded = _load_and_push(dep, entries)
+    probe = loaded["names"]["bt-part-lrc0"][0]
+    survives = _query_survives_failure(dep, probe)
+    rows.append(
+        [
+            "partitioned 2x RLI (uncompressed)",
+            f"{loaded['stats']['names_sent'] * 80:,}",
+            loaded["stats"]["updates"],
+            "partial",  # only the surviving partition answers
+        ]
+    )
+    dep.stop()
+
+    benchmark.pedantic(
+        lambda: _load_and_push(
+            topology.single_rli("bt-bench", num_lrcs=1), max(entries // 4, 100)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    # bench deployment cleanup
+    from repro.net.transport import LocalTransport
+
+    try:
+        LocalTransport.lookup("bt-bench-rli").close()
+        LocalTransport.lookup("bt-bench-lrc0").close()
+    except Exception:
+        pass
+
+    record_series(
+        "Topologies — update traffic and failure behaviour "
+        f"({entries} entries x 3 LRCs)",
+        ["topology", "update bytes", "updates sent", "survives RLI loss"],
+        rows,
+        notes=[
+            "Giggle's trade-off: redundancy multiplies update traffic but "
+            "keeps the index available; bloom compression makes the "
+            "redundancy affordable",
+        ],
+    )
+
+    # Redundant-bloom must be cheaper on the wire than single-uncompressed
+    # despite updating twice as many RLIs.
+    single_bytes = int(rows[0][1].replace(",", ""))
+    redundant_bytes = int(rows[1][1].replace(",", ""))
+    assert redundant_bytes < single_bytes

@@ -1,0 +1,138 @@
+"""Shared helpers for the benchmark suite.
+
+``SCALE`` shrinks the paper's database sizes so the full suite runs in
+minutes; set ``RLS_BENCH_SCALE=1.0`` for paper-scale runs.  Rate
+measurements reuse the §4 methodology via
+:class:`repro.workload.driver.LoadDriver`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+from repro.core.client import RLSClient, connect
+from repro.db.odbc import Connection
+from repro.workload.driver import LoadDriver
+
+#: Fraction of the paper's database sizes to use (1.0 = paper scale).
+SCALE = float(os.environ.get("RLS_BENCH_SCALE", "0.02"))
+
+#: Collected comparison tables: (title, headers, rows, notes).
+REPORT: list[tuple[str, list[str], list[list[object]], list[str]]] = []
+
+
+def record_series(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    notes: Sequence[str] = (),
+) -> None:
+    """Record one paper-vs-measured table for the terminal summary."""
+    REPORT.append((title, list(headers), [list(r) for r in rows], list(notes)))
+
+
+def scaled(paper_size: int, minimum: int = 500) -> int:
+    """Scale a paper database size down by ``SCALE``."""
+    return max(minimum, int(paper_size * SCALE))
+
+
+def measure_rate(
+    server_name: str,
+    operation,
+    clients: int = 1,
+    threads_per_client: int = 10,
+    total_operations: int = 2000,
+    trials: int = 1,
+) -> float:
+    """§4-style measurement; returns the mean ops/second over ``trials``.
+
+    The paper performs "several trials (typically 5)" and reports the mean
+    rate; read-only workloads here use 2-3 trials to damp scheduler noise
+    (mutating workloads keep 1 so database size stays controlled).
+    """
+    driver = LoadDriver(
+        server_name=server_name,
+        clients=clients,
+        threads_per_client=threads_per_client,
+        total_operations=total_operations,
+    )
+    rates = []
+    for _ in range(trials):
+        result = driver.run(operation)
+        if result.errors:
+            raise AssertionError(
+                f"{result.errors}/{result.operations} operations failed"
+            )
+        rates.append(result.rate)
+    return sum(rates) / len(rates)
+
+
+# ---------------------------------------------------------------------------
+# Native-SQL operation bodies for the Figure 7 baseline: the same SQL the
+# LRC issues, submitted straight to the engine through the ODBC layer.
+# ---------------------------------------------------------------------------
+
+
+def native_query(conn: Connection, lfn: str) -> list[str]:
+    rows = conn.execute(
+        "SELECT p.name FROM t_lfn l "
+        "JOIN t_map m ON l.id = m.lfn_id "
+        "JOIN t_pfn p ON m.pfn_id = p.id "
+        "WHERE l.name = ?",
+        [lfn],
+    ).rows
+    return [r[0] for r in rows]
+
+
+def native_add(conn: Connection, lfn: str, pfn: str) -> None:
+    lfn_result = conn.execute(
+        "INSERT INTO t_lfn (name, ref) VALUES (?, ?)", [lfn, 1]
+    )
+    existing = conn.execute(
+        "SELECT id, ref FROM t_pfn WHERE name = ?", [pfn]
+    ).rows
+    if existing:
+        pfn_id, ref = existing[0]
+        conn.execute(
+            "UPDATE t_pfn SET ref = ? WHERE id = ?", [ref + 1, pfn_id]
+        )
+    else:
+        pfn_id = conn.execute(
+            "INSERT INTO t_pfn (name, ref) VALUES (?, ?)", [pfn, 1]
+        ).lastrowid
+    conn.execute(
+        "INSERT INTO t_map (lfn_id, pfn_id) VALUES (?, ?)",
+        [lfn_result.lastrowid, pfn_id],
+    )
+
+
+def native_delete(conn: Connection, lfn: str, pfn: str) -> None:
+    lfn_row = conn.execute("SELECT id FROM t_lfn WHERE name = ?", [lfn]).rows
+    pfn_row = conn.execute(
+        "SELECT id, ref FROM t_pfn WHERE name = ?", [pfn]
+    ).rows
+    if not lfn_row or not pfn_row:
+        raise LookupError(f"missing mapping {lfn} -> {pfn}")
+    lfn_id = lfn_row[0][0]
+    pfn_id, pfn_ref = pfn_row[0]
+    conn.execute(
+        "DELETE FROM t_map WHERE lfn_id = ? AND pfn_id = ?", [lfn_id, pfn_id]
+    )
+    conn.execute("DELETE FROM t_lfn WHERE id = ?", [lfn_id])
+    if pfn_ref <= 1:
+        conn.execute("DELETE FROM t_pfn WHERE id = ?", [pfn_id])
+    else:
+        conn.execute(
+            "UPDATE t_pfn SET ref = ? WHERE id = ?", [pfn_ref - 1, pfn_id]
+        )
+
+
+def delete_all(server_name: str, pairs) -> None:
+    """Remove the mappings a trial added, restoring pre-trial size (§4)."""
+    client: RLSClient = connect(server_name)
+    try:
+        for chunk_start in range(0, len(pairs), 1000):
+            client.bulk_delete(pairs[chunk_start : chunk_start + 1000])
+    finally:
+        client.close()

@@ -1,0 +1,51 @@
+"""Benchmark-suite infrastructure.
+
+Each ``bench_figXX_*.py`` file regenerates one table or figure from the
+paper's evaluation and records a paper-vs-measured comparison table, which
+is printed in the terminal summary (so it survives pytest's output
+capture and lands in ``bench_output.txt``).
+
+Scale: ``RLS_BENCH_SCALE`` multiplies the paper's database sizes
+(default 0.02, i.e. a 1 M-entry experiment runs with 20 000 entries so the
+whole suite finishes in minutes).  Absolute rates differ from the paper —
+the substrate is a Python simulator, not a 2003 Xeon running MySQL — but
+each recorded table states the paper's numbers next to ours so the shape
+comparison is direct.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import REPORT
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not REPORT:
+        return
+    tr = terminalreporter
+    tr.write_sep("=", "paper-vs-measured comparison tables")
+    for title, headers, rows, notes in REPORT:
+        tr.write_line("")
+        tr.write_line(title)
+        tr.write_line("-" * len(title))
+        widths = [
+            max(len(str(headers[i])), *(len(str(r[i])) for r in rows))
+            for i in range(len(headers))
+        ]
+        tr.write_line(
+            "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+        )
+        for row in rows:
+            tr.write_line(
+                "  ".join(str(c).ljust(w) for c, w in zip(row, widths))
+            )
+        for note in notes:
+            tr.write_line(f"  note: {note}")
+
+
+@pytest.fixture(scope="session")
+def scale():
+    from benchmarks.common import SCALE
+
+    return SCALE

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Earth System Grid deployment (paper §6).
+
+"The Earth System Grid deploys four RLS servers that function as both
+LRCs and RLIs in a fully-connected configuration and store mappings for
+40,000 physical files."  Every server indexes every other server's
+catalog, so a query against ANY node finds replicas anywhere.
+
+This example builds the four-node full mesh with uncompressed updates
+(so wildcard queries keep working, which ESG's data portal relies on),
+loads climate files, and demonstrates mesh-wide discovery plus what
+happens when one node's state goes stale.
+
+Run:  python examples/earth_system_grid.py
+"""
+
+from repro import RLSServer, ServerConfig, ServerRole, connect
+from repro.workload.names import esg_names
+
+NODES = ["ncar", "llnl", "isi", "ornl"]
+FILES_PER_NODE = 250  # paper: 40,000 physical files across the mesh
+
+
+def main() -> None:
+    servers = {
+        node: RLSServer(
+            ServerConfig(name=f"esg-{node}", role=ServerRole.BOTH)
+        ).start()
+        for node in NODES
+    }
+    try:
+        datasets = esg_names(FILES_PER_NODE * len(NODES))
+
+        print("loading catalogs and wiring the full mesh ...")
+        for i, node in enumerate(NODES):
+            client = connect(f"esg-{node}")
+            local = datasets[i * FILES_PER_NODE : (i + 1) * FILES_PER_NODE]
+            client.bulk_create(
+                [(d, f"http://{node}.esg.org/thredds/{d}") for d in local]
+            )
+            # Fully-connected: every LRC updates every RLI (including its own).
+            for target in NODES:
+                client.add_rli(f"esg-{target}", bloom=False)
+            client.trigger_full_update()
+            print(f"  esg-{node}: {client.lfn_count()} datasets")
+            client.close()
+
+        # --- any node answers for the whole federation ---
+        probe = datasets[3 * FILES_PER_NODE + 7]  # one of ornl's datasets
+        print(f"\nquerying every node for {probe!r}:")
+        for node in NODES:
+            client = connect(f"esg-{node}")
+            print(f"  esg-{node} ->", client.rli_query(probe))
+            client.close()
+
+        # --- wildcard search across the federation (needs uncompressed) ---
+        client = connect("esg-ncar")
+        hits = client.rli_query_wildcard("ccsm3/b30.004/TS/*")
+        print(f"\nwildcard 'ccsm3/b30.004/TS/*': {len(hits)} index entries")
+        for lfn, lrc in hits[:5]:
+            print(f"  {lfn} @ {lrc}")
+
+        # --- soft-state behaviour: a node goes quiet ---
+        print("\nornl stops updating; its entries age out of the indexes")
+        # Simulate staleness by expiring with a tiny timeout on one node.
+        ncar = servers["ncar"]
+        ncar.rli.timeout = 0.0  # everything is now stale
+        dropped = ncar.rli.expire_once()
+        print(f"  esg-ncar expired {dropped} soft-state entries")
+        try:
+            client.rli_query(probe)
+            print("  (unexpectedly still indexed)")
+        except Exception as exc:
+            print(f"  esg-ncar no longer indexes {probe!r}: {type(exc).__name__}")
+        # Other nodes still answer; a fresh update restores ncar.
+        ncar.rli.timeout = 1800.0
+        ornl = connect("esg-ornl")
+        ornl.trigger_full_update()
+        print("  after ornl's next update:", client.rli_query(probe))
+        ornl.close()
+        client.close()
+    finally:
+        for server in servers.values():
+            server.stop()
+    print("done")
+
+
+if __name__ == "__main__":
+    main()

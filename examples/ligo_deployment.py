@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""LIGO-style deployment (paper §6, scaled down).
+
+LIGO "uses the RLS to register and query mappings between 3 million
+logical file names and 30 million physical file locations": every frame
+file is replicated at multiple observatory/compute sites, each site runs
+an LRC, and Bloom-filter updates feed a central RLI so any site can find
+which other sites hold a frame.
+
+This example builds a 3-site deployment at 1/1000 scale (3000 LFNs x 10
+replicas), uses Bloom-compressed updates (the production LIGO choice),
+and then walks the discovery path for a gravitational-wave analysis job.
+
+Run:  python examples/ligo_deployment.py
+"""
+
+import time
+
+from repro import RLSServer, ServerConfig, ServerRole, connect
+from repro.workload.names import ligo_names
+
+SITES = ["hanford", "livingston", "caltech"]
+FRAMES_PER_SITE = 1000
+REPLICAS_EACH_AT = 2  # each frame also mirrored at the next site
+
+
+def main() -> None:
+    # One RLI for the collaboration, one LRC per site.
+    rli = RLSServer(
+        ServerConfig(name="ligo-rli", role=ServerRole.RLI)
+    ).start()
+    lrcs = {
+        site: RLSServer(
+            ServerConfig(name=f"ligo-lrc-{site}", role=ServerRole.LRC)
+        ).start()
+        for site in SITES
+    }
+
+    try:
+        frames = ligo_names(FRAMES_PER_SITE * len(SITES))
+
+        # Each site owns a third of the frames and mirrors its successor's.
+        print("registering frame files ...")
+        for i, site in enumerate(SITES):
+            owned = frames[i * FRAMES_PER_SITE : (i + 1) * FRAMES_PER_SITE]
+            mirrored = frames[
+                ((i + 1) % len(SITES)) * FRAMES_PER_SITE :
+                ((i + 1) % len(SITES)) * FRAMES_PER_SITE + FRAMES_PER_SITE
+            ]
+            client = connect(f"ligo-lrc-{site}")
+            client.bulk_create(
+                [(f, f"gsiftp://{site}.ligo.org/frames/{f}") for f in owned]
+            )
+            client.bulk_create(
+                [(f, f"gsiftp://{site}.ligo.org/mirror/{f}") for f in mirrored]
+            )
+            # Production LIGO uses Bloom-compressed updates.
+            client.add_rli("ligo-rli", bloom=True)
+            start = time.perf_counter()
+            client.rebuild_bloom()
+            client.trigger_full_update()
+            print(
+                f"  {site}: {client.lfn_count()} LFNs, "
+                f"bloom update in {time.perf_counter() - start:.2f}s"
+            )
+            client.close()
+
+        # --- a science run: find every replica of a stretch of frames ---
+        print("\nanalysis job: locating replicas for 5 frames")
+        rli_client = connect("ligo-rli")
+        for frame in frames[42:47]:
+            holders = rli_client.rli_query(frame)
+            replicas = []
+            for holder in holders:
+                lrc_client = connect(holder)
+                try:
+                    replicas.extend(lrc_client.get_mappings(frame))
+                except Exception:
+                    # Bloom false positive (~1%): the paper's robust-client
+                    # pattern is to just try the next holder (§3.2, §3.4).
+                    pass
+                finally:
+                    lrc_client.close()
+            print(f"  {frame}: {len(replicas)} replicas via {len(holders)} site(s)")
+
+        # --- site maintenance: hanford drains its mirror set ---
+        print("\nhanford drains its mirrored frames and refreshes its filter")
+        hanford = connect("ligo-lrc-hanford")
+        mirrored = [
+            (lfn, pfn)
+            for lfn in frames[FRAMES_PER_SITE : 2 * FRAMES_PER_SITE]
+            for pfn in [f"gsiftp://hanford.ligo.org/mirror/{lfn}"]
+        ]
+        hanford.bulk_delete(mirrored)
+        hanford.trigger_full_update()
+        print(f"  hanford now advertises {hanford.lfn_count()} LFNs")
+        hanford.close()
+
+        # A drained frame now resolves only to livingston's own copy.
+        frame = frames[FRAMES_PER_SITE + 1]
+        holders = rli_client.rli_query(frame)
+        print(f"  {frame} now held by: {holders}")
+        rli_client.close()
+    finally:
+        for server in lrcs.values():
+            server.stop()
+        rli.stop()
+    print("done")
+
+
+if __name__ == "__main__":
+    main()

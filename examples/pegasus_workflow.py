@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Pegasus-style workflow planning against the RLS (paper §6).
+
+Pegasus "uses 6 LRCs and 4 RLIs to register the locations of
+approximately 100,000 logical files".  A workflow planner consults the
+RLS to (a) find which intermediate data products already exist somewhere
+on the grid — so those jobs can be pruned — and (b) register the outputs
+each site produces, using the bulk operations that §5.4 says are
+"particularly useful for large scientific workflows".
+
+This example runs a scaled-down montage workflow: level-0 inputs are
+pre-staged at two sites, the planner prunes satisfied jobs, executes the
+rest, bulk-registers outputs with size attributes, and hands the final
+mosaic's replica list to the user.
+
+Run:  python examples/pegasus_workflow.py
+"""
+
+from repro import RLSServer, ServerConfig, ServerRole, connect
+from repro.workload.names import pegasus_names
+
+COMPUTE_SITES = ["teragrid-ncsa", "teragrid-sdsc"]
+NUM_JOBS = 200  # each job consumes one input and produces one output
+
+
+def main() -> None:
+    rli = RLSServer(ServerConfig(name="pegasus-rli", role=ServerRole.RLI)).start()
+    lrcs = {
+        site: RLSServer(
+            ServerConfig(name=f"pegasus-lrc-{site}", role=ServerRole.LRC)
+        ).start()
+        for site in COMPUTE_SITES
+    }
+    try:
+        inputs = pegasus_names(NUM_JOBS, workflow="montage-in")
+        outputs = pegasus_names(NUM_JOBS, workflow="montage")
+
+        # --- stage-in: raw images pre-staged round-robin across sites;
+        #     some outputs exist already from a previous (partial) run ---
+        print("pre-staging inputs and leftovers from a previous run ...")
+        for i, site in enumerate(COMPUTE_SITES):
+            client = connect(f"pegasus-lrc-{site}")
+            client.bulk_create(
+                [
+                    (lfn, f"gsiftp://{site}/scratch/{lfn}")
+                    for lfn in inputs[i :: len(COMPUTE_SITES)]
+                ]
+            )
+            client.define_attribute("size", "pfn", "int")
+            client.add_rli("pegasus-rli")
+            client.trigger_full_update()
+            client.close()
+        previous_run = connect(f"pegasus-lrc-{COMPUTE_SITES[0]}")
+        already_done = outputs[: NUM_JOBS // 4]
+        previous_run.bulk_create(
+            [
+                (lfn, f"gsiftp://{COMPUTE_SITES[0]}/products/{lfn}")
+                for lfn in already_done
+            ]
+        )
+        previous_run.trigger_full_update()
+        previous_run.close()
+
+        # --- planning: bulk-query the RLI to prune satisfied jobs ---
+        print("planning: checking which outputs already exist ...")
+        rli_client = connect("pegasus-rli")
+        existing = rli_client.rli_bulk_query(outputs)
+        to_run = [lfn for lfn in outputs if lfn not in existing]
+        print(
+            f"  {len(existing)} outputs already registered -> "
+            f"{len(to_run)} of {NUM_JOBS} jobs remain"
+        )
+
+        # --- execution: each site runs its share and bulk-registers ---
+        print("executing and registering outputs ...")
+        for i, site in enumerate(COMPUTE_SITES):
+            mine = to_run[i :: len(COMPUTE_SITES)]
+            client = connect(f"pegasus-lrc-{site}")
+            failures = client.bulk_create(
+                [(lfn, f"gsiftp://{site}/products/{lfn}") for lfn in mine]
+            )
+            assert not failures
+            client.bulk_add_attribute(
+                [
+                    (f"gsiftp://{site}/products/{lfn}", "size", 4096 + 17 * j)
+                    for j, lfn in enumerate(mine)
+                ],
+                "pfn",
+            )
+            client.trigger_full_update()
+            print(f"  {site}: registered {len(mine)} products")
+            client.close()
+
+        # --- delivery: find every replica of the final mosaic ---
+        mosaic = outputs[-1]
+        print(f"\nfinal product {mosaic!r}:")
+        for holder in rli_client.rli_query(mosaic):
+            client = connect(holder)
+            for pfn in client.get_mappings(mosaic):
+                size = client.get_attributes(pfn, "pfn").get("size")
+                print(f"  {pfn} (size={size})")
+            client.close()
+
+        # --- re-planning is now a no-op ---
+        still_missing = [
+            lfn
+            for lfn in outputs
+            if lfn not in rli_client.rli_bulk_query(outputs)
+        ]
+        print(f"re-planning finds {len(still_missing)} unsatisfied outputs")
+        rli_client.close()
+    finally:
+        for server in lrcs.values():
+            server.stop()
+        rli.stop()
+    print("done")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: one server hosting both an LRC and an RLI.
+
+Shows the basic lifecycle from the paper's §3: register replicas in a
+Local Replica Catalog, push a soft-state update into the Replica Location
+Index, then discover replicas the two-step way (RLI -> LRC).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import RLSServer, ServerConfig, ServerRole, connect
+
+
+def main() -> None:
+    config = ServerConfig(
+        name="quickstart",
+        role=ServerRole.BOTH,     # the common LRC/RLI server of Figure 2
+        backend="mysql",          # embedded MySQL-flavoured engine
+        flush_on_commit=False,    # the paper's recommended setting (§5.1)
+    )
+    with RLSServer(config):
+        client = connect("quickstart")
+
+        # --- register replicas (LRC operations, Table 1) ---
+        lfn = "lfn://climate/run42/temperature.nc"
+        client.create(lfn, "gsiftp://storage1.example.org/data/temperature.nc")
+        client.add(lfn, "gsiftp://storage2.example.org/mirror/temperature.nc")
+        print("replicas registered:")
+        for pfn in client.get_mappings(lfn):
+            print("   ", pfn)
+
+        # --- attach attributes ---
+        client.define_attribute("size", "pfn", "int")
+        client.add_attribute(
+            "gsiftp://storage1.example.org/data/temperature.nc",
+            "size", "pfn", 2_147_483_648 // 2,
+        )
+        print("attributes:", client.get_attributes(
+            "gsiftp://storage1.example.org/data/temperature.nc", "pfn"))
+
+        # --- wire the LRC to update the (co-hosted) RLI and push state ---
+        client.add_rli("quickstart", bloom=False)
+        duration = client.trigger_full_update()
+        print(f"soft-state update completed in {duration * 1000:.1f} ms")
+
+        # --- two-step discovery (§3.2) ---
+        holders = client.rli_query(lfn)
+        print("RLI says these LRCs hold the name:", holders)
+        for holder in holders:
+            lrc_client = connect(holder)
+            print(f"  {holder} ->", lrc_client.get_mappings(lfn))
+            lrc_client.close()
+
+        # --- wildcard discovery ---
+        print("wildcard lfn://climate/*:", client.query_wildcard("lfn://climate/*"))
+        client.close()
+    print("done")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Soft-state update study on the simulated LAN/WAN testbed.
+
+Regenerates the paper's three network experiments (Figure 12, Table 3,
+Figure 13) on the discrete-event simulator and prints paper-vs-ours
+tables.  The same code backs the corresponding benchmarks; this script is
+the human-friendly entry point.
+
+Run:  python examples/wan_update_study.py           (quick: skips 5M gen)
+      python examples/wan_update_study.py --full    (measures generation)
+"""
+
+import sys
+
+from repro.sim.models import (
+    bloom_table3_row,
+    bloom_update_times_wan,
+    uncompressed_update_times,
+)
+
+
+def figure12() -> None:
+    print("Figure 12 — uncompressed soft-state update time (LAN), seconds")
+    print(f"{'LRCs':>5} {'10K':>9} {'100K':>9} {'1M':>9}")
+    for count in (1, 2, 3, 4, 5, 6, 7, 8):
+        times = [
+            uncompressed_update_times(size, count, rounds=3).mean_update_time
+            for size in (10_000, 100_000, 1_000_000)
+        ]
+        print(f"{count:>5} {times[0]:>9.1f} {times[1]:>9.1f} {times[2]:>9.0f}")
+    print("paper anchors: 1 LRC/1M = 831 s, 6 LRCs/1M = 5102 s\n")
+
+
+def table3(full: bool) -> None:
+    print("Table 3 — Bloom filter update performance (single WAN client)")
+    print(f"{'mappings':>10} {'update(s)':>10} {'generate(s)':>12} {'bits':>12}")
+    paper = {100_000: ("<1", 2.0), 1_000_000: (1.67, 18.4), 5_000_000: (6.8, 91.6)}
+    for entries in (100_000, 1_000_000, 5_000_000):
+        row = bloom_table3_row(
+            entries,
+            measure_generation=True,
+            generation_sample=None if full else min(entries, 100_000),
+        )
+        p_upd, p_gen = paper[entries]
+        print(
+            f"{entries:>10,} {row.update_time:>10.2f} "
+            f"{row.generation_time:>12.1f} {row.filter_bits:>12,}"
+            f"   (paper: {p_upd} / {p_gen})"
+        )
+    print()
+
+
+def figure13() -> None:
+    print("Figure 13 — continuous WAN Bloom updates, mean client time (s)")
+    print(f"{'clients':>8} {'ours':>7}   paper")
+    paper = {1: 6.5, 7: 7.0, 10: 8.5, 14: 11.5}
+    for clients in range(1, 15):
+        t = bloom_update_times_wan(5_000_000, clients).mean_update_time
+        anchor = f"{paper[clients]}" if clients in paper else ""
+        print(f"{clients:>8} {t:>7.2f}   {anchor}")
+    print()
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    figure12()
+    table3(full)
+    figure13()
+    print("done")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so ``python setup.py develop`` works in offline environments where
+pip's PEP 660 editable build is unavailable (it requires the ``wheel``
+package).  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

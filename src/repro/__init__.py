@@ -1,0 +1,68 @@
+"""repro — reproduction of the Globus Replica Location Service (HPDC 2004).
+
+A from-scratch Python implementation of the two-tier Replica Location
+Service evaluated in Chervenak et al., *Performance and Scalability of a
+Replica Location Service* (HPDC 2004), together with every substrate it
+depends on: an embedded relational database with MySQL- and
+PostgreSQL-flavoured engines, an ODBC-like access layer, an RPC stack,
+GSI-style security, a discrete-event simulator for the LAN/WAN
+experiments, and a workload/benchmark harness that regenerates each table
+and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import RLSServer, ServerConfig, ServerRole, connect
+
+    with RLSServer(ServerConfig(name="demo", role=ServerRole.BOTH)) as server:
+        client = connect("demo")
+        client.create("lfn://experiment/file001", "gsiftp://host/data/file001")
+        print(client.get_mappings("lfn://experiment/file001"))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured results.
+"""
+
+from repro.core import (
+    AttrType,
+    Backend,
+    BloomFilter,
+    BloomParameters,
+    CountingBloomFilter,
+    LocalReplicaCatalog,
+    ObjType,
+    RLSClient,
+    RLSError,
+    RLSServer,
+    ReplicaLocationIndex,
+    ServerConfig,
+    ServerRole,
+    StaticMembership,
+    UpdateManager,
+    UpdatePolicy,
+    connect,
+    connect_tcp_server,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttrType",
+    "Backend",
+    "BloomFilter",
+    "BloomParameters",
+    "CountingBloomFilter",
+    "LocalReplicaCatalog",
+    "ObjType",
+    "RLSClient",
+    "RLSError",
+    "RLSServer",
+    "ReplicaLocationIndex",
+    "ServerConfig",
+    "ServerRole",
+    "StaticMembership",
+    "UpdateManager",
+    "UpdatePolicy",
+    "__version__",
+    "connect",
+    "connect_tcp_server",
+]

@@ -1,0 +1,267 @@
+"""Command-line interface — the ``globus-rls-cli`` equivalent.
+
+Subcommands mirror the operation classes of the paper's Table 1::
+
+    rls serve   --name mysite --role both --tcp --port 39281
+    rls create  --server host:39281 lfn pfn
+    rls add     --server host:39281 lfn pfn
+    rls delete  --server host:39281 lfn pfn
+    rls query   --server host:39281 lfn            # LRC query (or wildcard)
+    rls rli-query --server host:39281 lfn          # index query
+    rls bulk    --server host:39281 create pairs.txt
+    rls attr    --server host:39281 define size pfn int
+    rls attr    --server host:39281 add <pfn> size pfn 1024
+    rls admin   --server host:39281 stats|ping|update|expire
+
+``--server`` accepts either an in-process endpoint name or ``host:port``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Sequence
+
+from repro.core.client import RLSClient, connect, connect_tcp_server
+from repro.core.config import ServerConfig, ServerRole
+from repro.core.naming import has_wildcard
+from repro.core.server import RLSServer
+
+
+def _open_client(spec: str) -> RLSClient:
+    if ":" in spec:
+        host, port = spec.rsplit(":", 1)
+        return connect_tcp_server(host, int(port))
+    return connect(spec)
+
+
+def _parse_role(text: str) -> ServerRole:
+    mapping = {"lrc": ServerRole.LRC, "rli": ServerRole.RLI, "both": ServerRole.BOTH}
+    try:
+        return mapping[text.lower()]
+    except KeyError:
+        raise argparse.ArgumentTypeError(f"role must be lrc|rli|both, got {text!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rls", description="Replica Location Service command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run an RLS server")
+    serve.add_argument("--name", default="rls")
+    serve.add_argument("--role", type=_parse_role, default=ServerRole.BOTH)
+    serve.add_argument("--backend", default="mysql", choices=["mysql", "postgresql"])
+    serve.add_argument("--flush-on-commit", action="store_true")
+    serve.add_argument("--tcp", action="store_true")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0)
+    serve.add_argument(
+        "--run-seconds",
+        type=float,
+        default=None,
+        help="exit after N seconds (default: run until interrupted)",
+    )
+
+    for name, help_text in (
+        ("create", "register a new logical name with its first replica"),
+        ("add", "register an additional replica"),
+        ("delete", "remove a replica mapping"),
+    ):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("--server", required=True)
+        cmd.add_argument("lfn")
+        cmd.add_argument("pfn")
+
+    query = sub.add_parser("query", help="LRC query (wildcards: * and ?)")
+    query.add_argument("--server", required=True)
+    query.add_argument("--reverse", action="store_true", help="query by target name")
+    query.add_argument("name")
+
+    rli_query = sub.add_parser("rli-query", help="RLI index query")
+    rli_query.add_argument("--server", required=True)
+    rli_query.add_argument("lfn")
+
+    bulk = sub.add_parser("bulk", help="bulk create/add/delete from a file")
+    bulk.add_argument("--server", required=True)
+    bulk.add_argument("op", choices=["create", "add", "delete", "query"])
+    bulk.add_argument(
+        "path", help="file with one 'lfn pfn' (or just 'lfn' for query) per line"
+    )
+
+    attr = sub.add_parser("attr", help="attribute operations")
+    attr.add_argument("--server", required=True)
+    attr.add_argument("args", nargs="+")
+
+    admin = sub.add_parser("admin", help="administrative operations")
+    admin.add_argument("--server", required=True)
+    admin.add_argument(
+        "op", choices=["ping", "stats", "update", "incremental", "expire", "add-rli",
+                       "remove-rli", "list-rlis", "verify"]
+    )
+    admin.add_argument("extra", nargs="*")
+    admin.add_argument("--bloom", action="store_true")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "serve":
+        config = ServerConfig(
+            name=args.name,
+            role=args.role,
+            backend=args.backend,
+            flush_on_commit=args.flush_on_commit,
+            tcp=args.tcp,
+            tcp_host=args.host,
+            tcp_port=args.port,
+        )
+        server = RLSServer(config).start()
+        address = server.tcp_address
+        if address:
+            print(f"serving {args.name} on {address[0]}:{address[1]}", file=out)
+        else:
+            print(f"serving {args.name} (in-process endpoint)", file=out)
+        try:
+            if args.run_seconds is not None:
+                time.sleep(args.run_seconds)
+            else:  # pragma: no cover - interactive path
+                while True:
+                    time.sleep(3600)
+        except KeyboardInterrupt:  # pragma: no cover
+            pass
+        finally:
+            server.stop()
+        return 0
+
+    client = _open_client(args.server)
+    try:
+        return _dispatch(args, client, out)
+    finally:
+        client.close()
+
+
+def _dispatch(args: argparse.Namespace, client: RLSClient, out) -> int:
+    if args.command == "create":
+        client.create(args.lfn, args.pfn)
+        print("created", file=out)
+    elif args.command == "add":
+        client.add(args.lfn, args.pfn)
+        print("added", file=out)
+    elif args.command == "delete":
+        client.delete(args.lfn, args.pfn)
+        print("deleted", file=out)
+    elif args.command == "query":
+        if args.reverse:
+            for lfn in client.get_lfns(args.name):
+                print(lfn, file=out)
+        elif has_wildcard(args.name):
+            for lfn, pfn in client.query_wildcard(args.name):
+                print(f"{lfn}\t{pfn}", file=out)
+        else:
+            for pfn in client.get_mappings(args.name):
+                print(pfn, file=out)
+    elif args.command == "rli-query":
+        for lrc in client.rli_query(args.lfn):
+            print(lrc, file=out)
+    elif args.command == "bulk":
+        return _bulk(args, client, out)
+    elif args.command == "attr":
+        return _attr(args, client, out)
+    elif args.command == "admin":
+        return _admin(args, client, out)
+    return 0
+
+
+def _bulk(args: argparse.Namespace, client: RLSClient, out) -> int:
+    with open(args.path, "r", encoding="utf-8") as fh:
+        lines = [line.split() for line in fh if line.strip()]
+    if args.op == "query":
+        result = client.bulk_query([line[0] for line in lines])
+        for lfn, pfns in sorted(result.items()):
+            for pfn in pfns:
+                print(f"{lfn}\t{pfn}", file=out)
+        return 0
+    pairs = [(line[0], line[1]) for line in lines]
+    op = {"create": client.bulk_create, "add": client.bulk_add,
+          "delete": client.bulk_delete}[args.op]
+    failures = op(pairs)
+    for lfn, pfn, error in failures:
+        print(f"FAILED {lfn} {pfn}: {error}", file=out)
+    print(f"{len(pairs) - len(failures)}/{len(pairs)} succeeded", file=out)
+    return 1 if failures else 0
+
+
+def _attr(args: argparse.Namespace, client: RLSClient, out) -> int:
+    words = args.args
+    op = words[0]
+    if op == "define":
+        _name, objtype, attrtype = words[1], words[2], words[3]
+        client.define_attribute(_name, objtype, attrtype)
+        print("defined", file=out)
+    elif op == "add":
+        obj, name, objtype, value = words[1], words[2], words[3], words[4]
+        client.add_attribute(obj, name, objtype, _coerce(value))
+        print("added", file=out)
+    elif op == "get":
+        obj, objtype = words[1], words[2]
+        for key, value in sorted(client.get_attributes(obj, objtype).items()):
+            print(f"{key}={value}", file=out)
+    elif op == "remove":
+        obj, name, objtype = words[1], words[2], words[3]
+        client.remove_attribute(obj, name, objtype)
+        print("removed", file=out)
+    else:
+        print(f"unknown attr op {op!r}", file=out)
+        return 2
+    return 0
+
+
+def _coerce(text: str):
+    for converter in (int, float):
+        try:
+            return converter(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _admin(args: argparse.Namespace, client: RLSClient, out) -> int:
+    if args.op == "ping":
+        print(client.ping(), file=out)
+    elif args.op == "stats":
+        print(json.dumps(client.stats(), indent=2, sort_keys=True), file=out)
+    elif args.op == "update":
+        duration = client.trigger_full_update()
+        print(f"full update in {duration:.3f}s", file=out)
+    elif args.op == "incremental":
+        print(f"flushed {client.trigger_incremental_update()} changes", file=out)
+    elif args.op == "expire":
+        print(f"expired {client.expire_once()} entries", file=out)
+    elif args.op == "add-rli":
+        client.add_rli(args.extra[0], bloom=args.bloom, patterns=args.extra[1:])
+        print("rli added", file=out)
+    elif args.op == "remove-rli":
+        client.remove_rli(args.extra[0])
+        print("rli removed", file=out)
+    elif args.op == "verify":
+        problems = client.verify()
+        for problem in problems:
+            print(f"PROBLEM: {problem}", file=out)
+        print("catalog healthy" if not problems else
+              f"{len(problems)} problem(s) found", file=out)
+        return 1 if problems else 0
+    elif args.op == "list-rlis":
+        for entry in client.list_rlis():
+            flags = "bloom" if entry["bloom"] else "full"
+            patterns = ",".join(entry["patterns"]) or "-"
+            print(f"{entry['name']}\t{flags}\t{patterns}", file=out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,214 @@
+"""RLS client library.
+
+A typed wrapper around the RPC protocol covering every operation in the
+paper's Table 1 (the C client / Java wrapper equivalent).  Obtain one with
+:func:`connect` (in-process endpoint), :func:`connect_tcp_server`, or via
+:class:`~repro.core.membership.StaticMembership`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core.lrc import ObjType
+from repro.net.rpc import RPCClient
+from repro.net.transport import connect_local, connect_tcp
+
+
+def _objtype_wire(objtype: ObjType | str) -> int:
+    return int(ObjType.parse(objtype))
+
+
+class RLSClient:
+    """Client handle to one RLS server (LRC and/or RLI operations)."""
+
+    def __init__(self, rpc: RPCClient) -> None:
+        self.rpc = rpc
+
+    # ------------------------------------------------------------------
+    # LRC: mapping management
+    # ------------------------------------------------------------------
+
+    def create(self, lfn: str, pfn: str) -> None:
+        """Register a new logical name with its first replica mapping."""
+        self.rpc.call("lrc_create_mapping", lfn, pfn)
+
+    def add(self, lfn: str, pfn: str) -> None:
+        """Register an additional replica for an existing logical name."""
+        self.rpc.call("lrc_add_mapping", lfn, pfn)
+
+    def delete(self, lfn: str, pfn: str) -> None:
+        """Remove one replica mapping."""
+        self.rpc.call("lrc_delete_mapping", lfn, pfn)
+
+    def bulk_create(self, pairs: Sequence[tuple[str, str]]) -> list[tuple[str, str, str]]:
+        """Create many mappings in one request; returns per-pair failures."""
+        return [tuple(t) for t in self.rpc.call("lrc_bulk_create", [list(p) for p in pairs])]
+
+    def bulk_add(self, pairs: Sequence[tuple[str, str]]) -> list[tuple[str, str, str]]:
+        return [tuple(t) for t in self.rpc.call("lrc_bulk_add", [list(p) for p in pairs])]
+
+    def bulk_delete(self, pairs: Sequence[tuple[str, str]]) -> list[tuple[str, str, str]]:
+        return [tuple(t) for t in self.rpc.call("lrc_bulk_delete", [list(p) for p in pairs])]
+
+    # ------------------------------------------------------------------
+    # LRC: queries
+    # ------------------------------------------------------------------
+
+    def get_mappings(self, lfn: str) -> list[str]:
+        """Target names (replica locations) for one logical name."""
+        return self.rpc.call("lrc_get_mappings", lfn)
+
+    def get_lfns(self, pfn: str) -> list[str]:
+        """Logical names mapped to one target name."""
+        return self.rpc.call("lrc_get_lfns", pfn)
+
+    def query_wildcard(self, pattern: str) -> list[tuple[str, str]]:
+        """(lfn, pfn) pairs whose LFN matches ``*``/``?`` wildcards."""
+        return [tuple(t) for t in self.rpc.call("lrc_query_wildcard", pattern)]
+
+    def bulk_query(self, lfns: Sequence[str]) -> dict[str, list[str]]:
+        """Mappings for many logical names (absent names omitted)."""
+        return self.rpc.call("lrc_bulk_query", list(lfns))
+
+    def exists(self, lfn: str) -> bool:
+        return self.rpc.call("lrc_exists", lfn)
+
+    def lfn_count(self) -> int:
+        return self.rpc.call("lrc_lfn_count")
+
+    def mapping_count(self) -> int:
+        return self.rpc.call("lrc_mapping_count")
+
+    # ------------------------------------------------------------------
+    # LRC: attributes
+    # ------------------------------------------------------------------
+
+    def define_attribute(
+        self, name: str, objtype: ObjType | str, attrtype: str
+    ) -> int:
+        return self.rpc.call("lrc_attr_define", name, _objtype_wire(objtype), attrtype)
+
+    def undefine_attribute(self, name: str, objtype: ObjType | str) -> None:
+        self.rpc.call("lrc_attr_undefine", name, _objtype_wire(objtype))
+
+    def add_attribute(
+        self, obj: str, name: str, objtype: ObjType | str, value: Any
+    ) -> None:
+        self.rpc.call("lrc_attr_add", obj, name, _objtype_wire(objtype), value)
+
+    def modify_attribute(
+        self, obj: str, name: str, objtype: ObjType | str, value: Any
+    ) -> None:
+        self.rpc.call("lrc_attr_modify", obj, name, _objtype_wire(objtype), value)
+
+    def remove_attribute(self, obj: str, name: str, objtype: ObjType | str) -> None:
+        self.rpc.call("lrc_attr_remove", obj, name, _objtype_wire(objtype))
+
+    def get_attributes(self, obj: str, objtype: ObjType | str) -> dict[str, Any]:
+        return self.rpc.call("lrc_attr_get", obj, _objtype_wire(objtype))
+
+    def query_by_attribute(
+        self,
+        name: str,
+        objtype: ObjType | str,
+        value: Any = None,
+        op: str = "=",
+    ) -> list[tuple[str, Any]]:
+        return [
+            tuple(t)
+            for t in self.rpc.call(
+                "lrc_attr_query", name, _objtype_wire(objtype), value, op
+            )
+        ]
+
+    def bulk_add_attribute(
+        self, triples: Sequence[tuple[str, str, Any]], objtype: ObjType | str
+    ) -> list[tuple[str, str, str]]:
+        return [
+            tuple(t)
+            for t in self.rpc.call(
+                "lrc_attr_bulk_add", [list(t) for t in triples], _objtype_wire(objtype)
+            )
+        ]
+
+    # ------------------------------------------------------------------
+    # LRC: RLI update-target management
+    # ------------------------------------------------------------------
+
+    def add_rli(
+        self, name: str, bloom: bool = False, patterns: Sequence[str] = ()
+    ) -> None:
+        """Register an RLI this LRC should send soft-state updates to."""
+        self.rpc.call("lrc_rli_add", name, bloom, list(patterns))
+
+    def remove_rli(self, name: str) -> None:
+        self.rpc.call("lrc_rli_remove", name)
+
+    def list_rlis(self) -> list[dict[str, Any]]:
+        return self.rpc.call("lrc_rli_list")
+
+    # ------------------------------------------------------------------
+    # RLI operations
+    # ------------------------------------------------------------------
+
+    def rli_query(self, lfn: str) -> list[str]:
+        """Names of LRCs that (probably) hold mappings for ``lfn``."""
+        return self.rpc.call("rli_query", lfn)
+
+    def rli_bulk_query(self, lfns: Sequence[str]) -> dict[str, list[str]]:
+        return self.rpc.call("rli_bulk_query", list(lfns))
+
+    def rli_query_wildcard(self, pattern: str) -> list[tuple[str, str]]:
+        return [tuple(t) for t in self.rpc.call("rli_query_wildcard", pattern)]
+
+    def rli_lrc_list(self) -> list[str]:
+        return self.rpc.call("rli_lrc_list")
+
+    # ------------------------------------------------------------------
+    # Admin
+    # ------------------------------------------------------------------
+
+    def ping(self) -> str:
+        return self.rpc.call("admin_ping")
+
+    def stats(self) -> dict[str, Any]:
+        return self.rpc.call("admin_stats")
+
+    def trigger_full_update(self) -> float:
+        """Force an immediate full soft-state update; returns duration (s)."""
+        return self.rpc.call("admin_trigger_full_update")
+
+    def trigger_incremental_update(self) -> int:
+        return self.rpc.call("admin_trigger_incremental_update")
+
+    def expire_once(self) -> int:
+        return self.rpc.call("admin_expire_once")
+
+    def rebuild_bloom(self) -> float:
+        return self.rpc.call("admin_rebuild_bloom")
+
+    def verify(self) -> list[str]:
+        """Run the catalog integrity checker; returns problems (empty = ok)."""
+        return self.rpc.call("admin_verify")
+
+    def close(self) -> None:
+        self.rpc.close()
+
+    def __enter__(self) -> "RLSClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def connect(name: str, credential: bytes | None = None) -> RLSClient:
+    """Connect to an in-process server endpoint by name."""
+    return RLSClient(RPCClient(connect_local(name, credential)))
+
+
+def connect_tcp_server(
+    host: str, port: int, credential: bytes | None = None
+) -> RLSClient:
+    """Connect to a TCP server."""
+    return RLSClient(RPCClient(connect_tcp(host, port, credential)))

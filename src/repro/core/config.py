@@ -1,0 +1,75 @@
+"""Server configuration.
+
+One :class:`ServerConfig` describes a single RLS server process: its roles
+(LRC, RLI, or both — the implementation is a common server, §3.1), its
+database back end and flush policy, its security policy, and its
+soft-state update behaviour.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.updates import UpdatePolicy
+from repro.security.authorizer import SecurityPolicy
+
+
+class ServerRole(enum.Flag):
+    """Which services this server hosts (Figure 2: a common server)."""
+
+    LRC = enum.auto()
+    RLI = enum.auto()
+    BOTH = LRC | RLI
+
+
+class Backend(enum.Enum):
+    """Relational back end flavour (§5.1 vs §5.2)."""
+
+    MYSQL = "mysql"
+    POSTGRESQL = "postgresql"
+
+    @classmethod
+    def parse(cls, value: "Backend | str") -> "Backend":
+        if isinstance(value, cls):
+            return value
+        for member in cls:
+            if member.value == value.lower():
+                return member
+        raise ValueError(f"unknown backend {value!r}")
+
+
+@dataclass
+class ServerConfig:
+    """Complete configuration for one RLS server."""
+
+    name: str = "rls"
+    role: ServerRole = ServerRole.BOTH
+    backend: Backend | str = Backend.MYSQL
+    #: MySQL: flush transaction log on every commit (paper recommends off).
+    flush_on_commit: bool = False
+    #: Modelled disk write-barrier latency for the WAL device.
+    sync_latency: float = 0.011
+    #: RLI soft-state timeout (seconds) before un-refreshed entries expire.
+    rli_timeout: float = 30 * 60.0
+    #: Period of the RLI expire thread.
+    expire_interval: float = 60.0
+    #: How often the update scheduler checks for due soft-state pushes.
+    update_poll_interval: float = 1.0
+    security: SecurityPolicy = field(default_factory=SecurityPolicy.open)
+    updates: UpdatePolicy = field(default_factory=UpdatePolicy)
+    #: Start a TCP listener in addition to the in-process endpoint.
+    tcp: bool = False
+    tcp_host: str = "127.0.0.1"
+    tcp_port: int = 0  # 0 = ephemeral
+
+    def __post_init__(self) -> None:
+        self.backend = Backend.parse(self.backend)
+
+    @property
+    def is_lrc(self) -> bool:
+        return bool(self.role & ServerRole.LRC)
+
+    @property
+    def is_rli(self) -> bool:
+        return bool(self.role & ServerRole.RLI)

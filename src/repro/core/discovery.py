@@ -1,0 +1,118 @@
+"""Robust two-step replica discovery (the §3.2 client pattern as an API).
+
+"Thus, a query to an RLI may return stale information. ... An application
+program must be sufficiently robust to recover from this situation and
+query for another replica of the logical name."  Bloom-filter results add
+a ~1% false-positive rate on top (§3.4).
+
+:class:`ReplicaDiscovery` encapsulates the robust pattern: query one or
+more RLIs, merge the candidate LRC lists, query each candidate LRC,
+tolerate stale pointers / false positives / dead servers, and return every
+replica found, with per-source diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.client import RLSClient
+from repro.core.errors import MappingNotFoundError
+from repro.core.membership import StaticMembership
+
+
+@dataclass
+class DiscoveryResult:
+    """Replicas found for one logical name, with provenance."""
+
+    lfn: str
+    replicas: list[str] = field(default_factory=list)
+    #: LRC name -> its replica list (only LRCs that actually had mappings).
+    by_lrc: dict[str, list[str]] = field(default_factory=dict)
+    #: Candidate LRCs that had no mapping (stale RLI data / Bloom FPs).
+    false_candidates: list[str] = field(default_factory=list)
+    #: Candidate LRCs that could not be contacted.
+    unreachable: list[str] = field(default_factory=list)
+
+    @property
+    def found(self) -> bool:
+        return bool(self.replicas)
+
+
+class ReplicaDiscovery:
+    """Discovers replicas through RLIs with the robust recovery pattern."""
+
+    def __init__(
+        self,
+        membership: StaticMembership,
+        rli_names: Sequence[str],
+    ) -> None:
+        if not rli_names:
+            raise ValueError("at least one RLI is required")
+        self.membership = membership
+        self.rli_names = list(rli_names)
+
+    def _open(self, name: str) -> RLSClient:
+        return RLSClient(self.membership.connect(name))
+
+    def candidate_lrcs(self, lfn: str) -> list[str]:
+        """Union of LRC candidates across every reachable RLI."""
+        candidates: list[str] = []
+        for rli_name in self.rli_names:
+            try:
+                client = self._open(rli_name)
+            except Exception:
+                continue
+            try:
+                for lrc_name in client.rli_query(lfn):
+                    if lrc_name not in candidates:
+                        candidates.append(lrc_name)
+            except MappingNotFoundError:
+                continue
+            except Exception:
+                continue
+            finally:
+                client.close()
+        return candidates
+
+    def discover(self, lfn: str) -> DiscoveryResult:
+        """Find every replica of ``lfn``, tolerating stale index data."""
+        result = DiscoveryResult(lfn=lfn)
+        for lrc_name in self.candidate_lrcs(lfn):
+            try:
+                client = self._open(lrc_name)
+            except Exception:
+                result.unreachable.append(lrc_name)
+                continue
+            try:
+                pfns = client.get_mappings(lfn)
+            except MappingNotFoundError:
+                # Stale RLI entry or Bloom false positive: recover by
+                # simply moving on to the next candidate (§3.2).
+                result.false_candidates.append(lrc_name)
+                continue
+            except Exception:
+                result.unreachable.append(lrc_name)
+                continue
+            finally:
+                client.close()
+            result.by_lrc[lrc_name] = pfns
+            for pfn in pfns:
+                if pfn not in result.replicas:
+                    result.replicas.append(pfn)
+        return result
+
+    def discover_any(self, lfn: str) -> str:
+        """First replica found; raises MappingNotFoundError if none."""
+        result = self.discover(lfn)
+        if not result.found:
+            raise MappingNotFoundError(
+                f"no replica of {lfn!r} reachable "
+                f"(false candidates: {result.false_candidates}, "
+                f"unreachable: {result.unreachable})"
+            )
+        return result.replicas[0]
+
+    def discover_bulk(self, lfns: Sequence[str]) -> dict[str, DiscoveryResult]:
+        """Discover many names; unfound names map to empty results."""
+        return {lfn: self.discover(lfn) for lfn in lfns}

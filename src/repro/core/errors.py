@@ -1,0 +1,61 @@
+"""RLS error types (mirroring the globus_rls_client error codes).
+
+Every class is registered with the RPC layer so a server-side raise
+arrives at the client as the same type.
+"""
+
+from __future__ import annotations
+
+from repro.net.rpc import register_error_type
+
+
+class RLSError(Exception):
+    """Base class for Replica Location Service errors."""
+
+
+@register_error_type
+class InvalidNameError(RLSError):
+    """A logical or target name failed validation."""
+
+
+@register_error_type
+class MappingExistsError(RLSError):
+    """create/add attempted for a mapping that already exists."""
+
+
+@register_error_type
+class MappingNotFoundError(RLSError):
+    """The requested logical/target name or mapping does not exist."""
+
+
+@register_error_type
+class AttributeExistsError(RLSError):
+    """Attribute definition or value already exists."""
+
+
+@register_error_type
+class AttributeNotFoundError(RLSError):
+    """The requested attribute (or value) does not exist."""
+
+
+@register_error_type
+class InvalidAttributeError(RLSError):
+    """Attribute type/object-type mismatch or bad value."""
+
+
+@register_error_type
+class NotConfiguredError(RLSError):
+    """Operation requires a role (LRC/RLI) this server is not running."""
+
+
+@register_error_type
+class UpdateTargetError(RLSError):
+    """Bad RLI update-target registration (unknown/duplicate RLI)."""
+
+
+@register_error_type
+class WildcardNotSupportedError(RLSError):
+    """Wildcard query sent to an RLI that only holds Bloom filters (§5.4)."""
+
+
+register_error_type(RLSError)

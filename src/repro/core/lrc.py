@@ -1,0 +1,823 @@
+"""Local Replica Catalog (LRC).
+
+Maintains logical-name → target-name mappings and typed attributes in a
+relational back end reached through the ODBC layer, using the exact table
+structure of the paper's Figure 3:
+
+* ``t_lfn`` / ``t_pfn`` — logical and target names with reference counts;
+* ``t_map`` — (lfn_id, pfn_id) associations;
+* ``t_attribute`` + one value table per attribute type
+  (``t_str_attr``, ``t_int_attr``, ``t_flt_attr``, ``t_date_attr``);
+* ``t_rli`` — RLIs this LRC updates, and ``t_rlipartition`` — namespace
+  partitioning regexes per RLI.
+
+Every public operation in the paper's Table 1 is implemented, including
+the bulk variants used by large scientific workflows (§5.4).
+
+Mutations fire change callbacks so the soft-state update manager
+(:mod:`repro.core.updates`) can maintain its counting Bloom filter and
+immediate-mode change log without polling the database.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.core.errors import (
+    AttributeExistsError,
+    AttributeNotFoundError,
+    InvalidAttributeError,
+    MappingExistsError,
+    MappingNotFoundError,
+    UpdateTargetError,
+)
+from repro.core.naming import validate_name, wildcard_to_like
+from repro.db.errors import DuplicateKeyError
+from repro.db.odbc import Connection
+
+
+class ObjType(enum.IntEnum):
+    """Which namespace an attribute attaches to."""
+
+    LFN = 0
+    PFN = 1
+
+    @classmethod
+    def parse(cls, value: "ObjType | int | str") -> "ObjType":
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, int):
+            return cls(value)
+        text = value.lower()
+        if text in ("lfn", "logical"):
+            return cls.LFN
+        if text in ("pfn", "target", "physical"):
+            return cls.PFN
+        raise InvalidAttributeError(f"unknown object type {value!r}")
+
+
+class AttrType(enum.IntEnum):
+    """Attribute value type, one relational table per type (Figure 3)."""
+
+    STR = 0
+    INT = 1
+    FLOAT = 2
+    DATE = 3
+
+    @classmethod
+    def parse(cls, value: "AttrType | int | str") -> "AttrType":
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, int):
+            return cls(value)
+        text = value.lower()
+        mapping = {
+            "str": cls.STR, "string": cls.STR,
+            "int": cls.INT, "integer": cls.INT,
+            "float": cls.FLOAT, "double": cls.FLOAT,
+            "date": cls.DATE, "timestamp": cls.DATE,
+        }
+        if text in mapping:
+            return mapping[text]
+        raise InvalidAttributeError(f"unknown attribute type {value!r}")
+
+
+_ATTR_TABLE = {
+    AttrType.STR: "t_str_attr",
+    AttrType.INT: "t_int_attr",
+    AttrType.FLOAT: "t_flt_attr",
+    AttrType.DATE: "t_date_attr",
+}
+
+# DDL matching Figure 3 of the paper.
+_SCHEMA_STATEMENTS = [
+    """CREATE TABLE t_lfn (
+        id INT(11) NOT NULL AUTO_INCREMENT,
+        name VARCHAR(250) NOT NULL,
+        ref INT(11) NOT NULL,
+        PRIMARY KEY (id),
+        UNIQUE (name))""",
+    "CREATE INDEX t_lfn_name_prefix ON t_lfn (name) USING BTREE",
+    """CREATE TABLE t_pfn (
+        id INT(11) NOT NULL AUTO_INCREMENT,
+        name VARCHAR(250) NOT NULL,
+        ref INT(11) NOT NULL,
+        PRIMARY KEY (id),
+        UNIQUE (name))""",
+    "CREATE INDEX t_pfn_name_prefix ON t_pfn (name) USING BTREE",
+    """CREATE TABLE t_map (
+        lfn_id INT(11) NOT NULL,
+        pfn_id INT(11) NOT NULL,
+        PRIMARY KEY (lfn_id, pfn_id))""",
+    "CREATE INDEX t_map_lfn ON t_map (lfn_id)",
+    "CREATE INDEX t_map_pfn ON t_map (pfn_id)",
+    """CREATE TABLE t_attribute (
+        id INT(11) NOT NULL AUTO_INCREMENT,
+        name VARCHAR(250) NOT NULL,
+        objtype INT(11) NOT NULL,
+        type INT(11) NOT NULL,
+        PRIMARY KEY (id),
+        UNIQUE (name, objtype))""",
+    """CREATE TABLE t_str_attr (
+        obj_id INT(11) NOT NULL,
+        attr_id INT(11) NOT NULL,
+        value VARCHAR(250),
+        PRIMARY KEY (obj_id, attr_id))""",
+    "CREATE INDEX t_str_attr_attr ON t_str_attr (attr_id)",
+    """CREATE TABLE t_int_attr (
+        obj_id INT(11) NOT NULL,
+        attr_id INT(11) NOT NULL,
+        value INT(11),
+        PRIMARY KEY (obj_id, attr_id))""",
+    "CREATE INDEX t_int_attr_attr ON t_int_attr (attr_id)",
+    """CREATE TABLE t_flt_attr (
+        obj_id INT(11) NOT NULL,
+        attr_id INT(11) NOT NULL,
+        value FLOAT,
+        PRIMARY KEY (obj_id, attr_id))""",
+    "CREATE INDEX t_flt_attr_attr ON t_flt_attr (attr_id)",
+    """CREATE TABLE t_date_attr (
+        obj_id INT(11) NOT NULL,
+        attr_id INT(11) NOT NULL,
+        value TIMESTAMP,
+        PRIMARY KEY (obj_id, attr_id))""",
+    "CREATE INDEX t_date_attr_attr ON t_date_attr (attr_id)",
+    """CREATE TABLE t_rli (
+        id INT(11) NOT NULL AUTO_INCREMENT,
+        flags INT(11) NOT NULL,
+        name VARCHAR(250) NOT NULL,
+        PRIMARY KEY (id),
+        UNIQUE (name))""",
+    """CREATE TABLE t_rlipartition (
+        rli_id INT(11) NOT NULL,
+        pattern VARCHAR(250) NOT NULL,
+        PRIMARY KEY (rli_id, pattern))""",
+]
+
+#: t_rli.flags bit: this RLI receives Bloom-filter updates (else full LFN lists).
+FLAG_BLOOMFILTER = 0x1
+
+
+@dataclass(frozen=True)
+class RLITarget:
+    """One row of ``t_rli``: an index server this LRC must update."""
+
+    name: str
+    flags: int = 0
+    patterns: tuple[str, ...] = ()
+
+    @property
+    def bloom(self) -> bool:
+        return bool(self.flags & FLAG_BLOOMFILTER)
+
+
+class LocalReplicaCatalog:
+    """The LRC service logic, independent of any RPC front end."""
+
+    def __init__(self, connection: Connection, name: str = "lrc") -> None:
+        self.conn = connection
+        self.name = name
+        self._write_lock = threading.RLock()
+        # Callbacks: fn(lfn, present) — present=True when the LFN gained its
+        # first mapping, False when it lost its last one.
+        self._lfn_listeners: list[Callable[[str, bool], None]] = []
+
+    # ------------------------------------------------------------------
+    # Schema
+    # ------------------------------------------------------------------
+
+    def init_schema(self) -> None:
+        """Create the Figure 3 tables (idempotent)."""
+        db = self.conn.database
+        for statement in _SCHEMA_STATEMENTS:
+            first_word_table = statement.split("(")[0].split()
+            if first_word_table[1].upper() == "TABLE" and db.has_table(
+                first_word_table[2]
+            ):
+                continue
+            if first_word_table[1].upper() == "INDEX":
+                table_name = statement.split(" ON ")[1].split()[0]
+                index_name = first_word_table[2]
+                try:
+                    db.table(table_name).get_index(index_name)
+                    continue
+                except Exception:
+                    pass
+            self.conn.execute(statement)
+
+    def add_lfn_listener(self, listener: Callable[[str, bool], None]) -> None:
+        """Subscribe to LFN presence changes (used by the update manager)."""
+        self._lfn_listeners.append(listener)
+
+    def _notify(self, lfn: str, present: bool) -> None:
+        for listener in self._lfn_listeners:
+            listener(lfn, present)
+
+    # ------------------------------------------------------------------
+    # Mapping management (Table 1: create, add, delete + bulk)
+    # ------------------------------------------------------------------
+
+    def create_mapping(self, lfn: str, pfn: str) -> None:
+        """Register a brand-new logical name with its first replica.
+
+        Fails with :class:`MappingExistsError` if the logical name already
+        exists (use :meth:`add_mapping` to register additional replicas).
+        """
+        validate_name(lfn, "logical name")
+        validate_name(pfn, "target name")
+        with self._write_lock, self.conn.transaction():
+            if self._lfn_id(lfn) is not None:
+                raise MappingExistsError(f"logical name exists: {lfn}")
+            lfn_id = self._insert_lfn(lfn)
+            pfn_id = self._get_or_insert_pfn(pfn)
+            self.conn.execute(
+                "INSERT INTO t_map (lfn_id, pfn_id) VALUES (?, ?)",
+                [lfn_id, pfn_id],
+            )
+            self._bump_ref("t_pfn", pfn_id, +1)
+        self._notify(lfn, True)
+
+    def add_mapping(self, lfn: str, pfn: str) -> None:
+        """Register an additional replica for an existing logical name."""
+        validate_name(lfn, "logical name")
+        validate_name(pfn, "target name")
+        with self._write_lock, self.conn.transaction():
+            lfn_id = self._lfn_id(lfn)
+            if lfn_id is None:
+                raise MappingNotFoundError(f"logical name does not exist: {lfn}")
+            pfn_id = self._get_or_insert_pfn(pfn)
+            try:
+                self.conn.execute(
+                    "INSERT INTO t_map (lfn_id, pfn_id) VALUES (?, ?)",
+                    [lfn_id, pfn_id],
+                )
+            except DuplicateKeyError:
+                raise MappingExistsError(
+                    f"mapping exists: {lfn} -> {pfn}"
+                ) from None
+            self._bump_ref("t_lfn", lfn_id, +1)
+            self._bump_ref("t_pfn", pfn_id, +1)
+
+    def delete_mapping(self, lfn: str, pfn: str) -> None:
+        """Remove one replica mapping; prunes orphaned LFN/PFN rows."""
+        with self._write_lock, self.conn.transaction():
+            lfn_row = self._name_row("t_lfn", lfn)
+            pfn_row = self._name_row("t_pfn", pfn)
+            if lfn_row is None or pfn_row is None:
+                raise MappingNotFoundError(f"mapping does not exist: {lfn} -> {pfn}")
+            lfn_id, lfn_ref = lfn_row
+            pfn_id, pfn_ref = pfn_row
+            deleted = self.conn.execute(
+                "DELETE FROM t_map WHERE lfn_id = ? AND pfn_id = ?",
+                [lfn_id, pfn_id],
+            ).rowcount
+            if deleted == 0:
+                raise MappingNotFoundError(f"mapping does not exist: {lfn} -> {pfn}")
+            last_for_lfn = lfn_ref <= 1
+            if last_for_lfn:
+                self.conn.execute("DELETE FROM t_lfn WHERE id = ?", [lfn_id])
+                self._delete_attr_values(lfn_id, ObjType.LFN)
+            else:
+                self._bump_ref("t_lfn", lfn_id, -1)
+            if pfn_ref <= 1:
+                self.conn.execute("DELETE FROM t_pfn WHERE id = ?", [pfn_id])
+                self._delete_attr_values(pfn_id, ObjType.PFN)
+            else:
+                self._bump_ref("t_pfn", pfn_id, -1)
+        if last_for_lfn:
+            self._notify(lfn, False)
+
+    # -- bulk variants ----------------------------------------------------
+
+    def bulk_create(self, pairs: Sequence[tuple[str, str]]) -> list[tuple[str, str, str]]:
+        """Create many mappings; returns per-pair failures (empty = all ok)."""
+        return self._bulk_apply(pairs, self.create_mapping)
+
+    def bulk_add(self, pairs: Sequence[tuple[str, str]]) -> list[tuple[str, str, str]]:
+        return self._bulk_apply(pairs, self.add_mapping)
+
+    def bulk_delete(self, pairs: Sequence[tuple[str, str]]) -> list[tuple[str, str, str]]:
+        return self._bulk_apply(pairs, self.delete_mapping)
+
+    def _bulk_apply(
+        self,
+        pairs: Sequence[tuple[str, str]],
+        op: Callable[[str, str], None],
+    ) -> list[tuple[str, str, str]]:
+        failures: list[tuple[str, str, str]] = []
+        for lfn, pfn in pairs:
+            try:
+                op(lfn, pfn)
+            except Exception as exc:
+                failures.append((lfn, pfn, f"{type(exc).__name__}: {exc}"))
+        return failures
+
+    def bulk_load(self, pairs: Iterable[tuple[str, str]]) -> int:
+        """Out-of-band initialization: load many mappings fast.
+
+        Bypasses the SQL layer and writes the Figure 3 tables directly —
+        the equivalent of the paper's §4 setup step where "a server is
+        loaded with a predefined number of mappings" before measuring.
+        Assumes a quiescent server and fresh (lfn, pfn) pairs; duplicate
+        LFNs get additional replica mappings.  Change listeners are
+        notified so Bloom filters stay coherent.  Returns mappings loaded.
+        """
+        db = self.conn.database
+        t_lfn = db.table("t_lfn")
+        t_pfn = db.table("t_pfn")
+        t_map = db.table("t_map")
+        count = 0
+        new_lfns: list[str] = []
+        with self._write_lock:
+            lfn_ids: dict[str, int] = {}
+            pfn_ids: dict[str, int] = {}
+            for lfn, pfn in pairs:
+                validate_name(lfn, "logical name")
+                validate_name(pfn, "target name")
+                lfn_id = lfn_ids.get(lfn)
+                if lfn_id is None:
+                    existing = t_lfn.lookup_equal(("name",), (lfn,))
+                    if existing:
+                        lfn_id = existing[0][1][0]
+                    else:
+                        _rid, row = t_lfn.insert({"name": lfn, "ref": 0})
+                        lfn_id = row[0]
+                        new_lfns.append(lfn)
+                    lfn_ids[lfn] = lfn_id
+                pfn_id = pfn_ids.get(pfn)
+                if pfn_id is None:
+                    existing = t_pfn.lookup_equal(("name",), (pfn,))
+                    if existing:
+                        pfn_id = existing[0][1][0]
+                    else:
+                        _rid, row = t_pfn.insert({"name": pfn, "ref": 0})
+                        pfn_id = row[0]
+                    pfn_ids[pfn] = pfn_id
+                t_map.insert({"lfn_id": lfn_id, "pfn_id": pfn_id})
+                count += 1
+            # Fix up reference counts in one pass.
+            for name, lfn_id in lfn_ids.items():
+                refs = len(t_map.lookup_equal(("lfn_id",), (lfn_id,)))
+                for rid, _row in t_lfn.lookup_equal(("id",), (lfn_id,)):
+                    t_lfn.update_rid(rid, {"ref": refs})
+            for name, pfn_id in pfn_ids.items():
+                refs = len(t_map.lookup_equal(("pfn_id",), (pfn_id,)))
+                for rid, _row in t_pfn.lookup_equal(("id",), (pfn_id,)):
+                    t_pfn.update_rid(rid, {"ref": refs})
+        for lfn in new_lfns:
+            self._notify(lfn, True)
+        return count
+
+    # ------------------------------------------------------------------
+    # Queries (Table 1: by logical/target name, wildcard, bulk, attribute)
+    # ------------------------------------------------------------------
+
+    def get_mappings(self, lfn: str) -> list[str]:
+        """Target names for ``lfn``; raises if none exist."""
+        rows = self.conn.execute(
+            "SELECT p.name FROM t_lfn l "
+            "JOIN t_map m ON l.id = m.lfn_id "
+            "JOIN t_pfn p ON m.pfn_id = p.id "
+            "WHERE l.name = ?",
+            [lfn],
+        ).rows
+        if not rows:
+            raise MappingNotFoundError(f"logical name does not exist: {lfn}")
+        return [r[0] for r in rows]
+
+    def get_lfns(self, pfn: str) -> list[str]:
+        """Logical names mapped to target name ``pfn``."""
+        rows = self.conn.execute(
+            "SELECT l.name FROM t_pfn p "
+            "JOIN t_map m ON p.id = m.pfn_id "
+            "JOIN t_lfn l ON m.lfn_id = l.id "
+            "WHERE p.name = ?",
+            [pfn],
+        ).rows
+        if not rows:
+            raise MappingNotFoundError(f"target name does not exist: {pfn}")
+        return [r[0] for r in rows]
+
+    def query_wildcard(self, pattern: str) -> list[tuple[str, str]]:
+        """(lfn, pfn) pairs whose logical name matches an RLS wildcard."""
+        like = wildcard_to_like(pattern)
+        rows = self.conn.execute(
+            "SELECT l.name, p.name FROM t_lfn l "
+            "JOIN t_map m ON l.id = m.lfn_id "
+            "JOIN t_pfn p ON m.pfn_id = p.id "
+            "WHERE l.name LIKE ?",
+            [like],
+        ).rows
+        return [(r[0], r[1]) for r in rows]
+
+    def bulk_query(self, lfns: Sequence[str]) -> dict[str, list[str]]:
+        """Mappings for many logical names; absent names are omitted."""
+        result: dict[str, list[str]] = {}
+        for lfn in lfns:
+            try:
+                result[lfn] = self.get_mappings(lfn)
+            except MappingNotFoundError:
+                continue
+        return result
+
+    def exists(self, lfn: str) -> bool:
+        return self._lfn_id(lfn) is not None
+
+    def lfn_count(self) -> int:
+        return int(self.conn.execute("SELECT COUNT(*) FROM t_lfn").scalar())
+
+    def mapping_count(self) -> int:
+        return int(self.conn.execute("SELECT COUNT(*) FROM t_map").scalar())
+
+    def all_lfns(self) -> list[str]:
+        """Every logical name (the payload of a full soft-state update)."""
+        return [r[0] for r in self.conn.execute("SELECT name FROM t_lfn").rows]
+
+    # ------------------------------------------------------------------
+    # Attribute management (Table 1)
+    # ------------------------------------------------------------------
+
+    def define_attribute(
+        self, name: str, objtype: ObjType | str, attrtype: AttrType | str
+    ) -> int:
+        """Create an attribute definition; returns its id."""
+        objtype = ObjType.parse(objtype)
+        attrtype = AttrType.parse(attrtype)
+        with self._write_lock:
+            try:
+                result = self.conn.execute(
+                    "INSERT INTO t_attribute (name, objtype, type) VALUES (?, ?, ?)",
+                    [name, int(objtype), int(attrtype)],
+                )
+            except DuplicateKeyError:
+                raise AttributeExistsError(
+                    f"attribute exists: {name} ({objtype.name.lower()})"
+                ) from None
+            assert result.lastrowid is not None
+            return result.lastrowid
+
+    def undefine_attribute(self, name: str, objtype: ObjType | str) -> None:
+        """Drop an attribute definition and all of its values."""
+        objtype = ObjType.parse(objtype)
+        with self._write_lock:
+            attr_id, attrtype = self._attr_def(name, objtype)
+            self.conn.execute(
+                f"DELETE FROM {_ATTR_TABLE[attrtype]} WHERE attr_id = ?", [attr_id]
+            )
+            self.conn.execute("DELETE FROM t_attribute WHERE id = ?", [attr_id])
+
+    def add_attribute(
+        self, object_name: str, attr_name: str, objtype: ObjType | str, value: Any
+    ) -> None:
+        """Attach an attribute value to an LFN or PFN."""
+        objtype = ObjType.parse(objtype)
+        with self._write_lock:
+            attr_id, attrtype = self._attr_def(attr_name, objtype)
+            obj_id = self._object_id(object_name, objtype)
+            value = _coerce_attr_value(attrtype, value)
+            try:
+                self.conn.execute(
+                    f"INSERT INTO {_ATTR_TABLE[attrtype]} (obj_id, attr_id, value) "
+                    "VALUES (?, ?, ?)",
+                    [obj_id, attr_id, value],
+                )
+            except DuplicateKeyError:
+                raise AttributeExistsError(
+                    f"attribute {attr_name} already set on {object_name}"
+                ) from None
+
+    def modify_attribute(
+        self, object_name: str, attr_name: str, objtype: ObjType | str, value: Any
+    ) -> None:
+        objtype = ObjType.parse(objtype)
+        with self._write_lock:
+            attr_id, attrtype = self._attr_def(attr_name, objtype)
+            obj_id = self._object_id(object_name, objtype)
+            value = _coerce_attr_value(attrtype, value)
+            updated = self.conn.execute(
+                f"UPDATE {_ATTR_TABLE[attrtype]} SET value = ? "
+                "WHERE obj_id = ? AND attr_id = ?",
+                [value, obj_id, attr_id],
+            ).rowcount
+            if updated == 0:
+                raise AttributeNotFoundError(
+                    f"attribute {attr_name} not set on {object_name}"
+                )
+
+    def remove_attribute(
+        self, object_name: str, attr_name: str, objtype: ObjType | str
+    ) -> None:
+        objtype = ObjType.parse(objtype)
+        with self._write_lock:
+            attr_id, attrtype = self._attr_def(attr_name, objtype)
+            obj_id = self._object_id(object_name, objtype)
+            deleted = self.conn.execute(
+                f"DELETE FROM {_ATTR_TABLE[attrtype]} "
+                "WHERE obj_id = ? AND attr_id = ?",
+                [obj_id, attr_id],
+            ).rowcount
+            if deleted == 0:
+                raise AttributeNotFoundError(
+                    f"attribute {attr_name} not set on {object_name}"
+                )
+
+    def get_attributes(
+        self, object_name: str, objtype: ObjType | str
+    ) -> dict[str, Any]:
+        """All attribute name → value pairs on an object."""
+        objtype = ObjType.parse(objtype)
+        obj_id = self._object_id(object_name, objtype)
+        result: dict[str, Any] = {}
+        for attrtype, table in _ATTR_TABLE.items():
+            rows = self.conn.execute(
+                f"SELECT a.name, v.value FROM t_attribute a "
+                f"JOIN {table} v ON a.id = v.attr_id "
+                "WHERE v.obj_id = ? AND a.objtype = ?",
+                [obj_id, int(objtype)],
+            ).rows
+            for attr_name, value in rows:
+                result[attr_name] = value
+        return result
+
+    def query_by_attribute(
+        self,
+        attr_name: str,
+        objtype: ObjType | str,
+        value: Any = None,
+        op: str = "=",
+    ) -> list[tuple[str, Any]]:
+        """Objects carrying attribute ``attr_name`` (optionally filtered).
+
+        Returns (object name, attribute value) pairs.  ``op`` is one of
+        ``= != < <= > >=`` applied to ``value`` when given.
+        """
+        objtype = ObjType.parse(objtype)
+        attr_id, attrtype = self._attr_def(attr_name, objtype)
+        name_table = "t_lfn" if objtype is ObjType.LFN else "t_pfn"
+        sql = (
+            f"SELECT n.name, v.value FROM {_ATTR_TABLE[attrtype]} v "
+            f"JOIN {name_table} n ON v.obj_id = n.id "
+            "WHERE v.attr_id = ?"
+        )
+        params: list[Any] = [attr_id]
+        if value is not None:
+            if op not in ("=", "!=", "<", "<=", ">", ">="):
+                raise InvalidAttributeError(f"bad attribute comparison {op!r}")
+            sql += f" AND v.value {op} ?"
+            params.append(_coerce_attr_value(attrtype, value))
+        rows = self.conn.execute(sql, params).rows
+        return [(r[0], r[1]) for r in rows]
+
+    def bulk_add_attribute(
+        self, triples: Sequence[tuple[str, str, Any]], objtype: ObjType | str
+    ) -> list[tuple[str, str, str]]:
+        """Bulk attach: (object, attribute, value) triples; returns failures."""
+        failures = []
+        for object_name, attr_name, value in triples:
+            try:
+                self.add_attribute(object_name, attr_name, objtype, value)
+            except Exception as exc:
+                failures.append(
+                    (object_name, attr_name, f"{type(exc).__name__}: {exc}")
+                )
+        return failures
+
+    # ------------------------------------------------------------------
+    # RLI update-target management (Table 1: LRC management)
+    # ------------------------------------------------------------------
+
+    def add_rli(
+        self,
+        rli_name: str,
+        bloom: bool = False,
+        patterns: Iterable[str] = (),
+    ) -> None:
+        """Register an RLI this LRC must send soft-state updates to."""
+        flags = FLAG_BLOOMFILTER if bloom else 0
+        with self._write_lock:
+            try:
+                result = self.conn.execute(
+                    "INSERT INTO t_rli (flags, name) VALUES (?, ?)",
+                    [flags, rli_name],
+                )
+            except DuplicateKeyError:
+                raise UpdateTargetError(f"RLI already registered: {rli_name}") from None
+            rli_id = result.lastrowid
+            for pattern in patterns:
+                self.conn.execute(
+                    "INSERT INTO t_rlipartition (rli_id, pattern) VALUES (?, ?)",
+                    [rli_id, pattern],
+                )
+
+    def remove_rli(self, rli_name: str) -> None:
+        with self._write_lock:
+            row = self.conn.execute(
+                "SELECT id FROM t_rli WHERE name = ?", [rli_name]
+            ).rows
+            if not row:
+                raise UpdateTargetError(f"RLI not registered: {rli_name}")
+            rli_id = row[0][0]
+            self.conn.execute("DELETE FROM t_rlipartition WHERE rli_id = ?", [rli_id])
+            self.conn.execute("DELETE FROM t_rli WHERE id = ?", [rli_id])
+
+    def rli_targets(self) -> list[RLITarget]:
+        """Every registered RLI with its flags and partition patterns."""
+        targets = []
+        for rli_id, flags, name in self.conn.execute(
+            "SELECT id, flags, name FROM t_rli"
+        ).rows:
+            patterns = tuple(
+                r[0]
+                for r in self.conn.execute(
+                    "SELECT pattern FROM t_rlipartition WHERE rli_id = ?",
+                    [rli_id],
+                ).rows
+            )
+            targets.append(RLITarget(name=name, flags=flags, patterns=patterns))
+        return targets
+
+    # ------------------------------------------------------------------
+    # Integrity verification (rls admin verify)
+    # ------------------------------------------------------------------
+
+    def verify_integrity(self) -> list[str]:
+        """Catalog-level fsck: check cross-table invariants.
+
+        * every ``t_map`` row references existing ``t_lfn``/``t_pfn`` rows;
+        * ``ref`` counts equal the actual mapping counts;
+        * no orphaned names (a name row with zero mappings);
+        * attribute values reference existing objects and definitions;
+        * the storage engine's own index integrity holds.
+
+        Returns a list of problem descriptions (empty = healthy).
+        """
+        problems: list[str] = []
+        with self._write_lock:
+            db = self.conn.database
+            for table_name in ("t_lfn", "t_pfn", "t_map", "t_attribute"):
+                problems.extend(db.table(table_name).check_integrity())
+
+            lfn_rows = {r[0]: (r[1], r[2]) for r in self.conn.execute(
+                "SELECT id, name, ref FROM t_lfn").rows}
+            pfn_rows = {r[0]: (r[1], r[2]) for r in self.conn.execute(
+                "SELECT id, name, ref FROM t_pfn").rows}
+            maps = self.conn.execute("SELECT lfn_id, pfn_id FROM t_map").rows
+
+            lfn_counts: dict[int, int] = {}
+            pfn_counts: dict[int, int] = {}
+            for lfn_id, pfn_id in maps:
+                if lfn_id not in lfn_rows:
+                    problems.append(f"t_map references missing lfn id {lfn_id}")
+                if pfn_id not in pfn_rows:
+                    problems.append(f"t_map references missing pfn id {pfn_id}")
+                lfn_counts[lfn_id] = lfn_counts.get(lfn_id, 0) + 1
+                pfn_counts[pfn_id] = pfn_counts.get(pfn_id, 0) + 1
+
+            for rows, counts, label in (
+                (lfn_rows, lfn_counts, "lfn"),
+                (pfn_rows, pfn_counts, "pfn"),
+            ):
+                for row_id, (name, ref) in rows.items():
+                    actual = counts.get(row_id, 0)
+                    if actual == 0:
+                        problems.append(
+                            f"orphaned {label} {name!r} (id {row_id})"
+                        )
+                    elif ref != actual:
+                        problems.append(
+                            f"{label} {name!r}: ref={ref} but has "
+                            f"{actual} mappings"
+                        )
+
+            attr_ids = {
+                r[0]
+                for r in self.conn.execute("SELECT id FROM t_attribute").rows
+            }
+            for table in _ATTR_TABLE.values():
+                for obj_id, attr_id in self.conn.execute(
+                    f"SELECT obj_id, attr_id FROM {table}"
+                ).rows:
+                    if attr_id not in attr_ids:
+                        problems.append(
+                            f"{table}: value references missing attribute "
+                            f"definition {attr_id}"
+                        )
+                    if obj_id not in lfn_rows and obj_id not in pfn_rows:
+                        problems.append(
+                            f"{table}: value references missing object "
+                            f"{obj_id}"
+                        )
+        return problems
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _lfn_id(self, lfn: str) -> int | None:
+        rows = self.conn.execute(
+            "SELECT id FROM t_lfn WHERE name = ?", [lfn]
+        ).rows
+        return rows[0][0] if rows else None
+
+    def _name_row(self, table: str, name: str) -> tuple[int, int] | None:
+        rows = self.conn.execute(
+            f"SELECT id, ref FROM {table} WHERE name = ?", [name]
+        ).rows
+        return (rows[0][0], rows[0][1]) if rows else None
+
+    def _insert_lfn(self, lfn: str) -> int:
+        result = self.conn.execute(
+            "INSERT INTO t_lfn (name, ref) VALUES (?, ?)", [lfn, 1]
+        )
+        assert result.lastrowid is not None
+        return result.lastrowid
+
+    def _get_or_insert_pfn(self, pfn: str) -> int:
+        row = self._name_row("t_pfn", pfn)
+        if row is not None:
+            return row[0]
+        result = self.conn.execute(
+            "INSERT INTO t_pfn (name, ref) VALUES (?, ?)", [pfn, 0]
+        )
+        assert result.lastrowid is not None
+        return result.lastrowid
+
+    def _bump_ref(self, table: str, row_id: int, delta: int) -> None:
+        current = self.conn.execute(
+            f"SELECT ref FROM {table} WHERE id = ?", [row_id]
+        ).scalar()
+        self.conn.execute(
+            f"UPDATE {table} SET ref = ? WHERE id = ?", [current + delta, row_id]
+        )
+
+    def _object_id(self, name: str, objtype: ObjType) -> int:
+        table = "t_lfn" if objtype is ObjType.LFN else "t_pfn"
+        row = self._name_row(table, name)
+        if row is None:
+            raise MappingNotFoundError(
+                f"{'logical' if objtype is ObjType.LFN else 'target'} "
+                f"name does not exist: {name}"
+            )
+        return row[0]
+
+    def _delete_attr_values(self, obj_id: int, objtype: ObjType) -> None:
+        """Drop every attribute value attached to a pruned LFN/PFN row.
+
+        Only values whose attribute definition matches the object's
+        namespace are removed — an LFN and a PFN sharing a surrogate id in
+        their respective tables must not clobber each other's attributes.
+        """
+        attr_ids = [
+            row[0]
+            for row in self.conn.execute(
+                "SELECT id FROM t_attribute WHERE objtype = ?", [int(objtype)]
+            ).rows
+        ]
+        if not attr_ids:
+            return
+        for table in _ATTR_TABLE.values():
+            for attr_id in attr_ids:
+                self.conn.execute(
+                    f"DELETE FROM {table} WHERE obj_id = ? AND attr_id = ?",
+                    [obj_id, attr_id],
+                )
+
+    def _attr_def(self, name: str, objtype: ObjType) -> tuple[int, AttrType]:
+        rows = self.conn.execute(
+            "SELECT id, type FROM t_attribute WHERE name = ? AND objtype = ?",
+            [name, int(objtype)],
+        ).rows
+        if not rows:
+            raise AttributeNotFoundError(
+                f"attribute not defined: {name} ({objtype.name.lower()})"
+            )
+        return rows[0][0], AttrType(rows[0][1])
+
+
+def _coerce_attr_value(attrtype: AttrType, value: Any) -> Any:
+    try:
+        if attrtype is AttrType.STR:
+            if not isinstance(value, str):
+                raise TypeError("expected str")
+            return value
+        if attrtype is AttrType.INT:
+            return int(value)
+        if attrtype is AttrType.FLOAT:
+            return float(value)
+        if attrtype is AttrType.DATE:
+            if isinstance(value, (int, float)):
+                return float(value)
+            import datetime as _dt
+
+            if isinstance(value, _dt.datetime):
+                return value.timestamp()
+            return _dt.datetime.fromisoformat(str(value)).timestamp()
+    except (TypeError, ValueError) as exc:
+        raise InvalidAttributeError(
+            f"bad {attrtype.name.lower()} attribute value {value!r}: {exc}"
+        ) from None
+    raise InvalidAttributeError(f"unknown attribute type {attrtype!r}")

@@ -1,0 +1,45 @@
+"""Namespace partitioning of soft-state updates (§3.5).
+
+When partitioning is enabled, logical names are matched against regular
+expressions and updates for different subsets of the namespace go to
+different RLIs.  A target with no patterns receives the whole namespace.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Sequence
+
+from repro.core.lrc import RLITarget
+
+
+class PartitionRouter:
+    """Routes logical names to the RLI targets whose patterns match."""
+
+    def __init__(self, targets: Sequence[RLITarget]) -> None:
+        self.targets = list(targets)
+        self._compiled: dict[str, list[re.Pattern[str]]] = {
+            t.name: [re.compile(p) for p in t.patterns] for t in self.targets
+        }
+
+    def matches(self, target: RLITarget, lfn: str) -> bool:
+        """True if ``target`` should receive updates about ``lfn``.
+
+        Patterns use ``re.search`` semantics, like Globus partition
+        regexes; no patterns means "everything".
+        """
+        patterns = self._compiled[target.name]
+        if not patterns:
+            return True
+        return any(p.search(lfn) for p in patterns)
+
+    def filter_names(self, target: RLITarget, lfns: Iterable[str]) -> list[str]:
+        """Subset of ``lfns`` that ``target`` should receive."""
+        patterns = self._compiled[target.name]
+        if not patterns:
+            return list(lfns)
+        return [lfn for lfn in lfns if any(p.search(lfn) for p in patterns)]
+
+    def route(self, lfn: str) -> list[RLITarget]:
+        """Every target that should hear about ``lfn``."""
+        return [t for t in self.targets if self.matches(t, lfn)]

@@ -1,0 +1,429 @@
+"""Replica Location Index (RLI).
+
+An RLI aggregates soft state from one or more LRCs and answers the
+question "which LRCs hold mappings for this logical name?".  Following the
+paper's v2.0.9 behaviour it keeps two stores:
+
+* **Relational store** for full/incremental (uncompressed) updates — the
+  three tables on the right of Figure 3: ``t_lfn``, ``t_lrc`` and a
+  ``t_map`` whose rows carry an ``updatetime`` timestamp.  An expire pass
+  discards mappings older than the soft-state timeout.
+* **Bloom store** for compressed updates — one in-memory Bloom filter per
+  sending LRC, no database at all, "which provides fast soft state update
+  and query performance" (§3.4).  Wildcard queries are impossible against
+  Bloom filters and raise :class:`WildcardNotSupportedError` (§5.4).
+
+A query consults both stores, since different LRCs may update the same RLI
+in different modes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.core.bloom import BloomFilter, BloomParameters
+from repro.core.errors import (
+    MappingNotFoundError,
+    WildcardNotSupportedError,
+)
+from repro.core.naming import has_wildcard, wildcard_to_like
+from repro.db.errors import DuplicateKeyError
+from repro.db.odbc import Connection
+
+#: Default soft-state lifetime.  The Globus default full-update interval is
+#: much shorter; entries must survive a few missed updates.
+DEFAULT_TIMEOUT = 30 * 60.0
+
+_RLI_SCHEMA = [
+    """CREATE TABLE t_lfn (
+        id INT(11) NOT NULL AUTO_INCREMENT,
+        name VARCHAR(250) NOT NULL,
+        ref INT(11) NOT NULL,
+        PRIMARY KEY (id),
+        UNIQUE (name))""",
+    "CREATE INDEX t_lfn_name_prefix ON t_lfn (name) USING BTREE",
+    """CREATE TABLE t_lrc (
+        id INT(11) NOT NULL AUTO_INCREMENT,
+        name VARCHAR(250) NOT NULL,
+        ref INT(11) NOT NULL,
+        PRIMARY KEY (id),
+        UNIQUE (name))""",
+    """CREATE TABLE t_map (
+        lfn_id INT(11) NOT NULL,
+        pfn_id INT(11) NOT NULL,
+        updatetime TIMESTAMP NOT NULL,
+        PRIMARY KEY (lfn_id, pfn_id))""",
+    "CREATE INDEX t_map_lfn ON t_map (lfn_id)",
+    "CREATE INDEX t_map_lrc ON t_map (pfn_id)",
+]
+# Note: the paper's RLI t_map column is named pfn_id even though it holds
+# an LRC id (Figure 3); we keep the name for fidelity.
+
+
+@dataclass
+class _BloomEntry:
+    bloom: BloomFilter
+    received_at: float
+    updates_received: int = 1
+
+
+class ReplicaLocationIndex:
+    """The RLI service logic, independent of any RPC front end."""
+
+    def __init__(
+        self,
+        connection: Connection,
+        name: str = "rli",
+        timeout: float = DEFAULT_TIMEOUT,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.conn = connection
+        self.name = name
+        self.timeout = timeout
+        self.clock = clock
+        self._bloom_lock = threading.RLock()
+        self._bloom: dict[str, _BloomEntry] = {}
+        self._write_lock = threading.RLock()
+        self.updates_applied = 0
+
+    # ------------------------------------------------------------------
+    # Schema
+    # ------------------------------------------------------------------
+
+    def init_schema(self) -> None:
+        db = self.conn.database
+        for statement in _RLI_SCHEMA:
+            head = statement.split("(")[0].split()
+            if head[1].upper() == "TABLE" and db.has_table(head[2]):
+                continue
+            if head[1].upper() == "INDEX":
+                table_name = statement.split(" ON ")[1].split()[0]
+                try:
+                    db.table(table_name).get_index(head[2])
+                    continue
+                except Exception:
+                    pass
+            self.conn.execute(statement)
+
+    # ------------------------------------------------------------------
+    # Soft-state ingest: uncompressed
+    # ------------------------------------------------------------------
+
+    def apply_full_update(self, lrc_name: str, lfns: Iterable[str]) -> int:
+        """Apply a full uncompressed update: refresh every listed LFN.
+
+        Mappings from this LRC that are *not* in the list simply age out at
+        the soft-state timeout — full updates never delete eagerly.
+        Returns the number of mappings refreshed.
+        """
+        now = self.clock()
+        count = 0
+        with self._write_lock:
+            lrc_id = self._get_or_insert_lrc(lrc_name)
+            for lfn in lfns:
+                self._upsert_mapping(lfn, lrc_id, now)
+                count += 1
+            self.updates_applied += 1
+        return count
+
+    def apply_incremental_update(
+        self,
+        lrc_name: str,
+        added: Sequence[str],
+        removed: Sequence[str],
+    ) -> int:
+        """Apply an immediate-mode delta (§3.3). Returns mappings touched."""
+        now = self.clock()
+        with self._write_lock:
+            lrc_id = self._get_or_insert_lrc(lrc_name)
+            for lfn in added:
+                self._upsert_mapping(lfn, lrc_id, now)
+            for lfn in removed:
+                self._remove_mapping(lfn, lrc_id)
+            self.updates_applied += 1
+        return len(added) + len(removed)
+
+    def _upsert_mapping(self, lfn: str, lrc_id: int, now: float) -> None:
+        lfn_id = self._get_or_insert_lfn(lfn)
+        updated = self.conn.execute(
+            "UPDATE t_map SET updatetime = ? WHERE lfn_id = ? AND pfn_id = ?",
+            [now, lfn_id, lrc_id],
+        ).rowcount
+        if updated == 0:
+            try:
+                self.conn.execute(
+                    "INSERT INTO t_map (lfn_id, pfn_id, updatetime) VALUES (?, ?, ?)",
+                    [lfn_id, lrc_id, now],
+                )
+            except DuplicateKeyError:  # pragma: no cover - racing writers
+                pass
+
+    def _remove_mapping(self, lfn: str, lrc_id: int) -> None:
+        rows = self.conn.execute(
+            "SELECT id FROM t_lfn WHERE name = ?", [lfn]
+        ).rows
+        if not rows:
+            return
+        lfn_id = rows[0][0]
+        self.conn.execute(
+            "DELETE FROM t_map WHERE lfn_id = ? AND pfn_id = ?",
+            [lfn_id, lrc_id],
+        )
+        remaining = self.conn.execute(
+            "SELECT COUNT(*) FROM t_map WHERE lfn_id = ?", [lfn_id]
+        ).scalar()
+        if remaining == 0:
+            self.conn.execute("DELETE FROM t_lfn WHERE id = ?", [lfn_id])
+
+    def bulk_load(self, lrc_name: str, lfns: Iterable[str]) -> int:
+        """Out-of-band initialization of the relational store (§4 setup).
+
+        Writes the index tables directly, skipping the SQL layer; used by
+        the benchmark harness to pre-populate an RLI before measuring.
+        """
+        now = self.clock()
+        db = self.conn.database
+        t_lfn = db.table("t_lfn")
+        t_map = db.table("t_map")
+        count = 0
+        with self._write_lock:
+            lrc_id = self._get_or_insert_lrc(lrc_name)
+            for lfn in lfns:
+                existing = t_lfn.lookup_equal(("name",), (lfn,))
+                if existing:
+                    lfn_id = existing[0][1][0]
+                else:
+                    _rid, row = t_lfn.insert({"name": lfn, "ref": 1})
+                    lfn_id = row[0]
+                if not t_map.lookup_equal(
+                    ("lfn_id", "pfn_id"), (lfn_id, lrc_id)
+                ):
+                    t_map.insert(
+                        {"lfn_id": lfn_id, "pfn_id": lrc_id, "updatetime": now}
+                    )
+                count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Soft-state ingest: Bloom filters
+    # ------------------------------------------------------------------
+
+    def apply_bloom_update(
+        self,
+        lrc_name: str,
+        bitmap: bytes,
+        num_bits: int,
+        num_hashes: int,
+        approx_entries: int = 0,
+    ) -> None:
+        """Store/replace the in-memory Bloom filter for ``lrc_name``."""
+        params = BloomParameters(num_bits=num_bits, num_hashes=num_hashes)
+        bloom = BloomFilter.from_bytes(bitmap, params, approx_entries)
+        now = self.clock()
+        with self._bloom_lock:
+            entry = self._bloom.get(lrc_name)
+            if entry is None:
+                self._bloom[lrc_name] = _BloomEntry(bloom, now)
+            else:
+                entry.bloom = bloom
+                entry.received_at = now
+                entry.updates_received += 1
+            self.updates_applied += 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def query(self, lfn: str) -> list[str]:
+        """LRC names that (probably) hold mappings for ``lfn``.
+
+        Results from Bloom filters carry the ~1 % false-positive caveat;
+        clients recover by querying the returned LRCs (§3.2).  Raises
+        :class:`MappingNotFoundError` when no LRC matches.
+        """
+        results = self._query_relational(lfn)
+        bits_hits = self._query_bloom(lfn)
+        combined = list(dict.fromkeys(results + bits_hits))
+        if not combined:
+            raise MappingNotFoundError(f"logical name not indexed: {lfn}")
+        return combined
+
+    def _query_relational(self, lfn: str) -> list[str]:
+        rows = self.conn.execute(
+            "SELECT c.name FROM t_lfn l "
+            "JOIN t_map m ON l.id = m.lfn_id "
+            "JOIN t_lrc c ON m.pfn_id = c.id "
+            "WHERE l.name = ?",
+            [lfn],
+        ).rows
+        return [r[0] for r in rows]
+
+    def _query_bloom(self, lfn: str) -> list[str]:
+        with self._bloom_lock:
+            entries = list(self._bloom.items())
+        return [name for name, entry in entries if lfn in entry.bloom]
+
+    def bulk_query(self, lfns: Sequence[str]) -> dict[str, list[str]]:
+        """Query many LFNs; names with no hits are omitted from the result."""
+        result: dict[str, list[str]] = {}
+        for lfn in lfns:
+            try:
+                result[lfn] = self.query(lfn)
+            except MappingNotFoundError:
+                continue
+        return result
+
+    def query_wildcard(self, pattern: str) -> list[tuple[str, str]]:
+        """(lfn, lrc) pairs matching an RLS wildcard pattern.
+
+        Only possible against the relational store; if this RLI holds any
+        Bloom filters the operation fails, because filter contents cannot
+        be enumerated (§5.4: wildcard searches "are not possible when using
+        Bloom filter compression").
+        """
+        with self._bloom_lock:
+            if self._bloom:
+                raise WildcardNotSupportedError(
+                    "RLI holds Bloom-filter state; wildcard queries are "
+                    "not supported"
+                )
+        like = wildcard_to_like(pattern) if has_wildcard(pattern) else pattern
+        rows = self.conn.execute(
+            "SELECT l.name, c.name FROM t_lfn l "
+            "JOIN t_map m ON l.id = m.lfn_id "
+            "JOIN t_lrc c ON m.pfn_id = c.id "
+            "WHERE l.name LIKE ?",
+            [like],
+        ).rows
+        return [(r[0], r[1]) for r in rows]
+
+    # ------------------------------------------------------------------
+    # Management / introspection
+    # ------------------------------------------------------------------
+
+    def lrc_list(self) -> list[str]:
+        """Every LRC currently contributing state (both stores)."""
+        relational = [
+            r[0] for r in self.conn.execute("SELECT name FROM t_lrc").rows
+        ]
+        with self._bloom_lock:
+            blooms = list(self._bloom)
+        return sorted(set(relational) | set(blooms))
+
+    def mapping_count(self) -> int:
+        return int(self.conn.execute("SELECT COUNT(*) FROM t_map").scalar())
+
+    def bloom_filter_count(self) -> int:
+        with self._bloom_lock:
+            return len(self._bloom)
+
+    def bloom_stats(self) -> dict[str, dict[str, float]]:
+        with self._bloom_lock:
+            return {
+                name: {
+                    "size_bytes": entry.bloom.size_bytes,
+                    "received_at": entry.received_at,
+                    "updates_received": entry.updates_received,
+                    "fill_ratio": entry.bloom.fill_ratio(),
+                }
+                for name, entry in self._bloom.items()
+            }
+
+    # ------------------------------------------------------------------
+    # Soft-state expiry
+    # ------------------------------------------------------------------
+
+    def expire_once(self, now: float | None = None) -> int:
+        """Discard state older than the timeout; returns entries dropped.
+
+        This is the body of the paper's "expire thread [that] runs
+        periodically and examines timestamps in the RLI mapping table".
+        """
+        current = self.clock() if now is None else now
+        cutoff = current - self.timeout
+        dropped = 0
+        with self._write_lock:
+            stale = self.conn.execute(
+                "SELECT lfn_id, pfn_id FROM t_map WHERE updatetime < ?",
+                [cutoff],
+            ).rows
+            for lfn_id, lrc_id in stale:
+                self.conn.execute(
+                    "DELETE FROM t_map WHERE lfn_id = ? AND pfn_id = ?",
+                    [lfn_id, lrc_id],
+                )
+                remaining = self.conn.execute(
+                    "SELECT COUNT(*) FROM t_map WHERE lfn_id = ?", [lfn_id]
+                ).scalar()
+                if remaining == 0:
+                    self.conn.execute("DELETE FROM t_lfn WHERE id = ?", [lfn_id])
+                dropped += 1
+        with self._bloom_lock:
+            stale_blooms = [
+                name
+                for name, entry in self._bloom.items()
+                if entry.received_at < cutoff
+            ]
+            for name in stale_blooms:
+                del self._bloom[name]
+                dropped += 1
+        return dropped
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _get_or_insert_lfn(self, lfn: str) -> int:
+        rows = self.conn.execute(
+            "SELECT id FROM t_lfn WHERE name = ?", [lfn]
+        ).rows
+        if rows:
+            return rows[0][0]
+        result = self.conn.execute(
+            "INSERT INTO t_lfn (name, ref) VALUES (?, ?)", [lfn, 1]
+        )
+        assert result.lastrowid is not None
+        return result.lastrowid
+
+    def _get_or_insert_lrc(self, lrc_name: str) -> int:
+        rows = self.conn.execute(
+            "SELECT id FROM t_lrc WHERE name = ?", [lrc_name]
+        ).rows
+        if rows:
+            return rows[0][0]
+        result = self.conn.execute(
+            "INSERT INTO t_lrc (name, ref) VALUES (?, ?)", [lrc_name, 1]
+        )
+        assert result.lastrowid is not None
+        return result.lastrowid
+
+
+class ExpireThread:
+    """Background thread running :meth:`ReplicaLocationIndex.expire_once`."""
+
+    def __init__(self, rli: ReplicaLocationIndex, interval: float = 60.0) -> None:
+        self.rli = rli
+        self.interval = interval
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._loop, name=f"rli-expire-{self.rli.name}", daemon=True
+        )
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.rli.expire_once()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

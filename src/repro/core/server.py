@@ -1,0 +1,296 @@
+"""The common LRC/RLI server (Figure 2).
+
+One :class:`RLSServer` hosts an LRC, an RLI, or both, over a relational
+back end reached through the ODBC layer, fronted by the RPC substrate with
+GSI-style authentication and per-operation ACL checks.  Every operation in
+the paper's Table 1 is exposed as an RPC method.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from repro.core.config import Backend, ServerConfig
+from repro.core.errors import NotConfiguredError
+from repro.core.lrc import LocalReplicaCatalog
+from repro.core.rli import ExpireThread, ReplicaLocationIndex
+from repro.core.updates import (
+    DirectSink,
+    UpdateManager,
+    UpdateSink,
+    UpdateThread,
+)
+from repro.db.mysql_engine import MySQLEngine
+from repro.db.odbc import Connection, register_dsn, unregister_dsn
+from repro.db.postgres_engine import PostgresEngine
+from repro.net.rpc import ConnectionContext, RPCServer
+from repro.net.transport import LocalTransport, TCPServerTransport
+from repro.security.acl import Privilege
+from repro.security.authorizer import Authorizer
+
+
+class RLSServer:
+    """A running RLS server instance."""
+
+    def __init__(
+        self,
+        config: ServerConfig | None = None,
+        sink_resolver: Callable[[str], UpdateSink] | None = None,
+    ) -> None:
+        self.config = config or ServerConfig()
+        self.authorizer = Authorizer(self.config.security)
+
+        # --- database back end (Figure 2: server -> ODBC -> engine) ---
+        if self.config.backend is Backend.MYSQL:
+            self.engine: Any = MySQLEngine(
+                name=f"{self.config.name}-db",
+                flush_on_commit=self.config.flush_on_commit,
+                sync_latency=self.config.sync_latency,
+            )
+        else:
+            self.engine = PostgresEngine(
+                name=f"{self.config.name}-db",
+                fsync=self.config.flush_on_commit,
+                sync_latency=self.config.sync_latency,
+            )
+        self.dsn = f"{self.config.name}-dsn"
+        register_dsn(self.dsn, self.engine)
+        self.connection = Connection(self.engine, self.dsn)
+
+        # --- services ---
+        self.lrc: LocalReplicaCatalog | None = None
+        self.rli: ReplicaLocationIndex | None = None
+        self.update_manager: UpdateManager | None = None
+        if self.config.is_lrc:
+            self.lrc = LocalReplicaCatalog(self.connection, name=self.config.name)
+            self.lrc.init_schema()
+            resolver = sink_resolver or self._default_sink_resolver
+            self.update_manager = UpdateManager(
+                self.lrc, resolver, policy=self.config.updates
+            )
+        if self.config.is_rli:
+            # The RLI tables live in their own engine when the server is
+            # also an LRC, since both schemas define t_lfn/t_map.
+            if self.config.is_lrc:
+                rli_engine = MySQLEngine(
+                    name=f"{self.config.name}-rli-db",
+                    flush_on_commit=False,
+                    sync_latency=self.config.sync_latency,
+                )
+                rli_conn = Connection(rli_engine, f"{self.config.name}-rli")
+            else:
+                rli_conn = self.connection
+            self.rli = ReplicaLocationIndex(
+                rli_conn, name=self.config.name, timeout=self.config.rli_timeout
+            )
+            self.rli.init_schema()
+
+        # --- RPC front end ---
+        self.rpc = RPCServer(authenticator=self.authorizer.authenticate)
+        self._register_methods()
+        self.local_transport = LocalTransport(self.rpc, name=self.config.name)
+        self.tcp_transport: TCPServerTransport | None = None
+        if self.config.tcp:
+            self.tcp_transport = TCPServerTransport(
+                self.rpc, self.config.tcp_host, self.config.tcp_port
+            )
+
+        # --- daemons ---
+        self._expire_thread: ExpireThread | None = None
+        self._update_thread: UpdateThread | None = None
+        self._started = False
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "RLSServer":
+        """Start background daemons (expire thread, update scheduler)."""
+        with self._lock:
+            if self._started:
+                return self
+            if self.rli is not None:
+                self._expire_thread = ExpireThread(
+                    self.rli, interval=self.config.expire_interval
+                )
+                self._expire_thread.start()
+            if self.update_manager is not None:
+                self._update_thread = UpdateThread(
+                    self.update_manager,
+                    poll_interval=self.config.update_poll_interval,
+                )
+                self._update_thread.start()
+            self._started = True
+        return self
+
+    def stop(self) -> None:
+        with self._lock:
+            if self._expire_thread is not None:
+                self._expire_thread.stop()
+                self._expire_thread = None
+            if self._update_thread is not None:
+                self._update_thread.stop()
+                self._update_thread = None
+            self.local_transport.close()
+            if self.tcp_transport is not None:
+                self.tcp_transport.close()
+            unregister_dsn(self.dsn)
+            self._started = False
+
+    def __enter__(self) -> "RLSServer":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    @property
+    def tcp_address(self) -> tuple[str, int] | None:
+        if self.tcp_transport is None:
+            return None
+        return (self.tcp_transport.host, self.tcp_transport.port)
+
+    # ------------------------------------------------------------------
+    # Method table
+    # ------------------------------------------------------------------
+
+    def _default_sink_resolver(self, name: str) -> UpdateSink:
+        """Resolve an RLI name to a sink via the in-process registry."""
+        if self.rli is not None and name == self.config.name:
+            return DirectSink(self.rli)
+        from repro.core.membership import resolve_sink
+
+        return resolve_sink(name)
+
+    def _need_lrc(self) -> LocalReplicaCatalog:
+        if self.lrc is None:
+            raise NotConfiguredError(
+                f"server {self.config.name!r} is not configured as an LRC"
+            )
+        return self.lrc
+
+    def _need_rli(self) -> ReplicaLocationIndex:
+        if self.rli is None:
+            raise NotConfiguredError(
+                f"server {self.config.name!r} is not configured as an RLI"
+            )
+        return self.rli
+
+    def _register_methods(self) -> None:
+        def guarded(privilege: Privilege, fn: Callable[..., Any]):
+            def handler(ctx: ConnectionContext, args: tuple) -> Any:
+                self.authorizer.check(privilege, ctx.principal)
+                return fn(*args)
+
+            return handler
+
+        lrc_read = Privilege.LRC_READ
+        lrc_write = Privilege.LRC_WRITE
+        rli_read = Privilege.RLI_READ
+        rli_write = Privilege.RLI_WRITE
+        admin = Privilege.ADMIN
+        r = self.rpc.register
+
+        # -- LRC mapping management --
+        r("lrc_create_mapping", guarded(lrc_write, lambda lfn, pfn: self._need_lrc().create_mapping(lfn, pfn)))
+        r("lrc_add_mapping", guarded(lrc_write, lambda lfn, pfn: self._need_lrc().add_mapping(lfn, pfn)))
+        r("lrc_delete_mapping", guarded(lrc_write, lambda lfn, pfn: self._need_lrc().delete_mapping(lfn, pfn)))
+        r("lrc_bulk_create", guarded(lrc_write, lambda pairs: self._need_lrc().bulk_create([tuple(p) for p in pairs])))
+        r("lrc_bulk_add", guarded(lrc_write, lambda pairs: self._need_lrc().bulk_add([tuple(p) for p in pairs])))
+        r("lrc_bulk_delete", guarded(lrc_write, lambda pairs: self._need_lrc().bulk_delete([tuple(p) for p in pairs])))
+
+        # -- LRC queries --
+        r("lrc_get_mappings", guarded(lrc_read, lambda lfn: self._need_lrc().get_mappings(lfn)))
+        r("lrc_get_lfns", guarded(lrc_read, lambda pfn: self._need_lrc().get_lfns(pfn)))
+        r("lrc_query_wildcard", guarded(lrc_read, lambda pat: [list(t) for t in self._need_lrc().query_wildcard(pat)]))
+        r("lrc_bulk_query", guarded(lrc_read, lambda lfns: self._need_lrc().bulk_query(lfns)))
+        r("lrc_exists", guarded(lrc_read, lambda lfn: self._need_lrc().exists(lfn)))
+        r("lrc_lfn_count", guarded(lrc_read, lambda: self._need_lrc().lfn_count()))
+        r("lrc_mapping_count", guarded(lrc_read, lambda: self._need_lrc().mapping_count()))
+
+        # -- LRC attributes --
+        r("lrc_attr_define", guarded(lrc_write, lambda name, objtype, attrtype: self._need_lrc().define_attribute(name, objtype, attrtype)))
+        r("lrc_attr_undefine", guarded(lrc_write, lambda name, objtype: self._need_lrc().undefine_attribute(name, objtype)))
+        r("lrc_attr_add", guarded(lrc_write, lambda obj, name, objtype, value: self._need_lrc().add_attribute(obj, name, objtype, value)))
+        r("lrc_attr_modify", guarded(lrc_write, lambda obj, name, objtype, value: self._need_lrc().modify_attribute(obj, name, objtype, value)))
+        r("lrc_attr_remove", guarded(lrc_write, lambda obj, name, objtype: self._need_lrc().remove_attribute(obj, name, objtype)))
+        r("lrc_attr_get", guarded(lrc_read, lambda obj, objtype: self._need_lrc().get_attributes(obj, objtype)))
+        r("lrc_attr_query", guarded(lrc_read, lambda name, objtype, value, op: [list(t) for t in self._need_lrc().query_by_attribute(name, objtype, value, op)]))
+        r("lrc_attr_bulk_add", guarded(lrc_write, lambda triples, objtype: self._need_lrc().bulk_add_attribute([tuple(t) for t in triples], objtype)))
+
+        # -- LRC management --
+        r("lrc_rli_add", guarded(admin, lambda name, bloom, patterns: self._need_lrc().add_rli(name, bloom, patterns)))
+        r("lrc_rli_remove", guarded(admin, lambda name: self._need_lrc().remove_rli(name)))
+        r("lrc_rli_list", guarded(lrc_read, lambda: [
+            {"name": t.name, "bloom": t.bloom, "patterns": list(t.patterns)}
+            for t in self._need_lrc().rli_targets()
+        ]))
+
+        # -- RLI queries --
+        r("rli_query", guarded(rli_read, lambda lfn: self._need_rli().query(lfn)))
+        r("rli_bulk_query", guarded(rli_read, lambda lfns: self._need_rli().bulk_query(lfns)))
+        r("rli_query_wildcard", guarded(rli_read, lambda pat: [list(t) for t in self._need_rli().query_wildcard(pat)]))
+        r("rli_lrc_list", guarded(rli_read, lambda: self._need_rli().lrc_list()))
+
+        # -- RLI soft-state ingest --
+        r("rli_full_update", guarded(rli_write, lambda lrc, lfns: self._need_rli().apply_full_update(lrc, lfns)))
+        r("rli_incremental_update", guarded(rli_write, lambda lrc, added, removed: self._need_rli().apply_incremental_update(lrc, added, removed)))
+        r("rli_bloom_update", guarded(rli_write, lambda lrc, bitmap, nbits, k, entries: self._need_rli().apply_bloom_update(lrc, bitmap, nbits, k, entries)))
+
+        # -- admin --
+        r("admin_ping", lambda ctx, args: "pong")
+        r("admin_stats", guarded(admin, self._stats))
+        r("admin_trigger_full_update", guarded(admin, self._trigger_full_update))
+        r("admin_trigger_incremental_update", guarded(admin, self._trigger_incremental))
+        r("admin_expire_once", guarded(admin, lambda: self._need_rli().expire_once()))
+        r("admin_rebuild_bloom", guarded(admin, self._rebuild_bloom))
+        r("admin_verify", guarded(admin, lambda: self._need_lrc().verify_integrity()))
+
+    def _trigger_full_update(self) -> float:
+        if self.update_manager is None:
+            raise NotConfiguredError("server has no update manager (not an LRC)")
+        return self.update_manager.send_full_update()
+
+    def _trigger_incremental(self) -> int:
+        if self.update_manager is None:
+            raise NotConfiguredError("server has no update manager (not an LRC)")
+        return self.update_manager.send_incremental_update()
+
+    def _rebuild_bloom(self) -> float:
+        if self.update_manager is None:
+            raise NotConfiguredError("server has no update manager (not an LRC)")
+        return self.update_manager.rebuild_bloom()
+
+    def _stats(self) -> dict[str, Any]:
+        stats: dict[str, Any] = {
+            "name": self.config.name,
+            "roles": {
+                "lrc": self.config.is_lrc,
+                "rli": self.config.is_rli,
+            },
+            "backend": self.config.backend.value,
+            "requests_served": self.rpc.requests_served,
+            "errors_returned": self.rpc.errors_returned,
+        }
+        if self.lrc is not None:
+            stats["lrc"] = {
+                "lfns": self.lrc.lfn_count(),
+                "mappings": self.lrc.mapping_count(),
+            }
+        if self.rli is not None:
+            stats["rli"] = {
+                "mappings": self.rli.mapping_count(),
+                "bloom_filters": self.rli.bloom_filter_count(),
+                "updates_applied": self.rli.updates_applied,
+            }
+        if self.update_manager is not None:
+            s = self.update_manager.stats
+            stats["updates"] = {
+                "full": s.full_updates,
+                "incremental": s.incremental_updates,
+                "bloom": s.bloom_updates,
+                "names_sent": s.names_sent,
+                "bloom_bytes_sent": s.bytes_sent_bloom,
+            }
+        return stats

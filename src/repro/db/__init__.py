@@ -1,0 +1,59 @@
+"""Embedded relational database substrate.
+
+This package stands in for the MySQL / PostgreSQL back ends used by the
+Globus RLS (Chervenak et al., HPDC 2004, Figure 2).  It provides:
+
+* a storage engine with typed columns, primary-key / unique constraints,
+  hash and ordered indexes (:mod:`repro.db.table`, :mod:`repro.db.index`);
+* a write-ahead log whose flush policy reproduces the MySQL
+  ``flush-on-commit`` versus ``periodic-flush`` behaviour the paper measures
+  in Figures 4 and 5 (:mod:`repro.db.wal`);
+* a MySQL-flavoured engine (:mod:`repro.db.mysql_engine`) and a
+  PostgreSQL-flavoured engine with MVCC-style dead tuples and ``VACUUM``
+  (:mod:`repro.db.postgres_engine`) that reproduces the Figure 8 sawtooth;
+* a small SQL dialect (lexer/parser/planner/executor under
+  :mod:`repro.db.sql`) sufficient for every statement the RLS issues; and
+* an ODBC-like DB-API connection layer (:mod:`repro.db.odbc`) mirroring the
+  libiODBC / myodbc stack in the paper's implementation diagram.
+"""
+
+from repro.db.errors import (
+    DBError,
+    DuplicateKeyError,
+    IntegrityError,
+    NoSuchIndexError,
+    NoSuchTableError,
+    SQLSyntaxError,
+    TypeMismatchError,
+)
+from repro.db.engine import Database
+from repro.db.mysql_engine import MySQLEngine
+from repro.db.postgres_engine import PostgresEngine
+from repro.db.odbc import Connection, Cursor, connect, register_dsn, unregister_dsn
+from repro.db.schema import Column, TableSchema
+from repro.db.types import ColumnType, FLOAT, INT, TIMESTAMP, VARCHAR
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "Connection",
+    "Cursor",
+    "DBError",
+    "Database",
+    "DuplicateKeyError",
+    "FLOAT",
+    "INT",
+    "IntegrityError",
+    "MySQLEngine",
+    "NoSuchIndexError",
+    "NoSuchTableError",
+    "PostgresEngine",
+    "SQLSyntaxError",
+    "TIMESTAMP",
+    "TableSchema",
+    "TypeMismatchError",
+    "VARCHAR",
+    "connect",
+    "register_dsn",
+    "unregister_dsn",
+]

@@ -1,0 +1,225 @@
+"""The embedded database engine.
+
+:class:`Database` ties together tables, the write-ahead log, and the SQL
+front end.  The MySQL- and PostgreSQL-flavoured engines in
+:mod:`repro.db.mysql_engine` / :mod:`repro.db.postgres_engine` subclass it
+to select storage behaviour (eager cleanup vs. MVCC+vacuum) and flush
+policy.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Sequence
+
+from repro.db.errors import NoSuchTableError, TableExistsError
+from repro.db.schema import TableSchema
+from repro.db.table import Table
+from repro.db.wal import (
+    OP_DELETE,
+    OP_INSERT,
+    OP_UPDATE,
+    WriteAheadLog,
+)
+
+
+class Database:
+    """A named collection of tables with SQL access and durability logging.
+
+    Parameters
+    ----------
+    name:
+        Database name (used in DSNs and error messages).
+    wal:
+        Optional :class:`~repro.db.wal.WriteAheadLog`.  When present, every
+        insert/delete/update is logged and the flush policy of the log
+        determines commit durability cost.  When ``None`` the engine runs
+        without durability (useful for RLI Bloom-mode tests).
+    eager_index_cleanup:
+        Storage flavour passed through to tables; see
+        :class:`repro.db.table.Table`.
+    """
+
+    flavor = "generic"
+
+    def __init__(
+        self,
+        name: str = "db",
+        wal: WriteAheadLog | None = None,
+        eager_index_cleanup: bool = True,
+        dead_hit_cost: float = 0.0,
+    ) -> None:
+        self.name = name
+        self.wal = wal
+        self.eager_index_cleanup = eager_index_cleanup
+        self.dead_hit_cost = dead_hit_cost
+        self._tables: dict[str, Table] = {}
+        self._ddl_lock = threading.RLock()
+        self._statement_cache: dict[str, Any] = {}
+        self._executor: Any = None  # built lazily to avoid import cycle
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> Table:
+        with self._ddl_lock:
+            key = schema.name.lower()
+            if key in self._tables:
+                raise TableExistsError(schema.name)
+            table = Table(
+                schema,
+                eager_index_cleanup=self.eager_index_cleanup,
+                dead_hit_cost=self.dead_hit_cost,
+            )
+            self._tables[key] = table
+            return table
+
+    def drop_table(self, name: str) -> None:
+        with self._ddl_lock:
+            if self._tables.pop(name.lower(), None) is None:
+                raise NoSuchTableError(name)
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise NoSuchTableError(name) from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table_names(self) -> list[str]:
+        return [t.schema.name for t in self._tables.values()]
+
+    # ------------------------------------------------------------------
+    # Logged DML primitives (used by the SQL executor and by recovery)
+    # ------------------------------------------------------------------
+
+    def insert_row(self, table_name: str, values: dict[str, Any]) -> tuple[int, list]:
+        table = self.table(table_name)
+        rid, row = table.insert(values)
+        if self.wal is not None:
+            self.wal.log(OP_INSERT, table.schema.name, tuple(row))
+        return rid, row
+
+    def delete_row(self, table_name: str, rid: int) -> list:
+        table = self.table(table_name)
+        old = table.delete_rid(rid)
+        if self.wal is not None:
+            self.wal.log(OP_DELETE, table.schema.name, tuple(old))
+        return old
+
+    def update_row(
+        self, table_name: str, rid: int, changes: dict[str, Any]
+    ) -> tuple[int, list]:
+        table = self.table(table_name)
+        new_rid, row = table.update_rid(rid, changes)
+        if self.wal is not None:
+            self.wal.log(OP_UPDATE, table.schema.name, tuple(row))
+        return new_rid, row
+
+    # ------------------------------------------------------------------
+    # SQL front end
+    # ------------------------------------------------------------------
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> "ResultSet":
+        """Parse (with caching), plan and run one SQL statement."""
+        from repro.db.sql.executor import Executor
+        from repro.db.sql.parser import parse
+
+        stmt = self._statement_cache.get(sql)
+        if stmt is None:
+            stmt = parse(sql)
+            # Unbounded growth guard: the RLS issues a small fixed set of
+            # statements, but user SQL could be unique per call.
+            if len(self._statement_cache) < 4096:
+                self._statement_cache[sql] = stmt
+        if self._executor is None:
+            self._executor = Executor(self)
+        return self._executor.execute(stmt, list(params))
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Flush any buffered WAL records to the durable device."""
+        if self.wal is not None:
+            self.wal.flush()
+
+    def recover_into(self, other: "Database") -> int:
+        """Replay this database's durable WAL into ``other``.
+
+        ``other`` must already contain the table schemas (DDL is not
+        logged, matching the RLS practice of creating schemas at install
+        time).  Returns the number of records applied.
+        """
+        if self.wal is None:
+            return 0
+        applied = 0
+        for record in self.wal.records():
+            table = other.table(record.table)
+            names = table.schema.column_names
+            values = dict(zip(names, record.payload))
+            if record.op == OP_INSERT or record.op == OP_UPDATE:
+                if record.op == OP_UPDATE:
+                    _delete_matching(table, values)
+                table.insert(values)
+            elif record.op == OP_DELETE:
+                _delete_matching(table, values)
+            applied += 1
+        return applied
+
+    def stats(self) -> dict[str, dict[str, int]]:
+        """Per-table operation counters (see :class:`TableStats`)."""
+        return {
+            t.schema.name: t.stats.snapshot() for t in self._tables.values()
+        }
+
+
+def _delete_matching(table: Table, values: dict[str, Any]) -> None:
+    """Delete the live row matching the logged key (PK if any, else all cols)."""
+    keys = table.schema.key_constraints()
+    if keys:
+        cols = keys[0]
+        key = tuple(values[c] for c in cols)
+        for rid, _row in table.lookup_equal(cols, key):
+            table.delete_rid(rid)
+            return
+    else:
+        target = [values[c] for c in table.schema.column_names]
+        for rid, row in table.scan():
+            if row == target:
+                table.delete_rid(rid)
+                return
+
+
+class ResultSet:
+    """Rows plus metadata returned by :meth:`Database.execute`."""
+
+    __slots__ = ("columns", "rows", "rowcount", "lastrowid")
+
+    def __init__(
+        self,
+        columns: list[str],
+        rows: list[tuple],
+        rowcount: int,
+        lastrowid: int | None = None,
+    ) -> None:
+        self.columns = columns
+        self.rows = rows
+        self.rowcount = rowcount
+        self.lastrowid = lastrowid
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def scalar(self) -> Any:
+        """First column of the first row, or ``None`` if empty."""
+        if not self.rows:
+            return None
+        return self.rows[0][0]

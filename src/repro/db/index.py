@@ -1,0 +1,147 @@
+"""In-memory indexes for the embedded database.
+
+Two index structures are provided:
+
+* :class:`HashIndex` — a dict from key tuple to a set of row ids.  O(1)
+  equality lookups; used for the surrogate-key and name lookups that
+  dominate RLS traffic.
+* :class:`OrderedIndex` — a sorted-key index (bisect over a periodically
+  compacted sorted list) supporting range and prefix scans, which back SQL
+  ``LIKE 'prefix%'`` — the RLS wildcard queries.
+
+Both index types intentionally keep entries for *dead* MVCC tuples until
+the owning table vacuums them (see :mod:`repro.db.postgres_engine`); the
+cost of filtering dead entries out of lookups is what produces the paper's
+Figure 8 sawtooth, so the behaviour is load-bearing, not an accident.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterable, Iterator
+
+
+class HashIndex:
+    """Equality index mapping a key tuple to the set of row ids holding it."""
+
+    __slots__ = ("name", "column_positions", "_map")
+
+    def __init__(self, name: str, column_positions: Iterable[int]) -> None:
+        self.name = name
+        self.column_positions = tuple(column_positions)
+        self._map: dict[tuple, set[int]] = {}
+
+    def key_for(self, row: list[Any]) -> tuple:
+        return tuple(row[i] for i in self.column_positions)
+
+    def insert(self, key: tuple, rid: int) -> None:
+        self._map.setdefault(key, set()).add(rid)
+
+    def remove(self, key: tuple, rid: int) -> None:
+        ids = self._map.get(key)
+        if ids is not None:
+            ids.discard(rid)
+            if not ids:
+                del self._map[key]
+
+    def lookup(self, key: tuple) -> set[int]:
+        """Row ids whose indexed columns equal ``key`` (may include dead rows)."""
+        return self._map.get(key, _EMPTY_SET)
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def distinct_keys(self) -> Iterator[tuple]:
+        return iter(self._map)
+
+
+_EMPTY_SET: frozenset[int] = frozenset()
+
+
+class OrderedIndex:
+    """Sorted index over a single column supporting prefix/range scans.
+
+    Keys are kept in a sorted list; insertions use :func:`bisect.insort`.
+    Each key maps to the set of row ids carrying it.  Only single-column
+    ordered indexes are needed by the RLS schema (name columns).
+    """
+
+    __slots__ = ("name", "column_position", "_keys", "_map")
+
+    def __init__(self, name: str, column_position: int) -> None:
+        self.name = name
+        self.column_position = column_position
+        self._keys: list[Any] = []
+        self._map: dict[Any, set[int]] = {}
+
+    def key_for(self, row: list[Any]) -> Any:
+        return row[self.column_position]
+
+    def insert(self, key: Any, rid: int) -> None:
+        ids = self._map.get(key)
+        if ids is None:
+            self._map[key] = {rid}
+            bisect.insort(self._keys, key)
+        else:
+            ids.add(rid)
+
+    def remove(self, key: Any, rid: int) -> None:
+        ids = self._map.get(key)
+        if ids is None:
+            return
+        ids.discard(rid)
+        if not ids:
+            del self._map[key]
+            pos = bisect.bisect_left(self._keys, key)
+            if pos < len(self._keys) and self._keys[pos] == key:
+                del self._keys[pos]
+
+    def lookup(self, key: Any) -> set[int]:
+        return self._map.get(key, set())
+
+    def range_scan(
+        self,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[tuple[Any, set[int]]]:
+        """Yield ``(key, row_ids)`` for keys within [low, high] in order."""
+        if low is None:
+            start = 0
+        else:
+            start = (
+                bisect.bisect_left(self._keys, low)
+                if include_low
+                else bisect.bisect_right(self._keys, low)
+            )
+        if high is None:
+            stop = len(self._keys)
+        else:
+            stop = (
+                bisect.bisect_right(self._keys, high)
+                if include_high
+                else bisect.bisect_left(self._keys, high)
+            )
+        for i in range(start, stop):
+            key = self._keys[i]
+            yield key, self._map[key]
+
+    def prefix_scan(self, prefix: str) -> Iterator[tuple[str, set[int]]]:
+        """Yield ``(key, row_ids)`` for string keys starting with ``prefix``.
+
+        Implements ``LIKE 'prefix%'`` without a full scan: the upper bound
+        is the prefix with its last character incremented.
+        """
+        if prefix == "":
+            yield from self.range_scan()
+            return
+        start = bisect.bisect_left(self._keys, prefix)
+        for i in range(start, len(self._keys)):
+            key = self._keys[i]
+            if not isinstance(key, str) or not key.startswith(prefix):
+                break
+            yield key, self._map[key]
+
+    def __len__(self) -> int:
+        return len(self._keys)

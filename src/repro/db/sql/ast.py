@@ -1,0 +1,184 @@
+"""AST node definitions for the mini-SQL dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Literal:
+    value: Any
+
+
+@dataclass(frozen=True)
+class Param:
+    """A ``?`` placeholder; ``index`` is its zero-based position."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """``name`` or ``qualifier.name`` (qualifier is a table name or alias)."""
+
+    qualifier: str | None
+    name: str
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Binary comparison: op in {=, !=, <, <=, >, >=, LIKE, NOT LIKE}."""
+
+    op: str
+    left: Any
+    right: Any
+
+
+@dataclass(frozen=True)
+class InList:
+    expr: Any
+    items: tuple[Any, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class IsNull:
+    expr: Any
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class And:
+    left: Any
+    right: Any
+
+
+@dataclass(frozen=True)
+class Or:
+    left: Any
+    right: Any
+
+
+@dataclass(frozen=True)
+class Not:
+    operand: Any
+
+
+@dataclass(frozen=True)
+class CountStar:
+    """``COUNT(*)`` — the only aggregate the RLS needs."""
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TableRef:
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        return (self.alias or self.name).lower()
+
+
+@dataclass(frozen=True)
+class Join:
+    table: TableRef
+    on: Any  # expression
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Any
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Any
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class Select:
+    items: tuple[SelectItem, ...]  # empty tuple means SELECT *
+    table: TableRef
+    joins: tuple[Join, ...] = ()
+    where: Any = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class Insert:
+    table: str
+    columns: tuple[str, ...]
+    rows: tuple[tuple[Any, ...], ...]  # each cell is an expression
+
+
+@dataclass(frozen=True)
+class Update:
+    table: str
+    assignments: tuple[tuple[str, Any], ...]
+    where: Any = None
+
+
+@dataclass(frozen=True)
+class Delete:
+    table: str
+    where: Any = None
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    type_name: str
+    type_arg: int | None
+    not_null: bool = False
+    autoincrement: bool = False
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    name: str
+    columns: tuple[ColumnDef, ...]
+    primary_key: tuple[str, ...] = ()
+    unique: tuple[tuple[str, ...], ...] = ()
+
+
+@dataclass(frozen=True)
+class CreateIndex:
+    name: str
+    table: str
+    columns: tuple[str, ...]
+    using: str = "HASH"  # HASH or BTREE
+
+
+@dataclass(frozen=True)
+class DropTable:
+    name: str
+
+
+@dataclass(frozen=True)
+class Vacuum:
+    table: str | None = None  # None means all tables
+
+
+@dataclass(frozen=True)
+class Explain:
+    """``EXPLAIN <select|update|delete>`` — describe the access plan."""
+
+    statement: Any
+
+
+Statement = (
+    Select | Insert | Update | Delete | CreateTable | CreateIndex | DropTable | Vacuum
+)

@@ -1,0 +1,697 @@
+"""Planner + executor for parsed SQL statements.
+
+The executor does simple but effective access-path selection:
+
+* single-table equality predicates on indexed columns use hash-index
+  lookups (the hot path for every RLS operation);
+* ``LIKE 'prefix%'`` predicates use an ordered-index prefix scan when one
+  exists (RLS wildcard queries);
+* joins run as nested loops, probing the inner table through a hash index
+  on the join key when available (the LFN→map→PFN three-way join).
+
+Everything else falls back to a scan + filter, which is fine for the small
+administrative tables (``t_rli``, ``t_rlipartition``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterable
+
+from repro.db.errors import (
+    DBError,
+    NoSuchColumnError,
+    SQLSyntaxError,
+)
+from repro.db.schema import Column, TableSchema
+from repro.db.sql import ast
+from repro.db.table import Table
+from repro.db.types import type_from_sql
+
+
+class Executor:
+    """Executes parsed statements against a :class:`~repro.db.engine.Database`."""
+
+    def __init__(self, database: Any) -> None:
+        self.db = database
+
+    # ------------------------------------------------------------------
+
+    def execute(self, stmt: ast.Statement, params: list[Any]) -> Any:
+        from repro.db.engine import ResultSet
+
+        if isinstance(stmt, ast.Select):
+            cols, rows = self._select(stmt, params)
+            return ResultSet(cols, rows, len(rows))
+        if isinstance(stmt, ast.Insert):
+            count, lastrowid = self._insert(stmt, params)
+            return ResultSet([], [], count, lastrowid)
+        if isinstance(stmt, ast.Update):
+            return ResultSet([], [], self._update(stmt, params))
+        if isinstance(stmt, ast.Delete):
+            return ResultSet([], [], self._delete(stmt, params))
+        if isinstance(stmt, ast.CreateTable):
+            self._create_table(stmt)
+            return ResultSet([], [], 0)
+        if isinstance(stmt, ast.CreateIndex):
+            self._create_index(stmt)
+            return ResultSet([], [], 0)
+        if isinstance(stmt, ast.DropTable):
+            self.db.drop_table(stmt.name)
+            return ResultSet([], [], 0)
+        if isinstance(stmt, ast.Vacuum):
+            return ResultSet([], [], self._vacuum(stmt))
+        if isinstance(stmt, ast.Explain):
+            rows = [(line,) for line in self._explain(stmt.statement, params)]
+            return ResultSet(["plan"], rows, len(rows))
+        raise DBError(f"unsupported statement type: {type(stmt).__name__}")
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+
+    def _create_table(self, stmt: ast.CreateTable) -> None:
+        columns = [
+            Column(
+                name=c.name,
+                ctype=type_from_sql(c.type_name, c.type_arg),
+                nullable=not c.not_null,
+                autoincrement=c.autoincrement,
+            )
+            for c in stmt.columns
+        ]
+        schema = TableSchema(
+            name=stmt.name,
+            columns=columns,
+            primary_key=stmt.primary_key,
+            unique=list(stmt.unique),
+        )
+        self.db.create_table(schema)
+
+    def _create_index(self, stmt: ast.CreateIndex) -> None:
+        table = self.db.table(stmt.table)
+        if stmt.using == "BTREE":
+            if len(stmt.columns) != 1:
+                raise SQLSyntaxError("BTREE indexes cover exactly one column")
+            table.create_ordered_index(stmt.name, stmt.columns[0])
+        else:
+            table.create_hash_index(stmt.name, list(stmt.columns))
+
+    def _vacuum(self, stmt: ast.Vacuum) -> int:
+        if stmt.table is not None:
+            return self.db.table(stmt.table).vacuum()
+        total = 0
+        for name in self.db.table_names():
+            total += self.db.table(name).vacuum()
+        return total
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+
+    def _insert(self, stmt: ast.Insert, params: list[Any]) -> tuple[int, int | None]:
+        lastrowid: int | None = None
+        table = self.db.table(stmt.table)
+        autoinc_pos = next(
+            (
+                i
+                for i, c in enumerate(table.schema.columns)
+                if c.autoincrement
+            ),
+            None,
+        )
+        count = 0
+        for row_exprs in stmt.rows:
+            values = {
+                col: _eval_const(expr, params)
+                for col, expr in zip(stmt.columns, row_exprs)
+            }
+            _rid, row = self.db.insert_row(stmt.table, values)
+            if autoinc_pos is not None:
+                lastrowid = row[autoinc_pos]
+            count += 1
+        return count, lastrowid
+
+    def _update(self, stmt: ast.Update, params: list[Any]) -> int:
+        table = self.db.table(stmt.table)
+        matches = self._single_table_matches(table, stmt.where, params)
+        changes_exprs = stmt.assignments
+        count = 0
+        for rid, _row in matches:
+            changes = {
+                col: _eval_const(expr, params) for col, expr in changes_exprs
+            }
+            self.db.update_row(stmt.table, rid, changes)
+            count += 1
+        return count
+
+    def _delete(self, stmt: ast.Delete, params: list[Any]) -> int:
+        table = self.db.table(stmt.table)
+        matches = self._single_table_matches(table, stmt.where, params)
+        count = 0
+        for rid, _row in matches:
+            self.db.delete_row(stmt.table, rid)
+            count += 1
+        return count
+
+    def _single_table_matches(
+        self, table: Table, where: Any, params: list[Any]
+    ) -> list[tuple[int, list[Any]]]:
+        """Candidate (rid, row) pairs for UPDATE/DELETE, index-accelerated."""
+        binding = table.schema.name.lower()
+        candidates, residual, _plan = self._access_path(
+            table, binding, where, params
+        )
+        if residual is None:
+            return list(candidates)
+        env = _Env({binding: table.schema})
+        out = []
+        for rid, row in candidates:
+            env.set_row(binding, row)
+            if _truthy(_eval(residual, env, params)):
+                out.append((rid, row))
+        return out
+
+    # ------------------------------------------------------------------
+    # SELECT
+    # ------------------------------------------------------------------
+
+    def _select(
+        self, stmt: ast.Select, params: list[Any]
+    ) -> tuple[list[str], list[tuple]]:
+        base_table = self.db.table(stmt.table.name)
+        bindings: dict[str, TableSchema] = {stmt.table.binding: base_table.schema}
+        join_tables: list[tuple[str, Table, Any]] = []
+        for join in stmt.joins:
+            jt = self.db.table(join.table.name)
+            if join.table.binding in bindings:
+                raise SQLSyntaxError(
+                    f"duplicate table binding {join.table.binding!r}"
+                )
+            bindings[join.table.binding] = jt.schema
+            join_tables.append((join.table.binding, jt, join.on))
+        env = _Env(bindings)
+
+        # Split WHERE into conjuncts usable by the driving table vs. residual.
+        candidates, residual, _plan = self._access_path(
+            base_table, stmt.table.binding, stmt.where, params
+        )
+
+        # Materialize result rows (list of env snapshots).
+        rows_env: list[dict[str, list[Any]]] = []
+        self._join_rec(
+            env,
+            stmt.table.binding,
+            candidates,
+            join_tables,
+            0,
+            residual,
+            params,
+            rows_env,
+        )
+
+        # Projection
+        count_star = (
+            len(stmt.items) == 1 and isinstance(stmt.items[0].expr, ast.CountStar)
+        )
+        if count_star:
+            name = stmt.items[0].alias or "count"
+            return [name], [(len(rows_env),)]
+
+        if stmt.items:
+            col_names = []
+            for item in stmt.items:
+                if item.alias:
+                    col_names.append(item.alias)
+                elif isinstance(item.expr, ast.ColumnRef):
+                    col_names.append(item.expr.name)
+                else:
+                    col_names.append("expr")
+            projected = []
+            for row_map in rows_env:
+                env.rows = row_map
+                projected.append(
+                    tuple(_eval(item.expr, env, params) for item in stmt.items)
+                )
+        else:  # SELECT *
+            col_names = []
+            for binding, schema in bindings.items():
+                for c in schema.columns:
+                    col_names.append(
+                        c.name if len(bindings) == 1 else f"{binding}.{c.name}"
+                    )
+            projected = []
+            for row_map in rows_env:
+                flat: list[Any] = []
+                for binding in bindings:
+                    flat.extend(row_map[binding])
+                projected.append(tuple(flat))
+
+        if stmt.distinct:
+            seen: set[tuple] = set()
+            unique_rows = []
+            for row in projected:
+                if row not in seen:
+                    seen.add(row)
+                    unique_rows.append(row)
+            projected = unique_rows
+
+        if stmt.order_by:
+            for item in stmt.order_by:
+                if not isinstance(item.expr, ast.ColumnRef):
+                    raise SQLSyntaxError("ORDER BY supports columns only")
+            projected = self._apply_order_by(
+                stmt, projected, col_names, rows_env, env, params
+            )
+
+        if stmt.limit is not None:
+            projected = projected[: stmt.limit]
+
+        return col_names, projected
+
+    def _apply_order_by(
+        self,
+        stmt: ast.Select,
+        projected: list[tuple],
+        col_names: list[str],
+        rows_env: list[dict[str, list[Any]]],
+        env: "_Env",
+        params: list[Any],
+    ) -> list[tuple]:
+        """Stable multi-key sort; ORDER BY may reference output columns or
+        any source-table column (evaluated per row), with NULLs last."""
+        # Fast path: every key is a projected output column.
+        if all(
+            item.expr.name in col_names for item in stmt.order_by
+        ):
+            for item in reversed(stmt.order_by):
+                idx = col_names.index(item.expr.name)
+                projected.sort(
+                    key=lambda r, i=idx: (r[i] is None, r[i]),
+                    reverse=item.descending,
+                )
+            return projected
+        # Source-column path: needs row context, incompatible with DISTINCT
+        # (row identity is lost after de-duplication).
+        if stmt.distinct:
+            raise SQLSyntaxError(
+                "ORDER BY on non-projected columns requires them in SELECT "
+                "when DISTINCT is used"
+            )
+        if len(projected) != len(rows_env):
+            raise NoSuchColumnError("<select>", stmt.order_by[0].expr.name)
+        keyed = list(zip(projected, rows_env))
+        for item in reversed(stmt.order_by):
+            expr = item.expr
+
+            def sort_key(pair, expr=expr):
+                env.rows = pair[1]
+                value = _eval(expr, env, params)
+                return (value is None, value)
+
+            keyed.sort(key=sort_key, reverse=item.descending)
+        return [row for row, _ in keyed]
+
+    def _join_rec(
+        self,
+        env: "_Env",
+        base_binding: str,
+        base_rows: Iterable[tuple[int, list[Any]]],
+        joins: list[tuple[str, Table, Any]],
+        depth: int,
+        residual: Any,
+        params: list[Any],
+        out: list[dict[str, list[Any]]],
+    ) -> None:
+        """Depth-first nested-loop join, index-probing each inner table."""
+        if depth == 0:
+            for _rid, row in base_rows:
+                env.rows = {base_binding: row}
+                self._join_rec(
+                    env, base_binding, (), joins, 1, residual, params, out
+                )
+            return
+        if depth - 1 < len(joins):
+            binding, table, on = joins[depth - 1]
+            probe = self._probe_rows(table, binding, on, env, params)
+            for _rid, row in probe:
+                env.rows[binding] = row
+                if _truthy(_eval(on, env, params)):
+                    self._join_rec(
+                        env, base_binding, (), joins, depth + 1, residual, params, out
+                    )
+            env.rows.pop(binding, None)
+            return
+        # All joins satisfied: apply residual predicate and emit.
+        if residual is None or _truthy(_eval(residual, env, params)):
+            out.append(dict(env.rows))
+
+    def _probe_rows(
+        self,
+        table: Table,
+        binding: str,
+        on: Any,
+        env: "_Env",
+        params: list[Any],
+    ) -> Iterable[tuple[int, list[Any]]]:
+        """Rows of the inner join table, via hash index when ON allows it."""
+        for left, right in _equality_pairs(on):
+            inner_col, outer_expr = None, None
+            if (
+                isinstance(left, ast.ColumnRef)
+                and (left.qualifier or "").lower() == binding
+            ):
+                inner_col, outer_expr = left.name, right
+            elif (
+                isinstance(right, ast.ColumnRef)
+                and (right.qualifier or "").lower() == binding
+            ):
+                inner_col, outer_expr = right.name, left
+            if inner_col is None:
+                continue
+            try:
+                value = _eval(outer_expr, env, params)
+            except NoSuchColumnError:
+                continue
+            return table.lookup_equal((inner_col,), (value,))
+        return table.scan()
+
+    # ------------------------------------------------------------------
+    # EXPLAIN
+    # ------------------------------------------------------------------
+
+    def _explain(self, stmt: ast.Statement, params: list[Any]) -> list[str]:
+        """Human-readable access plan (one line per step)."""
+        if isinstance(stmt, (ast.Update, ast.Delete)):
+            table = self.db.table(stmt.table)
+            binding = table.schema.name.lower()
+            _c, _r, plan = self._access_path(table, binding, stmt.where, params)
+            verb = "update" if isinstance(stmt, ast.Update) else "delete"
+            return [f"{verb} via {plan}"]
+        assert isinstance(stmt, ast.Select)
+        base_table = self.db.table(stmt.table.name)
+        _c, _r, plan = self._access_path(
+            base_table, stmt.table.binding, stmt.where, params
+        )
+        lines = [f"drive: {plan}"]
+        for join in stmt.joins:
+            jt = self.db.table(join.table.name)
+            binding = join.table.binding
+            probe = "full scan"
+            for left, right in _equality_pairs(join.on):
+                for col_expr in (left, right):
+                    if (
+                        isinstance(col_expr, ast.ColumnRef)
+                        and (col_expr.qualifier or "").lower() == binding
+                        and jt.find_hash_index((col_expr.name,)) is not None
+                    ):
+                        probe = f"hash probe on {col_expr.name}"
+                        break
+                if probe != "full scan":
+                    break
+            lines.append(f"join: {jt.schema.name} via {probe}")
+        if stmt.where is not None:
+            lines.append("filter: residual WHERE re-checked per row")
+        if stmt.order_by:
+            cols = ", ".join(
+                item.expr.name for item in stmt.order_by
+                if isinstance(item.expr, ast.ColumnRef)
+            )
+            lines.append(f"sort: {cols}")
+        if stmt.limit is not None:
+            lines.append(f"limit: {stmt.limit}")
+        return lines
+
+    # ------------------------------------------------------------------
+    # Access-path selection for the driving table
+    # ------------------------------------------------------------------
+
+    def _access_path(
+        self, table: Table, binding: str, where: Any, params: list[Any]
+    ) -> tuple[Iterable[tuple[int, list[Any]]], Any, str]:
+        """Return (candidate rows, residual predicate or None, plan text)."""
+        name = table.schema.name
+        if where is None:
+            return table.scan(), None, f"full scan {name}"
+        conjuncts = list(_flatten_and(where))
+        candidates: Iterable[tuple[int, list[Any]]] | None = None
+        description = f"full scan {name} + filter"
+
+        # 1) Equality on an indexed column set.
+        eq_cols: list[str] = []
+        eq_vals: list[Any] = []
+        for conj in conjuncts:
+            col, val_expr = _local_equality(conj, binding, table.schema)
+            if col is not None:
+                eq_cols.append(col)
+                eq_vals.append(_eval_const(val_expr, params))
+        if eq_cols:
+            # Try the widest covered index first, then single columns.
+            for cols_tuple in _index_candidates(eq_cols):
+                idx = table.find_hash_index(cols_tuple)
+                if idx is not None:
+                    key = tuple(
+                        eq_vals[eq_cols.index(c)] for c in cols_tuple
+                    )
+                    candidates = table.lookup_equal(cols_tuple, key)
+                    description = (
+                        f"hash index lookup {name}({', '.join(cols_tuple)})"
+                    )
+                    break
+
+        # 2) LIKE prefix on an ordered-indexed column.
+        if candidates is None:
+            for conj in conjuncts:
+                like = _local_like_prefix(conj, binding, table.schema, params)
+                if like is not None:
+                    colname, prefix = like
+                    if table.find_ordered_index(colname) is not None:
+                        candidates = table.prefix_lookup(colname, prefix)
+                        description = (
+                            f"ordered index prefix scan {name}({colname}) "
+                            f"prefix={prefix!r}"
+                        )
+                        break
+
+        if candidates is None:
+            candidates = table.scan()
+        # Keep the full WHERE as residual — re-checking the indexed conjunct
+        # is cheap and avoids subtle partial-predicate bugs.
+        return candidates, where, description
+
+
+# ---------------------------------------------------------------------------
+# Expression evaluation
+# ---------------------------------------------------------------------------
+
+
+class _Env:
+    """Binds table aliases to the current row during evaluation."""
+
+    __slots__ = ("schemas", "rows", "_resolve_cache")
+
+    def __init__(self, schemas: dict[str, TableSchema]) -> None:
+        self.schemas = schemas
+        self.rows: dict[str, list[Any]] | None = None
+        self._resolve_cache: dict[tuple[str | None, str], tuple[str, int]] = {}
+
+    def set_row(self, binding: str, row: list[Any]) -> None:
+        self.rows = {binding: row}
+
+    def resolve(self, qualifier: str | None, name: str) -> tuple[str, int]:
+        key = (qualifier, name)
+        hit = self._resolve_cache.get(key)
+        if hit is not None:
+            return hit
+        if qualifier is not None:
+            binding = qualifier.lower()
+            schema = self.schemas.get(binding)
+            if schema is None:
+                raise NoSuchColumnError(qualifier, name)
+            result = (binding, schema.column_index(name))
+        else:
+            matches = [
+                (b, s.column_index(name))
+                for b, s in self.schemas.items()
+                if s.has_column(name)
+            ]
+            if not matches:
+                raise NoSuchColumnError("<any>", name)
+            if len(matches) > 1:
+                raise SQLSyntaxError(f"ambiguous column name: {name!r}")
+            result = matches[0]
+        self._resolve_cache[key] = result
+        return result
+
+
+def _eval(expr: Any, env: _Env, params: list[Any]) -> Any:
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.Param):
+        return params[expr.index]
+    if isinstance(expr, ast.ColumnRef):
+        binding, pos = env.resolve(expr.qualifier, expr.name)
+        assert env.rows is not None
+        return env.rows[binding][pos]
+    if isinstance(expr, ast.Comparison):
+        left = _eval(expr.left, env, params)
+        right = _eval(expr.right, env, params)
+        return _compare(expr.op, left, right)
+    if isinstance(expr, ast.And):
+        return _truthy(_eval(expr.left, env, params)) and _truthy(
+            _eval(expr.right, env, params)
+        )
+    if isinstance(expr, ast.Or):
+        return _truthy(_eval(expr.left, env, params)) or _truthy(
+            _eval(expr.right, env, params)
+        )
+    if isinstance(expr, ast.Not):
+        return not _truthy(_eval(expr.operand, env, params))
+    if isinstance(expr, ast.InList):
+        value = _eval(expr.expr, env, params)
+        found = any(value == _eval(item, env, params) for item in expr.items)
+        return found != expr.negated
+    if isinstance(expr, ast.IsNull):
+        value = _eval(expr.expr, env, params)
+        return (value is None) != expr.negated
+    raise DBError(f"cannot evaluate expression: {expr!r}")
+
+
+def _eval_const(expr: Any, params: list[Any]) -> Any:
+    """Evaluate an expression with no row context (INSERT values, SET)."""
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.Param):
+        return params[expr.index]
+    raise SQLSyntaxError("expected a literal or parameter")
+
+
+def _compare(op: str, left: Any, right: Any) -> bool:
+    if op in ("LIKE", "NOT LIKE"):
+        if left is None or right is None:
+            return False
+        matched = like_to_regex(str(right)).fullmatch(str(left)) is not None
+        return matched if op == "LIKE" else not matched
+    if left is None or right is None:
+        # SQL tri-state logic collapsed: NULL comparisons are false except !=.
+        if op == "=":
+            return False
+        if op == "!=":
+            return not (left is None and right is None)
+        return False
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise DBError(f"unknown comparison operator {op!r}")
+
+
+def _truthy(value: Any) -> bool:
+    return bool(value)
+
+
+_LIKE_CACHE: dict[str, re.Pattern[str]] = {}
+
+
+def like_to_regex(pattern: str) -> re.Pattern[str]:
+    """Compile a SQL LIKE pattern (``%``/``_`` wildcards) to a regex."""
+    compiled = _LIKE_CACHE.get(pattern)
+    if compiled is None:
+        parts: list[str] = []
+        for ch in pattern:
+            if ch == "%":
+                parts.append(".*")
+            elif ch == "_":
+                parts.append(".")
+            else:
+                parts.append(re.escape(ch))
+        compiled = re.compile("".join(parts), re.DOTALL)
+        if len(_LIKE_CACHE) < 4096:
+            _LIKE_CACHE[pattern] = compiled
+    return compiled
+
+
+def like_prefix(pattern: str) -> str:
+    """Literal prefix of a LIKE pattern before the first wildcard."""
+    for i, ch in enumerate(pattern):
+        if ch in "%_":
+            return pattern[:i]
+    return pattern
+
+
+# ---------------------------------------------------------------------------
+# Predicate analysis helpers
+# ---------------------------------------------------------------------------
+
+
+def _flatten_and(expr: Any):
+    if isinstance(expr, ast.And):
+        yield from _flatten_and(expr.left)
+        yield from _flatten_and(expr.right)
+    else:
+        yield expr
+
+
+def _equality_pairs(expr: Any):
+    """Yield (left, right) operand pairs of top-level `=` comparisons."""
+    for conj in _flatten_and(expr):
+        if isinstance(conj, ast.Comparison) and conj.op == "=":
+            yield conj.left, conj.right
+
+
+def _is_const(expr: Any) -> bool:
+    return isinstance(expr, (ast.Literal, ast.Param))
+
+
+def _local_equality(
+    conj: Any, binding: str, schema: TableSchema
+) -> tuple[str | None, Any]:
+    """If ``conj`` is ``col = const`` on this table, return (col, const expr)."""
+    if not (isinstance(conj, ast.Comparison) and conj.op == "="):
+        return None, None
+    left, right = conj.left, conj.right
+    for col_expr, val_expr in ((left, right), (right, left)):
+        if (
+            isinstance(col_expr, ast.ColumnRef)
+            and _is_const(val_expr)
+            and (col_expr.qualifier is None or col_expr.qualifier.lower() == binding)
+            and schema.has_column(col_expr.name)
+        ):
+            return col_expr.name, val_expr
+    return None, None
+
+
+def _local_like_prefix(
+    conj: Any, binding: str, schema: TableSchema, params: list[Any]
+) -> tuple[str, str] | None:
+    """If ``conj`` is ``col LIKE const`` on this table, return (col, prefix)."""
+    if not (isinstance(conj, ast.Comparison) and conj.op == "LIKE"):
+        return None
+    col_expr, pat_expr = conj.left, conj.right
+    if not (
+        isinstance(col_expr, ast.ColumnRef)
+        and _is_const(pat_expr)
+        and (col_expr.qualifier is None or col_expr.qualifier.lower() == binding)
+        and schema.has_column(col_expr.name)
+    ):
+        return None
+    pattern = _eval_const(pat_expr, params)
+    if not isinstance(pattern, str):
+        return None
+    return col_expr.name, like_prefix(pattern)
+
+
+def _index_candidates(eq_cols: list[str]):
+    """Column tuples to try against available hash indexes, widest first."""
+    if len(eq_cols) > 1:
+        yield tuple(eq_cols)
+    for col in eq_cols:
+        yield (col,)

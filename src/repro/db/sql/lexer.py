@@ -1,0 +1,122 @@
+"""SQL tokenizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.errors import SQLSyntaxError
+
+KEYWORDS = {
+    "AND", "AS", "ASC", "AUTO_INCREMENT", "BY", "COUNT", "CREATE", "DELETE",
+    "DESC", "DISTINCT", "DROP", "EXPLAIN", "FROM", "HASH", "IN", "INDEX",
+    "INNER", "INSERT", "INTO", "IS", "JOIN", "KEY", "LIKE", "LIMIT", "NOT",
+    "NULL", "ON", "OR", "ORDER", "PRIMARY", "SELECT", "SET", "TABLE",
+    "UNIQUE", "UPDATE", "USING", "VACUUM", "VALUES", "WHERE", "BTREE",
+}
+
+# Token kinds
+KW = "KW"           # keyword (value is uppercase keyword text)
+IDENT = "IDENT"     # identifier
+NUMBER = "NUMBER"   # numeric literal (int or float)
+STRING = "STRING"   # single-quoted string literal
+PARAM = "PARAM"     # ? placeholder
+OP = "OP"           # operator / punctuation
+EOF = "EOF"
+
+_PUNCT = ("<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", ".", "*", ";")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: str | int | float
+    pos: int
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text`` into a list ending with an EOF token."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\n":
+            i += 1
+            continue
+        if ch == "-" and text.startswith("--", i):
+            end = text.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        if ch == "?":
+            tokens.append(Token(PARAM, "?", i))
+            i += 1
+            continue
+        if ch == "'":
+            j = i + 1
+            parts: list[str] = []
+            while True:
+                if j >= n:
+                    raise SQLSyntaxError("unterminated string literal", i)
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":  # escaped quote
+                        parts.append("'")
+                        j += 2
+                        continue
+                    break
+                parts.append(text[j])
+                j += 1
+            tokens.append(Token(STRING, "".join(parts), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (
+            ch == "." and i + 1 < n and text[i + 1].isdigit()
+        ):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = text[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j > i:
+                    seen_exp = True
+                    j += 1
+                    if j < n and text[j] in "+-":
+                        j += 1
+                else:
+                    break
+            lit = text[i:j]
+            value: int | float
+            if seen_dot or seen_exp:
+                value = float(lit)
+            else:
+                value = int(lit)
+            tokens.append(Token(NUMBER, value, i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(KW, upper, i))
+            else:
+                tokens.append(Token(IDENT, word, i))
+            i = j
+            continue
+        matched = False
+        for punct in _PUNCT:
+            if text.startswith(punct, i):
+                tokens.append(Token(OP, punct, i))
+                i += len(punct)
+                matched = True
+                break
+        if not matched:
+            raise SQLSyntaxError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(EOF, "", n))
+    return tokens

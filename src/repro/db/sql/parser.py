@@ -1,0 +1,438 @@
+"""Recursive-descent parser for the mini-SQL dialect."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.db.errors import SQLSyntaxError
+from repro.db.sql import ast
+from repro.db.sql.lexer import (
+    EOF,
+    IDENT,
+    KW,
+    NUMBER,
+    OP,
+    PARAM,
+    STRING,
+    Token,
+    tokenize,
+)
+
+
+def parse(text: str) -> ast.Statement:
+    """Parse one SQL statement (a trailing ``;`` is tolerated)."""
+    parser = _Parser(tokenize(text))
+    stmt = parser.statement()
+    parser.accept_op(";")
+    parser.expect_eof()
+    return stmt
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+        self._param_count = 0
+
+    # -- token helpers --------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def advance(self) -> Token:
+        tok = self._tokens[self._pos]
+        self._pos += 1
+        return tok
+
+    def accept_kw(self, *words: str) -> str | None:
+        tok = self.current
+        if tok.kind == KW and tok.value in words:
+            self.advance()
+            return str(tok.value)
+        return None
+
+    def expect_kw(self, word: str) -> None:
+        if not self.accept_kw(word):
+            raise SQLSyntaxError(
+                f"expected {word}, got {self.current.value!r}", self.current.pos
+            )
+
+    def accept_op(self, op: str) -> bool:
+        tok = self.current
+        if tok.kind == OP and tok.value == op:
+            self.advance()
+            return True
+        return False
+
+    def expect_op(self, op: str) -> None:
+        if not self.accept_op(op):
+            raise SQLSyntaxError(
+                f"expected {op!r}, got {self.current.value!r}", self.current.pos
+            )
+
+    def expect_ident(self) -> str:
+        tok = self.current
+        if tok.kind == IDENT:
+            self.advance()
+            return str(tok.value)
+        # Allow non-reserved keywords in identifier position (e.g. a column
+        # named "key" is not needed by RLS, so keep it strict except KEY).
+        raise SQLSyntaxError(
+            f"expected identifier, got {tok.value!r}", tok.pos
+        )
+
+    def expect_eof(self) -> None:
+        if self.current.kind != EOF:
+            raise SQLSyntaxError(
+                f"unexpected trailing input: {self.current.value!r}",
+                self.current.pos,
+            )
+
+    # -- statements ------------------------------------------------------
+
+    def statement(self) -> ast.Statement:
+        tok = self.current
+        if tok.kind != KW:
+            raise SQLSyntaxError(f"expected statement, got {tok.value!r}", tok.pos)
+        if tok.value == "SELECT":
+            return self.select()
+        if tok.value == "INSERT":
+            return self.insert()
+        if tok.value == "UPDATE":
+            return self.update()
+        if tok.value == "DELETE":
+            return self.delete()
+        if tok.value == "CREATE":
+            return self.create()
+        if tok.value == "DROP":
+            return self.drop()
+        if tok.value == "VACUUM":
+            return self.vacuum()
+        if tok.value == "EXPLAIN":
+            self.advance()
+            inner = self.statement()
+            if not isinstance(inner, (ast.Select, ast.Update, ast.Delete)):
+                raise SQLSyntaxError(
+                    "EXPLAIN supports SELECT/UPDATE/DELETE only", tok.pos
+                )
+            return ast.Explain(inner)
+        raise SQLSyntaxError(f"unsupported statement: {tok.value}", tok.pos)
+
+    def select(self) -> ast.Select:
+        self.expect_kw("SELECT")
+        distinct = bool(self.accept_kw("DISTINCT"))
+        items: list[ast.SelectItem] = []
+        if self.accept_op("*"):
+            pass  # SELECT * — empty items tuple
+        else:
+            while True:
+                expr = self.expression()
+                alias = None
+                if self.accept_kw("AS"):
+                    alias = self.expect_ident()
+                elif self.current.kind == IDENT:
+                    alias = self.expect_ident()
+                items.append(ast.SelectItem(expr, alias))
+                if not self.accept_op(","):
+                    break
+        self.expect_kw("FROM")
+        table = self.table_ref()
+        joins: list[ast.Join] = []
+        while True:
+            if self.accept_kw("INNER"):
+                self.expect_kw("JOIN")
+            elif not self.accept_kw("JOIN"):
+                break
+            jt = self.table_ref()
+            self.expect_kw("ON")
+            on = self.expression()
+            joins.append(ast.Join(jt, on))
+        where = None
+        if self.accept_kw("WHERE"):
+            where = self.expression()
+        order: list[ast.OrderItem] = []
+        if self.accept_kw("ORDER"):
+            self.expect_kw("BY")
+            while True:
+                expr = self.expression()
+                desc = False
+                if self.accept_kw("DESC"):
+                    desc = True
+                else:
+                    self.accept_kw("ASC")
+                order.append(ast.OrderItem(expr, desc))
+                if not self.accept_op(","):
+                    break
+        limit = None
+        if self.accept_kw("LIMIT"):
+            tok = self.current
+            if tok.kind != NUMBER or not isinstance(tok.value, int):
+                raise SQLSyntaxError("LIMIT requires an integer", tok.pos)
+            self.advance()
+            limit = tok.value
+        return ast.Select(
+            items=tuple(items),
+            table=table,
+            joins=tuple(joins),
+            where=where,
+            order_by=tuple(order),
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def table_ref(self) -> ast.TableRef:
+        name = self.expect_ident()
+        alias = None
+        if self.accept_kw("AS"):
+            alias = self.expect_ident()
+        elif self.current.kind == IDENT:
+            alias = self.expect_ident()
+        return ast.TableRef(name, alias)
+
+    def insert(self) -> ast.Insert:
+        self.expect_kw("INSERT")
+        self.expect_kw("INTO")
+        table = self.expect_ident()
+        self.expect_op("(")
+        columns = [self.expect_ident()]
+        while self.accept_op(","):
+            columns.append(self.expect_ident())
+        self.expect_op(")")
+        self.expect_kw("VALUES")
+        rows: list[tuple[Any, ...]] = []
+        while True:
+            self.expect_op("(")
+            cells = [self.expression()]
+            while self.accept_op(","):
+                cells.append(self.expression())
+            self.expect_op(")")
+            if len(cells) != len(columns):
+                raise SQLSyntaxError(
+                    f"INSERT row has {len(cells)} values for "
+                    f"{len(columns)} columns"
+                )
+            rows.append(tuple(cells))
+            if not self.accept_op(","):
+                break
+        return ast.Insert(table, tuple(columns), tuple(rows))
+
+    def update(self) -> ast.Update:
+        self.expect_kw("UPDATE")
+        table = self.expect_ident()
+        self.expect_kw("SET")
+        assignments: list[tuple[str, Any]] = []
+        while True:
+            col = self.expect_ident()
+            self.expect_op("=")
+            assignments.append((col, self.expression()))
+            if not self.accept_op(","):
+                break
+        where = None
+        if self.accept_kw("WHERE"):
+            where = self.expression()
+        return ast.Update(table, tuple(assignments), where)
+
+    def delete(self) -> ast.Delete:
+        self.expect_kw("DELETE")
+        self.expect_kw("FROM")
+        table = self.expect_ident()
+        where = None
+        if self.accept_kw("WHERE"):
+            where = self.expression()
+        return ast.Delete(table, where)
+
+    def create(self) -> ast.Statement:
+        self.expect_kw("CREATE")
+        if self.accept_kw("TABLE"):
+            return self._create_table()
+        unique_index = bool(self.accept_kw("UNIQUE"))
+        if self.accept_kw("INDEX"):
+            return self._create_index(unique_index)
+        raise SQLSyntaxError(
+            f"expected TABLE or INDEX after CREATE, got {self.current.value!r}",
+            self.current.pos,
+        )
+
+    def _create_table(self) -> ast.CreateTable:
+        name = self.expect_ident()
+        self.expect_op("(")
+        columns: list[ast.ColumnDef] = []
+        primary_key: tuple[str, ...] = ()
+        unique: list[tuple[str, ...]] = []
+        while True:
+            if self.accept_kw("PRIMARY"):
+                self.expect_kw("KEY")
+                primary_key = self._paren_name_list()
+            elif self.accept_kw("UNIQUE"):
+                unique.append(self._paren_name_list())
+            else:
+                col_name = self.expect_ident()
+                tok = self.current
+                if tok.kind not in (IDENT, KW):
+                    raise SQLSyntaxError("expected column type", tok.pos)
+                self.advance()
+                type_name = str(tok.value)
+                type_arg = None
+                if self.accept_op("("):
+                    arg_tok = self.current
+                    if arg_tok.kind != NUMBER or not isinstance(arg_tok.value, int):
+                        raise SQLSyntaxError(
+                            "type argument must be an integer", arg_tok.pos
+                        )
+                    self.advance()
+                    type_arg = arg_tok.value
+                    self.expect_op(")")
+                not_null = False
+                autoinc = False
+                while True:
+                    if self.accept_kw("NOT"):
+                        self.expect_kw("NULL")
+                        not_null = True
+                    elif self.accept_kw("NULL"):
+                        pass
+                    elif self.accept_kw("AUTO_INCREMENT"):
+                        autoinc = True
+                    else:
+                        break
+                columns.append(
+                    ast.ColumnDef(col_name, type_name, type_arg, not_null, autoinc)
+                )
+            if not self.accept_op(","):
+                break
+        self.expect_op(")")
+        return ast.CreateTable(name, tuple(columns), primary_key, tuple(unique))
+
+    def _paren_name_list(self) -> tuple[str, ...]:
+        self.expect_op("(")
+        names = [self.expect_ident()]
+        while self.accept_op(","):
+            names.append(self.expect_ident())
+        self.expect_op(")")
+        return tuple(names)
+
+    def _create_index(self, unique: bool) -> ast.CreateIndex:
+        if unique:
+            raise SQLSyntaxError(
+                "UNIQUE indexes must be declared in CREATE TABLE"
+            )
+        name = self.expect_ident()
+        self.expect_kw("ON")
+        table = self.expect_ident()
+        columns = self._paren_name_list()
+        using = "HASH"
+        if self.accept_kw("USING"):
+            kw = self.accept_kw("HASH", "BTREE")
+            if kw is None:
+                raise SQLSyntaxError(
+                    "USING must be followed by HASH or BTREE", self.current.pos
+                )
+            using = kw
+        return ast.CreateIndex(name, table, columns, using)
+
+    def drop(self) -> ast.DropTable:
+        self.expect_kw("DROP")
+        self.expect_kw("TABLE")
+        return ast.DropTable(self.expect_ident())
+
+    def vacuum(self) -> ast.Vacuum:
+        self.expect_kw("VACUUM")
+        if self.current.kind == IDENT:
+            return ast.Vacuum(self.expect_ident())
+        return ast.Vacuum(None)
+
+    # -- expressions -----------------------------------------------------
+    # Precedence: OR < AND < NOT < comparison < primary
+
+    def expression(self) -> Any:
+        return self._or_expr()
+
+    def _or_expr(self) -> Any:
+        left = self._and_expr()
+        while self.accept_kw("OR"):
+            left = ast.Or(left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> Any:
+        left = self._not_expr()
+        while self.accept_kw("AND"):
+            left = ast.And(left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> Any:
+        if self.accept_kw("NOT"):
+            return ast.Not(self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> Any:
+        left = self._primary()
+        tok = self.current
+        if tok.kind == OP and tok.value in ("=", "!=", "<>", "<", "<=", ">", ">="):
+            self.advance()
+            op = "!=" if tok.value == "<>" else str(tok.value)
+            return ast.Comparison(op, left, self._primary())
+        if tok.kind == KW and tok.value == "LIKE":
+            self.advance()
+            return ast.Comparison("LIKE", left, self._primary())
+        if tok.kind == KW and tok.value == "NOT":
+            # NOT here can only begin "NOT LIKE" / "NOT IN"
+            save = self._pos
+            self.advance()
+            if self.accept_kw("LIKE"):
+                return ast.Comparison("NOT LIKE", left, self._primary())
+            if self.accept_kw("IN"):
+                return ast.InList(left, self._paren_expr_list(), negated=True)
+            self._pos = save
+            return left
+        if tok.kind == KW and tok.value == "IN":
+            self.advance()
+            return ast.InList(left, self._paren_expr_list())
+        if tok.kind == KW and tok.value == "IS":
+            self.advance()
+            negated = bool(self.accept_kw("NOT"))
+            self.expect_kw("NULL")
+            return ast.IsNull(left, negated)
+        return left
+
+    def _paren_expr_list(self) -> tuple[Any, ...]:
+        self.expect_op("(")
+        items = [self.expression()]
+        while self.accept_op(","):
+            items.append(self.expression())
+        self.expect_op(")")
+        return tuple(items)
+
+    def _primary(self) -> Any:
+        tok = self.current
+        if tok.kind == NUMBER:
+            self.advance()
+            return ast.Literal(tok.value)
+        if tok.kind == STRING:
+            self.advance()
+            return ast.Literal(tok.value)
+        if tok.kind == PARAM:
+            self.advance()
+            param = ast.Param(self._param_count)
+            self._param_count += 1
+            return param
+        if tok.kind == KW and tok.value == "NULL":
+            self.advance()
+            return ast.Literal(None)
+        if tok.kind == KW and tok.value == "COUNT":
+            self.advance()
+            self.expect_op("(")
+            self.expect_op("*")
+            self.expect_op(")")
+            return ast.CountStar()
+        if tok.kind == OP and tok.value == "(":
+            self.advance()
+            inner = self.expression()
+            self.expect_op(")")
+            return inner
+        if tok.kind == IDENT:
+            name = self.expect_ident()
+            if self.accept_op("."):
+                col = self.expect_ident()
+                return ast.ColumnRef(name, col)
+            return ast.ColumnRef(None, name)
+        raise SQLSyntaxError(f"unexpected token {tok.value!r}", tok.pos)

@@ -1,0 +1,351 @@
+"""Table objects: schema + row heap + index maintenance + constraints."""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Iterator
+
+from repro.db.errors import (
+    DBError,
+    DuplicateKeyError,
+    NoSuchIndexError,
+)
+from repro.db.index import HashIndex, OrderedIndex
+from repro.db.schema import TableSchema
+from repro.db.storage import RowHeap
+
+
+class Table:
+    """One table of the embedded database.
+
+    Parameters
+    ----------
+    schema:
+        Column and key declarations.
+    eager_index_cleanup:
+        If true (MySQL-flavoured storage), deleting a row removes its index
+        entries and reclaims the heap slot immediately.  If false
+        (PostgreSQL-flavoured MVCC storage), deletes only tombstone the row;
+        index entries keep pointing at the dead tuple until :meth:`vacuum`,
+        and every reader pays to skip them.  The RLS paper's Figure 8
+        measures exactly this cost.
+
+    Thread safety: a single re-entrant latch serializes structural
+    mutations; reads take the same latch.  The coarse latch is intentional —
+    it reproduces the serialized-ingest behaviour of the paper's RLI back
+    end under concurrent soft-state updates (Figure 12).
+    """
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        eager_index_cleanup: bool = True,
+        dead_hit_cost: float = 0.0,
+    ) -> None:
+        self.schema = schema
+        self.eager_index_cleanup = eager_index_cleanup
+        #: Modelled seconds charged per dead index entry skipped during a
+        #: lookup.  In PostgreSQL each dead index entry costs a heap fetch
+        #: to discover the tuple is dead; in this in-memory engine that
+        #: check is nearly free, so the MVCC-flavoured engine charges this
+        #: instead (see repro.db.postgres_engine).
+        self.dead_hit_cost = dead_hit_cost
+        self.heap = RowHeap()
+        self.latch = threading.RLock()
+        self._autoinc = itertools.count(1)
+        self._hash_indexes: dict[str, HashIndex] = {}
+        self._ordered_indexes: dict[str, OrderedIndex] = {}
+        # Column position -> list of indexes touching it, for maintenance.
+        self._all_indexes: list[HashIndex | OrderedIndex] = []
+        # Unique constraints: (positions tuple, HashIndex) pairs.
+        self._unique: list[tuple[tuple[int, ...], HashIndex]] = []
+        self.stats = TableStats()
+        for i, key in enumerate(schema.key_constraints()):
+            positions = tuple(schema.column_index(c) for c in key)
+            idx = self._make_hash_index(f"__key_{i}_" + "_".join(key), positions)
+            self._unique.append((positions, idx))
+        # Auto-index single-column keys are already hash indexes; callers add
+        # ordered indexes for LIKE-prefix columns explicitly.
+
+    # ------------------------------------------------------------------
+    # Index management
+    # ------------------------------------------------------------------
+
+    def _make_hash_index(self, name: str, positions: tuple[int, ...]) -> HashIndex:
+        idx = HashIndex(name, positions)
+        self._hash_indexes[name] = idx
+        self._all_indexes.append(idx)
+        return idx
+
+    def create_hash_index(self, name: str, columns: list[str]) -> HashIndex:
+        """Create (and backfill) a hash index over ``columns``."""
+        with self.latch:
+            if name in self._hash_indexes or name in self._ordered_indexes:
+                raise DBError(f"index already exists: {name!r}")
+            positions = tuple(self.schema.column_index(c) for c in columns)
+            idx = self._make_hash_index(name, positions)
+            for rid, row in self.heap.scan_live():
+                idx.insert(idx.key_for(row), rid)
+            return idx
+
+    def create_ordered_index(self, name: str, column: str) -> OrderedIndex:
+        """Create (and backfill) an ordered index over one column."""
+        with self.latch:
+            if name in self._hash_indexes or name in self._ordered_indexes:
+                raise DBError(f"index already exists: {name!r}")
+            idx = OrderedIndex(name, self.schema.column_index(column))
+            self._ordered_indexes[name] = idx
+            self._all_indexes.append(idx)
+            for rid, row in self.heap.scan_live():
+                idx.insert(idx.key_for(row), rid)
+            return idx
+
+    def get_index(self, name: str) -> HashIndex | OrderedIndex:
+        idx = self._hash_indexes.get(name) or self._ordered_indexes.get(name)
+        if idx is None:
+            raise NoSuchIndexError(name)
+        return idx
+
+    def find_hash_index(self, columns: tuple[str, ...]) -> HashIndex | None:
+        """Best-effort lookup of a hash index covering exactly ``columns``."""
+        positions = tuple(self.schema.column_index(c) for c in columns)
+        for idx in self._hash_indexes.values():
+            if idx.column_positions == positions:
+                return idx
+        return None
+
+    def find_ordered_index(self, column: str) -> OrderedIndex | None:
+        position = self.schema.column_index(column)
+        for idx in self._ordered_indexes.values():
+            if idx.column_position == position:
+                return idx
+        return None
+
+    # ------------------------------------------------------------------
+    # Row operations
+    # ------------------------------------------------------------------
+
+    def insert(self, values: dict[str, Any]) -> tuple[int, list[Any]]:
+        """Insert a row; returns ``(rid, stored_row)``.
+
+        Fills autoincrement columns, enforces unique/PK constraints (paying
+        the dead-tuple filtering cost in MVCC mode), and maintains indexes.
+        """
+        row = self.schema.coerce_row(values)
+        with self.latch:
+            for pos, col in enumerate(self.schema.columns):
+                if col.autoincrement and row[pos] is None:
+                    row[pos] = next(self._autoinc)
+            for positions, idx in self._unique:
+                key = tuple(row[p] for p in positions)
+                if self._key_is_live(idx, key):
+                    colname = self.schema.columns[positions[0]].name
+                    raise DuplicateKeyError(self.schema.name, colname, key)
+            rid = self.heap.insert(row)
+            for idx in self._all_indexes:
+                idx.insert(idx.key_for(row), rid)
+            self.stats.inserts += 1
+            return rid, row
+
+    def _key_is_live(self, idx: HashIndex, key: tuple) -> bool:
+        """True if any *live* row carries ``key``; counts dead-entry scans."""
+        rids = idx.lookup(key)
+        if not rids:
+            return False
+        dead_hits = 0
+        alive = False
+        for rid in rids:
+            if self.heap.is_dead(rid):
+                dead_hits += 1
+            else:
+                alive = True
+        self._charge_dead_hits(dead_hits)
+        return alive
+
+    def _charge_dead_hits(self, dead_hits: int) -> None:
+        self.stats.dead_index_hits += dead_hits
+        if dead_hits and self.dead_hit_cost > 0.0:
+            import time
+
+            time.sleep(dead_hits * self.dead_hit_cost)
+
+    def delete_rid(self, rid: int) -> list[Any]:
+        """Delete one live row by rid; returns the old row."""
+        with self.latch:
+            row = self.heap.mark_dead(rid)
+            self.stats.deletes += 1
+            if self.eager_index_cleanup:
+                for idx in self._all_indexes:
+                    idx.remove(idx.key_for(row), rid)
+                self.heap.reclaim(rid)
+            return row
+
+    def update_rid(self, rid: int, changes: dict[str, Any]) -> tuple[int, list[Any]]:
+        """MVCC-style update: tombstone the old version, insert the new one.
+
+        Returns the new ``(rid, row)``.
+        """
+        with self.latch:
+            old = list(self.heap.get(rid))
+            new_values = {
+                col.name: old[i] for i, col in enumerate(self.schema.columns)
+            }
+            new_values.update(changes)
+            # Delete first so single-row unique updates don't self-collide.
+            self.delete_rid(rid)
+            try:
+                return self.insert(new_values)
+            except DBError:
+                # Restore the old row so a failed update is not a delete.
+                restored = {
+                    col.name: old[i]
+                    for i, col in enumerate(self.schema.columns)
+                }
+                self.insert(restored)
+                raise
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def get_row(self, rid: int) -> list[Any] | None:
+        with self.latch:
+            return self.heap.get_live(rid)
+
+    def scan(self) -> Iterator[tuple[int, list[Any]]]:
+        """Snapshot scan of live rows (materialized under the latch)."""
+        with self.latch:
+            return iter(list(self.heap.scan_live()))
+
+    def lookup_equal(
+        self, columns: tuple[str, ...], key: tuple
+    ) -> list[tuple[int, list[Any]]]:
+        """Live rows whose ``columns`` equal ``key``, via an index if any.
+
+        Dead index entries are filtered here (and counted), which is the
+        mechanism behind the PostgreSQL vacuum experiment.
+        """
+        with self.latch:
+            idx = self.find_hash_index(columns)
+            result: list[tuple[int, list[Any]]] = []
+            if idx is not None:
+                dead_hits = 0
+                for rid in idx.lookup(key):
+                    row = self.heap.get_live(rid)
+                    if row is None:
+                        dead_hits += 1
+                    else:
+                        result.append((rid, row))
+                self._charge_dead_hits(dead_hits)
+                return result
+            positions = tuple(self.schema.column_index(c) for c in columns)
+            for rid, row in self.heap.scan_live():
+                if tuple(row[p] for p in positions) == key:
+                    result.append((rid, row))
+            return result
+
+    def prefix_lookup(self, column: str, prefix: str) -> list[tuple[int, list[Any]]]:
+        """Live rows whose string ``column`` starts with ``prefix``."""
+        with self.latch:
+            idx = self.find_ordered_index(column)
+            result: list[tuple[int, list[Any]]] = []
+            if idx is not None:
+                for _key, rids in idx.prefix_scan(prefix):
+                    for rid in rids:
+                        row = self.heap.get_live(rid)
+                        if row is not None:
+                            result.append((rid, row))
+                return result
+            position = self.schema.column_index(column)
+            for rid, row in self.heap.scan_live():
+                value = row[position]
+                if isinstance(value, str) and value.startswith(prefix):
+                    result.append((rid, row))
+            return result
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def vacuum(self) -> int:
+        """Physically remove tombstoned rows and their index entries.
+
+        Returns the number of dead tuples reclaimed.  The PostgreSQL engine
+        exposes this as the SQL ``VACUUM`` statement.
+        """
+        with self.latch:
+            reclaimed = 0
+            for rid in list(self.heap.scan_dead()):
+                row = self.heap.get(rid)
+                for idx in self._all_indexes:
+                    idx.remove(idx.key_for(row), rid)
+                self.heap.reclaim(rid)
+                reclaimed += 1
+            self.stats.vacuums += 1
+            self.stats.tuples_reclaimed += reclaimed
+            return reclaimed
+
+    def check_integrity(self) -> list[str]:
+        """fsck-style self-check: every live row must be reachable through
+        every index under its own key, every index entry must point at a
+        heap row (live or pending vacuum), and unique constraints must
+        actually hold.  Returns a list of problem descriptions (empty =
+        healthy)."""
+        problems: list[str] = []
+        with self.latch:
+            name = self.schema.name
+            live = dict(self.heap.scan_live())
+            for idx in self._all_indexes:
+                for rid, row in live.items():
+                    key = idx.key_for(row)
+                    if rid not in idx.lookup(key):
+                        problems.append(
+                            f"{name}: live row {rid} missing from index "
+                            f"{idx.name} under key {key!r}"
+                        )
+                if isinstance(idx, HashIndex):
+                    for key in idx.distinct_keys():
+                        for rid in idx.lookup(key):
+                            try:
+                                self.heap.get(rid)
+                            except KeyError:
+                                problems.append(
+                                    f"{name}: index {idx.name} entry "
+                                    f"{key!r} -> reclaimed row {rid}"
+                                )
+            for positions, _idx in self._unique:
+                seen: dict[tuple, int] = {}
+                for rid, row in live.items():
+                    key = tuple(row[p] for p in positions)
+                    if key in seen:
+                        problems.append(
+                            f"{name}: unique violation on {key!r}: rows "
+                            f"{seen[key]} and {rid}"
+                        )
+                    seen[key] = rid
+        return problems
+
+    @property
+    def row_count(self) -> int:
+        return self.heap.live_count
+
+    @property
+    def dead_tuple_count(self) -> int:
+        return self.heap.dead_count
+
+
+class TableStats:
+    """Lightweight operation counters for instrumentation and tests."""
+
+    __slots__ = ("inserts", "deletes", "dead_index_hits", "vacuums", "tuples_reclaimed")
+
+    def __init__(self) -> None:
+        self.inserts = 0
+        self.deletes = 0
+        self.dead_index_hits = 0
+        self.vacuums = 0
+        self.tuples_reclaimed = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}

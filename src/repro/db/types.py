@@ -1,0 +1,157 @@
+"""Column types for the embedded database.
+
+The type set mirrors the tables in Figure 3 of the paper: ``int(11)``,
+``varchar(250)``, ``float`` and ``timestamp(14)``.  Each type knows how to
+validate/coerce Python values and how to compare them, which is all the
+executor needs.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Any
+
+from repro.db.errors import TypeMismatchError
+
+# Sentinel used internally for SQL NULL; plain ``None`` at the API boundary.
+NULL = None
+
+
+class ColumnType:
+    """Base class for column types.
+
+    Subclasses implement :meth:`coerce`, which either returns a normalized
+    value of the type's canonical Python representation or raises
+    :class:`~repro.db.errors.TypeMismatchError`.
+    """
+
+    name = "ANY"
+
+    def coerce(self, value: Any) -> Any:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.__dict__ == getattr(
+            other, "__dict__", None
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self), tuple(sorted(self.__dict__.items()))))
+
+
+class IntType(ColumnType):
+    """``INT`` — stored as a Python int (display width is cosmetic)."""
+
+    name = "INT"
+
+    def __init__(self, display_width: int = 11) -> None:
+        self.display_width = display_width
+
+    def coerce(self, value: Any) -> int:
+        if isinstance(value, bool):
+            return int(value)
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        if isinstance(value, str):
+            try:
+                return int(value, 10)
+            except ValueError:
+                pass
+        raise TypeMismatchError(f"cannot coerce {value!r} to INT")
+
+
+class FloatType(ColumnType):
+    """``FLOAT`` — stored as a Python float."""
+
+    name = "FLOAT"
+
+    def coerce(self, value: Any) -> float:
+        if isinstance(value, bool):
+            raise TypeMismatchError("cannot coerce bool to FLOAT")
+        if isinstance(value, (int, float)):
+            return float(value)
+        if isinstance(value, str):
+            try:
+                return float(value)
+            except ValueError:
+                pass
+        raise TypeMismatchError(f"cannot coerce {value!r} to FLOAT")
+
+
+class VarcharType(ColumnType):
+    """``VARCHAR(n)`` — stored as str, length-checked like MySQL strict mode."""
+
+    name = "VARCHAR"
+
+    def __init__(self, max_length: int = 250) -> None:
+        if max_length <= 0:
+            raise ValueError("VARCHAR length must be positive")
+        self.max_length = max_length
+
+    def coerce(self, value: Any) -> str:
+        if isinstance(value, str):
+            if len(value) > self.max_length:
+                raise TypeMismatchError(
+                    f"string of length {len(value)} exceeds "
+                    f"VARCHAR({self.max_length})"
+                )
+            return value
+        raise TypeMismatchError(f"cannot coerce {value!r} to VARCHAR")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"VARCHAR({self.max_length})"
+
+
+class TimestampType(ColumnType):
+    """``TIMESTAMP(14)`` — stored as a float of seconds since the epoch.
+
+    The RLS only compares timestamps and subtracts them (soft-state expiry),
+    so a POSIX-seconds float is the simplest faithful representation.
+    ``datetime`` objects and ISO-8601 strings are accepted and converted.
+    """
+
+    name = "TIMESTAMP"
+
+    def coerce(self, value: Any) -> float:
+        if isinstance(value, bool):
+            raise TypeMismatchError("cannot coerce bool to TIMESTAMP")
+        if isinstance(value, (int, float)):
+            return float(value)
+        if isinstance(value, _dt.datetime):
+            return value.timestamp()
+        if isinstance(value, str):
+            try:
+                return _dt.datetime.fromisoformat(value).timestamp()
+            except ValueError:
+                pass
+        raise TypeMismatchError(f"cannot coerce {value!r} to TIMESTAMP")
+
+
+# Canonical shared instances for the common declarations in Figure 3.
+INT = IntType(11)
+FLOAT = FloatType()
+TIMESTAMP = TimestampType()
+
+
+def VARCHAR(n: int = 250) -> VarcharType:
+    """Convenience constructor matching SQL spelling: ``VARCHAR(250)``."""
+    return VarcharType(n)
+
+
+def type_from_sql(name: str, arg: int | None) -> ColumnType:
+    """Resolve a SQL type name (as produced by the parser) to a ColumnType."""
+    upper = name.upper()
+    if upper in ("INT", "INTEGER"):
+        return IntType(arg if arg is not None else 11)
+    if upper in ("FLOAT", "DOUBLE", "REAL"):
+        return FloatType()
+    if upper == "VARCHAR":
+        return VarcharType(arg if arg is not None else 250)
+    if upper == "TIMESTAMP":
+        return TimestampType()
+    raise TypeMismatchError(f"unknown SQL type: {name!r}")

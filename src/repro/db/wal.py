@@ -1,0 +1,303 @@
+"""Write-ahead log with configurable flush policy.
+
+The paper's headline LRC result (Figures 4 and 5) is that add throughput is
+dominated by whether the MySQL back end flushes its transaction log to the
+physical disk on every commit (~84 adds/s) or only periodically
+(>700 adds/s), while query throughput is unaffected.  This module provides
+that mechanism:
+
+* every committed mutation appends a :class:`WALRecord` to the log;
+* with ``flush_on_commit=True``, each commit performs a device sync whose
+  latency models a disk write barrier (default 11 ms — calibrated so a
+  single-threaded add loop lands near the paper's 84 adds/s);
+* with ``flush_on_commit=False``, records accumulate in a buffer and are
+  synced in the background every ``flush_interval`` seconds or when the
+  buffer exceeds ``max_buffered_records`` — "loose consistency, providing
+  improved performance at some risk of database corruption" (§5.1).
+
+The log is replayable: :func:`replay` yields records back so an engine can
+reconstruct state after a crash, which the tests exercise.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+_HEADER = struct.Struct("<QBI")  # lsn, opcode, payload length
+
+OP_INSERT = 1
+OP_DELETE = 2
+OP_UPDATE = 3
+OP_CHECKPOINT = 4
+
+_OP_NAMES = {
+    OP_INSERT: "INSERT",
+    OP_DELETE: "DELETE",
+    OP_UPDATE: "UPDATE",
+    OP_CHECKPOINT: "CHECKPOINT",
+}
+
+
+@dataclass(frozen=True)
+class WALRecord:
+    """One durable log record."""
+
+    lsn: int
+    op: int
+    table: str
+    payload: tuple[Any, ...]
+
+    @property
+    def op_name(self) -> str:
+        return _OP_NAMES.get(self.op, f"OP{self.op}")
+
+
+def _encode_value(out: io.BytesIO, value: Any) -> None:
+    """Tiny self-describing encoding for WAL payload scalars."""
+    if value is None:
+        out.write(b"N")
+    elif isinstance(value, bool):
+        out.write(b"B" + (b"\x01" if value else b"\x00"))
+    elif isinstance(value, int):
+        out.write(b"I" + struct.pack("<q", value))
+    elif isinstance(value, float):
+        out.write(b"F" + struct.pack("<d", value))
+    elif isinstance(value, str):
+        data = value.encode("utf-8")
+        out.write(b"S" + struct.pack("<I", len(data)) + data)
+    else:
+        raise TypeError(f"unsupported WAL value type: {type(value).__name__}")
+
+
+def _decode_value(buf: io.BytesIO) -> Any:
+    tag = buf.read(1)
+    if tag == b"N":
+        return None
+    if tag == b"B":
+        return buf.read(1) == b"\x01"
+    if tag == b"I":
+        return struct.unpack("<q", buf.read(8))[0]
+    if tag == b"F":
+        return struct.unpack("<d", buf.read(8))[0]
+    if tag == b"S":
+        (n,) = struct.unpack("<I", buf.read(4))
+        return buf.read(n).decode("utf-8")
+    raise ValueError(f"corrupt WAL value tag: {tag!r}")
+
+
+def encode_record(record: WALRecord) -> bytes:
+    body = io.BytesIO()
+    _encode_value(body, record.table)
+    body.write(struct.pack("<I", len(record.payload)))
+    for value in record.payload:
+        _encode_value(body, value)
+    payload = body.getvalue()
+    return _HEADER.pack(record.lsn, record.op, len(payload)) + payload
+
+
+def decode_records(data: bytes) -> Iterator[WALRecord]:
+    """Decode a byte stream of records; stops cleanly at a truncated tail."""
+    offset = 0
+    size = len(data)
+    while offset + _HEADER.size <= size:
+        lsn, op, length = _HEADER.unpack_from(data, offset)
+        offset += _HEADER.size
+        if offset + length > size:
+            return  # torn tail write — normal after a crash
+        buf = io.BytesIO(data[offset : offset + length])
+        offset += length
+        table = _decode_value(buf)
+        (count,) = struct.unpack("<I", buf.read(4))
+        payload = tuple(_decode_value(buf) for _ in range(count))
+        yield WALRecord(lsn, op, table, payload)
+
+
+class LogDevice:
+    """Abstract durable device for the WAL."""
+
+    def append(self, data: bytes) -> None:
+        raise NotImplementedError
+
+    def sync(self) -> None:
+        raise NotImplementedError
+
+    def read_all(self) -> bytes:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+
+class InMemoryLogDevice(LogDevice):
+    """RAM-backed device with a modelled sync latency.
+
+    ``sync_latency`` models the disk write barrier: 11 ms default, which is
+    the seek+rotate budget of the early-2000s disks in the paper's testbed
+    (and yields their ~84 adds/s with flush-on-commit).  Set it to 0 for
+    tests that don't care about timing.  ``sleep`` is injectable so the
+    discrete-event simulator can charge virtual time instead of real time.
+    """
+
+    def __init__(
+        self,
+        sync_latency: float = 0.011,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self._buffer = bytearray()
+        self._durable = bytearray()
+        self.sync_latency = sync_latency
+        self._sleep = sleep
+        self.sync_count = 0
+        self.bytes_written = 0
+
+    def append(self, data: bytes) -> None:
+        self._buffer.extend(data)
+        self.bytes_written += len(data)
+
+    def sync(self) -> None:
+        if self.sync_latency > 0:
+            self._sleep(self.sync_latency)
+        self._durable.extend(self._buffer)
+        self._buffer.clear()
+        self.sync_count += 1
+
+    def read_all(self) -> bytes:
+        """Durable contents only — un-synced bytes are lost in a 'crash'."""
+        return bytes(self._durable)
+
+
+class FileLogDevice(LogDevice):
+    """Real file-backed device using OS fsync."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh = open(path, "ab+")
+        self.sync_count = 0
+
+    def append(self, data: bytes) -> None:
+        self._fh.write(data)
+
+    def sync(self) -> None:
+        self._fh.flush()
+        import os
+
+        os.fsync(self._fh.fileno())
+        self.sync_count += 1
+
+    def read_all(self) -> bytes:
+        self._fh.flush()
+        with open(self.path, "rb") as fh:
+            return fh.read()
+
+    def close(self) -> None:
+        self._fh.close()
+
+
+class WriteAheadLog:
+    """Append-ordered durable log with per-commit or periodic flushing."""
+
+    def __init__(
+        self,
+        device: LogDevice | None = None,
+        flush_on_commit: bool = True,
+        flush_interval: float = 1.0,
+        max_buffered_records: int = 1024,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.device = device if device is not None else InMemoryLogDevice()
+        self.flush_on_commit = flush_on_commit
+        self.flush_interval = flush_interval
+        self.max_buffered_records = max_buffered_records
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._next_lsn = 1
+        self._buffered = 0
+        self._last_flush = clock()
+        self.records_appended = 0
+        self._txn = threading.local()
+
+    def transaction(self):
+        """Defer per-commit syncs until the enclosing transaction ends.
+
+        A multi-statement RLS operation (e.g. an add touching t_lfn, t_pfn
+        and t_map) is one database transaction with ONE durability barrier
+        at commit — not one fsync per statement.  Nestable; only the
+        outermost exit syncs.
+        """
+        return _WALTransaction(self)
+
+    def _txn_depth(self) -> int:
+        return getattr(self._txn, "depth", 0)
+
+    def log(self, op: int, table: str, payload: tuple[Any, ...]) -> int:
+        """Append one record; flush according to policy. Returns its LSN."""
+        with self._lock:
+            lsn = self._next_lsn
+            self._next_lsn += 1
+            self.device.append(encode_record(WALRecord(lsn, op, table, payload)))
+            self.records_appended += 1
+            self._buffered += 1
+            if self.flush_on_commit:
+                if self._txn_depth() > 0:
+                    self._txn.pending = True
+                    return lsn
+                self.device.sync()
+                self._buffered = 0
+                self._last_flush = self._clock()
+            elif (
+                self._buffered >= self.max_buffered_records
+                or self._clock() - self._last_flush >= self.flush_interval
+            ):
+                self.device.sync()
+                self._buffered = 0
+                self._last_flush = self._clock()
+            return lsn
+
+    def flush(self) -> None:
+        """Force a sync (used on clean shutdown / checkpoint)."""
+        with self._lock:
+            self.device.sync()
+            self._buffered = 0
+            self._last_flush = self._clock()
+
+    def records(self) -> list[WALRecord]:
+        """Decode every durable record (crash-recovery view)."""
+        return list(decode_records(self.device.read_all()))
+
+
+class _WALTransaction:
+    """Context manager deferring commit syncs (see WriteAheadLog.transaction)."""
+
+    __slots__ = ("wal",)
+
+    def __init__(self, wal: WriteAheadLog) -> None:
+        self.wal = wal
+
+    def __enter__(self) -> "_WALTransaction":
+        local = self.wal._txn
+        local.depth = getattr(local, "depth", 0) + 1
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        local = self.wal._txn
+        local.depth -= 1
+        if (
+            local.depth == 0
+            and getattr(local, "pending", False)
+            and self.wal.flush_on_commit
+        ):
+            local.pending = False
+            with self.wal._lock:
+                self.wal.device.sync()
+                self.wal._buffered = 0
+                self.wal._last_flush = self.wal._clock()
+
+
+def replay(log: WriteAheadLog) -> Iterator[WALRecord]:
+    """Yield durable records in LSN order for recovery."""
+    return iter(log.records())

@@ -1,0 +1,41 @@
+"""RPC substrate.
+
+Stands in for the globus_IO-based RPC protocol of the Globus RLS server:
+a compact binary wire codec (:mod:`repro.net.codec`), a request/response
+protocol (:mod:`repro.net.messages`), transports (in-process and real TCP,
+:mod:`repro.net.transport`), and a thread-pooled RPC server plus client
+(:mod:`repro.net.rpc`).
+"""
+
+from repro.net.codec import decode, encode
+from repro.net.errors import (
+    NetError,
+    ProtocolError,
+    RemoteError,
+    TransportClosedError,
+)
+from repro.net.messages import Request, Response
+from repro.net.rpc import RPCClient, RPCServer
+from repro.net.transport import (
+    LocalTransport,
+    TCPServerTransport,
+    connect_local,
+    connect_tcp,
+)
+
+__all__ = [
+    "LocalTransport",
+    "NetError",
+    "ProtocolError",
+    "RPCClient",
+    "RPCServer",
+    "RemoteError",
+    "Request",
+    "Response",
+    "TCPServerTransport",
+    "TransportClosedError",
+    "connect_local",
+    "connect_tcp",
+    "decode",
+    "encode",
+]

@@ -1,0 +1,145 @@
+"""Binary wire codec.
+
+A small self-describing tagged encoding (no pickle — the wire format is
+independent of Python object internals, like the C RLS protocol).  Types:
+``None``, bool, int (64-bit signed), float, str, bytes, list/tuple (as
+list) and dict with str keys.  NumPy byte buffers travel as ``bytes``
+(Bloom filter bitmaps use this path).
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from typing import Any
+
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+_U32 = struct.Struct("<I")
+
+TAG_NONE = b"N"
+TAG_TRUE = b"T"
+TAG_FALSE = b"F"
+TAG_INT = b"I"
+TAG_BIGINT = b"J"  # arbitrary-precision fallback
+TAG_FLOAT = b"D"
+TAG_STR = b"S"
+TAG_BYTES = b"B"
+TAG_LIST = b"L"
+TAG_DICT = b"M"
+
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+
+def encode(value: Any) -> bytes:
+    """Encode ``value`` into bytes."""
+    out = io.BytesIO()
+    _encode_into(out, value)
+    return out.getvalue()
+
+
+def _encode_into(out: io.BytesIO, value: Any) -> None:
+    if value is None:
+        out.write(TAG_NONE)
+    elif value is True:
+        out.write(TAG_TRUE)
+    elif value is False:
+        out.write(TAG_FALSE)
+    elif isinstance(value, int):
+        if _INT64_MIN <= value <= _INT64_MAX:
+            out.write(TAG_INT)
+            out.write(_I64.pack(value))
+        else:
+            data = str(value).encode("ascii")
+            out.write(TAG_BIGINT)
+            out.write(_U32.pack(len(data)))
+            out.write(data)
+    elif isinstance(value, float):
+        out.write(TAG_FLOAT)
+        out.write(_F64.pack(value))
+    elif isinstance(value, str):
+        data = value.encode("utf-8")
+        out.write(TAG_STR)
+        out.write(_U32.pack(len(data)))
+        out.write(data)
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        data = bytes(value)
+        out.write(TAG_BYTES)
+        out.write(_U32.pack(len(data)))
+        out.write(data)
+    elif isinstance(value, (list, tuple)):
+        out.write(TAG_LIST)
+        out.write(_U32.pack(len(value)))
+        for item in value:
+            _encode_into(out, item)
+    elif isinstance(value, dict):
+        out.write(TAG_DICT)
+        out.write(_U32.pack(len(value)))
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise TypeError("dict keys on the wire must be str")
+            data = key.encode("utf-8")
+            out.write(_U32.pack(len(data)))
+            out.write(data)
+            _encode_into(out, item)
+    else:
+        raise TypeError(f"cannot encode type {type(value).__name__}")
+
+
+def decode(data: bytes) -> Any:
+    """Decode bytes produced by :func:`encode`."""
+    buf = io.BytesIO(data)
+    value = _decode_from(buf)
+    trailing = buf.read(1)
+    if trailing:
+        from repro.net.errors import ProtocolError
+
+        raise ProtocolError("trailing bytes after decoded value")
+    return value
+
+
+def _decode_from(buf: io.BytesIO) -> Any:
+    from repro.net.errors import ProtocolError
+
+    tag = buf.read(1)
+    if tag == TAG_NONE:
+        return None
+    if tag == TAG_TRUE:
+        return True
+    if tag == TAG_FALSE:
+        return False
+    if tag == TAG_INT:
+        return _I64.unpack(_read_exact(buf, 8))[0]
+    if tag == TAG_BIGINT:
+        (n,) = _U32.unpack(_read_exact(buf, 4))
+        return int(_read_exact(buf, n).decode("ascii"))
+    if tag == TAG_FLOAT:
+        return _F64.unpack(_read_exact(buf, 8))[0]
+    if tag == TAG_STR:
+        (n,) = _U32.unpack(_read_exact(buf, 4))
+        return _read_exact(buf, n).decode("utf-8")
+    if tag == TAG_BYTES:
+        (n,) = _U32.unpack(_read_exact(buf, 4))
+        return _read_exact(buf, n)
+    if tag == TAG_LIST:
+        (n,) = _U32.unpack(_read_exact(buf, 4))
+        return [_decode_from(buf) for _ in range(n)]
+    if tag == TAG_DICT:
+        (n,) = _U32.unpack(_read_exact(buf, 4))
+        result = {}
+        for _ in range(n):
+            (klen,) = _U32.unpack(_read_exact(buf, 4))
+            key = _read_exact(buf, klen).decode("utf-8")
+            result[key] = _decode_from(buf)
+        return result
+    raise ProtocolError(f"unknown wire tag {tag!r}")
+
+
+def _read_exact(buf: io.BytesIO, n: int) -> bytes:
+    data = buf.read(n)
+    if len(data) != n:
+        from repro.net.errors import ProtocolError
+
+        raise ProtocolError("truncated wire data")
+    return data

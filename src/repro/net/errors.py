@@ -1,0 +1,36 @@
+"""Exceptions for the RPC substrate."""
+
+from __future__ import annotations
+
+
+class NetError(Exception):
+    """Base class for networking errors."""
+
+
+class ProtocolError(NetError):
+    """Malformed frame or message on the wire."""
+
+
+class TransportClosedError(NetError):
+    """The channel or server was closed."""
+
+
+class RemoteError(NetError):
+    """A server-side exception propagated back to the caller.
+
+    ``error_type`` carries the remote exception class name so clients can
+    map well-known RLS errors back to typed exceptions.
+    """
+
+    def __init__(self, error_type: str, message: str) -> None:
+        super().__init__(f"{error_type}: {message}")
+        self.error_type = error_type
+        self.remote_message = message
+
+
+class AuthenticationError(NetError):
+    """Credential rejected during the connection handshake."""
+
+
+class AuthorizationError(NetError):
+    """Authenticated principal lacks the privilege for an operation."""

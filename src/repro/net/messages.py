@@ -1,0 +1,92 @@
+"""Request/response message types for the RPC protocol."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.net.codec import decode, encode
+from repro.net.errors import ProtocolError
+
+_REQUEST_KIND = 0
+_RESPONSE_KIND = 1
+_HELLO_KIND = 2
+
+
+@dataclass(frozen=True)
+class Request:
+    """One RPC call: a method name plus positional arguments."""
+
+    method: str
+    args: tuple[Any, ...] = ()
+
+    def to_bytes(self) -> bytes:
+        return encode([_REQUEST_KIND, self.method, list(self.args)])
+
+
+@dataclass(frozen=True)
+class Response:
+    """RPC result: either a value or a propagated error."""
+
+    ok: bool
+    value: Any = None
+    error_type: str = ""
+    error_message: str = ""
+
+    @classmethod
+    def success(cls, value: Any) -> "Response":
+        return cls(ok=True, value=value)
+
+    @classmethod
+    def failure(cls, exc: BaseException) -> "Response":
+        return cls(
+            ok=False,
+            error_type=type(exc).__name__,
+            error_message=str(exc),
+        )
+
+    def to_bytes(self) -> bytes:
+        return encode(
+            [_RESPONSE_KIND, self.ok, self.value, self.error_type, self.error_message]
+        )
+
+
+@dataclass(frozen=True)
+class Hello:
+    """Connection handshake: protocol version + optional credential blob."""
+
+    version: int = 1
+    credential: bytes | None = None
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    def to_bytes(self) -> bytes:
+        return encode(
+            [_HELLO_KIND, self.version, self.credential, dict(self.attributes)]
+        )
+
+
+def message_from_bytes(data: bytes) -> Request | Response | Hello:
+    decoded = decode(data)
+    if not isinstance(decoded, list) or not decoded:
+        raise ProtocolError("malformed message envelope")
+    kind = decoded[0]
+    if kind == _REQUEST_KIND:
+        if len(decoded) != 3:
+            raise ProtocolError("malformed request")
+        return Request(method=decoded[1], args=tuple(decoded[2]))
+    if kind == _RESPONSE_KIND:
+        if len(decoded) != 5:
+            raise ProtocolError("malformed response")
+        return Response(
+            ok=decoded[1],
+            value=decoded[2],
+            error_type=decoded[3],
+            error_message=decoded[4],
+        )
+    if kind == _HELLO_KIND:
+        if len(decoded) != 4:
+            raise ProtocolError("malformed hello")
+        return Hello(
+            version=decoded[1], credential=decoded[2], attributes=decoded[3]
+        )
+    raise ProtocolError(f"unknown message kind {kind!r}")

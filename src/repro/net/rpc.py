@@ -1,0 +1,118 @@
+"""RPC server and client.
+
+The server owns a method table and an optional authenticator; the client
+wraps a channel with a convenient ``call()`` that re-raises remote errors
+as typed exceptions (registered via :func:`register_error_type`).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.net.errors import RemoteError
+from repro.net.messages import Hello, Request, Response
+from repro.net.transport import Channel
+
+
+@dataclass
+class ConnectionContext:
+    """Per-connection state created at handshake time."""
+
+    peer: str
+    principal: str | None = None
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+
+Handler = Callable[[ConnectionContext, tuple], Any]
+Authenticator = Callable[[Hello, str], str | None]
+
+
+class RPCServer:
+    """Dispatches requests to registered method handlers.
+
+    Parameters
+    ----------
+    authenticator:
+        Callable invoked once per connection with ``(hello, peer)``.
+        Returns the authenticated principal name (or ``None`` for
+        anonymous) or raises to reject the connection.  ``None`` disables
+        authentication entirely — the paper's "no authentication or
+        authorization" server mode.
+    """
+
+    def __init__(self, authenticator: Authenticator | None = None) -> None:
+        self._methods: dict[str, Handler] = {}
+        self._authenticator = authenticator
+        self._lock = threading.Lock()
+        self.requests_served = 0
+        self.errors_returned = 0
+
+    def register(self, method: str, handler: Handler) -> None:
+        self._methods[method] = handler
+
+    def register_all(self, handlers: dict[str, Handler]) -> None:
+        self._methods.update(handlers)
+
+    def methods(self) -> list[str]:
+        return sorted(self._methods)
+
+    def handshake(self, hello: Hello, peer: str) -> ConnectionContext:
+        principal = None
+        if self._authenticator is not None:
+            principal = self._authenticator(hello, peer)
+        return ConnectionContext(peer=peer, principal=principal)
+
+    def handle(self, ctx: ConnectionContext, request: Request) -> Response:
+        handler = self._methods.get(request.method)
+        if handler is None:
+            self.errors_returned += 1
+            return Response(
+                ok=False,
+                error_type="NoSuchMethodError",
+                error_message=f"unknown method {request.method!r}",
+            )
+        try:
+            value = handler(ctx, request.args)
+        except Exception as exc:
+            self.errors_returned += 1
+            return Response.failure(exc)
+        self.requests_served += 1
+        return Response.success(value)
+
+
+# Registry mapping remote error type names back to local exception classes,
+# so clients raise e.g. MappingExistsError rather than a bare RemoteError.
+_ERROR_TYPES: dict[str, type[Exception]] = {}
+
+
+def register_error_type(exc_type: type[Exception]) -> type[Exception]:
+    """Register (or decorate) an exception class for client-side re-raising."""
+    _ERROR_TYPES[exc_type.__name__] = exc_type
+    return exc_type
+
+
+class RPCClient:
+    """Typed convenience wrapper over a :class:`Channel`."""
+
+    def __init__(self, channel: Channel) -> None:
+        self.channel = channel
+
+    def call(self, method: str, *args: Any) -> Any:
+        response = self.channel.request(Request(method, args))
+        if response.ok:
+            return response.value
+        exc_type = _ERROR_TYPES.get(response.error_type)
+        if exc_type is not None:
+            raise exc_type(response.error_message)
+        raise RemoteError(response.error_type, response.error_message)
+
+    def close(self) -> None:
+        self.channel.close()
+
+    def __enter__(self) -> "RPCClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -1,0 +1,283 @@
+"""Transports: in-process channels and real TCP sockets.
+
+Two interchangeable ways for a client to reach an RPC server:
+
+* :class:`LocalTransport` — the client thread calls straight into the
+  server's dispatcher (after the same handshake/auth path).  This mirrors
+  the paper's multi-threaded server — concurrency comes from the client
+  threads themselves — with negligible transport overhead, so throughput
+  benchmarks measure the server, not the plumbing.  An optional per-call
+  ``latency`` models a network round trip in real time.
+* :class:`TCPServerTransport` / :func:`connect_tcp` — a real socket server
+  with length-prefixed frames and a handler thread per connection, used by
+  the examples to run a genuinely distributed RLS on localhost.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.net.errors import ProtocolError, TransportClosedError
+from repro.net.messages import Hello, Request, Response, message_from_bytes
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.rpc import RPCServer
+
+_FRAME = struct.Struct("<I")
+_MAX_FRAME = 256 * 1024 * 1024  # 256 MiB: a 5M-entry Bloom filter is ~6 MiB
+
+
+class Channel:
+    """Client-side handle to a server: synchronous request/response."""
+
+    def request(self, request: Request) -> Response:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    def __enter__(self) -> "Channel":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# In-process transport
+# ---------------------------------------------------------------------------
+
+
+class LocalTransport:
+    """In-process transport endpoint for one RPC server.
+
+    The transport keeps a registry so clients can connect by name, the way
+    TCP clients connect by host:port.
+    """
+
+    _registry: dict[str, "LocalTransport"] = {}
+    _registry_lock = threading.Lock()
+
+    def __init__(self, server: "RPCServer", name: str | None = None) -> None:
+        self.server = server
+        self.name = name
+        self.closed = False
+        if name is not None:
+            with LocalTransport._registry_lock:
+                LocalTransport._registry[name] = self
+
+    @classmethod
+    def lookup(cls, name: str) -> "LocalTransport":
+        with cls._registry_lock:
+            transport = cls._registry.get(name)
+        if transport is None or transport.closed:
+            raise TransportClosedError(f"no local endpoint named {name!r}")
+        return transport
+
+    def open_channel(
+        self,
+        credential: bytes | None = None,
+        latency: float = 0.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> "LocalChannel":
+        if self.closed:
+            raise TransportClosedError("transport closed")
+        ctx = self.server.handshake(Hello(credential=credential), peer="local")
+        return LocalChannel(self, ctx, latency, sleep)
+
+    def close(self) -> None:
+        self.closed = True
+        if self.name is not None:
+            with LocalTransport._registry_lock:
+                LocalTransport._registry.pop(self.name, None)
+
+
+class LocalChannel(Channel):
+    """Channel that invokes the server dispatcher in the caller's thread."""
+
+    def __init__(
+        self,
+        transport: LocalTransport,
+        ctx: Any,
+        latency: float,
+        sleep: Callable[[float], None],
+    ) -> None:
+        self._transport = transport
+        self._ctx = ctx
+        self._latency = latency
+        self._sleep = sleep
+        self._closed = False
+
+    def request(self, request: Request) -> Response:
+        if self._closed or self._transport.closed:
+            raise TransportClosedError("channel closed")
+        if self._latency > 0:
+            self._sleep(self._latency)
+        # Round-trip through the wire codec so the serialization cost and
+        # type constraints are identical to the TCP path.
+        wire = request.to_bytes()
+        decoded = message_from_bytes(wire)
+        assert isinstance(decoded, Request)
+        response = self._transport.server.handle(self._ctx, decoded)
+        return message_from_bytes(response.to_bytes())  # type: ignore[return-value]
+
+    def close(self) -> None:
+        self._closed = True
+
+
+def connect_local(
+    name: str,
+    credential: bytes | None = None,
+    latency: float = 0.0,
+) -> LocalChannel:
+    """Connect to a named in-process server endpoint."""
+    return LocalTransport.lookup(name).open_channel(credential, latency)
+
+
+# ---------------------------------------------------------------------------
+# TCP transport
+# ---------------------------------------------------------------------------
+
+
+def _send_frame(sock: socket.socket, payload: bytes) -> None:
+    sock.sendall(_FRAME.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise TransportClosedError("peer closed connection")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_frame(sock: socket.socket) -> bytes:
+    header = _recv_exact(sock, _FRAME.size)
+    (length,) = _FRAME.unpack(header)
+    if length > _MAX_FRAME:
+        raise ProtocolError(f"frame of {length} bytes exceeds limit")
+    return _recv_exact(sock, length)
+
+
+class TCPServerTransport:
+    """Socket listener feeding connections to an RPC server.
+
+    One handler thread per connection, like the Globus RLS server's
+    thread-per-connection model.
+    """
+
+    def __init__(self, server: "RPCServer", host: str = "127.0.0.1", port: int = 0):
+        self.server = server
+        self._listener = socket.create_server((host, port))
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._closed = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"rls-accept-{self.port}", daemon=True
+        )
+        self._accept_thread.start()
+
+    def _accept_loop(self) -> None:
+        while not self._closed.is_set():
+            try:
+                conn, addr = self._listener.accept()
+            except OSError:
+                return
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(conn, addr),
+                name=f"rls-conn-{addr[1]}",
+                daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket, addr: tuple) -> None:
+        peer = f"{addr[0]}:{addr[1]}"
+        try:
+            with conn:
+                hello = message_from_bytes(_recv_frame(conn))
+                if not isinstance(hello, Hello):
+                    raise ProtocolError("expected Hello")
+                try:
+                    ctx = self.server.handshake(hello, peer=peer)
+                except Exception as exc:  # auth failure -> error + close
+                    _send_frame(conn, Response.failure(exc).to_bytes())
+                    return
+                _send_frame(conn, Response.success("welcome").to_bytes())
+                while not self._closed.is_set():
+                    request = message_from_bytes(_recv_frame(conn))
+                    if not isinstance(request, Request):
+                        raise ProtocolError("expected Request")
+                    response = self.server.handle(ctx, request)
+                    _send_frame(conn, response.to_bytes())
+        except (TransportClosedError, ConnectionError, OSError):
+            return
+        except ProtocolError:
+            # Malformed or oversized frame: drop this connection; the
+            # listener and every other connection stay healthy.
+            return
+
+    def close(self) -> None:
+        self._closed.set()
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+class TCPChannel(Channel):
+    """Client side of one TCP connection."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def request(self, request: Request) -> Response:
+        if self._closed:
+            raise TransportClosedError("channel closed")
+        with self._lock:
+            _send_frame(self._sock, request.to_bytes())
+            message = message_from_bytes(_recv_frame(self._sock))
+        if not isinstance(message, Response):
+            raise ProtocolError("expected Response")
+        return message
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover
+                pass
+
+
+def connect_tcp(
+    host: str,
+    port: int,
+    credential: bytes | None = None,
+    timeout: float = 10.0,
+) -> TCPChannel:
+    """Open a TCP channel and perform the Hello handshake."""
+    sock = socket.create_connection((host, port), timeout=timeout)
+    sock.settimeout(timeout)
+    _send_frame(sock, Hello(credential=credential).to_bytes())
+    reply = message_from_bytes(_recv_frame(sock))
+    if not isinstance(reply, Response):
+        sock.close()
+        raise ProtocolError("expected handshake Response")
+    if not reply.ok:
+        sock.close()
+        from repro.net.errors import RemoteError
+
+        raise RemoteError(reply.error_type, reply.error_message)
+    return TCPChannel(sock)

@@ -1,0 +1,32 @@
+"""GSI-like security substrate.
+
+The Globus RLS authenticates clients with Grid Security Infrastructure
+(X.509 certificates), maps Distinguished Names to local usernames through a
+*gridmap* file, and authorizes operations against regex access-control
+lists granting privileges such as ``lrc_read`` and ``lrc_write`` (§3.1).
+
+This package reproduces that control flow with an HMAC-signed toy
+certificate in place of X.509 (see DESIGN.md, substitutions).  The server
+can also run completely open, like the paper's unauthenticated mode.
+"""
+
+from repro.security.credentials import (
+    Certificate,
+    CertificateAuthority,
+    InvalidCertificateError,
+)
+from repro.security.gridmap import Gridmap
+from repro.security.acl import AccessControlList, AclEntry, Privilege
+from repro.security.authorizer import Authorizer, SecurityPolicy
+
+__all__ = [
+    "AccessControlList",
+    "AclEntry",
+    "Authorizer",
+    "Certificate",
+    "CertificateAuthority",
+    "Gridmap",
+    "InvalidCertificateError",
+    "Privilege",
+    "SecurityPolicy",
+]

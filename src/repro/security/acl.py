@@ -1,0 +1,94 @@
+"""Regex access-control lists.
+
+"Access control list entries are regular expressions that grant privileges
+such as lrc_read and lrc_write access to users based on either the
+Distinguished Name (DN) in the user's X.509 certificate or based on the
+local username specified by the gridmap file." (§3.1)
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Iterable
+
+
+class Privilege(enum.Enum):
+    """Operations a principal may be granted."""
+
+    LRC_READ = "lrc_read"
+    LRC_WRITE = "lrc_write"
+    RLI_READ = "rli_read"
+    RLI_WRITE = "rli_write"  # soft-state updates from LRCs
+    ADMIN = "admin"
+
+    @classmethod
+    def from_string(cls, text: str) -> "Privilege":
+        for member in cls:
+            if member.value == text:
+                return member
+        raise ValueError(f"unknown privilege {text!r}")
+
+
+@dataclass(frozen=True)
+class AclEntry:
+    """One ACL rule: a subject regex plus the privileges it grants.
+
+    ``match_dn`` selects whether the pattern is tested against the
+    certificate DN (True) or the gridmap-mapped local username (False).
+    The pattern must match the whole subject (fullmatch), as Globus does.
+    """
+
+    pattern: str
+    privileges: frozenset[Privilege]
+    match_dn: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_compiled", re.compile(self.pattern))
+
+    def matches(self, dn: str | None, local_user: str | None) -> bool:
+        subject = dn if self.match_dn else local_user
+        if subject is None:
+            return False
+        return self._compiled.fullmatch(subject) is not None  # type: ignore[attr-defined]
+
+
+class AccessControlList:
+    """Ordered collection of :class:`AclEntry` rules (grants are unioned)."""
+
+    def __init__(self, entries: Iterable[AclEntry] = ()) -> None:
+        self._entries: list[AclEntry] = list(entries)
+
+    def add(
+        self,
+        pattern: str,
+        privileges: Iterable[Privilege | str],
+        match_dn: bool = True,
+    ) -> None:
+        privs = frozenset(
+            p if isinstance(p, Privilege) else Privilege.from_string(p)
+            for p in privileges
+        )
+        self._entries.append(AclEntry(pattern, privs, match_dn))
+
+    def privileges_for(
+        self, dn: str | None, local_user: str | None
+    ) -> frozenset[Privilege]:
+        """Union of privileges granted by every matching entry."""
+        granted: set[Privilege] = set()
+        for entry in self._entries:
+            if entry.matches(dn, local_user):
+                granted |= entry.privileges
+        return frozenset(granted)
+
+    def allows(
+        self, privilege: Privilege, dn: str | None, local_user: str | None
+    ) -> bool:
+        return privilege in self.privileges_for(dn, local_user)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)

@@ -1,0 +1,80 @@
+"""Authentication + authorization policy glue for the RLS server."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.errors import AuthenticationError, AuthorizationError
+from repro.net.messages import Hello
+from repro.security.acl import AccessControlList, Privilege
+from repro.security.credentials import (
+    Certificate,
+    CertificateAuthority,
+    InvalidCertificateError,
+)
+from repro.security.gridmap import Gridmap
+
+
+@dataclass
+class SecurityPolicy:
+    """Server security configuration.
+
+    ``enabled=False`` reproduces the paper's open mode: "The RLS server can
+    also be run without any authentication or authorization, allowing all
+    users the ability to read and write RLS mappings."
+    """
+
+    enabled: bool = False
+    ca: CertificateAuthority | None = None
+    gridmap: Gridmap = field(default_factory=Gridmap)
+    acl: AccessControlList = field(default_factory=AccessControlList)
+
+    @classmethod
+    def open(cls) -> "SecurityPolicy":
+        return cls(enabled=False)
+
+
+class Authorizer:
+    """Performs the GSI-style handshake and per-operation privilege checks."""
+
+    def __init__(self, policy: SecurityPolicy) -> None:
+        self.policy = policy
+
+    # -- authentication (once per connection) ---------------------------
+
+    def authenticate(self, hello: Hello, peer: str) -> str | None:
+        """Verify the handshake credential; returns the subject DN.
+
+        With security disabled every connection is anonymous.  With it
+        enabled, a missing or invalid certificate rejects the connection.
+        """
+        if not self.policy.enabled:
+            return None
+        if hello.credential is None:
+            raise AuthenticationError("credential required")
+        if self.policy.ca is None:
+            raise AuthenticationError("server has no trusted CA configured")
+        try:
+            cert = Certificate.from_bytes(hello.credential)
+            return self.policy.ca.verify(cert)
+        except InvalidCertificateError as exc:
+            raise AuthenticationError(str(exc)) from exc
+
+    # -- authorization (per operation) -----------------------------------
+
+    def check(self, privilege: Privilege, dn: str | None) -> None:
+        """Raise :class:`AuthorizationError` unless ``dn`` holds ``privilege``."""
+        if not self.policy.enabled:
+            return
+        local_user = (
+            self.policy.gridmap.map_dn(dn) if dn is not None else None
+        )
+        if not self.policy.acl.allows(privilege, dn, local_user):
+            raise AuthorizationError(
+                f"{dn or '<anonymous>'} lacks privilege {privilege.value}"
+            )
+
+    def local_user(self, dn: str | None) -> str | None:
+        if dn is None:
+            return None
+        return self.policy.gridmap.map_dn(dn)

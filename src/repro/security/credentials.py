@@ -1,0 +1,105 @@
+"""Toy X.509-like certificates signed by a certificate authority.
+
+A :class:`Certificate` binds a subject Distinguished Name (DN) to an
+issuer and a validity window, signed with HMAC-SHA256 under the CA's key.
+This exercises the same authentication control flow as GSI — present a
+credential, verify the signature chain, extract the DN — without OpenSSL.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+import time
+from dataclasses import dataclass
+
+from repro.net.codec import decode, encode
+
+
+class InvalidCertificateError(Exception):
+    """Certificate failed verification (signature, expiry, or encoding)."""
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A signed (subject DN, issuer, validity) tuple."""
+
+    subject_dn: str
+    issuer: str
+    not_before: float
+    not_after: float
+    signature: bytes
+
+    def to_bytes(self) -> bytes:
+        return encode(
+            [
+                self.subject_dn,
+                self.issuer,
+                self.not_before,
+                self.not_after,
+                self.signature,
+            ]
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Certificate":
+        try:
+            fields = decode(data)
+            subject_dn, issuer, not_before, not_after, signature = fields
+        except Exception as exc:
+            raise InvalidCertificateError(f"malformed certificate: {exc}") from exc
+        if not isinstance(subject_dn, str) or not isinstance(signature, bytes):
+            raise InvalidCertificateError("malformed certificate fields")
+        return cls(subject_dn, issuer, float(not_before), float(not_after), signature)
+
+    def signing_payload(self) -> bytes:
+        return encode([self.subject_dn, self.issuer, self.not_before, self.not_after])
+
+
+class CertificateAuthority:
+    """Issues and verifies certificates with an HMAC key."""
+
+    def __init__(self, name: str = "RLS Test CA", key: bytes | None = None) -> None:
+        self.name = name
+        self._key = key if key is not None else os.urandom(32)
+
+    def issue(
+        self,
+        subject_dn: str,
+        lifetime: float = 12 * 3600.0,
+        now: float | None = None,
+    ) -> Certificate:
+        """Issue a certificate for ``subject_dn`` valid for ``lifetime`` s."""
+        issued_at = time.time() if now is None else now
+        unsigned = Certificate(
+            subject_dn=subject_dn,
+            issuer=self.name,
+            not_before=issued_at,
+            not_after=issued_at + lifetime,
+            signature=b"",
+        )
+        signature = hmac.new(
+            self._key, unsigned.signing_payload(), hashlib.sha256
+        ).digest()
+        return Certificate(
+            subject_dn, self.name, unsigned.not_before, unsigned.not_after, signature
+        )
+
+    def verify(self, cert: Certificate, now: float | None = None) -> str:
+        """Verify ``cert``; returns the subject DN or raises."""
+        current = time.time() if now is None else now
+        if cert.issuer != self.name:
+            raise InvalidCertificateError(
+                f"unknown issuer {cert.issuer!r} (expected {self.name!r})"
+            )
+        expected = hmac.new(
+            self._key, cert.signing_payload(), hashlib.sha256
+        ).digest()
+        if not hmac.compare_digest(expected, cert.signature):
+            raise InvalidCertificateError("bad signature")
+        if current < cert.not_before:
+            raise InvalidCertificateError("certificate not yet valid")
+        if current > cert.not_after:
+            raise InvalidCertificateError("certificate expired")
+        return cert.subject_dn

@@ -1,0 +1,64 @@
+"""Gridmap file: mapping Distinguished Names to local usernames.
+
+Format matches the Globus gridmap convention: one entry per line,
+``"<DN>" localuser`` — the DN is double-quoted because DNs contain spaces.
+Lines starting with ``#`` are comments.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+_LINE = re.compile(r'^\s*"(?P<dn>(?:[^"\\]|\\.)*)"\s+(?P<user>\S+)\s*$')
+
+
+class Gridmap:
+    """In-memory DN → local-username map with gridmap-file parsing."""
+
+    def __init__(self, entries: dict[str, str] | None = None) -> None:
+        self._entries: dict[str, str] = dict(entries or {})
+
+    @classmethod
+    def parse(cls, text: str) -> "Gridmap":
+        """Parse gridmap-file text; malformed lines raise ``ValueError``."""
+        entries: dict[str, str] = {}
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            match = _LINE.match(line)
+            if match is None:
+                raise ValueError(f"malformed gridmap line {lineno}: {raw!r}")
+            dn = match.group("dn").replace('\\"', '"')
+            entries[dn] = match.group("user")
+        return cls(entries)
+
+    @classmethod
+    def load(cls, path: str) -> "Gridmap":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.parse(fh.read())
+
+    def add(self, dn: str, local_user: str) -> None:
+        self._entries[dn] = local_user
+
+    def remove(self, dn: str) -> None:
+        self._entries.pop(dn, None)
+
+    def map_dn(self, dn: str) -> str | None:
+        """Local username for ``dn``, or ``None`` if unmapped."""
+        return self._entries.get(dn)
+
+    def dns(self) -> Iterable[str]:
+        return self._entries.keys()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def dump(self) -> str:
+        """Serialize back to gridmap-file text."""
+        lines = []
+        for dn, user in sorted(self._entries.items()):
+            escaped = dn.replace('"', '\\"')
+            lines.append(f'"{escaped}" {user}')
+        return "\n".join(lines) + ("\n" if lines else "")

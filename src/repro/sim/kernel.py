@@ -1,0 +1,203 @@
+"""Discrete-event simulation kernel.
+
+A small, dependency-free kernel in the SimPy style: *processes* are Python
+generators that ``yield`` waitable events — :class:`Timeout`, resource
+acquisitions, or other processes — and the :class:`Simulator` advances a
+virtual clock through a binary heap of scheduled callbacks.
+
+Determinism: events at equal times fire in schedule order (a monotonically
+increasing sequence number breaks ties), so simulation results are exactly
+reproducible — a property the benchmark harness relies on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event is *triggered* with an optional value; callbacks registered
+    before triggering run when the simulator processes the event.
+    """
+
+    __slots__ = ("sim", "callbacks", "triggered", "value")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: list[Callable[[Any], None]] | None = []
+        self.triggered = False
+        self.value: Any = None
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event now (callbacks run via the event queue)."""
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self.triggered = True
+        self.value = value
+        self.sim._schedule_at(self.sim.now, self._dispatch)
+        return self
+
+    def _dispatch(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(self.value)
+
+    def add_callback(self, callback: Callable[[Any], None]) -> None:
+        if self.callbacks is None:
+            # Already dispatched: run immediately at the current time.
+            self.sim._schedule_at(self.sim.now, lambda: callback(self.value))
+        else:
+            self.callbacks.append(callback)
+
+
+class Timeout(Event):
+    """Event that triggers ``delay`` seconds of virtual time in the future."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        super().__init__(sim)
+        if delay < 0:
+            raise ValueError("negative delay")
+        self.triggered = True  # cannot be succeed()ed manually
+        self.value = value
+        sim._schedule_at(sim.now + delay, self._dispatch)
+
+
+class Process(Event):
+    """A running generator; itself an event that triggers on return.
+
+    The generator may ``yield``:
+
+    * a float/int — shorthand for ``Timeout(sim, value)``;
+    * any :class:`Event` (including another :class:`Process`);
+
+    and receives the event's value from ``yield``.  Exceptions raised by
+    the generator propagate out of :meth:`Simulator.run`.  The generator's
+    ``return`` value becomes the process's event value.
+    """
+
+    __slots__ = ("generator",)
+
+    def __init__(self, sim: "Simulator", generator: Generator) -> None:
+        super().__init__(sim)
+        self.generator = generator
+        sim._schedule_at(sim.now, lambda: self._resume(None))
+
+    def _resume(self, value: Any) -> None:
+        try:
+            target = self.generator.send(value)
+        except StopIteration as stop:
+            self.triggered = True
+            self.value = stop.value
+            self._dispatch()
+            return
+        if isinstance(target, (int, float)):
+            target = Timeout(self.sim, float(target))
+        if not isinstance(target, Event):
+            raise TypeError(
+                f"process yielded {type(target).__name__}; expected Event or delay"
+            )
+        target.add_callback(self._resume)
+
+
+class Simulator:
+    """Virtual-time event loop."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+
+    # -- scheduling ------------------------------------------------------
+
+    def _schedule_at(self, when: float, callback: Callable[[], None]) -> None:
+        heapq.heappush(self._heap, (when, self._seq, callback))
+        self._seq += 1
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise ValueError("negative delay")
+        self._schedule_at(self.now + delay, callback)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a generator as a simulation process."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        """Event that triggers when every input event has triggered."""
+        events = list(events)
+        gate = Event(self)
+        remaining = len(events)
+        results: list[Any] = [None] * remaining
+        if remaining == 0:
+            gate.succeed([])
+            return gate
+
+        def make_callback(i: int):
+            def callback(value: Any) -> None:
+                nonlocal remaining
+                results[i] = value
+                remaining -= 1
+                if remaining == 0:
+                    gate.succeed(results)
+
+            return callback
+
+        for i, event in enumerate(events):
+            event.add_callback(make_callback(i))
+        return gate
+
+    # -- execution ---------------------------------------------------------
+
+    def step(self) -> bool:
+        """Process one event; returns False when the queue is empty."""
+        if not self._heap:
+            return False
+        when, _seq, callback = heapq.heappop(self._heap)
+        if when < self.now:
+            raise RuntimeError("event scheduled in the past")
+        self.now = when
+        callback()
+        return True
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run until the queue drains, time ``until``, or an event triggers.
+
+        Passing an :class:`Event` (e.g. a :class:`Process`) runs until it
+        triggers and returns its value — the common "run this experiment"
+        entry point.
+        """
+        if isinstance(until, Event):
+            done = False
+            result: Any = None
+
+            def mark(value: Any) -> None:
+                nonlocal done, result
+                done = True
+                result = value
+
+            until.add_callback(mark)
+            while not done:
+                if not self.step():
+                    raise RuntimeError(
+                        "simulation deadlock: event never triggered"
+                    )
+            return result
+        if until is None:
+            while self.step():
+                pass
+            return None
+        while self._heap and self._heap[0][0] <= until:
+            self.step()
+        self.now = max(self.now, float(until))
+        return None

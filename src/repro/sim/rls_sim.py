@@ -1,0 +1,358 @@
+"""Whole-deployment RLS simulation in virtual time.
+
+The real implementation measures what a wall clock allows; this module
+simulates complete LRC/RLI deployments over *hours* of virtual time to
+answer questions the paper raises but could not measure:
+
+* **Staleness** (§3.2/§3.3): "there is some delay between when changes are
+  made in LRC mappings and when those changes are reflected in RLIs."
+  :func:`staleness_experiment` drives a churning catalog under a chosen
+  update policy and samples how often an RLI answer is wrong (misses a
+  fresh name or still advertises a dead one).
+* **Soft-state recovery** (§2): "If an RLI fails and later resumes
+  operation, its state can be reconstructed using soft state updates."
+  :func:`recovery_experiment` crashes the index and measures how long
+  until its coverage returns, as a function of the full-update interval.
+
+Everything is deterministic (seeded RNG, virtual clock), so these are
+reproducible experiments, not Monte Carlo noise.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.sim.kernel import Simulator
+from repro.sim.network import NetworkPath, SharedLink
+from repro.sim.resources import Resource
+
+
+@dataclass
+class SimPolicy:
+    """Update policy knobs mirrored from :class:`repro.core.UpdatePolicy`."""
+
+    mode: str = "immediate"  # "full-only" | "immediate" | "bloom"
+    immediate_interval: float = 30.0
+    full_interval: float = 600.0
+    rli_timeout: float = 1800.0
+    #: Wire cost model (matches the LAN calibration).
+    bytes_per_name: float = 80.0
+    bloom_bits_per_entry: int = 10
+    #: RLI ingest rate for uncompressed entries (entries/second).
+    ingest_entries_per_sec: float = 1203.0
+    #: RLI ingest cost per MiB of Bloom bitmap.
+    bloom_ingest_s_per_mib: float = 0.1375
+
+
+class SimLRC:
+    """A catalog with churn: names are created and destroyed over time."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        initial_names: int,
+        churn_per_sec: float,
+        rng: random.Random,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.rng = rng
+        self.churn_per_sec = churn_per_sec
+        self._counter = initial_names
+        self.names: set[str] = {f"{name}/f{i}" for i in range(initial_names)}
+        self.pending_added: set[str] = set()
+        self.pending_removed: set[str] = set()
+        if churn_per_sec > 0:
+            sim.process(self._churn())
+
+    def _churn(self):
+        while True:
+            # Exponential inter-arrival; alternate adds and deletes so the
+            # catalog size stays roughly constant.
+            yield self.sim.timeout(
+                self.rng.expovariate(self.churn_per_sec)
+            )
+            if self.rng.random() < 0.5 or not self.names:
+                fresh = f"{self.name}/f{self._counter}"
+                self._counter += 1
+                self.names.add(fresh)
+                self.pending_added.add(fresh)
+                self.pending_removed.discard(fresh)
+            else:
+                victim = self.rng.choice(sorted(self.names))
+                self.names.discard(victim)
+                self.pending_removed.add(victim)
+                self.pending_added.discard(victim)
+
+    def take_delta(self) -> tuple[set[str], set[str]]:
+        added, removed = self.pending_added, self.pending_removed
+        self.pending_added, self.pending_removed = set(), set()
+        return added, removed
+
+
+class SimRLI:
+    """Index state: name -> expiry time, with crash/restart support."""
+
+    def __init__(self, sim: Simulator, policy: SimPolicy) -> None:
+        self.sim = sim
+        self.policy = policy
+        self.entries: dict[str, float] = {}
+        self.up = True
+        self.ingest = Resource(sim, capacity=1)
+        self.updates_applied = 0
+
+    def crash(self) -> None:
+        """Lose all soft state (an RLI restart, §2)."""
+        self.entries.clear()
+        self.up = False
+
+    def restart(self) -> None:
+        self.up = True
+
+    def apply_full(self, names) -> None:
+        if not self.up:
+            return
+        expiry = self.sim.now + self.policy.rli_timeout
+        for name in names:
+            self.entries[name] = expiry
+        self.updates_applied += 1
+
+    def apply_delta(self, added, removed) -> None:
+        if not self.up:
+            return
+        expiry = self.sim.now + self.policy.rli_timeout
+        for name in added:
+            self.entries[name] = expiry
+        for name in removed:
+            self.entries.pop(name, None)
+        self.updates_applied += 1
+
+    def apply_bloom(self, names) -> None:
+        """Bloom replacement: the new filter IS the new state (no FP model
+        here — staleness, not FP rate, is what this experiment isolates)."""
+        if not self.up:
+            return
+        expiry = self.sim.now + self.policy.rli_timeout
+        self.entries = {name: expiry for name in names}
+        self.updates_applied += 1
+
+    def contains(self, name: str) -> bool:
+        expiry = self.entries.get(name)
+        return expiry is not None and expiry > self.sim.now
+
+
+@dataclass
+class StalenessResult:
+    """Outcome of one staleness experiment."""
+
+    mode: str
+    samples: int
+    stale_fraction: float       # wrong answers / samples
+    miss_fraction: float        # fresh names the RLI did not know yet
+    ghost_fraction: float       # deleted names the RLI still advertised
+    bytes_sent: float
+    updates_sent: int
+
+
+def _update_proc(sim, lrc: SimLRC, rli: SimRLI, path, policy: SimPolicy, stats):
+    """LRC-side update scheduler, mirroring UpdateManager semantics."""
+
+    def send(names_count: int, apply):
+        def proc():
+            if policy.mode == "bloom":
+                size = names_count * policy.bloom_bits_per_entry / 8.0
+                service = (size / (1024 * 1024)) * policy.bloom_ingest_s_per_mib
+            else:
+                size = names_count * policy.bytes_per_name
+                service = names_count / policy.ingest_entries_per_sec
+            stats["bytes"] += size
+            stats["updates"] += 1
+            yield sim.process(path.send(size))
+            yield rli.ingest.acquire()
+            try:
+                yield sim.timeout(service)
+            finally:
+                rli.ingest.release()
+            apply()
+
+        return sim.process(proc())
+
+    def scheduler():
+        last_full = sim.now
+        while True:
+            if policy.mode == "immediate":
+                yield sim.timeout(policy.immediate_interval)
+                if sim.now - last_full >= policy.full_interval:
+                    snapshot = set(lrc.names)
+                    lrc.take_delta()
+                    yield send(len(snapshot), lambda s=snapshot: rli.apply_full(s))
+                    last_full = sim.now
+                else:
+                    added, removed = lrc.take_delta()
+                    if added or removed:
+                        yield send(
+                            len(added) + len(removed),
+                            lambda a=added, r=removed: rli.apply_delta(a, r),
+                        )
+            elif policy.mode == "bloom":
+                yield sim.timeout(policy.immediate_interval)
+                snapshot = set(lrc.names)
+                lrc.take_delta()
+                yield send(len(snapshot), lambda s=snapshot: rli.apply_bloom(s))
+            else:  # full-only
+                yield sim.timeout(policy.full_interval)
+                snapshot = set(lrc.names)
+                lrc.take_delta()
+                yield send(len(snapshot), lambda s=snapshot: rli.apply_full(s))
+
+    return sim.process(scheduler())
+
+
+def staleness_experiment(
+    mode: str,
+    catalog_size: int = 10_000,
+    churn_per_sec: float = 2.0,
+    duration: float = 4 * 3600.0,
+    probe_interval: float = 10.0,
+    immediate_interval: float = 30.0,
+    full_interval: float = 600.0,
+    seed: int = 42,
+) -> StalenessResult:
+    """Measure RLI answer quality under churn for one update mode.
+
+    A probe process samples one live name and one recently-deleted name
+    every ``probe_interval``; the stale fraction counts RLI answers that
+    disagree with the (authoritative) catalog.
+    """
+    sim = Simulator()
+    rng = random.Random(seed)
+    policy = SimPolicy(
+        mode=mode,
+        immediate_interval=immediate_interval,
+        full_interval=full_interval,
+    )
+    lrc = SimLRC(sim, "lrc0", catalog_size, churn_per_sec, rng)
+    rli = SimRLI(sim, policy)
+    path = NetworkPath(rtt=0.2e-3, link=SharedLink(sim, 100e6))
+    stats = {"bytes": 0.0, "updates": 0}
+    _update_proc(sim, lrc, rli, path, policy, stats)
+    # Seed the index with an initial full update, applied instantly.
+    rli.apply_full(lrc.names)
+
+    counters = {"samples": 0, "miss": 0, "ghost": 0}
+    recently_deleted: list[str] = []
+
+    def probe():
+        probe_rng = random.Random(seed + 1)
+        while True:
+            yield sim.timeout(probe_interval)
+            if lrc.names:
+                live = probe_rng.choice(sorted(lrc.names))
+                counters["samples"] += 1
+                if not rli.contains(live):
+                    counters["miss"] += 1
+            recently_deleted.extend(lrc.pending_removed)
+            del recently_deleted[:-50]
+            if recently_deleted:
+                dead = probe_rng.choice(recently_deleted)
+                if dead not in lrc.names:
+                    counters["samples"] += 1
+                    if rli.contains(dead):
+                        counters["ghost"] += 1
+
+    sim.process(probe())
+    sim.run(until=duration)
+    samples = max(counters["samples"], 1)
+    return StalenessResult(
+        mode=mode,
+        samples=counters["samples"],
+        stale_fraction=(counters["miss"] + counters["ghost"]) / samples,
+        miss_fraction=counters["miss"] / samples,
+        ghost_fraction=counters["ghost"] / samples,
+        bytes_sent=stats["bytes"],
+        updates_sent=stats["updates"],
+    )
+
+
+@dataclass
+class RecoveryResult:
+    """Outcome of one crash-recovery experiment."""
+
+    full_interval: float
+    crash_time: float
+    recovery_time: float  # seconds from restart to >=99% coverage
+    coverage_curve: list[tuple[float, float]] = field(repr=False, default_factory=list)
+
+
+def recovery_experiment(
+    full_interval: float = 600.0,
+    num_lrcs: int = 4,
+    catalog_size: int = 5_000,
+    crash_at: float = 1000.0,
+    seed: int = 7,
+) -> RecoveryResult:
+    """Crash the RLI, restart it, and time the soft-state rebuild (§2).
+
+    Each LRC pushes full updates on its own phase-shifted schedule; after
+    the restart, coverage climbs as each LRC's next update lands.  With k
+    LRCs uniformly phased, expected recovery is ~full_interval x (k is
+    irrelevant for the *last* LRC: worst case one full interval).
+    """
+    sim = Simulator()
+    rng = random.Random(seed)
+    policy = SimPolicy(mode="full-only", full_interval=full_interval)
+    rli = SimRLI(sim, policy)
+    path = NetworkPath(rtt=0.2e-3, link=SharedLink(sim, 100e6))
+    lrcs = [
+        SimLRC(sim, f"lrc{i}", catalog_size, churn_per_sec=0.0, rng=rng)
+        for i in range(num_lrcs)
+    ]
+    stats = {"bytes": 0.0, "updates": 0}
+
+    # Phase-shift each LRC's schedule so updates are spread across the
+    # interval (as independent daemons would be).
+    def delayed_scheduler(lrc: SimLRC, phase: float):
+        def proc():
+            yield sim.timeout(phase)
+            _update_proc(sim, lrc, rli, path, policy, stats)
+
+        return sim.process(proc())
+
+    for i, lrc in enumerate(lrcs):
+        delayed_scheduler(lrc, phase=(i / num_lrcs) * full_interval)
+        rli.apply_full(lrc.names)  # initial state
+
+    total_names = sum(len(l.names) for l in lrcs)
+    curve: list[tuple[float, float]] = []
+    state = {"restart_at": None, "recovered_at": None}
+
+    def crash_then_watch():
+        yield sim.timeout(crash_at)
+        rli.crash()
+        rli.restart()  # soft state: no recovery protocol, just wait
+        state["restart_at"] = sim.now
+        while True:
+            yield sim.timeout(5.0)
+            coverage = (
+                sum(1 for l in lrcs for n in l.names if rli.contains(n))
+                / total_names
+            )
+            curve.append((sim.now - state["restart_at"], coverage))
+            if coverage >= 0.99 and state["recovered_at"] is None:
+                state["recovered_at"] = sim.now
+                return
+
+    sim.process(crash_then_watch())
+    sim.run(until=crash_at + 4 * full_interval)
+    recovered = state["recovered_at"]
+    recovery_time = (
+        (recovered - state["restart_at"]) if recovered is not None else float("inf")
+    )
+    return RecoveryResult(
+        full_interval=full_interval,
+        crash_time=crash_at,
+        recovery_time=recovery_time,
+        coverage_curve=curve,
+    )

@@ -1,0 +1,39 @@
+"""Workload generation and load driving.
+
+Provides the multi-client / multi-thread load driver the paper describes
+in §4 ("a multi-threaded client program ... that allows the user to
+specify the number of threads that submit requests to a server and the
+types of operations to perform"), name generators modelled on the
+deployments of §6 (LIGO, Earth System Grid, Pegasus), and the trial
+protocol (several trials, mean rate, database size held constant).
+"""
+
+from repro.workload.names import (
+    MappingSet,
+    esg_names,
+    ligo_names,
+    pegasus_names,
+    sequential_names,
+)
+from repro.workload.driver import LoadDriver, LoadResult
+from repro.workload.stats import TrialStats, summarize
+from repro.workload.scenarios import (
+    loaded_lrc_server,
+    loaded_rli_server_bloom,
+    loaded_rli_server_uncompressed,
+)
+
+__all__ = [
+    "LoadDriver",
+    "LoadResult",
+    "MappingSet",
+    "TrialStats",
+    "esg_names",
+    "ligo_names",
+    "loaded_lrc_server",
+    "loaded_rli_server_bloom",
+    "loaded_rli_server_uncompressed",
+    "pegasus_names",
+    "sequential_names",
+    "summarize",
+]

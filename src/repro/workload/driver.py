@@ -1,0 +1,168 @@
+"""Multi-client / multi-thread load driver (§4).
+
+Reproduces the paper's measurement methodology: N clients, each with M
+threads, all submitting operations to one server; the rate is total
+operations divided by the wall-clock time from the synchronized start to
+the last completion.  Each thread gets its own connection, like the
+threads of the paper's C client.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.client import RLSClient, connect
+
+#: An operation body: receives (client, operation_index) and performs one op.
+Operation = Callable[[RLSClient, int], None]
+
+
+@dataclass(frozen=True)
+class LoadResult:
+    """Outcome of one load-driver run."""
+
+    operations: int
+    elapsed: float
+    errors: int
+    per_thread_ops: tuple[int, ...] = ()
+
+    @property
+    def rate(self) -> float:
+        """Operations per second."""
+        return self.operations / self.elapsed if self.elapsed > 0 else 0.0
+
+
+@dataclass
+class LoadDriver:
+    """Drives one operation type against a named server endpoint.
+
+    Parameters mirror the paper's experiments: ``clients`` x
+    ``threads_per_client`` concurrent requesters, ``total_operations``
+    split evenly among the threads (the paper uses 3000 for add trials and
+    20000+ for query trials).
+    """
+
+    server_name: str
+    clients: int = 1
+    threads_per_client: int = 10
+    total_operations: int = 3000
+    credential: bytes | None = None
+    #: Factory so tests can stub connections; default opens local channels.
+    connect_fn: Callable[[str, bytes | None], RLSClient] = field(
+        default=lambda name, cred: connect(name, cred)
+    )
+
+    def run(self, operation: Operation) -> LoadResult:
+        """Execute the workload; returns aggregate counts and elapsed time.
+
+        Operation indexes are globally unique across threads, so workloads
+        that must not collide (e.g. adds of distinct names) can key on
+        them.  Operations raising exceptions are counted as errors and do
+        not stop the run — matching a measurement client that logs failures.
+        """
+        num_threads = self.clients * self.threads_per_client
+        if num_threads <= 0:
+            raise ValueError("need at least one thread")
+        ops_per_thread = self.total_operations // num_threads
+        remainder = self.total_operations % num_threads
+
+        barrier = threading.Barrier(num_threads + 1)
+        errors = [0] * num_threads
+        done_ops = [0] * num_threads
+        connections: list[RLSClient] = [
+            self.connect_fn(self.server_name, self.credential)
+            for _ in range(num_threads)
+        ]
+
+        def worker(thread_id: int, start_index: int, count: int) -> None:
+            client = connections[thread_id]
+            barrier.wait()
+            for i in range(start_index, start_index + count):
+                try:
+                    operation(client, i)
+                except Exception:
+                    errors[thread_id] += 1
+                done_ops[thread_id] += 1
+
+        threads = []
+        next_index = 0
+        for tid in range(num_threads):
+            count = ops_per_thread + (1 if tid < remainder else 0)
+            thread = threading.Thread(
+                target=worker,
+                args=(tid, next_index, count),
+                name=f"load-{self.server_name}-{tid}",
+            )
+            next_index += count
+            threads.append(thread)
+            thread.start()
+
+        barrier.wait()  # release all workers simultaneously
+        start = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        for client in connections:
+            client.close()
+        return LoadResult(
+            operations=sum(done_ops),
+            elapsed=elapsed,
+            errors=sum(errors),
+            per_thread_ops=tuple(done_ops),
+        )
+
+    # ------------------------------------------------------------------
+    # Ready-made operation bodies for the paper's three op types
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def add_op(lfns: list[str], pfn_of: Callable[[str], str]) -> Operation:
+        """Add distinct mappings (create): op i adds ``lfns[i]``."""
+
+        def op(client: RLSClient, i: int) -> None:
+            lfn = lfns[i]
+            client.create(lfn, pfn_of(lfn))
+
+        return op
+
+    @staticmethod
+    def delete_op(lfns: list[str], pfn_of: Callable[[str], str]) -> Operation:
+        def op(client: RLSClient, i: int) -> None:
+            lfn = lfns[i]
+            client.delete(lfn, pfn_of(lfn))
+
+        return op
+
+    @staticmethod
+    def query_op(lfns: list[str]) -> Operation:
+        """Query existing mappings round-robin over ``lfns``."""
+        n = len(lfns)
+
+        def op(client: RLSClient, i: int) -> None:
+            client.get_mappings(lfns[i % n])
+
+        return op
+
+    @staticmethod
+    def rli_query_op(lfns: list[str]) -> Operation:
+        n = len(lfns)
+
+        def op(client: RLSClient, i: int) -> None:
+            client.rli_query(lfns[i % n])
+
+        return op
+
+    @staticmethod
+    def bulk_query_op(lfns: list[str], batch: int = 1000) -> Operation:
+        """One bulk query of ``batch`` names per operation (§5.4)."""
+        n = len(lfns)
+
+        def op(client: RLSClient, i: int) -> None:
+            start = (i * batch) % n
+            names = [lfns[(start + j) % n] for j in range(batch)]
+            client.bulk_query(names)
+
+        return op

@@ -1,0 +1,63 @@
+"""Trial statistics (§4: several trials, mean rate reported)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+
+@dataclass(frozen=True)
+class TrialStats:
+    """Summary over repeated trials of a rate measurement."""
+
+    rates: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return sum(self.rates) / len(self.rates)
+
+    @property
+    def stdev(self) -> float:
+        if len(self.rates) < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(
+            sum((r - mu) ** 2 for r in self.rates) / (len(self.rates) - 1)
+        )
+
+    @property
+    def minimum(self) -> float:
+        return min(self.rates)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.rates)
+
+    def __str__(self) -> str:  # pragma: no cover - formatting
+        return f"{self.mean:.1f} ± {self.stdev:.1f} ops/s (n={len(self.rates)})"
+
+
+def summarize(rates: Sequence[float]) -> TrialStats:
+    if not rates:
+        raise ValueError("no trials")
+    return TrialStats(tuple(rates))
+
+
+def run_trials(
+    trial: Callable[[], float],
+    trials: int = 5,
+    reset: Callable[[], None] | None = None,
+) -> TrialStats:
+    """Run ``trial`` (returning an ops/s rate) ``trials`` times.
+
+    ``reset`` restores pre-trial state between runs — the paper keeps the
+    database size "relatively constant during a performance test", e.g. by
+    deleting the mappings added in each add trial.
+    """
+    rates = []
+    for i in range(trials):
+        rates.append(trial())
+        if reset is not None and i != trials - 1:
+            reset()
+    return summarize(rates)

@@ -1,0 +1,57 @@
+"""Shared fixtures.
+
+Engines default to zero sync latency so tests run fast; timing-sensitive
+behaviour is tested explicitly with injected fake clocks/sleepers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ServerConfig, ServerRole
+from repro.core.server import RLSServer
+from repro.db.mysql_engine import MySQLEngine
+from repro.db.postgres_engine import PostgresEngine
+
+
+@pytest.fixture
+def mysql():
+    """A MySQL-flavoured engine with flush disabled and no sync latency."""
+    return MySQLEngine(flush_on_commit=False, sync_latency=0.0)
+
+
+@pytest.fixture
+def postgres():
+    """A PostgreSQL-flavoured engine (MVCC storage, fsync off)."""
+    return PostgresEngine(fsync=False, sync_latency=0.0)
+
+
+_SERVER_COUNTER = [0]
+
+
+@pytest.fixture
+def make_server():
+    """Factory for RLS servers with unique names and guaranteed cleanup."""
+    servers: list[RLSServer] = []
+
+    def factory(role: ServerRole = ServerRole.BOTH, **kwargs) -> RLSServer:
+        _SERVER_COUNTER[0] += 1
+        defaults = dict(
+            name=f"test-server-{_SERVER_COUNTER[0]}",
+            role=role,
+            sync_latency=0.0,
+        )
+        defaults.update(kwargs)
+        server = RLSServer(ServerConfig(**defaults))
+        servers.append(server)
+        return server
+
+    yield factory
+    for server in servers:
+        server.stop()
+
+
+@pytest.fixture
+def server(make_server):
+    """One LRC+RLI server, started."""
+    return make_server(ServerRole.BOTH).start()

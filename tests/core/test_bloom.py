@@ -1,0 +1,211 @@
+"""Bloom filter tests, including hypothesis properties (paper §3.4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bloom import (
+    BloomFilter,
+    BloomParameters,
+    CountingBloomFilter,
+    false_positive_rate,
+    probe_positions,
+    size_for_entries,
+)
+
+
+class TestParameters:
+    def test_paper_sizing_10_bits_per_entry(self):
+        """Paper: '10 million bits for approximately 1 million entries'."""
+        assert size_for_entries(1_000_000) == 10_000_000
+
+    def test_minimum_size(self):
+        assert size_for_entries(1) >= 1024
+
+    def test_byte_aligned(self):
+        assert size_for_entries(123_457) % 8 == 0
+
+    def test_default_three_hashes(self):
+        assert BloomParameters.for_entries(1000).num_hashes == 3
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            BloomParameters(num_bits=1001)  # not multiple of 8
+        with pytest.raises(ValueError):
+            BloomParameters(num_bits=0)
+
+    def test_invalid_hashes_rejected(self):
+        with pytest.raises(ValueError):
+            BloomParameters(num_bits=1024, num_hashes=0)
+
+
+class TestProbePositions:
+    def test_deterministic(self):
+        assert probe_positions("lfn1", 1024, 3) == probe_positions("lfn1", 1024, 3)
+
+    def test_k_positions(self):
+        assert len(probe_positions("x", 1024, 5)) == 5
+
+    def test_positions_in_range(self):
+        for pos in probe_positions("anything", 1024, 3):
+            assert 0 <= pos < 1024
+
+    def test_different_names_differ(self):
+        assert probe_positions("a", 10**6, 3) != probe_positions("b", 10**6, 3)
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        params = BloomParameters.for_entries(1000)
+        names = [f"lfn{i}" for i in range(1000)]
+        bf = BloomFilter.from_names(names, params)
+        assert all(n in bf for n in names)
+
+    def test_empty_filter_contains_nothing(self):
+        bf = BloomFilter(BloomParameters.for_entries(100))
+        assert "anything" not in bf
+
+    def test_false_positive_rate_near_one_percent(self):
+        """Paper: ~1% FP at 10 bits/entry with 3 hashes."""
+        n = 20_000
+        params = BloomParameters.for_entries(n)
+        bf = BloomFilter.from_names((f"in{i}" for i in range(n)), params)
+        absent = [f"out{i}" for i in range(20_000)]
+        fp = bf.contains_batch(absent).mean()
+        assert 0.001 < fp < 0.04
+
+    def test_add_matches_batch(self):
+        params = BloomParameters.for_entries(100)
+        a = BloomFilter(params)
+        b = BloomFilter(params)
+        names = [f"n{i}" for i in range(50)]
+        for n in names:
+            a.add(n)
+        b.add_batch(names)
+        assert np.array_equal(a.bits, b.bits)
+
+    def test_contains_batch_matches_scalar(self):
+        params = BloomParameters.for_entries(200)
+        bf = BloomFilter.from_names((f"x{i}" for i in range(100)), params)
+        probe = [f"x{i}" for i in range(0, 200, 7)]
+        batch = bf.contains_batch(probe)
+        assert list(batch) == [name in bf for name in probe]
+
+    def test_contains_batch_empty(self):
+        bf = BloomFilter(BloomParameters.for_entries(10))
+        assert bf.contains_batch([]).shape == (0,)
+
+    def test_serialization_roundtrip(self):
+        params = BloomParameters.for_entries(500)
+        bf = BloomFilter.from_names((f"n{i}" for i in range(500)), params)
+        restored = BloomFilter.from_bytes(bf.to_bytes(), params, 500)
+        assert np.array_equal(restored.bits, bf.bits)
+        assert all(f"n{i}" in restored for i in range(500))
+
+    def test_size_bytes_matches_params(self):
+        params = BloomParameters(num_bits=10_000_000)
+        assert BloomFilter(params).size_bytes == 1_250_000
+
+    def test_bitmap_shape_mismatch_rejected(self):
+        params = BloomParameters(num_bits=1024)
+        with pytest.raises(ValueError):
+            BloomFilter(params, np.zeros(1, dtype=np.uint8))
+
+    def test_union(self):
+        params = BloomParameters.for_entries(100)
+        a = BloomFilter.from_names(["x"], params)
+        b = BloomFilter.from_names(["y"], params)
+        merged = a.union(b)
+        assert "x" in merged and "y" in merged
+
+    def test_union_requires_same_params(self):
+        a = BloomFilter(BloomParameters(num_bits=1024))
+        b = BloomFilter(BloomParameters(num_bits=2048))
+        with pytest.raises(ValueError):
+            a.union(b)
+
+    def test_fill_ratio(self):
+        params = BloomParameters(num_bits=1024)
+        bf = BloomFilter(params)
+        assert bf.fill_ratio() == 0.0
+        bf.add("x")
+        assert 0 < bf.fill_ratio() <= 3 / 1024
+
+    def test_analytic_fp_rate(self):
+        # 10 bits/entry, k=3: (1 - e^-0.3)^3 ≈ 1.74%
+        assert false_positive_rate(10_000_000, 3, 1_000_000) == pytest.approx(
+            0.0174, abs=0.001
+        )
+
+
+class TestCountingBloomFilter:
+    def test_add_then_remove_restores_absence(self):
+        cbf = CountingBloomFilter(BloomParameters.for_entries(100))
+        cbf.add("x")
+        assert "x" in cbf
+        cbf.remove("x")
+        assert "x" not in cbf
+
+    def test_remove_one_of_shared_bits_keeps_other(self):
+        """Counting semantics: removing one name never evicts another."""
+        cbf = CountingBloomFilter(BloomParameters.for_entries(2))  # tiny, collisions
+        names = [f"n{i}" for i in range(50)]
+        for n in names:
+            cbf.add(n)
+        cbf.remove(names[0])
+        for n in names[1:]:
+            assert n in cbf
+
+    def test_snapshot_matches_plain_filter(self):
+        params = BloomParameters.for_entries(200)
+        cbf = CountingBloomFilter(params)
+        names = [f"n{i}" for i in range(150)]
+        cbf.add_batch(names)
+        direct = BloomFilter.from_names(names, params)
+        assert np.array_equal(cbf.snapshot().bits, direct.bits)
+
+    def test_snapshot_after_removals_matches_remaining(self):
+        """The incremental-maintenance property the paper relies on:
+        set/unset of bits keeps the snapshot equal to a from-scratch build."""
+        params = BloomParameters.for_entries(200)
+        cbf = CountingBloomFilter(params)
+        names = [f"n{i}" for i in range(100)]
+        cbf.add_batch(names)
+        for n in names[:40]:
+            cbf.remove(n)
+        direct = BloomFilter.from_names(names[40:], params)
+        assert np.array_equal(cbf.snapshot().bits, direct.bits)
+
+    def test_entry_count_tracked(self):
+        cbf = CountingBloomFilter(BloomParameters.for_entries(10))
+        cbf.add("a")
+        cbf.add("b")
+        cbf.remove("a")
+        assert cbf.entries == 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.sets(st.text(min_size=1, max_size=20), min_size=1, max_size=60))
+def test_property_no_false_negatives(names):
+    params = BloomParameters.for_entries(max(len(names), 10))
+    bf = BloomFilter.from_names(names, params)
+    assert all(n in bf for n in names)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.sets(st.text(min_size=1, max_size=12), min_size=2, max_size=40).flatmap(
+        lambda s: st.tuples(st.just(sorted(s)), st.integers(1, len(s) - 1))
+    )
+)
+def test_property_counting_filter_incremental_equals_rebuild(data):
+    """Property: add all, remove a prefix -> snapshot == rebuild of suffix."""
+    names, k = data
+    params = BloomParameters.for_entries(max(len(names), 10))
+    cbf = CountingBloomFilter(params)
+    cbf.add_batch(names)
+    for n in names[:k]:
+        cbf.remove(n)
+    rebuilt = BloomFilter.from_names(names[k:], params)
+    assert np.array_equal(cbf.snapshot().bits, rebuilt.bits)

@@ -1,0 +1,80 @@
+"""Adaptive Bloom sizing: 'based on the number of mappings in an LRC' (§3.4)."""
+
+import pytest
+
+from repro.core.lrc import LocalReplicaCatalog
+from repro.core.updates import UpdateManager, UpdatePolicy
+from repro.db.mysql_engine import MySQLEngine
+from repro.db.odbc import Connection
+
+
+class RecordingSink:
+    def __init__(self):
+        self.bloom = []
+
+    def full_update(self, *a):
+        pass
+
+    def incremental_update(self, *a):
+        pass
+
+    def bloom_update(self, lrc, bitmap, num_bits, num_hashes, entries):
+        self.bloom.append((len(bitmap), num_bits, entries))
+
+
+@pytest.fixture
+def setup():
+    engine = MySQLEngine(flush_on_commit=False, sync_latency=0.0)
+    lrc = LocalReplicaCatalog(Connection(engine, "sz"), name="sz")
+    lrc.init_schema()
+    sink = RecordingSink()
+    manager = UpdateManager(lrc, lambda name: sink, policy=UpdatePolicy())
+    lrc.add_rli("target", bloom=True)
+    return lrc, manager, sink
+
+
+class TestAdaptiveSizing:
+    def test_small_catalog_gets_small_filter(self, setup):
+        lrc, manager, sink = setup
+        lrc.bulk_create([(f"s{i}", f"p{i}") for i in range(50)])
+        manager.send_full_update()
+        size_bytes, num_bits, entries = sink.bloom[0]
+        # Floor is 1024 expected entries -> 10240 bits -> 1280 bytes.
+        assert size_bytes == 1280
+        assert entries == 50
+
+    def test_filter_scales_with_catalog(self, setup):
+        lrc, manager, sink = setup
+        lrc.bulk_load((f"m{i}", f"p{i}") for i in range(5000))
+        manager.send_full_update()
+        _, num_bits, entries = sink.bloom[0]
+        assert entries == 5000
+        # ~10 bits/entry with 1.25x headroom.
+        assert 5000 * 10 <= num_bits <= 5000 * 10 * 1.5
+
+    def test_overflow_triggers_rebuild(self, setup):
+        """Growing past the filter's capacity rebuilds it larger instead of
+        silently saturating the bitmap (FP rate would explode otherwise)."""
+        lrc, manager, sink = setup
+        lrc.bulk_create([(f"a{i}", f"p{i}") for i in range(100)])
+        manager.send_full_update()
+        first_bits = sink.bloom[0][1]
+        # Outgrow the 1024-entry floor capacity.
+        lrc.bulk_load((f"b{i}", f"q{i}") for i in range(3000))
+        manager.send_full_update()
+        second_bits = sink.bloom[-1][1]
+        assert second_bits > first_bits
+        # And the new filter is consistent with the whole catalog.
+        bloom = manager.bloom
+        assert bloom is not None
+        assert bloom.entries == 3100
+        assert "a5" in bloom and "b2500" in bloom
+
+    def test_no_rebuild_while_within_capacity(self, setup):
+        lrc, manager, sink = setup
+        lrc.bulk_create([(f"c{i}", f"p{i}") for i in range(100)])
+        manager.send_full_update()
+        bloom_before = manager.bloom
+        lrc.create_mapping("one-more", "p")
+        manager.send_full_update()
+        assert manager.bloom is bloom_before  # maintained incrementally

@@ -1,0 +1,151 @@
+"""CLI tests (against an in-process server)."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.core.config import ServerRole
+
+
+def run_cli(*argv) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture
+def server_name(make_server):
+    server = make_server(ServerRole.BOTH)
+    return server.config.name
+
+
+class TestMappingCommands:
+    def test_create_query_delete(self, server_name):
+        code, out = run_cli("create", "--server", server_name, "lfn1", "pfn1")
+        assert code == 0 and "created" in out
+        code, out = run_cli("query", "--server", server_name, "lfn1")
+        assert out.strip() == "pfn1"
+        run_cli("add", "--server", server_name, "lfn1", "pfn2")
+        _, out = run_cli("query", "--server", server_name, "lfn1")
+        assert set(out.split()) == {"pfn1", "pfn2"}
+        code, out = run_cli("delete", "--server", server_name, "lfn1", "pfn1")
+        assert code == 0
+        _, out = run_cli("query", "--server", server_name, "lfn1")
+        assert out.strip() == "pfn2"
+
+    def test_wildcard_query(self, server_name):
+        run_cli("create", "--server", server_name, "run/a", "p1")
+        run_cli("create", "--server", server_name, "run/b", "p2")
+        _, out = run_cli("query", "--server", server_name, "run/*")
+        assert "run/a\tp1" in out and "run/b\tp2" in out
+
+    def test_reverse_query(self, server_name):
+        run_cli("create", "--server", server_name, "lfnX", "shared")
+        run_cli("create", "--server", server_name, "lfnY", "shared")
+        _, out = run_cli("query", "--server", server_name, "--reverse", "shared")
+        assert set(out.split()) == {"lfnX", "lfnY"}
+
+
+class TestBulkCommands:
+    def test_bulk_create_and_query(self, server_name, tmp_path):
+        pairs = tmp_path / "pairs.txt"
+        pairs.write_text("a p1\nb p2\nc p3\n")
+        code, out = run_cli("bulk", "--server", server_name, "create", str(pairs))
+        assert code == 0 and "3/3 succeeded" in out
+        lfns = tmp_path / "lfns.txt"
+        lfns.write_text("a\nb\nmissing\n")
+        _, out = run_cli("bulk", "--server", server_name, "query", str(lfns))
+        assert "a\tp1" in out and "b\tp2" in out and "missing" not in out
+
+    def test_bulk_failures_exit_nonzero(self, server_name, tmp_path):
+        pairs = tmp_path / "pairs.txt"
+        pairs.write_text("dup p1\ndup p2\n")
+        code, out = run_cli("bulk", "--server", server_name, "create", str(pairs))
+        assert code == 1 and "FAILED dup" in out
+
+
+class TestAttrCommands:
+    def test_attribute_lifecycle(self, server_name):
+        run_cli("create", "--server", server_name, "l", "p")
+        code, _ = run_cli("attr", "--server", server_name, "define", "size", "pfn", "int")
+        assert code == 0
+        run_cli("attr", "--server", server_name, "add", "p", "size", "pfn", "42")
+        _, out = run_cli("attr", "--server", server_name, "get", "p", "pfn")
+        assert "size=42" in out
+        run_cli("attr", "--server", server_name, "remove", "p", "size", "pfn")
+        _, out = run_cli("attr", "--server", server_name, "get", "p", "pfn")
+        assert out.strip() == ""
+
+    def test_unknown_attr_op(self, server_name):
+        code, out = run_cli("attr", "--server", server_name, "bogus")
+        assert code == 2
+
+
+class TestAdminCommands:
+    def test_ping_and_stats(self, server_name):
+        _, out = run_cli("admin", "--server", server_name, "ping")
+        assert out.strip() == "pong"
+        _, out = run_cli("admin", "--server", server_name, "stats")
+        stats = json.loads(out)
+        assert stats["roles"] == {"lrc": True, "rli": True}
+
+    def test_rli_management_and_update(self, server_name):
+        run_cli("create", "--server", server_name, "lfn1", "pfn1")
+        code, _ = run_cli(
+            "admin", "--server", server_name, "add-rli", server_name
+        )
+        assert code == 0
+        _, out = run_cli("admin", "--server", server_name, "list-rlis")
+        assert server_name in out and "full" in out
+        code, out = run_cli("admin", "--server", server_name, "update")
+        assert code == 0 and "full update" in out
+        _, out = run_cli("rli-query", "--server", server_name, "lfn1")
+        assert out.strip() == server_name
+        run_cli("admin", "--server", server_name, "remove-rli", server_name)
+        _, out = run_cli("admin", "--server", server_name, "list-rlis")
+        assert out.strip() == ""
+
+    def test_expire(self, server_name):
+        _, out = run_cli("admin", "--server", server_name, "expire")
+        assert "expired 0" in out
+
+
+class TestServeCommand:
+    def test_serve_tcp_and_talk_to_it(self):
+        results = {}
+
+        def serve():
+            out = io.StringIO()
+            main(
+                [
+                    "serve", "--name", "cli-served", "--tcp",
+                    "--run-seconds", "2.0",
+                ],
+                out=out,
+            )
+            results["out"] = out.getvalue()
+
+        thread = threading.Thread(target=serve)
+        thread.start()
+        try:
+            import time
+
+            deadline = time.time() + 3.0
+            port = None
+            while time.time() < deadline and port is None:
+                try:
+                    code, _ = run_cli(
+                        "create", "--server", "cli-served", "x", "p"
+                    )
+                    port = True
+                except Exception:
+                    time.sleep(0.05)
+            assert port, "server never came up"
+            _, out = run_cli("query", "--server", "cli-served", "x")
+            assert out.strip() == "p"
+        finally:
+            thread.join()
+        assert "serving cli-served on 127.0.0.1:" in results["out"]

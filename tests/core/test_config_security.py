@@ -1,0 +1,115 @@
+"""ServerConfig parsing and full-stack security integration."""
+
+import pytest
+
+from repro.core.client import connect
+from repro.core.config import Backend, ServerConfig, ServerRole
+from repro.core.server import RLSServer
+from repro.net.errors import AuthenticationError, RemoteError
+from repro.security.acl import AccessControlList
+from repro.security.authorizer import SecurityPolicy
+from repro.security.credentials import CertificateAuthority
+from repro.security.gridmap import Gridmap
+
+
+class TestServerConfig:
+    def test_defaults(self):
+        config = ServerConfig()
+        assert config.is_lrc and config.is_rli
+        assert config.backend is Backend.MYSQL
+        assert not config.flush_on_commit  # the paper's recommendation
+
+    def test_backend_string_parsed(self):
+        assert ServerConfig(backend="postgresql").backend is Backend.POSTGRESQL
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(ValueError):
+            ServerConfig(backend="oracle")
+
+    def test_role_flags(self):
+        assert not ServerConfig(role=ServerRole.LRC).is_rli
+        assert not ServerConfig(role=ServerRole.RLI).is_lrc
+
+    def test_postgres_backend_server(self):
+        server = RLSServer(
+            ServerConfig(
+                name="pg-backed", role=ServerRole.LRC,
+                backend="postgresql", sync_latency=0.0,
+            )
+        )
+        try:
+            assert server.engine.flavor == "postgresql"
+            server.lrc.create_mapping("x", "p")
+            assert server.lrc.get_mappings("x") == ["p"]
+        finally:
+            server.stop()
+
+
+DN_WRITER = "/DC=org/DC=rls/CN=writer"
+DN_READER = "/DC=org/DC=rls/CN=reader"
+
+
+@pytest.fixture
+def secure_server():
+    ca = CertificateAuthority()
+    gridmap = Gridmap({DN_WRITER: "writer", DN_READER: "reader"})
+    acl = AccessControlList()
+    acl.add(r"/DC=org/DC=rls/CN=writer", ["lrc_read", "lrc_write", "admin"])
+    acl.add(r"/DC=org/DC=rls/CN=reader", ["lrc_read"])
+    policy = SecurityPolicy(enabled=True, ca=ca, gridmap=gridmap, acl=acl)
+    server = RLSServer(
+        ServerConfig(
+            name="secure-server",
+            role=ServerRole.BOTH,
+            security=policy,
+            sync_latency=0.0,
+        )
+    ).start()
+    yield server, ca
+    server.stop()
+
+
+class TestSecureServer:
+    def test_writer_can_write_and_read(self, secure_server):
+        _, ca = secure_server
+        cred = ca.issue(DN_WRITER).to_bytes()
+        client = connect("secure-server", credential=cred)
+        client.create("sec-lfn", "sec-pfn")
+        assert client.get_mappings("sec-lfn") == ["sec-pfn"]
+        client.close()
+
+    def test_reader_cannot_write(self, secure_server):
+        _, ca = secure_server
+        writer = connect("secure-server", credential=ca.issue(DN_WRITER).to_bytes())
+        writer.create("ro-lfn", "ro-pfn")
+        reader = connect("secure-server", credential=ca.issue(DN_READER).to_bytes())
+        assert reader.get_mappings("ro-lfn") == ["ro-pfn"]
+        with pytest.raises(RemoteError, match="lacks privilege"):
+            reader.create("nope", "nope")
+        writer.close()
+        reader.close()
+
+    def test_no_credential_rejected_at_handshake(self, secure_server):
+        with pytest.raises(AuthenticationError):
+            connect("secure-server")
+
+    def test_forged_credential_rejected(self, secure_server):
+        evil_ca = CertificateAuthority("Evil CA")
+        cred = evil_ca.issue(DN_WRITER).to_bytes()
+        with pytest.raises(AuthenticationError):
+            connect("secure-server", credential=cred)
+
+    def test_unknown_dn_has_no_privileges(self, secure_server):
+        _, ca = secure_server
+        cred = ca.issue("/DC=org/DC=rls/CN=stranger").to_bytes()
+        client = connect("secure-server", credential=cred)
+        with pytest.raises(RemoteError, match="lacks privilege"):
+            client.get_mappings("x")
+        client.close()
+
+    def test_open_mode_allows_anonymous(self, make_server):
+        """Paper: the server 'can also be run without any authentication'."""
+        server = make_server(ServerRole.BOTH)
+        client = connect(server.config.name)
+        client.create("open-lfn", "open-pfn")
+        client.close()

@@ -1,0 +1,148 @@
+"""Background daemon tests: expire thread and update scheduler thread."""
+
+import time
+
+import pytest
+
+from repro.core.client import connect
+from repro.core.config import ServerRole
+from repro.core.errors import MappingNotFoundError
+from repro.core.rli import ExpireThread, ReplicaLocationIndex
+from repro.core.updates import UpdatePolicy, UpdateThread
+from repro.db.mysql_engine import MySQLEngine
+from repro.db.odbc import Connection
+
+
+def wait_until(predicate, timeout=5.0, interval=0.02) -> bool:
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class TestExpireThread:
+    def make_rli(self, timeout):
+        engine = MySQLEngine(flush_on_commit=False, sync_latency=0.0)
+        rli = ReplicaLocationIndex(
+            Connection(engine, "d"), name="daemon-rli", timeout=timeout
+        )
+        rli.init_schema()
+        return rli
+
+    def test_expires_in_background(self):
+        rli = self.make_rli(timeout=0.1)
+        rli.apply_full_update("lrcA", ["ephemeral"])
+        thread = ExpireThread(rli, interval=0.05)
+        thread.start()
+        try:
+            assert wait_until(lambda: rli.mapping_count() == 0)
+        finally:
+            thread.stop()
+
+    def test_stop_is_idempotent_and_joins(self):
+        rli = self.make_rli(timeout=100.0)
+        thread = ExpireThread(rli, interval=0.05)
+        thread.start()
+        thread.stop()
+        thread.stop()  # no raise
+
+    def test_start_twice_is_noop(self):
+        rli = self.make_rli(timeout=100.0)
+        thread = ExpireThread(rli, interval=10.0)
+        thread.start()
+        first = thread._thread
+        thread.start()
+        assert thread._thread is first
+        thread.stop()
+
+
+class TestUpdateThreadIntegration:
+    def test_immediate_mode_propagates_in_background(self, make_server):
+        """A started BOTH server pushes recent changes to its RLI without
+        any explicit trigger — the paper's immediate mode end to end."""
+        server = make_server(
+            ServerRole.BOTH,
+            updates=UpdatePolicy(
+                immediate_interval=0.05,
+                immediate_count_threshold=10_000,
+                full_interval=3600.0,
+                bloom_expected_entries=1024,
+            ),
+        )
+        server.config.update_poll_interval = 0.02
+        server.start()
+        assert server._update_thread is not None
+        client = connect(server.config.name)
+        client.add_rli(server.config.name)
+        client.create("bg-lfn", "bg-pfn")
+
+        def indexed():
+            try:
+                return client.rli_query("bg-lfn") == [server.config.name]
+            except MappingNotFoundError:
+                return False
+
+        assert wait_until(indexed), "update thread never propagated the change"
+        client.close()
+
+    def test_periodic_full_update_refreshes_expiring_state(self, make_server):
+        """Full updates on full_interval keep soft state alive even though
+        the RLI keeps expiring it (the soft-state contract, §3.2)."""
+        server = make_server(
+            ServerRole.BOTH,
+            rli_timeout=0.4,
+            expire_interval=0.1,
+            updates=UpdatePolicy(
+                immediate_mode=False,
+                full_interval=0.15,
+                bloom_expected_entries=1024,
+            ),
+        )
+        server.config.update_poll_interval = 0.02
+        server.start()
+        client = connect(server.config.name)
+        client.add_rli(server.config.name)
+        client.create("steady-lfn", "p")
+        client.trigger_full_update()
+        # Observe over ~1 second (several expire+refresh cycles).
+        ok_checks = 0
+        for _ in range(10):
+            time.sleep(0.1)
+            try:
+                if client.rli_query("steady-lfn"):
+                    ok_checks += 1
+            except MappingNotFoundError:
+                pass
+        assert ok_checks >= 8, "soft state did not stay refreshed"
+        client.close()
+
+    def test_update_thread_survives_sink_errors(self):
+        """A failing RLI target must not kill the scheduler thread."""
+        engine = MySQLEngine(flush_on_commit=False, sync_latency=0.0)
+        from repro.core.lrc import LocalReplicaCatalog
+        from repro.core.updates import UpdateManager
+
+        lrc = LocalReplicaCatalog(Connection(engine, "x"), name="x")
+        lrc.init_schema()
+        lrc.add_rli("unreachable-rli")
+
+        def resolver(name):
+            raise ConnectionError("target down")
+
+        manager = UpdateManager(
+            lrc,
+            resolver,
+            policy=UpdatePolicy(immediate_interval=0.01,
+                                bloom_expected_entries=1024),
+        )
+        thread = UpdateThread(manager, poll_interval=0.01)
+        thread.start()
+        try:
+            lrc.create_mapping("a", "p")
+            time.sleep(0.1)
+            # Thread alive and still ticking despite resolver failures.
+            assert thread._thread.is_alive()
+        finally:
+            thread.stop()

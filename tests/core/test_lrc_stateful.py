@@ -1,0 +1,95 @@
+"""Model-based (stateful) property test of the LocalReplicaCatalog.
+
+Hypothesis drives random sequences of create/add/delete against the real
+catalog and a trivial dict model; after every step the catalog must agree
+with the model on membership, mappings, reverse mappings and counts.
+This is the strongest guard on the ref-counting/pruning logic.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+import pytest
+
+from repro.core.errors import MappingExistsError, MappingNotFoundError
+from repro.core.lrc import LocalReplicaCatalog
+from repro.db.mysql_engine import MySQLEngine
+from repro.db.odbc import Connection
+
+LFNS = [f"lfn{i}" for i in range(6)]
+PFNS = [f"pfn{i}" for i in range(4)]
+
+
+class LRCMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        engine = MySQLEngine(flush_on_commit=False, sync_latency=0.0)
+        self.lrc = LocalReplicaCatalog(Connection(engine, "sm"), name="sm")
+        self.lrc.init_schema()
+        self.model: dict[str, set[str]] = {}
+
+    @rule(lfn=st.sampled_from(LFNS), pfn=st.sampled_from(PFNS))
+    def create(self, lfn, pfn):
+        if lfn in self.model:
+            with pytest.raises(MappingExistsError):
+                self.lrc.create_mapping(lfn, pfn)
+        else:
+            self.lrc.create_mapping(lfn, pfn)
+            self.model[lfn] = {pfn}
+
+    @rule(lfn=st.sampled_from(LFNS), pfn=st.sampled_from(PFNS))
+    def add(self, lfn, pfn):
+        if lfn not in self.model:
+            with pytest.raises(MappingNotFoundError):
+                self.lrc.add_mapping(lfn, pfn)
+        elif pfn in self.model[lfn]:
+            with pytest.raises(MappingExistsError):
+                self.lrc.add_mapping(lfn, pfn)
+        else:
+            self.lrc.add_mapping(lfn, pfn)
+            self.model[lfn].add(pfn)
+
+    @rule(lfn=st.sampled_from(LFNS), pfn=st.sampled_from(PFNS))
+    def delete(self, lfn, pfn):
+        if lfn in self.model and pfn in self.model[lfn]:
+            self.lrc.delete_mapping(lfn, pfn)
+            self.model[lfn].discard(pfn)
+            if not self.model[lfn]:
+                del self.model[lfn]
+        else:
+            with pytest.raises(MappingNotFoundError):
+                self.lrc.delete_mapping(lfn, pfn)
+
+    @invariant()
+    def mappings_agree(self):
+        assert self.lrc.lfn_count() == len(self.model)
+        assert self.lrc.mapping_count() == sum(
+            len(pfns) for pfns in self.model.values()
+        )
+        for lfn, pfns in self.model.items():
+            assert set(self.lrc.get_mappings(lfn)) == pfns
+        assert sorted(self.lrc.all_lfns()) == sorted(self.model)
+
+    @invariant()
+    def reverse_mappings_agree(self):
+        reverse: dict[str, set[str]] = {}
+        for lfn, pfns in self.model.items():
+            for pfn in pfns:
+                reverse.setdefault(pfn, set()).add(lfn)
+        for pfn in PFNS:
+            if pfn in reverse:
+                assert set(self.lrc.get_lfns(pfn)) == reverse[pfn]
+            else:
+                with pytest.raises(MappingNotFoundError):
+                    self.lrc.get_lfns(pfn)
+
+
+LRCMachine.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None
+)
+TestLRCStateful = LRCMachine.TestCase

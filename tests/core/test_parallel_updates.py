@@ -1,0 +1,114 @@
+"""Parallel multi-RLI update fan-out tests."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.errors import UpdateTargetError
+from repro.core.lrc import LocalReplicaCatalog
+from repro.core.updates import UpdateManager, UpdatePolicy
+from repro.db.mysql_engine import MySQLEngine
+from repro.db.odbc import Connection
+
+
+class SlowSink:
+    """Sink that records concurrency while sleeping per update."""
+
+    def __init__(self, delay=0.05):
+        self.delay = delay
+        self.lock = threading.Lock()
+        self.active = 0
+        self.max_active = 0
+        self.updates = []
+
+    def full_update(self, lrc_name, lfns):
+        with self.lock:
+            self.active += 1
+            self.max_active = max(self.max_active, self.active)
+        time.sleep(self.delay)
+        with self.lock:
+            self.active -= 1
+            self.updates.append(len(lfns))
+
+    def incremental_update(self, *a):
+        pass
+
+    def bloom_update(self, *a):
+        self.full_update("x", [])
+
+
+class FailingSink:
+    def full_update(self, *a):
+        raise ConnectionError("rli down")
+
+    def incremental_update(self, *a):
+        pass
+
+    def bloom_update(self, *a):
+        raise ConnectionError("rli down")
+
+
+def make_manager(sinks, parallel):
+    engine = MySQLEngine(flush_on_commit=False, sync_latency=0.0)
+    lrc = LocalReplicaCatalog(Connection(engine, "pu"), name="pu")
+    lrc.init_schema()
+    manager = UpdateManager(
+        lrc,
+        lambda name: sinks[name],
+        policy=UpdatePolicy(parallel_updates=parallel),
+    )
+    return lrc, manager
+
+
+class TestParallelFanout:
+    def test_targets_pushed_concurrently(self):
+        sink = SlowSink()
+        sinks = {f"rli{i}": sink for i in range(4)}
+        lrc, manager = make_manager(sinks, parallel=True)
+        for name in sinks:
+            lrc.add_rli(name)
+        lrc.create_mapping("x", "p")
+        start = time.perf_counter()
+        manager.send_full_update()
+        elapsed = time.perf_counter() - start
+        assert sink.max_active >= 2, "pushes never overlapped"
+        assert elapsed < 4 * sink.delay  # faster than sequential
+        assert len(sink.updates) == 4
+        assert manager.stats.full_updates == 4
+
+    def test_sequential_by_default(self):
+        sink = SlowSink(delay=0.02)
+        sinks = {f"rli{i}": sink for i in range(3)}
+        lrc, manager = make_manager(sinks, parallel=False)
+        for name in sinks:
+            lrc.add_rli(name)
+        lrc.create_mapping("x", "p")
+        manager.send_full_update()
+        assert sink.max_active == 1
+
+    def test_one_failure_does_not_skip_others(self):
+        good = SlowSink(delay=0.0)
+        sinks = {"good1": good, "bad": FailingSink(), "good2": good}
+        lrc, manager = make_manager(sinks, parallel=True)
+        for name in sinks:
+            lrc.add_rli(name)
+        lrc.create_mapping("x", "p")
+        with pytest.raises(ConnectionError):
+            manager.send_full_update()
+        assert len(good.updates) == 2  # both healthy targets got pushed
+
+    def test_no_targets_still_raises(self):
+        _, manager = make_manager({}, parallel=True)
+        with pytest.raises(UpdateTargetError):
+            manager.send_full_update()
+
+    def test_mixed_bloom_and_full_parallel(self):
+        sink = SlowSink(delay=0.01)
+        sinks = {"full-rli": sink, "bloom-rli": sink}
+        lrc, manager = make_manager(sinks, parallel=True)
+        lrc.add_rli("full-rli")
+        lrc.add_rli("bloom-rli", bloom=True)
+        lrc.create_mapping("x", "p")
+        manager.send_full_update()
+        assert len(sink.updates) == 2

@@ -1,0 +1,137 @@
+"""Last-mile edge coverage: single-target pushes, CLI postgres serve,
+ORDER BY + DISTINCT interaction, calibration overrides."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.core.config import ServerRole
+from repro.core.lrc import LocalReplicaCatalog, RLITarget
+from repro.core.updates import UpdateManager, UpdatePolicy
+from repro.db.errors import SQLSyntaxError
+from repro.db.mysql_engine import MySQLEngine
+from repro.db.odbc import Connection
+
+
+class RecordingSink:
+    def __init__(self):
+        self.full = []
+        self.bloom = []
+
+    def full_update(self, lrc, lfns):
+        self.full.append((lrc, list(lfns)))
+
+    def incremental_update(self, *a):
+        pass
+
+    def bloom_update(self, lrc, *a):
+        self.bloom.append(lrc)
+
+
+class TestSingleTargetPush:
+    def test_send_full_update_to_one_named_target(self):
+        engine = MySQLEngine(flush_on_commit=False, sync_latency=0.0)
+        lrc = LocalReplicaCatalog(Connection(engine, "st"), name="st")
+        lrc.init_schema()
+        sinks = {"a": RecordingSink(), "b": RecordingSink()}
+        manager = UpdateManager(lrc, lambda n: sinks[n], policy=UpdatePolicy())
+        lrc.add_rli("a")
+        lrc.add_rli("b")
+        lrc.create_mapping("x", "p")
+        manager.send_full_update(target=RLITarget("a"))
+        assert sinks["a"].full and not sinks["b"].full
+
+
+class TestCLIServeVariants:
+    def test_serve_postgres_lrc_only(self):
+        out = io.StringIO()
+        import threading
+
+        def serve():
+            main(
+                [
+                    "serve", "--name", "pg-served", "--role", "lrc",
+                    "--backend", "postgresql", "--run-seconds", "1.0",
+                ],
+                out=out,
+            )
+
+        thread = threading.Thread(target=serve)
+        thread.start()
+        try:
+            import time
+
+            deadline = time.time() + 3.0
+            ok = False
+            while time.time() < deadline and not ok:
+                try:
+                    code, _ = 0, main(
+                        ["create", "--server", "pg-served", "pg-lfn", "p"],
+                        out=io.StringIO(),
+                    )
+                    ok = True
+                except Exception:
+                    time.sleep(0.05)
+            assert ok
+        finally:
+            thread.join()
+        assert "serving pg-served" in out.getvalue()
+
+
+class TestOrderByDistinctInteraction:
+    def test_distinct_with_nonprojected_order_rejected(self):
+        db = MySQLEngine(flush_on_commit=False, sync_latency=0.0)
+        db.execute("CREATE TABLE t (a INT, b INT)")
+        db.execute("INSERT INTO t (a, b) VALUES (1, 2), (1, 3)")
+        with pytest.raises(SQLSyntaxError, match="DISTINCT"):
+            db.execute("SELECT DISTINCT a FROM t ORDER BY b")
+
+    def test_distinct_with_projected_order_ok(self):
+        db = MySQLEngine(flush_on_commit=False, sync_latency=0.0)
+        db.execute("CREATE TABLE t (a INT, b INT)")
+        db.execute("INSERT INTO t (a, b) VALUES (2, 1), (1, 1), (2, 1)")
+        rows = db.execute("SELECT DISTINCT a FROM t ORDER BY a DESC").rows
+        assert [r[0] for r in rows] == [2, 1]
+
+    def test_order_by_source_column_across_join(self):
+        db = MySQLEngine(flush_on_commit=False, sync_latency=0.0)
+        db.execute(
+            "CREATE TABLE l (id INT NOT NULL, rank INT, PRIMARY KEY (id))"
+        )
+        db.execute("CREATE TABLE m (lid INT, tag VARCHAR(10))")
+        db.execute("INSERT INTO l (id, rank) VALUES (1, 30), (2, 10), (3, 20)")
+        db.execute(
+            "INSERT INTO m (lid, tag) VALUES (1, 'a'), (2, 'b'), (3, 'c')"
+        )
+        rows = db.execute(
+            "SELECT m.tag FROM l JOIN m ON l.id = m.lid ORDER BY rank"
+        ).rows
+        assert [r[0] for r in rows] == ["b", "c", "a"]
+
+
+class TestCalibrationOverrides:
+    def test_lan_calibration_custom_ingest(self):
+        from repro.sim.models import LANCalibration, uncompressed_update_times
+
+        fast = uncompressed_update_times(
+            50_000, 1, rounds=2,
+            calib=LANCalibration(rli_ingest_entries_per_sec=10_000),
+        )
+        slow = uncompressed_update_times(
+            50_000, 1, rounds=2,
+            calib=LANCalibration(rli_ingest_entries_per_sec=1_000),
+        )
+        assert slow.mean_update_time > 5 * fast.mean_update_time
+
+    def test_wan_calibration_window_effect(self):
+        from repro.sim.models import WANCalibration, bloom_update_times_wan
+
+        small = bloom_update_times_wan(
+            1_000_000, 1, calib=WANCalibration(tcp_window_bytes=16 * 1024)
+        )
+        large = bloom_update_times_wan(
+            1_000_000, 1, calib=WANCalibration(tcp_window_bytes=256 * 1024)
+        )
+        # Bigger window -> higher per-flow throughput -> faster update.
+        assert large.mean_update_time < small.mean_update_time

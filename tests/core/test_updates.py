@@ -1,0 +1,286 @@
+"""UpdateManager tests: full / incremental / bloom / partitioned updates."""
+
+import pytest
+
+from repro.core.errors import UpdateTargetError
+from repro.core.lrc import LocalReplicaCatalog
+from repro.core.partition import PartitionRouter
+from repro.core.rli import ReplicaLocationIndex
+from repro.core.updates import DirectSink, UpdateManager, UpdatePolicy
+from repro.db.mysql_engine import MySQLEngine
+from repro.db.odbc import Connection
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class RecordingSink:
+    """Sink that records every update it receives."""
+
+    def __init__(self):
+        self.full = []
+        self.incremental = []
+        self.bloom = []
+
+    def full_update(self, lrc_name, lfns):
+        self.full.append((lrc_name, list(lfns)))
+
+    def incremental_update(self, lrc_name, added, removed):
+        self.incremental.append((lrc_name, list(added), list(removed)))
+
+    def bloom_update(self, lrc_name, bitmap, num_bits, num_hashes, approx_entries):
+        self.bloom.append((lrc_name, bitmap, num_bits, num_hashes, approx_entries))
+
+
+@pytest.fixture
+def setup():
+    engine = MySQLEngine(flush_on_commit=False, sync_latency=0.0)
+    lrc = LocalReplicaCatalog(Connection(engine, "lrc"), name="lrcA")
+    lrc.init_schema()
+    sinks: dict[str, RecordingSink] = {}
+
+    def resolver(name):
+        return sinks.setdefault(name, RecordingSink())
+
+    clock = FakeClock()
+    policy = UpdatePolicy(
+        immediate_interval=30.0,
+        immediate_count_threshold=5,
+        full_interval=600.0,
+        bloom_expected_entries=1024,
+    )
+    manager = UpdateManager(lrc, resolver, policy=policy, clock=clock)
+    return lrc, manager, sinks, clock
+
+
+class TestFullUpdates:
+    def test_full_update_sends_all_lfns(self, setup):
+        lrc, manager, sinks, _ = setup
+        lrc.add_rli("rli1")
+        lrc.bulk_create([(f"l{i}", f"p{i}") for i in range(5)])
+        manager.send_full_update()
+        assert len(sinks["rli1"].full) == 1
+        name, lfns = sinks["rli1"].full[0]
+        assert name == "lrcA" and sorted(lfns) == [f"l{i}" for i in range(5)]
+
+    def test_no_targets_raises(self, setup):
+        _, manager, _, _ = setup
+        with pytest.raises(UpdateTargetError):
+            manager.send_full_update()
+
+    def test_full_update_clears_pending(self, setup):
+        lrc, manager, sinks, _ = setup
+        lrc.add_rli("rli1")
+        lrc.create_mapping("x", "p")
+        assert manager.pending_changes() == (1, 0)
+        manager.send_full_update()
+        assert manager.pending_changes() == (0, 0)
+
+    def test_stats_updated(self, setup):
+        lrc, manager, sinks, _ = setup
+        lrc.add_rli("rli1")
+        lrc.bulk_create([(f"l{i}", f"p{i}") for i in range(3)])
+        manager.send_full_update()
+        assert manager.stats.full_updates == 1
+        assert manager.stats.names_sent == 3
+
+
+class TestIncrementalUpdates:
+    def test_deltas_sent(self, setup):
+        lrc, manager, sinks, _ = setup
+        lrc.add_rli("rli1")
+        lrc.create_mapping("added", "p")
+        lrc.create_mapping("gone", "p2")
+        lrc.delete_mapping("gone", "p2")
+        flushed = manager.send_incremental_update()
+        assert flushed == 2
+        name, added, removed = sinks["rli1"].incremental[0]
+        assert added == ["added"] and removed == ["gone"]
+
+    def test_add_then_delete_collapses(self, setup):
+        """An LFN created and deleted between flushes nets out to removed."""
+        lrc, manager, sinks, _ = setup
+        lrc.add_rli("rli1")
+        lrc.create_mapping("temp", "p")
+        lrc.delete_mapping("temp", "p")
+        manager.send_incremental_update()
+        _, added, removed = sinks["rli1"].incremental[0]
+        assert added == [] and removed == ["temp"]
+
+    def test_empty_flush_sends_nothing(self, setup):
+        lrc, manager, sinks, _ = setup
+        lrc.add_rli("rli1")
+        assert manager.send_incremental_update() == 0
+        assert "rli1" not in sinks or sinks["rli1"].incremental == []
+
+
+class TestBloomUpdates:
+    def test_bloom_target_receives_bitmap(self, setup):
+        lrc, manager, sinks, _ = setup
+        lrc.add_rli("rli1", bloom=True)
+        lrc.bulk_create([(f"l{i}", f"p{i}") for i in range(10)])
+        manager.rebuild_bloom()
+        manager.send_full_update()
+        assert len(sinks["rli1"].bloom) == 1
+        _, bitmap, num_bits, num_hashes, entries = sinks["rli1"].bloom[0]
+        assert len(bitmap) * 8 == num_bits
+        assert num_hashes == 3
+        assert entries == 10
+
+    def test_bloom_built_lazily(self, setup):
+        lrc, manager, sinks, _ = setup
+        lrc.add_rli("rli1", bloom=True)
+        lrc.create_mapping("x", "p")
+        manager.send_full_update()  # triggers rebuild internally
+        assert len(sinks["rli1"].bloom) == 1
+
+    def test_bloom_filter_tracks_changes(self, setup):
+        """Incremental maintenance: the pushed bitmap reflects live catalog
+        state, verified end-to-end through a real RLI."""
+        lrc, manager, _, _ = setup
+        engine = MySQLEngine(flush_on_commit=False, sync_latency=0.0)
+        rli = ReplicaLocationIndex(Connection(engine, "r"), name="rli-real")
+        rli.init_schema()
+        sink = DirectSink(rli)
+        manager.sink_resolver = lambda name: sink
+        lrc.add_rli("rli-real", bloom=True)
+        lrc.create_mapping("keep", "p1")
+        lrc.create_mapping("drop", "p2")
+        manager.rebuild_bloom()
+        lrc.delete_mapping("drop", "p2")
+        manager.send_full_update()
+        assert rli.query("keep") == ["lrcA"]
+        with pytest.raises(Exception):
+            rli.query("drop")
+
+    def test_generation_time_recorded(self, setup):
+        lrc, manager, _, _ = setup
+        lrc.create_mapping("x", "p")
+        elapsed = manager.rebuild_bloom()
+        assert elapsed > 0
+        assert manager.stats.bloom_generation_time == elapsed
+
+    def test_incremental_flush_sends_bloom_to_bloom_targets(self, setup):
+        lrc, manager, sinks, _ = setup
+        lrc.add_rli("rli1", bloom=True)
+        manager.rebuild_bloom()
+        lrc.create_mapping("x", "p")
+        manager.send_incremental_update()
+        assert len(sinks["rli1"].bloom) == 1
+
+
+class TestPartitioning:
+    def test_full_update_filtered_by_pattern(self, setup):
+        lrc, manager, sinks, _ = setup
+        lrc.add_rli("rli-run1", patterns=["^run1/"])
+        lrc.add_rli("rli-run2", patterns=["^run2/"])
+        lrc.add_rli("rli-all")
+        lrc.bulk_create(
+            [("run1/a", "p1"), ("run1/b", "p2"), ("run2/c", "p3")]
+        )
+        manager.send_full_update()
+        assert sorted(sinks["rli-run1"].full[0][1]) == ["run1/a", "run1/b"]
+        assert sinks["rli-run2"].full[0][1] == ["run2/c"]
+        assert len(sinks["rli-all"].full[0][1]) == 3
+
+    def test_incremental_filtered_by_pattern(self, setup):
+        lrc, manager, sinks, _ = setup
+        lrc.add_rli("rli-run1", patterns=["^run1/"])
+        lrc.create_mapping("run1/x", "p")
+        lrc.create_mapping("run9/y", "p2")
+        manager.send_incremental_update()
+        _, added, _ = sinks["rli-run1"].incremental[0]
+        assert added == ["run1/x"]
+
+    def test_bloom_with_patterns_builds_subset_filter(self, setup):
+        lrc, manager, sinks, _ = setup
+        lrc.add_rli("rli-b", bloom=True, patterns=["^run1/"])
+        lrc.bulk_create([("run1/a", "p1"), ("run2/b", "p2")])
+        manager.send_full_update()
+        _, bitmap, nbits, k, entries = sinks["rli-b"].bloom[0]
+        from repro.core.bloom import BloomFilter, BloomParameters
+
+        bf = BloomFilter.from_bytes(bitmap, BloomParameters(nbits, k))
+        assert "run1/a" in bf
+        assert "run2/b" not in bf
+
+
+class TestScheduling:
+    def test_incremental_due_after_interval(self, setup):
+        lrc, manager, sinks, clock = setup
+        lrc.add_rli("rli1")
+        lrc.create_mapping("x", "p")
+        assert manager.due_actions() == []
+        clock.now += 31.0
+        assert manager.due_actions() == ["incremental"]
+
+    def test_incremental_due_after_count_threshold(self, setup):
+        lrc, manager, sinks, clock = setup
+        lrc.add_rli("rli1")
+        for i in range(5):  # threshold is 5
+            lrc.create_mapping(f"x{i}", f"p{i}")
+        assert manager.due_actions() == ["incremental"]
+
+    def test_full_due_after_full_interval(self, setup):
+        lrc, manager, _, clock = setup
+        lrc.add_rli("rli1")
+        clock.now += 601.0
+        assert manager.due_actions() == ["full"]
+
+    def test_nothing_due_without_changes(self, setup):
+        lrc, manager, _, clock = setup
+        lrc.add_rli("rli1")
+        clock.now += 31.0
+        assert manager.due_actions() == []
+
+    def test_tick_performs_due_actions(self, setup):
+        lrc, manager, sinks, clock = setup
+        lrc.add_rli("rli1")
+        lrc.create_mapping("x", "p")
+        clock.now += 31.0
+        assert manager.tick() == ["incremental"]
+        assert sinks["rli1"].incremental
+
+    def test_immediate_mode_disabled(self, setup):
+        lrc, manager, _, clock = setup
+        manager.policy.immediate_mode = False
+        lrc.add_rli("rli1")
+        lrc.create_mapping("x", "p")
+        clock.now += 100.0
+        assert manager.due_actions() == []
+
+
+class TestPartitionRouter:
+    def test_no_patterns_matches_everything(self):
+        from repro.core.lrc import RLITarget
+
+        router = PartitionRouter([RLITarget("rli")])
+        assert router.matches(RLITarget("rli"), "anything")
+
+    def test_search_semantics(self):
+        from repro.core.lrc import RLITarget
+
+        target = RLITarget("rli", patterns=("run1",))
+        router = PartitionRouter([target])
+        assert router.matches(target, "data/run1/file")  # substring match
+
+    def test_route(self):
+        from repro.core.lrc import RLITarget
+
+        t1 = RLITarget("a", patterns=("^x",))
+        t2 = RLITarget("b", patterns=("^y",))
+        t3 = RLITarget("c")
+        router = PartitionRouter([t1, t2, t3])
+        assert [t.name for t in router.route("xfile")] == ["a", "c"]
+
+    def test_filter_names(self):
+        from repro.core.lrc import RLITarget
+
+        target = RLITarget("a", patterns=("^x", "^y"))
+        router = PartitionRouter([target])
+        assert router.filter_names(target, ["x1", "y1", "z1"]) == ["x1", "y1"]

@@ -1,0 +1,127 @@
+"""MySQL- and PostgreSQL-flavoured engine behaviour (paper §5.1 / §5.2)."""
+
+import pytest
+
+from repro.db.mysql_engine import MySQLEngine
+from repro.db.postgres_engine import PostgresEngine
+
+
+def _create(db):
+    db.execute(
+        "CREATE TABLE t (id INT NOT NULL AUTO_INCREMENT, "
+        "name VARCHAR(100) NOT NULL, PRIMARY KEY (id), UNIQUE (name))"
+    )
+
+
+class TestMySQLFlushPolicy:
+    def test_flush_enabled_pays_sync_per_insert(self):
+        slept = []
+        from repro.db.wal import InMemoryLogDevice, WriteAheadLog
+
+        device = InMemoryLogDevice(sync_latency=0.011, sleep=slept.append)
+        db = MySQLEngine(flush_on_commit=True, device=device)
+        _create(db)
+        for i in range(4):
+            db.execute("INSERT INTO t (name) VALUES (?)", [f"n{i}"])
+        assert len(slept) == 4
+
+    def test_flush_disabled_skips_sync(self):
+        slept = []
+        from repro.db.wal import InMemoryLogDevice
+
+        device = InMemoryLogDevice(sync_latency=0.011, sleep=slept.append)
+        db = MySQLEngine(flush_on_commit=False, device=device)
+        db.wal.max_buffered_records = 10_000
+        db.wal.flush_interval = 1e9
+        _create(db)
+        for i in range(4):
+            db.execute("INSERT INTO t (name) VALUES (?)", [f"n{i}"])
+        assert slept == []
+
+    def test_queries_never_pay_sync(self):
+        """Figure 5's result: flush setting does not affect queries."""
+        slept = []
+        from repro.db.wal import InMemoryLogDevice
+
+        device = InMemoryLogDevice(sync_latency=0.011, sleep=slept.append)
+        db = MySQLEngine(flush_on_commit=True, device=device)
+        _create(db)
+        db.execute("INSERT INTO t (name) VALUES ('a')")
+        sync_count = len(slept)
+        for _ in range(10):
+            db.execute("SELECT id FROM t WHERE name = 'a'")
+        assert len(slept) == sync_count
+
+    def test_toggle_flush(self):
+        db = MySQLEngine(flush_on_commit=True, sync_latency=0.0)
+        assert db.flush_on_commit
+        db.set_flush_on_commit(False)
+        assert not db.flush_on_commit
+
+    def test_eager_storage_no_dead_tuples(self):
+        db = MySQLEngine(sync_latency=0.0, flush_on_commit=False)
+        _create(db)
+        db.execute("INSERT INTO t (name) VALUES ('a')")
+        db.execute("DELETE FROM t WHERE name = 'a'")
+        assert db.table("t").dead_tuple_count == 0
+
+
+class TestPostgresMVCC:
+    def test_delete_leaves_dead_tuples(self, postgres):
+        _create(postgres)
+        for i in range(10):
+            postgres.execute("INSERT INTO t (name) VALUES (?)", [f"n{i}"])
+        postgres.execute("DELETE FROM t WHERE name LIKE 'n%'")
+        assert postgres.dead_tuples()["t"] == 10
+
+    def test_vacuum_reclaims(self, postgres):
+        _create(postgres)
+        for i in range(10):
+            postgres.execute("INSERT INTO t (name) VALUES (?)", [f"n{i}"])
+        postgres.execute("DELETE FROM t")
+        assert postgres.vacuum("t") == 10
+        assert postgres.dead_tuples()["t"] == 0
+
+    def test_vacuum_all_tables(self, postgres):
+        _create(postgres)
+        postgres.execute("CREATE TABLE u (id INT, name VARCHAR(10))")
+        postgres.execute("INSERT INTO t (name) VALUES ('a')")
+        postgres.execute("INSERT INTO u (id, name) VALUES (1, 'b')")
+        postgres.execute("DELETE FROM t")
+        postgres.execute("DELETE FROM u")
+        assert postgres.vacuum() == 2
+
+    def test_sql_vacuum_statement(self, postgres):
+        _create(postgres)
+        postgres.execute("INSERT INTO t (name) VALUES ('a')")
+        postgres.execute("DELETE FROM t")
+        assert postgres.execute("VACUUM t").rowcount == 1
+
+    def test_churn_cost_grows_until_vacuum(self, postgres):
+        """The Figure 8 mechanism: add/delete churn accumulates dead index
+        entries whose filtering cost grows, and VACUUM resets it."""
+        _create(postgres)
+        table = postgres.table("t")
+
+        def churn(rounds):
+            before = table.stats.dead_index_hits
+            for i in range(rounds):
+                postgres.execute("INSERT INTO t (name) VALUES ('hot')")
+                postgres.execute("DELETE FROM t WHERE name = 'hot'")
+            return table.stats.dead_index_hits - before
+
+        first = churn(50)
+        second = churn(50)  # dead entries from round one make this pricier
+        assert second > first
+        postgres.vacuum("t")
+        third = churn(50)
+        assert third <= second  # vacuum restored the cost
+
+    def test_correctness_unaffected_by_dead_tuples(self, postgres):
+        _create(postgres)
+        for round_no in range(5):
+            postgres.execute("INSERT INTO t (name) VALUES ('x')")
+            postgres.execute("DELETE FROM t WHERE name = 'x'")
+        postgres.execute("INSERT INTO t (name) VALUES ('x')")
+        rows = postgres.execute("SELECT name FROM t").rows
+        assert rows == [("x",)]

@@ -1,0 +1,94 @@
+"""EXPLAIN: the access plans the RLS relies on must actually be chosen."""
+
+import pytest
+
+from repro.db.errors import SQLSyntaxError
+from repro.db.mysql_engine import MySQLEngine
+
+
+@pytest.fixture
+def db():
+    engine = MySQLEngine(flush_on_commit=False, sync_latency=0.0)
+    engine.execute(
+        "CREATE TABLE t_lfn (id INT NOT NULL AUTO_INCREMENT, "
+        "name VARCHAR(250) NOT NULL, ref INT, "
+        "PRIMARY KEY (id), UNIQUE (name))"
+    )
+    engine.execute("CREATE INDEX lfn_pfx ON t_lfn (name) USING BTREE")
+    engine.execute(
+        "CREATE TABLE t_map (lfn_id INT NOT NULL, pfn_id INT NOT NULL, "
+        "PRIMARY KEY (lfn_id, pfn_id))"
+    )
+    engine.execute("CREATE INDEX map_lfn ON t_map (lfn_id)")
+    return engine
+
+
+def plan(db, sql, params=()):
+    return [r[0] for r in db.execute("EXPLAIN " + sql, params).rows]
+
+
+class TestSelectPlans:
+    def test_name_lookup_uses_hash_index(self, db):
+        lines = plan(db, "SELECT id FROM t_lfn WHERE name = ?", ["x"])
+        assert lines[0] == "drive: hash index lookup t_lfn(name)"
+
+    def test_like_prefix_uses_ordered_index(self, db):
+        lines = plan(db, "SELECT name FROM t_lfn WHERE name LIKE 'lfn%'")
+        assert "ordered index prefix scan t_lfn(name)" in lines[0]
+        assert "prefix='lfn'" in lines[0]
+
+    def test_leading_wildcard_falls_back_to_scan(self, db):
+        lines = plan(db, "SELECT name FROM t_lfn WHERE name LIKE '%fn'")
+        # Empty prefix -> prefix scan over everything is still chosen
+        # (prefix=''), which degenerates to a full ordered scan.
+        assert "prefix=''" in lines[0] or "full scan" in lines[0]
+
+    def test_unindexed_predicate_scans(self, db):
+        lines = plan(db, "SELECT id FROM t_lfn WHERE ref = 5")
+        assert lines[0] == "drive: full scan t_lfn + filter"
+
+    def test_no_where_scans(self, db):
+        lines = plan(db, "SELECT id FROM t_lfn")
+        assert lines[0] == "drive: full scan t_lfn"
+
+    def test_join_probes_hash_index(self, db):
+        lines = plan(
+            db,
+            "SELECT m.pfn_id FROM t_lfn l "
+            "JOIN t_map m ON l.id = m.lfn_id WHERE l.name = ?",
+            ["x"],
+        )
+        assert lines[1] == "join: t_map via hash probe on lfn_id"
+
+    def test_join_without_index_scans(self, db):
+        db.execute("CREATE TABLE loose (a INT, b INT)")
+        lines = plan(
+            db, "SELECT loose.b FROM t_lfn l JOIN loose ON l.ref = loose.a"
+        )
+        assert lines[1] == "join: loose via full scan"
+
+    def test_sort_and_limit_reported(self, db):
+        lines = plan(db, "SELECT name FROM t_lfn ORDER BY name LIMIT 3")
+        assert "sort: name" in lines
+        assert "limit: 3" in lines
+
+
+class TestUpdateDeletePlans:
+    def test_delete_by_key(self, db):
+        lines = plan(db, "DELETE FROM t_lfn WHERE name = 'x'")
+        assert lines == ["delete via hash index lookup t_lfn(name)"]
+
+    def test_update_by_pk(self, db):
+        lines = plan(db, "UPDATE t_lfn SET ref = 1 WHERE id = 7")
+        assert lines == ["update via hash index lookup t_lfn(id)"]
+
+
+class TestExplainErrors:
+    def test_explain_insert_rejected(self, db):
+        with pytest.raises(SQLSyntaxError):
+            db.execute("EXPLAIN INSERT INTO t_lfn (name) VALUES ('x')")
+
+    def test_explain_does_not_mutate(self, db):
+        db.execute("INSERT INTO t_lfn (name, ref) VALUES ('keep', 1)")
+        db.execute("EXPLAIN DELETE FROM t_lfn WHERE name = 'keep'")
+        assert db.execute("SELECT COUNT(*) FROM t_lfn").scalar() == 1

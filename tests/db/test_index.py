@@ -1,0 +1,134 @@
+"""Hash and ordered index tests, including hypothesis properties."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.index import HashIndex, OrderedIndex
+
+
+class TestHashIndex:
+    def test_insert_lookup(self):
+        idx = HashIndex("i", (0,))
+        idx.insert(("a",), 1)
+        idx.insert(("a",), 2)
+        assert idx.lookup(("a",)) == {1, 2}
+
+    def test_lookup_missing_is_empty(self):
+        assert HashIndex("i", (0,)).lookup(("nope",)) == frozenset()
+
+    def test_remove(self):
+        idx = HashIndex("i", (0,))
+        idx.insert(("a",), 1)
+        idx.remove(("a",), 1)
+        assert idx.lookup(("a",)) == frozenset()
+        assert len(idx) == 0
+
+    def test_remove_nonexistent_is_noop(self):
+        idx = HashIndex("i", (0,))
+        idx.remove(("a",), 1)  # no raise
+
+    def test_composite_key(self):
+        idx = HashIndex("i", (0, 2))
+        row = ["x", "ignored", 7]
+        assert idx.key_for(row) == ("x", 7)
+
+    def test_distinct_keys(self):
+        idx = HashIndex("i", (0,))
+        idx.insert(("a",), 1)
+        idx.insert(("b",), 2)
+        assert sorted(idx.distinct_keys()) == [("a",), ("b",)]
+
+
+class TestOrderedIndex:
+    def make(self, keys):
+        idx = OrderedIndex("o", 0)
+        for rid, key in enumerate(keys):
+            idx.insert(key, rid)
+        return idx
+
+    def test_lookup(self):
+        idx = self.make(["b", "a", "c"])
+        assert idx.lookup("a") == {1}
+
+    def test_duplicate_keys_share_entry(self):
+        idx = OrderedIndex("o", 0)
+        idx.insert("k", 1)
+        idx.insert("k", 2)
+        assert idx.lookup("k") == {1, 2}
+        assert len(idx) == 1
+
+    def test_remove_last_rid_removes_key(self):
+        idx = OrderedIndex("o", 0)
+        idx.insert("k", 1)
+        idx.remove("k", 1)
+        assert len(idx) == 0
+        assert list(idx.range_scan()) == []
+
+    def test_range_scan_inclusive(self):
+        idx = self.make(["a", "b", "c", "d"])
+        keys = [k for k, _ in idx.range_scan("b", "c")]
+        assert keys == ["b", "c"]
+
+    def test_range_scan_exclusive(self):
+        idx = self.make(["a", "b", "c", "d"])
+        keys = [k for k, _ in idx.range_scan("a", "d", False, False)]
+        assert keys == ["b", "c"]
+
+    def test_range_scan_open_ends(self):
+        idx = self.make(["a", "b", "c"])
+        assert [k for k, _ in idx.range_scan()] == ["a", "b", "c"]
+
+    def test_prefix_scan(self):
+        idx = self.make(["lfn1", "lfn2", "other", "lfn3"])
+        assert [k for k, _ in idx.prefix_scan("lfn")] == ["lfn1", "lfn2", "lfn3"]
+
+    def test_prefix_scan_empty_prefix_scans_all(self):
+        idx = self.make(["b", "a"])
+        assert [k for k, _ in idx.prefix_scan("")] == ["a", "b"]
+
+    def test_prefix_scan_no_match(self):
+        idx = self.make(["abc"])
+        assert list(idx.prefix_scan("zzz")) == []
+
+
+@settings(max_examples=50)
+@given(st.lists(st.text(min_size=0, max_size=8), max_size=40))
+def test_ordered_index_keys_always_sorted(keys):
+    """Property: internal key list stays sorted under arbitrary inserts."""
+    idx = OrderedIndex("o", 0)
+    for rid, key in enumerate(keys):
+        idx.insert(key, rid)
+    scanned = [k for k, _ in idx.range_scan()]
+    assert scanned == sorted(set(keys))
+
+
+@settings(max_examples=50)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from("abcde"), st.integers(0, 5)),
+        max_size=40,
+    )
+)
+def test_ordered_index_insert_remove_roundtrip(ops):
+    """Property: insert-then-remove of everything leaves an empty index."""
+    idx = OrderedIndex("o", 0)
+    for key, rid in ops:
+        idx.insert(key, rid)
+    for key, rid in ops:
+        idx.remove(key, rid)
+    assert len(idx) == 0
+
+
+@settings(max_examples=50)
+@given(
+    st.lists(st.text("ab", min_size=0, max_size=6), max_size=30),
+    st.text("ab", min_size=0, max_size=3),
+)
+def test_prefix_scan_matches_naive_filter(keys, prefix):
+    """Property: prefix_scan equals filtering all keys by startswith."""
+    idx = OrderedIndex("o", 0)
+    for rid, key in enumerate(keys):
+        idx.insert(key, rid)
+    got = [k for k, _ in idx.prefix_scan(prefix)]
+    expected = sorted({k for k in keys if k.startswith(prefix)})
+    assert got == expected

@@ -1,0 +1,91 @@
+"""TableSchema validation and row coercion tests."""
+
+import pytest
+
+from repro.db.errors import IntegrityError, NoSuchColumnError, TypeMismatchError
+from repro.db.schema import Column, TableSchema
+from repro.db.types import INT, VARCHAR
+
+
+def lfn_schema() -> TableSchema:
+    return TableSchema(
+        name="t_lfn",
+        columns=[
+            Column("id", INT, nullable=False, autoincrement=True),
+            Column("name", VARCHAR(250), nullable=False),
+            Column("ref", INT),
+        ],
+        primary_key=("id",),
+        unique=[("name",)],
+    )
+
+
+class TestSchemaConstruction:
+    def test_column_names_ordered(self):
+        assert lfn_schema().column_names == ["id", "name", "ref"]
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(IntegrityError):
+            TableSchema("t", [Column("a", INT), Column("A", INT)])
+
+    def test_unknown_pk_column_rejected(self):
+        with pytest.raises(NoSuchColumnError):
+            TableSchema("t", [Column("a", INT)], primary_key=("b",))
+
+    def test_unknown_unique_column_rejected(self):
+        with pytest.raises(NoSuchColumnError):
+            TableSchema("t", [Column("a", INT)], unique=[("nope",)])
+
+    def test_key_constraints_pk_first(self):
+        keys = lfn_schema().key_constraints()
+        assert keys == [("id",), ("name",)]
+
+
+class TestColumnLookup:
+    def test_case_insensitive(self):
+        schema = lfn_schema()
+        assert schema.column_index("NAME") == 1
+        assert schema.column("Ref").name == "ref"
+
+    def test_missing_column_raises(self):
+        with pytest.raises(NoSuchColumnError):
+            lfn_schema().column_index("missing")
+
+    def test_has_column(self):
+        schema = lfn_schema()
+        assert schema.has_column("id")
+        assert not schema.has_column("nope")
+
+
+class TestCoerceRow:
+    def test_full_row(self):
+        row = lfn_schema().coerce_row({"id": 1, "name": "x", "ref": 2})
+        assert row == [1, "x", 2]
+
+    def test_autoincrement_column_may_be_omitted(self):
+        row = lfn_schema().coerce_row({"name": "x", "ref": 0})
+        assert row == [None, "x", 0]
+
+    def test_nullable_column_defaults_null(self):
+        row = lfn_schema().coerce_row({"name": "x"})
+        assert row == [None, "x", None]
+
+    def test_not_null_violation(self):
+        with pytest.raises(IntegrityError):
+            lfn_schema().coerce_row({"ref": 1})
+
+    def test_explicit_null_in_not_null_column(self):
+        with pytest.raises(IntegrityError):
+            lfn_schema().coerce_row({"name": None})
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(NoSuchColumnError):
+            lfn_schema().coerce_row({"name": "x", "bogus": 1})
+
+    def test_type_error_includes_context(self):
+        with pytest.raises(TypeMismatchError, match="t_lfn.ref"):
+            lfn_schema().coerce_row({"name": "x", "ref": "zzz"})
+
+    def test_values_are_coerced(self):
+        row = lfn_schema().coerce_row({"name": "x", "ref": "5"})
+        assert row[2] == 5

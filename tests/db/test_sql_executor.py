@@ -1,0 +1,237 @@
+"""SQL executor tests against a live engine, plus LIKE property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.engine import Database
+from repro.db.errors import (
+    DuplicateKeyError,
+    NoSuchTableError,
+    SQLSyntaxError,
+)
+from repro.db.sql.executor import like_prefix, like_to_regex
+
+
+@pytest.fixture
+def db():
+    database = Database("test")
+    database.execute(
+        "CREATE TABLE t_lfn (id INT NOT NULL AUTO_INCREMENT, "
+        "name VARCHAR(250) NOT NULL, ref INT, "
+        "PRIMARY KEY (id), UNIQUE (name))"
+    )
+    database.execute("CREATE INDEX lfn_prefix ON t_lfn (name) USING BTREE")
+    database.execute(
+        "CREATE TABLE t_pfn (id INT NOT NULL AUTO_INCREMENT, "
+        "name VARCHAR(250) NOT NULL, ref INT, "
+        "PRIMARY KEY (id), UNIQUE (name))"
+    )
+    database.execute(
+        "CREATE TABLE t_map (lfn_id INT NOT NULL, pfn_id INT NOT NULL, "
+        "PRIMARY KEY (lfn_id, pfn_id))"
+    )
+    database.execute("CREATE INDEX map_lfn ON t_map (lfn_id)")
+    database.execute("CREATE INDEX map_pfn ON t_map (pfn_id)")
+    return database
+
+
+def load(db, n=5, replicas=1):
+    for i in range(n):
+        r = db.execute(
+            "INSERT INTO t_lfn (name, ref) VALUES (?, ?)", [f"lfn{i}", replicas]
+        )
+        for j in range(replicas):
+            p = db.execute(
+                "INSERT INTO t_pfn (name, ref) VALUES (?, ?)", [f"pfn{i}_{j}", 1]
+            )
+            db.execute(
+                "INSERT INTO t_map (lfn_id, pfn_id) VALUES (?, ?)",
+                [r.lastrowid, p.lastrowid],
+            )
+
+
+class TestInsertSelect:
+    def test_insert_returns_lastrowid(self, db):
+        r = db.execute("INSERT INTO t_lfn (name, ref) VALUES (?, ?)", ["a", 0])
+        assert r.lastrowid == 1 and r.rowcount == 1
+
+    def test_multi_row_insert(self, db):
+        r = db.execute("INSERT INTO t_lfn (name, ref) VALUES ('a', 0), ('b', 0)")
+        assert r.rowcount == 2
+
+    def test_select_by_indexed_equality(self, db):
+        load(db)
+        rows = db.execute("SELECT id, ref FROM t_lfn WHERE name = ?", ["lfn3"]).rows
+        assert len(rows) == 1 and rows[0][1] == 1
+
+    def test_select_star(self, db):
+        load(db, 2)
+        result = db.execute("SELECT * FROM t_lfn WHERE name = 'lfn0'")
+        assert result.columns == ["id", "name", "ref"]
+
+    def test_select_missing_returns_empty(self, db):
+        load(db)
+        assert db.execute("SELECT id FROM t_lfn WHERE name = 'zzz'").rows == []
+
+    def test_count_star(self, db):
+        load(db, 7)
+        assert db.execute("SELECT COUNT(*) FROM t_lfn").scalar() == 7
+
+    def test_duplicate_unique_raises(self, db):
+        db.execute("INSERT INTO t_lfn (name, ref) VALUES ('a', 0)")
+        with pytest.raises(DuplicateKeyError):
+            db.execute("INSERT INTO t_lfn (name, ref) VALUES ('a', 0)")
+
+    def test_unknown_table(self, db):
+        with pytest.raises(NoSuchTableError):
+            db.execute("SELECT * FROM nope")
+
+
+class TestJoins:
+    def test_three_way_join(self, db):
+        load(db, 3, replicas=2)
+        rows = db.execute(
+            "SELECT p.name FROM t_lfn l "
+            "JOIN t_map m ON l.id = m.lfn_id "
+            "JOIN t_pfn p ON m.pfn_id = p.id "
+            "WHERE l.name = ?",
+            ["lfn1"],
+        ).rows
+        assert sorted(r[0] for r in rows) == ["pfn1_0", "pfn1_1"]
+
+    def test_reverse_join(self, db):
+        load(db, 3)
+        rows = db.execute(
+            "SELECT l.name FROM t_pfn p "
+            "JOIN t_map m ON p.id = m.pfn_id "
+            "JOIN t_lfn l ON m.lfn_id = l.id "
+            "WHERE p.name = ?",
+            ["pfn2_0"],
+        ).rows
+        assert rows == [("lfn2",)]
+
+    def test_join_with_no_matches(self, db):
+        load(db, 1)
+        rows = db.execute(
+            "SELECT p.name FROM t_lfn l "
+            "JOIN t_map m ON l.id = m.lfn_id "
+            "JOIN t_pfn p ON m.pfn_id = p.id "
+            "WHERE l.name = 'absent'",
+        ).rows
+        assert rows == []
+
+    def test_duplicate_alias_rejected(self, db):
+        with pytest.raises(SQLSyntaxError):
+            db.execute("SELECT x.id FROM t_lfn x JOIN t_pfn x ON x.id = x.id")
+
+
+class TestWhereOperators:
+    def test_like_prefix(self, db):
+        load(db, 12)
+        rows = db.execute("SELECT name FROM t_lfn WHERE name LIKE 'lfn1%'").rows
+        assert sorted(r[0] for r in rows) == ["lfn1", "lfn10", "lfn11"]
+
+    def test_like_underscore(self, db):
+        load(db, 12)
+        rows = db.execute("SELECT name FROM t_lfn WHERE name LIKE 'lfn_'").rows
+        assert len(rows) == 10
+
+    def test_inequality(self, db):
+        load(db, 5)
+        rows = db.execute("SELECT name FROM t_lfn WHERE id > 3").rows
+        assert len(rows) == 2
+
+    def test_in_list(self, db):
+        load(db, 5)
+        rows = db.execute(
+            "SELECT name FROM t_lfn WHERE name IN ('lfn0', 'lfn4', 'nope')"
+        ).rows
+        assert len(rows) == 2
+
+    def test_or(self, db):
+        load(db, 5)
+        rows = db.execute(
+            "SELECT name FROM t_lfn WHERE name = 'lfn0' OR name = 'lfn1'"
+        ).rows
+        assert len(rows) == 2
+
+    def test_null_comparison_is_false(self, db):
+        db.execute("INSERT INTO t_lfn (name) VALUES ('a')")  # ref NULL
+        assert db.execute("SELECT name FROM t_lfn WHERE ref = 0").rows == []
+
+    def test_is_null(self, db):
+        db.execute("INSERT INTO t_lfn (name) VALUES ('a')")
+        assert len(db.execute("SELECT name FROM t_lfn WHERE ref IS NULL").rows) == 1
+
+
+class TestUpdateDelete:
+    def test_update_by_key(self, db):
+        load(db, 3)
+        n = db.execute("UPDATE t_lfn SET ref = 9 WHERE name = 'lfn1'").rowcount
+        assert n == 1
+        assert db.execute("SELECT ref FROM t_lfn WHERE name = 'lfn1'").scalar() == 9
+
+    def test_update_no_match(self, db):
+        assert db.execute("UPDATE t_lfn SET ref = 1 WHERE name = 'x'").rowcount == 0
+
+    def test_delete_by_key(self, db):
+        load(db, 3)
+        assert db.execute("DELETE FROM t_lfn WHERE name = 'lfn0'").rowcount == 1
+        assert db.execute("SELECT COUNT(*) FROM t_lfn").scalar() == 2
+
+    def test_delete_composite_key(self, db):
+        load(db, 2)
+        n = db.execute(
+            "DELETE FROM t_map WHERE lfn_id = ? AND pfn_id = ?", [1, 1]
+        ).rowcount
+        assert n == 1
+
+    def test_delete_all(self, db):
+        load(db, 4)
+        assert db.execute("DELETE FROM t_lfn").rowcount == 4
+
+
+class TestOrderLimitDistinct:
+    def test_order_by_desc(self, db):
+        load(db, 3)
+        rows = db.execute("SELECT name FROM t_lfn ORDER BY name DESC").rows
+        assert [r[0] for r in rows] == ["lfn2", "lfn1", "lfn0"]
+
+    def test_limit(self, db):
+        load(db, 10)
+        assert len(db.execute("SELECT name FROM t_lfn LIMIT 4").rows) == 4
+
+    def test_distinct(self, db):
+        load(db, 3)
+        rows = db.execute("SELECT DISTINCT ref FROM t_lfn").rows
+        assert rows == [(1,)]
+
+
+class TestStatementCache:
+    def test_repeated_statement_parsed_once(self, db):
+        db.execute("INSERT INTO t_lfn (name, ref) VALUES (?, ?)", ["a", 0])
+        size_before = len(db._statement_cache)
+        db.execute("INSERT INTO t_lfn (name, ref) VALUES (?, ?)", ["b", 0])
+        assert len(db._statement_cache) == size_before
+
+
+class TestLikeHelpers:
+    def test_prefix_extraction(self):
+        assert like_prefix("abc%") == "abc"
+        assert like_prefix("a_c") == "a"
+        assert like_prefix("nowildcard") == "nowildcard"
+        assert like_prefix("%x") == ""
+
+    @settings(max_examples=100)
+    @given(st.text("abc%_", max_size=8), st.text("abc", max_size=8))
+    def test_like_matches_prefix_invariant(self, pattern, candidate):
+        """Property: anything matching LIKE starts with the literal prefix."""
+        if like_to_regex(pattern).fullmatch(candidate):
+            assert candidate.startswith(like_prefix(pattern))
+
+    @settings(max_examples=100)
+    @given(st.text("abcdef", max_size=10))
+    def test_percent_suffix_matches_everything_with_prefix(self, s):
+        assert like_to_regex(s + "%").fullmatch(s + "anything")
+        assert like_to_regex(s + "%").fullmatch(s)

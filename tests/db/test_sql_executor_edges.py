@@ -1,0 +1,150 @@
+"""Executor edge cases: composite-key paths, DISTINCT over joins,
+parameterized IN, NULL handling, multi-row semantics."""
+
+import pytest
+
+from repro.db.engine import Database
+from repro.db.errors import SQLSyntaxError
+
+
+@pytest.fixture
+def db():
+    database = Database("edge")
+    database.execute(
+        "CREATE TABLE t_map (lfn_id INT NOT NULL, pfn_id INT NOT NULL, "
+        "PRIMARY KEY (lfn_id, pfn_id))"
+    )
+    database.execute("CREATE INDEX m_lfn ON t_map (lfn_id)")
+    database.execute(
+        "CREATE TABLE t_lfn (id INT NOT NULL AUTO_INCREMENT, "
+        "name VARCHAR(100) NOT NULL, ref INT, PRIMARY KEY (id))"
+    )
+    return database
+
+
+class TestCompositeKeyAccess:
+    def test_composite_equality_uses_pk_index(self, db):
+        for lfn in range(5):
+            for pfn in range(3):
+                db.execute(
+                    "INSERT INTO t_map (lfn_id, pfn_id) VALUES (?, ?)",
+                    [lfn, pfn],
+                )
+        rows = db.execute(
+            "SELECT lfn_id FROM t_map WHERE lfn_id = ? AND pfn_id = ?", [3, 2]
+        ).rows
+        assert rows == [(3,)]
+        plan = db.execute(
+            "EXPLAIN SELECT lfn_id FROM t_map WHERE lfn_id = ? AND pfn_id = ?",
+            [3, 2],
+        ).rows
+        assert "hash index lookup t_map(lfn_id, pfn_id)" in plan[0][0]
+
+    def test_partial_composite_uses_single_column_index(self, db):
+        db.execute("INSERT INTO t_map (lfn_id, pfn_id) VALUES (7, 1), (7, 2)")
+        rows = db.execute(
+            "SELECT pfn_id FROM t_map WHERE lfn_id = ?", [7]
+        ).rows
+        assert sorted(r[0] for r in rows) == [1, 2]
+        plan = db.execute(
+            "EXPLAIN SELECT pfn_id FROM t_map WHERE lfn_id = ?", [7]
+        ).rows
+        assert "hash index lookup t_map(lfn_id)" in plan[0][0]
+
+
+class TestDistinctAndAliases:
+    def test_distinct_over_join(self, db):
+        db.execute("INSERT INTO t_lfn (name, ref) VALUES ('a', 1), ('b', 1)")
+        db.execute(
+            "INSERT INTO t_map (lfn_id, pfn_id) VALUES (1, 10), (1, 11), (2, 10)"
+        )
+        rows = db.execute(
+            "SELECT DISTINCT m.pfn_id FROM t_lfn l "
+            "JOIN t_map m ON l.id = m.lfn_id"
+        ).rows
+        assert sorted(r[0] for r in rows) == [10, 11]
+
+    def test_column_alias_in_output(self, db):
+        db.execute("INSERT INTO t_lfn (name, ref) VALUES ('x', 9)")
+        result = db.execute("SELECT ref AS weight FROM t_lfn")
+        assert result.columns == ["weight"]
+
+    def test_order_by_alias(self, db):
+        db.execute(
+            "INSERT INTO t_lfn (name, ref) VALUES ('a', 3), ('b', 1), ('c', 2)"
+        )
+        rows = db.execute(
+            "SELECT name, ref AS weight FROM t_lfn ORDER BY weight"
+        ).rows
+        assert [r[0] for r in rows] == ["b", "c", "a"]
+
+
+class TestParameterizedPredicates:
+    def test_in_with_params(self, db):
+        db.execute(
+            "INSERT INTO t_lfn (name, ref) VALUES ('a', 1), ('b', 2), ('c', 3)"
+        )
+        rows = db.execute(
+            "SELECT name FROM t_lfn WHERE ref IN (?, ?)", [1, 3]
+        ).rows
+        assert sorted(r[0] for r in rows) == ["a", "c"]
+
+    def test_like_with_param_prefix(self, db):
+        db.execute("INSERT INTO t_lfn (name, ref) VALUES ('run/a', 1)")
+        db.execute("INSERT INTO t_lfn (name, ref) VALUES ('cal/b', 1)")
+        rows = db.execute(
+            "SELECT name FROM t_lfn WHERE name LIKE ?", ["run/%"]
+        ).rows
+        assert rows == [("run/a",)]
+
+    def test_mixed_literal_and_param(self, db):
+        db.execute("INSERT INTO t_lfn (name, ref) VALUES ('a', 5)")
+        rows = db.execute(
+            "SELECT name FROM t_lfn WHERE ref > 1 AND name = ?", ["a"]
+        ).rows
+        assert rows == [("a",)]
+
+
+class TestNullSemantics:
+    def test_null_not_equal_to_null(self, db):
+        db.execute("INSERT INTO t_lfn (name) VALUES ('n1'), ('n2')")  # ref NULL
+        rows = db.execute(
+            "SELECT COUNT(*) FROM t_lfn WHERE ref = ref"
+        ).scalar()
+        # NULL = NULL is not true in SQL.
+        assert rows == 0
+
+    def test_order_by_with_nulls(self, db):
+        db.execute("INSERT INTO t_lfn (name, ref) VALUES ('a', 2)")
+        db.execute("INSERT INTO t_lfn (name) VALUES ('b')")
+        db.execute("INSERT INTO t_lfn (name, ref) VALUES ('c', 1)")
+        rows = db.execute("SELECT name FROM t_lfn ORDER BY ref").rows
+        # NULLs sort last in this dialect.
+        assert [r[0] for r in rows] == ["c", "a", "b"]
+
+
+class TestMultiRowAndErrors:
+    def test_multi_row_insert_rowcount(self, db):
+        result = db.execute(
+            "INSERT INTO t_map (lfn_id, pfn_id) VALUES (1, 1), (1, 2), (2, 1)"
+        )
+        assert result.rowcount == 3
+
+    def test_update_multiple_rows(self, db):
+        db.execute(
+            "INSERT INTO t_lfn (name, ref) VALUES ('a', 1), ('b', 1), ('c', 2)"
+        )
+        count = db.execute("UPDATE t_lfn SET ref = 9 WHERE ref = 1").rowcount
+        assert count == 2
+
+    def test_count_with_where(self, db):
+        db.execute(
+            "INSERT INTO t_lfn (name, ref) VALUES ('a', 1), ('b', 2), ('c', 2)"
+        )
+        assert db.execute(
+            "SELECT COUNT(*) FROM t_lfn WHERE ref = 2"
+        ).scalar() == 2
+
+    def test_insert_expression_rejected(self, db):
+        with pytest.raises(SQLSyntaxError):
+            db.execute("INSERT INTO t_lfn (name, ref) VALUES ('a', ref)")

@@ -1,0 +1,101 @@
+"""SQL tokenizer tests."""
+
+import pytest
+
+from repro.db.errors import SQLSyntaxError
+from repro.db.sql.lexer import (
+    EOF,
+    IDENT,
+    KW,
+    NUMBER,
+    OP,
+    PARAM,
+    STRING,
+    tokenize,
+)
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)[:-1]]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+class TestBasics:
+    def test_empty_input_gives_eof_only(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1 and tokens[0].kind == EOF
+
+    def test_keywords_uppercased(self):
+        assert values("select from where") == ["SELECT", "FROM", "WHERE"]
+        assert kinds("select") == [KW]
+
+    def test_identifiers_preserved(self):
+        toks = tokenize("t_lfn myCol")
+        assert toks[0].value == "t_lfn" and toks[1].value == "myCol"
+        assert kinds("t_lfn") == [IDENT]
+
+    def test_params(self):
+        assert kinds("? ?") == [PARAM, PARAM]
+
+    def test_punctuation(self):
+        assert values("( ) , . * ;") == ["(", ")", ",", ".", "*", ";"]
+
+    def test_comparison_operators(self):
+        assert values("= != <> < <= > >=") == ["=", "!=", "<>", "<", "<=", ">", ">="]
+
+    def test_whitespace_and_newlines_ignored(self):
+        assert kinds("a\n\t b") == [IDENT, IDENT]
+
+    def test_line_comments_skipped(self):
+        assert values("a -- comment here\nb") == ["a", "b"]
+
+
+class TestLiterals:
+    def test_integer(self):
+        tok = tokenize("42")[0]
+        assert tok.kind == NUMBER and tok.value == 42
+
+    def test_float(self):
+        tok = tokenize("3.25")[0]
+        assert tok.kind == NUMBER and tok.value == 3.25
+
+    def test_scientific(self):
+        assert tokenize("1e3")[0].value == 1000.0
+        assert tokenize("2.5e-2")[0].value == 0.025
+
+    def test_string(self):
+        tok = tokenize("'hello world'")[0]
+        assert tok.kind == STRING and tok.value == "hello world"
+
+    def test_string_with_escaped_quote(self):
+        assert tokenize("'it''s'")[0].value == "it's"
+
+    def test_empty_string(self):
+        assert tokenize("''")[0].value == ""
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("'oops")
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("a @ b")
+
+
+class TestRealStatements:
+    def test_rls_query_statement(self):
+        text = (
+            "SELECT p.name FROM t_lfn l JOIN t_map m ON l.id = m.lfn_id "
+            "WHERE l.name = ?"
+        )
+        token_kinds = kinds(text)
+        assert token_kinds[0] == KW
+        assert PARAM in token_kinds
+        assert OP in token_kinds
+
+    def test_positions_recorded(self):
+        toks = tokenize("ab cd")
+        assert toks[0].pos == 0 and toks[1].pos == 3

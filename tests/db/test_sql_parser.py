@@ -1,0 +1,200 @@
+"""SQL parser tests."""
+
+import pytest
+
+from repro.db.errors import SQLSyntaxError
+from repro.db.sql import ast
+from repro.db.sql.parser import parse
+
+
+class TestSelect:
+    def test_simple(self):
+        stmt = parse("SELECT name FROM t_lfn")
+        assert isinstance(stmt, ast.Select)
+        assert stmt.items[0].expr == ast.ColumnRef(None, "name")
+        assert stmt.table.name == "t_lfn"
+
+    def test_star(self):
+        stmt = parse("SELECT * FROM t")
+        assert stmt.items == ()
+
+    def test_qualified_columns_and_alias(self):
+        stmt = parse("SELECT l.name FROM t_lfn l")
+        assert stmt.items[0].expr == ast.ColumnRef("l", "name")
+        assert stmt.table.alias == "l"
+
+    def test_as_alias(self):
+        stmt = parse("SELECT name AS n FROM t")
+        assert stmt.items[0].alias == "n"
+
+    def test_where_equality_param(self):
+        stmt = parse("SELECT id FROM t WHERE name = ?")
+        assert stmt.where == ast.Comparison(
+            "=", ast.ColumnRef(None, "name"), ast.Param(0)
+        )
+
+    def test_param_indexes_sequential(self):
+        stmt = parse("SELECT id FROM t WHERE a = ? AND b = ?")
+        conj = stmt.where
+        assert isinstance(conj, ast.And)
+        assert conj.left.right == ast.Param(0)
+        assert conj.right.right == ast.Param(1)
+
+    def test_joins(self):
+        stmt = parse(
+            "SELECT p.name FROM t_lfn l "
+            "JOIN t_map m ON l.id = m.lfn_id "
+            "INNER JOIN t_pfn p ON m.pfn_id = p.id "
+            "WHERE l.name = ?"
+        )
+        assert len(stmt.joins) == 2
+        assert stmt.joins[0].table.name == "t_map"
+        assert stmt.joins[1].table.alias == "p"
+
+    def test_like(self):
+        stmt = parse("SELECT name FROM t WHERE name LIKE 'lfn%'")
+        assert stmt.where.op == "LIKE"
+        assert stmt.where.right == ast.Literal("lfn%")
+
+    def test_not_like(self):
+        stmt = parse("SELECT name FROM t WHERE name NOT LIKE 'x%'")
+        assert stmt.where.op == "NOT LIKE"
+
+    def test_in_list(self):
+        stmt = parse("SELECT id FROM t WHERE id IN (1, 2, 3)")
+        assert isinstance(stmt.where, ast.InList)
+        assert len(stmt.where.items) == 3
+
+    def test_not_in(self):
+        stmt = parse("SELECT id FROM t WHERE id NOT IN (1)")
+        assert stmt.where.negated
+
+    def test_is_null(self):
+        stmt = parse("SELECT id FROM t WHERE ref IS NULL")
+        assert isinstance(stmt.where, ast.IsNull) and not stmt.where.negated
+
+    def test_is_not_null(self):
+        stmt = parse("SELECT id FROM t WHERE ref IS NOT NULL")
+        assert stmt.where.negated
+
+    def test_or_precedence(self):
+        stmt = parse("SELECT id FROM t WHERE a = 1 AND b = 2 OR c = 3")
+        # (a=1 AND b=2) OR c=3
+        assert isinstance(stmt.where, ast.Or)
+        assert isinstance(stmt.where.left, ast.And)
+
+    def test_parenthesized_expression(self):
+        stmt = parse("SELECT id FROM t WHERE a = 1 AND (b = 2 OR c = 3)")
+        assert isinstance(stmt.where, ast.And)
+        assert isinstance(stmt.where.right, ast.Or)
+
+    def test_not(self):
+        stmt = parse("SELECT id FROM t WHERE NOT a = 1")
+        assert isinstance(stmt.where, ast.Not)
+
+    def test_count_star(self):
+        stmt = parse("SELECT COUNT(*) FROM t")
+        assert isinstance(stmt.items[0].expr, ast.CountStar)
+
+    def test_order_by_limit(self):
+        stmt = parse("SELECT name FROM t ORDER BY name DESC LIMIT 5")
+        assert stmt.order_by[0].descending
+        assert stmt.limit == 5
+
+    def test_order_by_asc_default(self):
+        stmt = parse("SELECT name FROM t ORDER BY name ASC")
+        assert not stmt.order_by[0].descending
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT name FROM t").distinct
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT name FROM t LIMIT 1.5")
+
+    def test_trailing_semicolon_ok(self):
+        parse("SELECT name FROM t;")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT name FROM t garbage extra")
+
+
+class TestInsert:
+    def test_single_row(self):
+        stmt = parse("INSERT INTO t (a, b) VALUES (?, ?)")
+        assert stmt.table == "t"
+        assert stmt.columns == ("a", "b")
+        assert stmt.rows == ((ast.Param(0), ast.Param(1)),)
+
+    def test_multi_row(self):
+        stmt = parse("INSERT INTO t (a) VALUES (1), (2), (3)")
+        assert len(stmt.rows) == 3
+
+    def test_literals(self):
+        stmt = parse("INSERT INTO t (a, b, c) VALUES (1, 'x', NULL)")
+        assert stmt.rows[0] == (ast.Literal(1), ast.Literal("x"), ast.Literal(None))
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("INSERT INTO t (a, b) VALUES (1)")
+
+
+class TestUpdateDelete:
+    def test_update(self):
+        stmt = parse("UPDATE t SET ref = ?, name = 'x' WHERE id = ?")
+        assert stmt.assignments[0] == ("ref", ast.Param(0))
+        assert stmt.assignments[1] == ("name", ast.Literal("x"))
+        assert stmt.where is not None
+
+    def test_update_no_where(self):
+        assert parse("UPDATE t SET a = 1").where is None
+
+    def test_delete(self):
+        stmt = parse("DELETE FROM t WHERE name = ?")
+        assert stmt.table == "t"
+
+    def test_delete_all(self):
+        assert parse("DELETE FROM t").where is None
+
+
+class TestDDL:
+    def test_create_table(self):
+        stmt = parse(
+            "CREATE TABLE t_lfn ("
+            "id INT(11) NOT NULL AUTO_INCREMENT, "
+            "name VARCHAR(250) NOT NULL, "
+            "ref INT(11), "
+            "PRIMARY KEY (id), UNIQUE (name))"
+        )
+        assert isinstance(stmt, ast.CreateTable)
+        assert stmt.columns[0].autoincrement
+        assert stmt.columns[1].not_null and not stmt.columns[1].autoincrement
+        assert stmt.primary_key == ("id",)
+        assert stmt.unique == (("name",),)
+
+    def test_composite_primary_key(self):
+        stmt = parse("CREATE TABLE t_map (a INT, b INT, PRIMARY KEY (a, b))")
+        assert stmt.primary_key == ("a", "b")
+
+    def test_create_index_default_hash(self):
+        stmt = parse("CREATE INDEX i ON t (a, b)")
+        assert stmt.using == "HASH" and stmt.columns == ("a", "b")
+
+    def test_create_index_btree(self):
+        stmt = parse("CREATE INDEX i ON t (name) USING BTREE")
+        assert stmt.using == "BTREE"
+
+    def test_drop_table(self):
+        stmt = parse("DROP TABLE t")
+        assert isinstance(stmt, ast.DropTable) and stmt.name == "t"
+
+    def test_vacuum_all(self):
+        assert parse("VACUUM").table is None
+
+    def test_vacuum_table(self):
+        assert parse("VACUUM t_lfn").table == "t_lfn"
+
+    def test_unsupported_statement(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("GRANT ALL ON t")

@@ -1,0 +1,103 @@
+"""Model-based property test of the SQL layer against a dict model.
+
+Random INSERT/DELETE/UPDATE statements run against both the engine and a
+plain Python model; SELECTs must agree after every step, on both the
+MySQL-flavoured (eager) and PostgreSQL-flavoured (MVCC) engines — with
+interleaved VACUUMs on the latter to shake out dead-tuple bookkeeping.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.db.errors import DuplicateKeyError
+from repro.db.mysql_engine import MySQLEngine
+from repro.db.postgres_engine import PostgresEngine
+
+NAMES = [f"n{i}" for i in range(8)]
+
+
+class _SQLMachine(RuleBasedStateMachine):
+    engine_factory = staticmethod(
+        lambda: MySQLEngine(flush_on_commit=False, sync_latency=0.0)
+    )
+
+    def __init__(self):
+        super().__init__()
+        self.db = self.engine_factory()
+        self.db.execute(
+            "CREATE TABLE t (id INT NOT NULL AUTO_INCREMENT, "
+            "name VARCHAR(50) NOT NULL, ref INT, "
+            "PRIMARY KEY (id), UNIQUE (name))"
+        )
+        self.model: dict[str, int | None] = {}
+
+    @rule(name=st.sampled_from(NAMES), ref=st.integers(0, 5) | st.none())
+    def insert(self, name, ref):
+        if name in self.model:
+            try:
+                self.db.execute(
+                    "INSERT INTO t (name, ref) VALUES (?, ?)", [name, ref]
+                )
+                raise AssertionError("expected DuplicateKeyError")
+            except DuplicateKeyError:
+                return
+        else:
+            self.db.execute(
+                "INSERT INTO t (name, ref) VALUES (?, ?)", [name, ref]
+            )
+            self.model[name] = ref
+
+    @rule(name=st.sampled_from(NAMES))
+    def delete(self, name):
+        count = self.db.execute(
+            "DELETE FROM t WHERE name = ?", [name]
+        ).rowcount
+        assert count == (1 if name in self.model else 0)
+        self.model.pop(name, None)
+
+    @rule(name=st.sampled_from(NAMES), ref=st.integers(0, 5))
+    def update(self, name, ref):
+        count = self.db.execute(
+            "UPDATE t SET ref = ? WHERE name = ?", [ref, name]
+        ).rowcount
+        assert count == (1 if name in self.model else 0)
+        if name in self.model:
+            self.model[name] = ref
+
+    @invariant()
+    def selects_agree(self):
+        rows = self.db.execute("SELECT name, ref FROM t").rows
+        assert {r[0]: r[1] for r in rows} == self.model
+        assert self.db.execute("SELECT COUNT(*) FROM t").scalar() == len(
+            self.model
+        )
+        for name in NAMES:
+            got = self.db.execute(
+                "SELECT ref FROM t WHERE name = ?", [name]
+            ).rows
+            if name in self.model:
+                assert got == [(self.model[name],)]
+            else:
+                assert got == []
+
+
+class _PGMachine(_SQLMachine):
+    engine_factory = staticmethod(
+        lambda: PostgresEngine(fsync=False, sync_latency=0.0, dead_hit_cost=0.0)
+    )
+
+    @rule()
+    def vacuum(self):
+        self.db.execute("VACUUM")
+
+
+_SQLMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=25, deadline=None
+)
+_PGMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=25, deadline=None
+)
+
+TestSQLStatefulMySQL = _SQLMachine.TestCase
+TestSQLStatefulPostgres = _PGMachine.TestCase

@@ -1,0 +1,88 @@
+"""RowHeap tombstone/reclaim semantics."""
+
+import pytest
+
+from repro.db.storage import RowHeap
+
+
+class TestInsertAndScan:
+    def test_insert_returns_sequential_rids(self):
+        heap = RowHeap()
+        assert heap.insert(["a"]) == 0
+        assert heap.insert(["b"]) == 1
+
+    def test_scan_live(self):
+        heap = RowHeap()
+        heap.insert(["a"])
+        heap.insert(["b"])
+        assert [row for _, row in heap.scan_live()] == [["a"], ["b"]]
+
+    def test_counters(self):
+        heap = RowHeap()
+        heap.insert(["a"])
+        heap.insert(["b"])
+        assert heap.live_count == 2
+        assert heap.dead_count == 0
+        assert heap.physical_count == 2
+
+
+class TestTombstones:
+    def test_mark_dead_keeps_data(self):
+        heap = RowHeap()
+        rid = heap.insert(["a"])
+        assert heap.mark_dead(rid) == ["a"]
+        assert heap.get(rid) == ["a"]  # still readable pre-reclaim
+        assert heap.get_live(rid) is None
+        assert heap.live_count == 0
+        assert heap.dead_count == 1
+
+    def test_double_mark_dead_raises(self):
+        heap = RowHeap()
+        rid = heap.insert(["a"])
+        heap.mark_dead(rid)
+        with pytest.raises(KeyError):
+            heap.mark_dead(rid)
+
+    def test_dead_rows_skipped_by_scan(self):
+        heap = RowHeap()
+        heap.insert(["a"])
+        rid = heap.insert(["b"])
+        heap.mark_dead(rid)
+        assert [row for _, row in heap.scan_live()] == [["a"]]
+        assert list(heap.scan_dead()) == [rid]
+
+
+class TestReclaim:
+    def test_reclaim_frees_and_reuses_slot(self):
+        heap = RowHeap()
+        rid = heap.insert(["a"])
+        heap.mark_dead(rid)
+        heap.reclaim(rid)
+        assert heap.physical_count == 0
+        new_rid = heap.insert(["b"])
+        assert new_rid == rid  # slot reused
+        assert heap.get_live(new_rid) == ["b"]
+
+    def test_reclaim_live_row_raises(self):
+        heap = RowHeap()
+        rid = heap.insert(["a"])
+        with pytest.raises(KeyError):
+            heap.reclaim(rid)
+
+    def test_get_after_reclaim_raises(self):
+        heap = RowHeap()
+        rid = heap.insert(["a"])
+        heap.mark_dead(rid)
+        heap.reclaim(rid)
+        with pytest.raises(KeyError):
+            heap.get(rid)
+
+    def test_dead_count_excludes_reclaimed(self):
+        heap = RowHeap()
+        rids = [heap.insert([i]) for i in range(4)]
+        for rid in rids[:3]:
+            heap.mark_dead(rid)
+        heap.reclaim(rids[0])
+        assert heap.dead_count == 2
+        assert heap.live_count == 1
+        assert heap.physical_count == 3

@@ -1,0 +1,150 @@
+"""Column type coercion tests."""
+
+import datetime
+
+import pytest
+
+from repro.db.errors import TypeMismatchError
+from repro.db.types import (
+    FLOAT,
+    INT,
+    TIMESTAMP,
+    FloatType,
+    IntType,
+    TimestampType,
+    VARCHAR,
+    VarcharType,
+    type_from_sql,
+)
+
+
+class TestIntType:
+    def test_accepts_int(self):
+        assert INT.coerce(42) == 42
+
+    def test_accepts_negative(self):
+        assert INT.coerce(-7) == -7
+
+    def test_accepts_integral_float(self):
+        assert INT.coerce(3.0) == 3
+
+    def test_rejects_fractional_float(self):
+        with pytest.raises(TypeMismatchError):
+            INT.coerce(3.5)
+
+    def test_accepts_numeric_string(self):
+        assert INT.coerce("123") == 123
+
+    def test_rejects_non_numeric_string(self):
+        with pytest.raises(TypeMismatchError):
+            INT.coerce("abc")
+
+    def test_bool_coerces_to_int(self):
+        assert INT.coerce(True) == 1
+
+    def test_rejects_none(self):
+        with pytest.raises(TypeMismatchError):
+            INT.coerce(None)
+
+
+class TestFloatType:
+    def test_accepts_float(self):
+        assert FLOAT.coerce(2.5) == 2.5
+
+    def test_accepts_int(self):
+        assert FLOAT.coerce(2) == 2.0
+        assert isinstance(FLOAT.coerce(2), float)
+
+    def test_accepts_string(self):
+        assert FLOAT.coerce("1.5e3") == 1500.0
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            FLOAT.coerce(True)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeMismatchError):
+            FLOAT.coerce("x")
+
+
+class TestVarcharType:
+    def test_accepts_string_within_limit(self):
+        assert VARCHAR(10).coerce("hello") == "hello"
+
+    def test_rejects_overlong(self):
+        with pytest.raises(TypeMismatchError):
+            VARCHAR(3).coerce("hello")
+
+    def test_boundary_length_allowed(self):
+        assert VARCHAR(5).coerce("12345") == "12345"
+
+    def test_rejects_non_string(self):
+        with pytest.raises(TypeMismatchError):
+            VARCHAR(10).coerce(5)
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(ValueError):
+            VarcharType(0)
+
+    def test_default_length_250(self):
+        assert VARCHAR().max_length == 250
+
+
+class TestTimestampType:
+    def test_accepts_float_seconds(self):
+        assert TIMESTAMP.coerce(100.5) == 100.5
+
+    def test_accepts_datetime(self):
+        dt = datetime.datetime(2004, 6, 7, 12, 0, 0)
+        assert TIMESTAMP.coerce(dt) == dt.timestamp()
+
+    def test_accepts_iso_string(self):
+        expected = datetime.datetime(2004, 6, 7).timestamp()
+        assert TIMESTAMP.coerce("2004-06-07") == expected
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            TIMESTAMP.coerce(False)
+
+    def test_rejects_bad_string(self):
+        with pytest.raises(TypeMismatchError):
+            TIMESTAMP.coerce("not a date")
+
+
+class TestTypeFromSql:
+    def test_int_with_width(self):
+        t = type_from_sql("INT", 11)
+        assert isinstance(t, IntType) and t.display_width == 11
+
+    def test_integer_alias(self):
+        assert isinstance(type_from_sql("integer", None), IntType)
+
+    def test_varchar(self):
+        t = type_from_sql("varchar", 250)
+        assert isinstance(t, VarcharType) and t.max_length == 250
+
+    def test_float_aliases(self):
+        for name in ("FLOAT", "double", "REAL"):
+            assert isinstance(type_from_sql(name, None), FloatType)
+
+    def test_timestamp(self):
+        assert isinstance(type_from_sql("TIMESTAMP", 14), TimestampType)
+
+    def test_unknown_raises(self):
+        with pytest.raises(TypeMismatchError):
+            type_from_sql("BLOB", None)
+
+
+class TestTypeEquality:
+    def test_same_params_equal(self):
+        assert VARCHAR(10) == VARCHAR(10)
+        assert IntType(11) == IntType(11)
+
+    def test_different_params_unequal(self):
+        assert VARCHAR(10) != VARCHAR(20)
+
+    def test_different_types_unequal(self):
+        assert IntType() != FloatType()
+
+    def test_hashable(self):
+        assert len({VARCHAR(10), VARCHAR(10), VARCHAR(20)}) == 2

@@ -1,0 +1,242 @@
+"""End-to-end integration tests: full deployments, soft-state lifecycle,
+client recovery from stale RLI data, concurrent load, TCP deployments."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.client import connect, connect_tcp_server
+from repro.core.config import ServerConfig, ServerRole
+from repro.core.errors import MappingNotFoundError
+from repro.core.server import RLSServer
+from repro.core.updates import UpdatePolicy
+
+
+class TestTwoTierDeployment:
+    def test_client_discovers_replica_via_rli(self, make_server):
+        """The paper's discovery flow (§3.2): query RLI -> get LRC names ->
+        query those LRCs -> get target names."""
+        rli = make_server(ServerRole.RLI)
+        lrcs = [make_server(ServerRole.LRC) for _ in range(3)]
+        # lfn 'data42' is replicated at sites 0 and 2.
+        for i in (0, 2):
+            c = connect(lrcs[i].config.name)
+            c.create("data42", f"gsiftp://site{i}/data42")
+            c.add_rli(rli.config.name)
+            c.trigger_full_update()
+            c.close()
+
+        rli_client = connect(rli.config.name)
+        holders = rli_client.rli_query("data42")
+        assert sorted(holders) == sorted(
+            [lrcs[0].config.name, lrcs[2].config.name]
+        )
+        replicas = []
+        for holder in holders:
+            lrc_client = connect(holder)
+            replicas.extend(lrc_client.get_mappings("data42"))
+            lrc_client.close()
+        assert sorted(replicas) == [
+            "gsiftp://site0/data42",
+            "gsiftp://site2/data42",
+        ]
+        rli_client.close()
+
+    def test_stale_rli_recovery_pattern(self, make_server):
+        """§3.2: after a delete, the RLI may return stale pointers until the
+        next update; 'an application program must be sufficiently robust to
+        recover from this situation and query for another replica'."""
+        rli = make_server(ServerRole.RLI)
+        lrc_a = make_server(ServerRole.LRC)
+        lrc_b = make_server(ServerRole.LRC)
+        for server in (lrc_a, lrc_b):
+            c = connect(server.config.name)
+            c.create("volatile", f"pfn-at-{server.config.name}")
+            c.add_rli(rli.config.name)
+            c.trigger_full_update()
+            c.close()
+
+        # Delete from A but don't push an update: RLI is now stale.
+        ca = connect(lrc_a.config.name)
+        ca.delete("volatile", f"pfn-at-{lrc_a.config.name}")
+        ca.close()
+
+        holders = connect(rli.config.name).rli_query("volatile")
+        assert len(holders) == 2  # stale answer, by design
+        found = []
+        for holder in holders:
+            try:
+                found.extend(connect(holder).get_mappings("volatile"))
+            except MappingNotFoundError:
+                continue  # the robust-client recovery path
+        assert found == [f"pfn-at-{lrc_b.config.name}"]
+
+    def test_soft_state_lifecycle(self, make_server):
+        """Entries expire without refresh; refreshed entries survive."""
+        rli = make_server(ServerRole.RLI, rli_timeout=0.2)
+        lrc = make_server(ServerRole.LRC)
+        c = connect(lrc.config.name)
+        c.create("ttl-lfn", "p")
+        c.add_rli(rli.config.name)
+        c.trigger_full_update()
+        rc = connect(rli.config.name)
+        assert rc.rli_query("ttl-lfn") == [lrc.config.name]
+        time.sleep(0.25)
+        assert rc.expire_once() == 1
+        with pytest.raises(MappingNotFoundError):
+            rc.rli_query("ttl-lfn")
+        # Next full update restores it.
+        c.trigger_full_update()
+        assert rc.rli_query("ttl-lfn") == [lrc.config.name]
+        c.close()
+        rc.close()
+
+    def test_immediate_mode_reduces_staleness(self, make_server):
+        """§3.3: incremental updates propagate recent changes without a
+        full update."""
+        rli = make_server(ServerRole.RLI)
+        lrc = make_server(
+            ServerRole.LRC,
+            updates=UpdatePolicy(
+                immediate_interval=0.05,
+                immediate_count_threshold=1000,
+                full_interval=3600.0,
+                bloom_expected_entries=1024,
+            ),
+        )
+        c = connect(lrc.config.name)
+        c.add_rli(rli.config.name)
+        c.trigger_full_update()  # establish baseline
+        c.create("hot-lfn", "p")
+        deadline = time.time() + 5.0
+        manager = lrc.update_manager
+        while time.time() < deadline:
+            manager.tick()
+            try:
+                if connect(rli.config.name).rli_query("hot-lfn"):
+                    break
+            except MappingNotFoundError:
+                time.sleep(0.02)
+        else:
+            pytest.fail("immediate-mode update never propagated")
+        c.close()
+
+
+class TestEsgStyleFullMesh:
+    def test_four_node_fully_connected(self, make_server):
+        """§6: ESG 'deploys four RLS servers that function as both LRCs and
+        RLIs in a fully-connected configuration'."""
+        servers = [make_server(ServerRole.BOTH) for _ in range(4)]
+        clients = [connect(s.config.name) for s in servers]
+        for i, c in enumerate(clients):
+            c.create(f"esg-file{i}", f"pfn{i}")
+            for target in servers:
+                c.add_rli(target.config.name)
+            c.trigger_full_update()
+        # Every node's RLI must know every file's holder.
+        for c in clients:
+            for i in range(4):
+                assert c.rli_query(f"esg-file{i}") == [servers[i].config.name]
+        for c in clients:
+            c.close()
+
+
+class TestConcurrency:
+    def test_concurrent_writers_distinct_names(self, make_server):
+        server = make_server(ServerRole.LRC)
+        errors = []
+
+        def writer(tid):
+            c = connect(server.config.name)
+            for i in range(25):
+                try:
+                    c.create(f"cc-{tid}-{i}", f"p-{tid}-{i}")
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+            c.close()
+
+        threads = [threading.Thread(target=writer, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert server.lrc.lfn_count() == 100
+
+    def test_concurrent_create_same_name_exactly_one_wins(self, make_server):
+        server = make_server(ServerRole.LRC)
+        outcomes = []
+        barrier = threading.Barrier(4)
+
+        def racer(tid):
+            c = connect(server.config.name)
+            barrier.wait()
+            try:
+                c.create("contested", f"p{tid}")
+                outcomes.append("win")
+            except Exception:
+                outcomes.append("lose")
+            c.close()
+
+        threads = [threading.Thread(target=racer, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert outcomes.count("win") == 1
+        assert server.lrc.get_mappings("contested")
+
+    def test_reads_concurrent_with_writes(self, make_server):
+        server = make_server(ServerRole.LRC)
+        c0 = connect(server.config.name)
+        c0.bulk_create([(f"rw{i}", f"p{i}") for i in range(50)])
+        c0.close()
+        stop = threading.Event()
+        read_errors = []
+
+        def reader():
+            c = connect(server.config.name)
+            while not stop.is_set():
+                try:
+                    c.get_mappings("rw25")
+                except Exception as exc:  # pragma: no cover
+                    read_errors.append(exc)
+            c.close()
+
+        t = threading.Thread(target=reader)
+        t.start()
+        c = connect(server.config.name)
+        for i in range(50, 100):
+            c.create(f"rw{i}", f"p{i}")
+        stop.set()
+        t.join()
+        c.close()
+        assert read_errors == []
+
+
+class TestTCPDeployment:
+    def test_distributed_over_sockets(self):
+        """LRC and RLI in the same process but communicating via real TCP."""
+        rli_server = RLSServer(
+            ServerConfig(name="tcp-rli", role=ServerRole.RLI, tcp=True,
+                         sync_latency=0.0)
+        ).start()
+        lrc_server = RLSServer(
+            ServerConfig(name="tcp-lrc", role=ServerRole.LRC, tcp=True,
+                         sync_latency=0.0)
+        ).start()
+        try:
+            host, port = lrc_server.tcp_address
+            client = connect_tcp_server(host, port)
+            client.create("tcp-dist-lfn", "tcp-dist-pfn")
+            client.add_rli("tcp-rli")  # resolved via in-process registry
+            client.trigger_full_update()
+            rhost, rport = rli_server.tcp_address
+            rli_client = connect_tcp_server(rhost, rport)
+            assert rli_client.rli_query("tcp-dist-lfn") == ["tcp-lrc"]
+            client.close()
+            rli_client.close()
+        finally:
+            lrc_server.stop()
+            rli_server.stop()

@@ -1,0 +1,54 @@
+"""Smoke-run the example scripts as real subprocesses.
+
+Each example must exit 0 and print its final ``done`` marker.  The WAN
+study is exercised at reduced scope through its module API instead of the
+full CLI run (the full sweep takes ~a minute).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "ligo_deployment.py",
+    "earth_system_grid.py",
+    "pegasus_workflow.py",
+    "secure_deployment.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip().endswith("done")
+
+
+def test_wan_update_study_components():
+    """The WAN study's building blocks at reduced scope."""
+    from repro.sim.models import (
+        bloom_table3_row,
+        bloom_update_times_wan,
+        uncompressed_update_times,
+    )
+
+    assert uncompressed_update_times(10_000, 2, rounds=2).mean_update_time > 0
+    assert bloom_update_times_wan(100_000, 2, rounds=3).mean_update_time > 0
+    row = bloom_table3_row(100_000, generation_sample=10_000)
+    assert row.filter_bits == 1_000_000
+
+
+def test_examples_directory_has_no_strays():
+    """Every example file is either tested here or the WAN study."""
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    assert scripts == set(FAST_EXAMPLES) | {"wan_update_study.py"}

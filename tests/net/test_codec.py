@@ -1,0 +1,101 @@
+"""Wire codec tests, including hypothesis round-trip properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.codec import decode, encode
+from repro.net.errors import ProtocolError
+
+
+class TestScalars:
+    @pytest.mark.parametrize(
+        "value",
+        [None, True, False, 0, 1, -1, 2**62, -(2**62), 3.25, "", "héllo", b"", b"\x00\xff"],
+    )
+    def test_roundtrip(self, value):
+        assert decode(encode(value)) == value
+
+    def test_bigint_beyond_64_bits(self):
+        value = 2**100 + 7
+        assert decode(encode(value)) == value
+
+    def test_negative_bigint(self):
+        value = -(2**99)
+        assert decode(encode(value)) == value
+
+    def test_float_nan_roundtrip(self):
+        import math
+
+        assert math.isnan(decode(encode(float("nan"))))
+
+    def test_bool_stays_bool(self):
+        assert decode(encode(True)) is True
+        assert decode(encode(1)) == 1 and decode(encode(1)) is not True
+
+
+class TestContainers:
+    def test_list(self):
+        assert decode(encode([1, "a", None])) == [1, "a", None]
+
+    def test_tuple_becomes_list(self):
+        assert decode(encode((1, 2))) == [1, 2]
+
+    def test_nested(self):
+        value = {"a": [1, {"b": b"xy"}], "c": "s"}
+        assert decode(encode(value)) == value
+
+    def test_empty_containers(self):
+        assert decode(encode([])) == []
+        assert decode(encode({})) == {}
+
+    def test_non_string_dict_key_rejected(self):
+        with pytest.raises(TypeError):
+            encode({1: "a"})
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            encode(object())
+
+
+class TestMalformedInput:
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode(encode(1) + b"extra")
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode(encode("hello")[:-2])
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode(b"Z")
+
+
+json_like = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers()
+    | st.floats(allow_nan=False)
+    | st.text(max_size=30)
+    | st.binary(max_size=30),
+    lambda children: st.lists(children, max_size=5)
+    | st.dictionaries(st.text(max_size=8), children, max_size=5),
+    max_leaves=20,
+)
+
+
+@settings(max_examples=150)
+@given(json_like)
+def test_roundtrip_property(value):
+    """Property: decode(encode(x)) == x for all wire-encodable values."""
+    def normalize(v):
+        if isinstance(v, tuple):
+            return [normalize(i) for i in v]
+        if isinstance(v, list):
+            return [normalize(i) for i in v]
+        if isinstance(v, dict):
+            return {k: normalize(i) for k, i in v.items()}
+        return v
+
+    assert decode(encode(value)) == normalize(value)

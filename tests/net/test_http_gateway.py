@@ -1,0 +1,131 @@
+"""HTTP/JSON gateway tests (urllib against a live gateway)."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.config import ServerRole
+from repro.net.http_gateway import HTTPGateway
+
+
+@pytest.fixture
+def gateway(make_server):
+    server = make_server(ServerRole.BOTH)
+    gw = HTTPGateway(server.config.name)
+    yield gw, server
+    gw.close()
+
+
+def http(method: str, url: str, payload=None):
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(url, data=data, method=method)
+    if data is not None:
+        request.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read().decode())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode())
+
+
+class TestMappings:
+    def test_create_and_get(self, gateway):
+        gw, _ = gateway
+        status, body = http(
+            "POST", f"{gw.url}/mappings", {"lfn": "web-lfn", "pfn": "web-pfn"}
+        )
+        assert status == 201
+        status, body = http("GET", f"{gw.url}/mappings/web-lfn")
+        assert status == 200 and body["pfns"] == ["web-pfn"]
+
+    def test_add_mode(self, gateway):
+        gw, _ = gateway
+        http("POST", f"{gw.url}/mappings", {"lfn": "l", "pfn": "p1"})
+        status, _ = http(
+            "POST", f"{gw.url}/mappings", {"lfn": "l", "pfn": "p2", "mode": "add"}
+        )
+        assert status == 201
+        _, body = http("GET", f"{gw.url}/mappings/l")
+        assert sorted(body["pfns"]) == ["p1", "p2"]
+
+    def test_reverse_query(self, gateway):
+        gw, _ = gateway
+        http("POST", f"{gw.url}/mappings", {"lfn": "a", "pfn": "shared"})
+        http("POST", f"{gw.url}/mappings", {"lfn": "b", "pfn": "shared"})
+        status, body = http("GET", f"{gw.url}/lfns/shared")
+        assert status == 200 and sorted(body["lfns"]) == ["a", "b"]
+
+    def test_delete(self, gateway):
+        gw, _ = gateway
+        http("POST", f"{gw.url}/mappings", {"lfn": "gone", "pfn": "p"})
+        status, _ = http(
+            "DELETE", f"{gw.url}/mappings", {"lfn": "gone", "pfn": "p"}
+        )
+        assert status == 200
+        status, _ = http("GET", f"{gw.url}/mappings/gone")
+        assert status == 404
+
+    def test_missing_is_404(self, gateway):
+        gw, _ = gateway
+        status, body = http("GET", f"{gw.url}/mappings/never")
+        assert status == 404 and "error" in body
+
+    def test_duplicate_is_409(self, gateway):
+        gw, _ = gateway
+        http("POST", f"{gw.url}/mappings", {"lfn": "dup", "pfn": "p"})
+        status, _ = http("POST", f"{gw.url}/mappings", {"lfn": "dup", "pfn": "q"})
+        assert status == 409
+
+    def test_bad_name_is_400(self, gateway):
+        gw, _ = gateway
+        status, _ = http("POST", f"{gw.url}/mappings", {"lfn": "", "pfn": "p"})
+        assert status == 400
+
+    def test_missing_field_is_400(self, gateway):
+        gw, _ = gateway
+        status, _ = http("POST", f"{gw.url}/mappings", {"lfn": "only"})
+        assert status == 400
+
+    def test_url_encoded_names(self, gateway):
+        gw, _ = gateway
+        lfn = "lfn://exp/file 1"
+        http("POST", f"{gw.url}/mappings", {"lfn": lfn, "pfn": "p"})
+        from urllib.parse import quote
+
+        status, body = http("GET", f"{gw.url}/mappings/{quote(lfn, safe='')}")
+        assert status == 200 and body["pfns"] == ["p"]
+
+
+class TestIndexAndBulk:
+    def test_rli_query_via_http(self, gateway):
+        gw, server = gateway
+        http("POST", f"{gw.url}/mappings", {"lfn": "idx-lfn", "pfn": "p"})
+        server.lrc.add_rli(server.config.name)
+        status, body = http("POST", f"{gw.url}/admin/update")
+        assert status == 200 and body["duration"] >= 0
+        status, body = http("GET", f"{gw.url}/index/idx-lfn")
+        assert status == 200 and body["lrcs"] == [server.config.name]
+
+    def test_bulk_query(self, gateway):
+        gw, _ = gateway
+        for i in range(3):
+            http("POST", f"{gw.url}/mappings", {"lfn": f"bq{i}", "pfn": f"p{i}"})
+        status, body = http(
+            "POST", f"{gw.url}/bulk/query", {"lfns": ["bq0", "bq2", "nah"]}
+        )
+        assert status == 200
+        assert body == {"bq0": ["p0"], "bq2": ["p2"]}
+
+    def test_stats(self, gateway):
+        gw, _ = gateway
+        status, body = http("GET", f"{gw.url}/admin/stats")
+        assert status == 200 and body["roles"] == {"lrc": True, "rli": True}
+
+    def test_unknown_route_404(self, gateway):
+        gw, _ = gateway
+        status, _ = http("GET", f"{gw.url}/nope")
+        assert status == 404
+        status, _ = http("POST", f"{gw.url}/nope")
+        assert status == 404

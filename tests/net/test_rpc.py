@@ -1,0 +1,196 @@
+"""RPC server/client tests: messages, dispatch, error mapping, transports."""
+
+import threading
+
+import pytest
+
+from repro.net.errors import (
+    AuthenticationError,
+    RemoteError,
+    TransportClosedError,
+)
+from repro.net.messages import Hello, Request, Response, message_from_bytes
+from repro.net.rpc import RPCClient, RPCServer, register_error_type
+from repro.net.transport import (
+    LocalTransport,
+    TCPServerTransport,
+    connect_local,
+    connect_tcp,
+)
+
+
+class TestMessages:
+    def test_request_roundtrip(self):
+        req = Request("lrc_add", ("lfn", "pfn"))
+        assert message_from_bytes(req.to_bytes()) == req
+
+    def test_response_success_roundtrip(self):
+        resp = Response.success([1, 2])
+        assert message_from_bytes(resp.to_bytes()) == resp
+
+    def test_response_failure_carries_type(self):
+        resp = Response.failure(ValueError("bad"))
+        decoded = message_from_bytes(resp.to_bytes())
+        assert not decoded.ok
+        assert decoded.error_type == "ValueError"
+        assert decoded.error_message == "bad"
+
+    def test_hello_roundtrip(self):
+        hello = Hello(credential=b"cert", attributes={"v": 1})
+        decoded = message_from_bytes(hello.to_bytes())
+        assert decoded.credential == b"cert" and decoded.attributes == {"v": 1}
+
+
+def make_server():
+    server = RPCServer()
+    server.register("echo", lambda ctx, args: list(args))
+    server.register("boom", lambda ctx, args: 1 / 0)
+    server.register("peer", lambda ctx, args: ctx.peer)
+    return server
+
+
+class TestDispatch:
+    def test_success(self):
+        server = make_server()
+        ctx = server.handshake(Hello(), "test")
+        resp = server.handle(ctx, Request("echo", (1, "a")))
+        assert resp.ok and resp.value == [1, "a"]
+
+    def test_unknown_method(self):
+        server = make_server()
+        ctx = server.handshake(Hello(), "test")
+        resp = server.handle(ctx, Request("nope", ()))
+        assert not resp.ok and resp.error_type == "NoSuchMethodError"
+
+    def test_handler_exception_propagated(self):
+        server = make_server()
+        ctx = server.handshake(Hello(), "test")
+        resp = server.handle(ctx, Request("boom", ()))
+        assert not resp.ok and resp.error_type == "ZeroDivisionError"
+
+    def test_counters(self):
+        server = make_server()
+        ctx = server.handshake(Hello(), "test")
+        server.handle(ctx, Request("echo", ()))
+        server.handle(ctx, Request("boom", ()))
+        assert server.requests_served == 1 and server.errors_returned == 1
+
+    def test_methods_listed(self):
+        assert "echo" in make_server().methods()
+
+
+class TestLocalTransport:
+    def test_call_roundtrip(self):
+        server = make_server()
+        transport = LocalTransport(server, name="rpc-test-local")
+        try:
+            client = RPCClient(connect_local("rpc-test-local"))
+            assert client.call("echo", 42) == [42]
+        finally:
+            transport.close()
+
+    def test_unknown_endpoint(self):
+        with pytest.raises(TransportClosedError):
+            connect_local("does-not-exist")
+
+    def test_closed_endpoint_rejects_new_channels(self):
+        transport = LocalTransport(make_server(), name="rpc-closing")
+        transport.close()
+        with pytest.raises(TransportClosedError):
+            connect_local("rpc-closing")
+
+    def test_remote_error_raised(self):
+        transport = LocalTransport(make_server(), name="rpc-err")
+        try:
+            client = RPCClient(connect_local("rpc-err"))
+            with pytest.raises(RemoteError) as err:
+                client.call("boom")
+            assert err.value.error_type == "ZeroDivisionError"
+        finally:
+            transport.close()
+
+    def test_registered_error_type_reraised(self):
+        @register_error_type
+        class CustomTestError(Exception):
+            pass
+
+        server = RPCServer()
+        server.register(
+            "fail", lambda ctx, args: (_ for _ in ()).throw(CustomTestError("x"))
+        )
+        transport = LocalTransport(server, name="rpc-custom-err")
+        try:
+            client = RPCClient(connect_local("rpc-custom-err"))
+            with pytest.raises(CustomTestError):
+                client.call("fail")
+        finally:
+            transport.close()
+
+    def test_latency_injection(self):
+        slept = []
+        server = make_server()
+        transport = LocalTransport(server, name="rpc-latency")
+        try:
+            channel = transport.open_channel(latency=0.05, sleep=slept.append)
+            RPCClient(channel).call("echo")
+            assert slept == [0.05]
+        finally:
+            transport.close()
+
+
+class TestTCPTransport:
+    def test_call_over_real_socket(self):
+        server = make_server()
+        tcp = TCPServerTransport(server)
+        try:
+            client = RPCClient(connect_tcp(tcp.host, tcp.port))
+            assert client.call("echo", "x") == ["x"]
+            assert client.call("peer").startswith("127.0.0.1:")
+            client.close()
+        finally:
+            tcp.close()
+
+    def test_concurrent_clients(self):
+        server = make_server()
+        tcp = TCPServerTransport(server)
+        results = []
+
+        def worker(i):
+            client = RPCClient(connect_tcp(tcp.host, tcp.port))
+            for j in range(20):
+                results.append(client.call("echo", i, j))
+            client.close()
+
+        try:
+            threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert len(results) == 80
+        finally:
+            tcp.close()
+
+    def test_auth_failure_closes_connection(self):
+        def reject(hello, peer):
+            raise AuthenticationError("nope")
+
+        server = RPCServer(authenticator=reject)
+        tcp = TCPServerTransport(server)
+        try:
+            with pytest.raises(RemoteError):
+                connect_tcp(tcp.host, tcp.port)
+        finally:
+            tcp.close()
+
+    def test_large_payload(self):
+        """A 1.25 MB Bloom-filter-sized payload crosses the socket intact."""
+        server = make_server()
+        tcp = TCPServerTransport(server)
+        try:
+            client = RPCClient(connect_tcp(tcp.host, tcp.port))
+            blob = bytes(range(256)) * 5000  # 1.28 MB
+            assert client.call("echo", blob) == [blob]
+            client.close()
+        finally:
+            tcp.close()

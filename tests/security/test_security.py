@@ -1,0 +1,184 @@
+"""Security substrate: certificates, gridmap, ACLs, authorizer."""
+
+import pytest
+
+from repro.net.errors import AuthenticationError, AuthorizationError
+from repro.net.messages import Hello
+from repro.security.acl import AccessControlList, Privilege
+from repro.security.authorizer import Authorizer, SecurityPolicy
+from repro.security.credentials import (
+    Certificate,
+    CertificateAuthority,
+    InvalidCertificateError,
+)
+from repro.security.gridmap import Gridmap
+
+DN = "/DC=org/DC=globus/OU=ISI/CN=Ann Chervenak"
+
+
+class TestCertificates:
+    def test_issue_and_verify(self):
+        ca = CertificateAuthority()
+        cert = ca.issue(DN)
+        assert ca.verify(cert) == DN
+
+    def test_roundtrip_bytes(self):
+        ca = CertificateAuthority()
+        cert = ca.issue(DN)
+        restored = Certificate.from_bytes(cert.to_bytes())
+        assert ca.verify(restored) == DN
+
+    def test_tampered_dn_rejected(self):
+        ca = CertificateAuthority()
+        cert = ca.issue(DN)
+        forged = Certificate(
+            "/CN=Mallory", cert.issuer, cert.not_before, cert.not_after,
+            cert.signature,
+        )
+        with pytest.raises(InvalidCertificateError):
+            ca.verify(forged)
+
+    def test_wrong_ca_rejected(self):
+        cert = CertificateAuthority("CA-A").issue(DN)
+        with pytest.raises(InvalidCertificateError, match="issuer|signature"):
+            CertificateAuthority("CA-A", key=b"different").verify(cert)
+
+    def test_expired_rejected(self):
+        ca = CertificateAuthority()
+        cert = ca.issue(DN, lifetime=10.0, now=1000.0)
+        with pytest.raises(InvalidCertificateError, match="expired"):
+            ca.verify(cert, now=2000.0)
+
+    def test_not_yet_valid_rejected(self):
+        ca = CertificateAuthority()
+        cert = ca.issue(DN, now=1000.0)
+        with pytest.raises(InvalidCertificateError, match="not yet"):
+            ca.verify(cert, now=500.0)
+
+    def test_malformed_bytes_rejected(self):
+        with pytest.raises(InvalidCertificateError):
+            Certificate.from_bytes(b"not a cert")
+
+
+class TestGridmap:
+    def test_parse_and_map(self):
+        gm = Gridmap.parse(f'"{DN}" annc\n# comment\n\n"/CN=Bob" bob\n')
+        assert gm.map_dn(DN) == "annc"
+        assert gm.map_dn("/CN=Bob") == "bob"
+        assert len(gm) == 2
+
+    def test_unmapped_dn_is_none(self):
+        assert Gridmap().map_dn(DN) is None
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError, match="line 1"):
+            Gridmap.parse("no quotes here user")
+
+    def test_escaped_quote_in_dn(self):
+        gm = Gridmap.parse('"/CN=Weird \\"Name\\"" weird')
+        assert gm.map_dn('/CN=Weird "Name"') == "weird"
+
+    def test_dump_parse_roundtrip(self):
+        gm = Gridmap({DN: "annc", "/CN=B": "b"})
+        assert Gridmap.parse(gm.dump()).map_dn(DN) == "annc"
+
+    def test_add_remove(self):
+        gm = Gridmap()
+        gm.add(DN, "annc")
+        assert gm.map_dn(DN) == "annc"
+        gm.remove(DN)
+        assert gm.map_dn(DN) is None
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "grid-mapfile"
+        path.write_text(f'"{DN}" annc\n')
+        assert Gridmap.load(str(path)).map_dn(DN) == "annc"
+
+
+class TestAcl:
+    def test_dn_pattern_grants(self):
+        acl = AccessControlList()
+        acl.add(r"/DC=org/DC=globus/.*", ["lrc_read", "lrc_write"])
+        privs = acl.privileges_for(DN, None)
+        assert Privilege.LRC_READ in privs and Privilege.LRC_WRITE in privs
+
+    def test_fullmatch_semantics(self):
+        acl = AccessControlList()
+        acl.add(r"/CN=exact", [Privilege.ADMIN])
+        assert not acl.allows(Privilege.ADMIN, "/CN=exact-but-longer", None)
+        assert acl.allows(Privilege.ADMIN, "/CN=exact", None)
+
+    def test_local_user_pattern(self):
+        acl = AccessControlList()
+        acl.add(r"annc", ["admin"], match_dn=False)
+        assert acl.allows(Privilege.ADMIN, DN, "annc")
+        assert not acl.allows(Privilege.ADMIN, DN, "mallory")
+
+    def test_grants_union_across_entries(self):
+        acl = AccessControlList()
+        acl.add(r".*", ["lrc_read"])
+        acl.add(r"/DC=org.*", ["lrc_write"])
+        privs = acl.privileges_for(DN, None)
+        assert len(privs) == 2
+
+    def test_no_match_no_privileges(self):
+        acl = AccessControlList()
+        acl.add(r"/CN=other", ["admin"])
+        assert acl.privileges_for(DN, None) == frozenset()
+
+    def test_unknown_privilege_string(self):
+        with pytest.raises(ValueError):
+            AccessControlList().add(".*", ["fly"])
+
+
+class TestAuthorizer:
+    def make_policy(self):
+        ca = CertificateAuthority()
+        gridmap = Gridmap({DN: "annc"})
+        acl = AccessControlList()
+        acl.add(r"/DC=org/DC=globus/.*", ["lrc_read", "lrc_write"])
+        acl.add(r"annc", ["admin"], match_dn=False)
+        return ca, SecurityPolicy(enabled=True, ca=ca, gridmap=gridmap, acl=acl)
+
+    def test_open_policy_allows_everything(self):
+        auth = Authorizer(SecurityPolicy.open())
+        assert auth.authenticate(Hello(), "peer") is None
+        auth.check(Privilege.ADMIN, None)  # no raise
+
+    def test_authenticate_valid_certificate(self):
+        ca, policy = self.make_policy()
+        cert = ca.issue(DN)
+        auth = Authorizer(policy)
+        assert auth.authenticate(Hello(credential=cert.to_bytes()), "p") == DN
+
+    def test_missing_credential_rejected(self):
+        _, policy = self.make_policy()
+        with pytest.raises(AuthenticationError):
+            Authorizer(policy).authenticate(Hello(), "p")
+
+    def test_bad_credential_rejected(self):
+        _, policy = self.make_policy()
+        other_ca = CertificateAuthority("Evil CA")
+        cert = other_ca.issue(DN)
+        with pytest.raises(AuthenticationError):
+            Authorizer(policy).authenticate(
+                Hello(credential=cert.to_bytes()), "p"
+            )
+
+    def test_check_granted_privilege(self):
+        _, policy = self.make_policy()
+        Authorizer(policy).check(Privilege.LRC_WRITE, DN)
+
+    def test_check_via_gridmap_local_user(self):
+        _, policy = self.make_policy()
+        Authorizer(policy).check(Privilege.ADMIN, DN)
+
+    def test_check_denied_privilege(self):
+        _, policy = self.make_policy()
+        with pytest.raises(AuthorizationError):
+            Authorizer(policy).check(Privilege.RLI_WRITE, DN)
+
+    def test_anonymous_denied_when_enabled(self):
+        _, policy = self.make_policy()
+        with pytest.raises(AuthorizationError):
+            Authorizer(policy).check(Privilege.LRC_READ, None)

@@ -1,0 +1,190 @@
+"""Simulation kernel tests: events, processes, determinism."""
+
+import pytest
+
+from repro.sim.kernel import Event, Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_callbacks_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.run()
+        assert fired == ["a", "b"]
+        assert sim.now == 2.0
+
+    def test_equal_times_fire_in_schedule_order(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(1.0, lambda i=i: fired.append(i))
+        sim.run()
+        assert fired == list(range(10))
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_run_until_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(5.0, lambda: fired.append(5))
+        sim.run(until=2.0)
+        assert fired == [1] and sim.now == 2.0
+        sim.run()
+        assert fired == [1, 5]
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+
+class TestEvents:
+    def test_succeed_triggers_callbacks(self):
+        sim = Simulator()
+        event = sim.event()
+        got = []
+        event.add_callback(got.append)
+        event.succeed("value")
+        sim.run()
+        assert got == ["value"]
+
+    def test_double_succeed_rejected(self):
+        sim = Simulator()
+        event = sim.event()
+        event.succeed()
+        with pytest.raises(RuntimeError):
+            event.succeed()
+
+    def test_callback_after_dispatch_still_fires(self):
+        sim = Simulator()
+        event = sim.event()
+        event.succeed("v")
+        sim.run()
+        late = []
+        event.add_callback(late.append)
+        sim.run()
+        assert late == ["v"]
+
+    def test_timeout_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().timeout(-1)
+
+
+class TestProcesses:
+    def test_process_advances_time(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(1.5)
+            yield sim.timeout(2.5)
+            return "done"
+
+        result = sim.run(sim.process(proc()))
+        assert result == "done" and sim.now == 4.0
+
+    def test_yield_plain_number_is_timeout(self):
+        sim = Simulator()
+
+        def proc():
+            yield 3
+            yield 0.5
+
+        sim.run(sim.process(proc()))
+        assert sim.now == 3.5
+
+    def test_process_waits_on_process(self):
+        sim = Simulator()
+        order = []
+
+        def inner():
+            yield sim.timeout(2)
+            order.append("inner")
+            return 42
+
+        def outer():
+            value = yield sim.process(inner())
+            order.append(f"outer:{value}")
+
+        sim.run(sim.process(outer()))
+        assert order == ["inner", "outer:42"]
+
+    def test_yield_bad_type_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield "not an event"
+
+        sim.process(proc())
+        with pytest.raises(TypeError):
+            sim.run()
+
+    def test_exception_in_process_propagates(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(1)
+            raise ValueError("boom")
+
+        sim.process(proc())
+        with pytest.raises(ValueError, match="boom"):
+            sim.run()
+
+    def test_timeout_value_passed_to_yield(self):
+        sim = Simulator()
+        got = []
+
+        def proc():
+            value = yield sim.timeout(1, "tick")
+            got.append(value)
+
+        sim.run(sim.process(proc()))
+        assert got == ["tick"]
+
+
+class TestAllOf:
+    def test_waits_for_all(self):
+        sim = Simulator()
+
+        def p(delay):
+            yield sim.timeout(delay)
+            return delay
+
+        gate = sim.all_of([sim.process(p(d)) for d in (3, 1, 2)])
+        values = sim.run(gate)
+        assert values == [3, 1, 2]
+        assert sim.now == 3
+
+    def test_empty_all_of_triggers_immediately(self):
+        sim = Simulator()
+        assert sim.run(sim.all_of([])) == []
+
+    def test_run_until_event_deadlock_detected(self):
+        sim = Simulator()
+        never = sim.event()
+        with pytest.raises(RuntimeError, match="deadlock"):
+            sim.run(never)
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_trace(self):
+        def run_once():
+            sim = Simulator()
+            trace = []
+
+            def proc(pid):
+                for i in range(3):
+                    yield sim.timeout(0.1 * (pid + 1))
+                    trace.append((round(sim.now, 6), pid, i))
+
+            for pid in range(4):
+                sim.process(proc(pid))
+            sim.run()
+            return trace
+
+        assert run_once() == run_once()

@@ -1,0 +1,109 @@
+"""Experiment-model tests: the paper's shapes must hold."""
+
+import pytest
+
+from repro.sim.models import (
+    LANCalibration,
+    WANCalibration,
+    bloom_filter_size_bits,
+    bloom_table3_row,
+    bloom_update_times_wan,
+    uncompressed_update_times,
+)
+
+
+class TestUncompressedModel:
+    def test_single_lrc_1m_near_paper(self):
+        """Paper: 831 s for one 1M-entry uncompressed update."""
+        r = uncompressed_update_times(1_000_000, 1, rounds=2)
+        assert 750 < r.mean_update_time < 950
+
+    def test_update_time_scales_linearly_with_lrcs(self):
+        """Paper: 6 LRCs -> ~5102 s (≈6x the single-LRC time)."""
+        one = uncompressed_update_times(1_000_000, 1, rounds=3)
+        six = uncompressed_update_times(1_000_000, 6, rounds=3)
+        ratio = six.mean_update_time / one.mean_update_time
+        assert 5.0 < ratio < 7.0
+
+    def test_update_time_scales_with_size(self):
+        small = uncompressed_update_times(10_000, 1, rounds=2)
+        large = uncompressed_update_times(1_000_000, 1, rounds=2)
+        assert large.mean_update_time > 50 * small.mean_update_time
+
+    def test_deterministic(self):
+        a = uncompressed_update_times(100_000, 3, rounds=3)
+        b = uncompressed_update_times(100_000, 3, rounds=3)
+        assert a.per_update_times == b.per_update_times
+
+
+class TestBloomWANModel:
+    def test_single_client_5m_near_paper(self):
+        """Paper Table 3: 6.8 s for a 5M-entry filter over the WAN."""
+        r = bloom_update_times_wan(5_000_000, 1)
+        assert 6.0 < r.mean_update_time < 8.0
+
+    def test_flat_up_to_seven_clients(self):
+        """Paper Figure 13: 6.5-7 s up to seven concurrent clients."""
+        one = bloom_update_times_wan(5_000_000, 1)
+        seven = bloom_update_times_wan(5_000_000, 7)
+        assert seven.mean_update_time < one.mean_update_time * 1.15
+
+    def test_rises_at_fourteen_clients(self):
+        """Paper Figure 13: ~11.5 s at fourteen clients."""
+        seven = bloom_update_times_wan(5_000_000, 7)
+        fourteen = bloom_update_times_wan(5_000_000, 14)
+        assert fourteen.mean_update_time > seven.mean_update_time * 1.4
+        assert 9.0 < fourteen.mean_update_time < 14.0
+
+    def test_orders_of_magnitude_faster_than_uncompressed(self):
+        """Paper §5.5: 'two to three orders of magnitude better'."""
+        bloom = bloom_update_times_wan(1_000_000, 6)
+        uncompressed = uncompressed_update_times(1_000_000, 6, rounds=2)
+        assert uncompressed.mean_update_time > 100 * bloom.mean_update_time
+
+    def test_deterministic_despite_jitter(self):
+        a = bloom_update_times_wan(1_000_000, 5)
+        b = bloom_update_times_wan(1_000_000, 5)
+        assert a.per_update_times == b.per_update_times
+
+
+class TestTable3:
+    def test_filter_sizes_match_paper(self):
+        """Paper: 1M bits / 10M bits / 50M bits for 100K / 1M / 5M."""
+        assert bloom_filter_size_bits(100_000) == 1_000_000
+        assert bloom_filter_size_bits(1_000_000) == 10_000_000
+        assert bloom_filter_size_bits(5_000_000) == 50_000_000
+
+    def test_update_times_ordered_and_in_range(self):
+        rows = [
+            bloom_table3_row(n, measure_generation=False)
+            for n in (100_000, 1_000_000, 5_000_000)
+        ]
+        times = [r.update_time for r in rows]
+        assert times[0] < times[1] < times[2]
+        assert times[0] < 1.0          # paper: "less than 1"
+        assert 1.0 < times[1] < 2.5    # paper: 1.67
+        assert 5.5 < times[2] < 8.0    # paper: 6.8
+
+    def test_generation_time_measured(self):
+        row = bloom_table3_row(50_000, measure_generation=True)
+        assert row.generation_time > 0
+
+    def test_generation_extrapolation(self):
+        row = bloom_table3_row(
+            200_000, measure_generation=True, generation_sample=20_000
+        )
+        direct = bloom_table3_row(20_000, measure_generation=True)
+        # Extrapolated 200k time should be roughly 10x the 20k time.
+        assert row.generation_time > 3 * direct.generation_time
+
+
+class TestCalibrations:
+    def test_lan_ingest_rate_matches_831s(self):
+        calib = LANCalibration()
+        assert 1_000_000 / calib.rli_ingest_entries_per_sec == pytest.approx(831.0)
+
+    def test_wan_defaults(self):
+        calib = WANCalibration()
+        assert calib.rtt == pytest.approx(0.0638)
+        assert calib.bloom_bits_per_entry == 10

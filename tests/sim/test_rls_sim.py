@@ -1,0 +1,136 @@
+"""Deployment-simulator tests: staleness and crash recovery."""
+
+import pytest
+
+from repro.sim.rls_sim import (
+    RecoveryResult,
+    SimLRC,
+    SimPolicy,
+    SimRLI,
+    StalenessResult,
+    recovery_experiment,
+    staleness_experiment,
+)
+from repro.sim.kernel import Simulator
+
+import random
+
+
+class TestSimLRC:
+    def test_churn_keeps_size_roughly_constant(self):
+        sim = Simulator()
+        lrc = SimLRC(sim, "l", 1000, churn_per_sec=5.0, rng=random.Random(1))
+        sim.run(until=600.0)
+        assert 700 < len(lrc.names) < 1300
+
+    def test_no_churn_is_static(self):
+        sim = Simulator()
+        lrc = SimLRC(sim, "l", 100, churn_per_sec=0.0, rng=random.Random(1))
+        sim.run(until=100.0)
+        assert len(lrc.names) == 100
+
+    def test_take_delta_drains(self):
+        sim = Simulator()
+        lrc = SimLRC(sim, "l", 10, churn_per_sec=10.0, rng=random.Random(1))
+        sim.run(until=10.0)
+        added, removed = lrc.take_delta()
+        assert added or removed
+        assert lrc.take_delta() == (set(), set())
+
+
+class TestSimRLI:
+    def test_entries_expire(self):
+        sim = Simulator()
+        rli = SimRLI(sim, SimPolicy(rli_timeout=100.0))
+        rli.apply_full(["x"])
+        assert rli.contains("x")
+        sim.run(until=101.0)
+        assert not rli.contains("x")
+
+    def test_delta_removes(self):
+        sim = Simulator()
+        rli = SimRLI(sim, SimPolicy())
+        rli.apply_full(["x", "y"])
+        rli.apply_delta([], ["x"])
+        assert not rli.contains("x") and rli.contains("y")
+
+    def test_bloom_replaces(self):
+        sim = Simulator()
+        rli = SimRLI(sim, SimPolicy())
+        rli.apply_full(["old"])
+        rli.apply_bloom(["new"])
+        assert rli.contains("new") and not rli.contains("old")
+
+    def test_crash_loses_state_and_updates_ignored_while_down(self):
+        sim = Simulator()
+        rli = SimRLI(sim, SimPolicy())
+        rli.apply_full(["x"])
+        rli.crash()
+        assert not rli.contains("x")
+        rli.apply_full(["y"])  # dropped: server is down
+        rli.restart()
+        assert not rli.contains("y")
+        rli.apply_full(["z"])
+        assert rli.contains("z")
+
+
+class TestStalenessExperiment:
+    @pytest.fixture(scope="class")
+    def results(self):
+        kwargs = dict(catalog_size=2000, churn_per_sec=1.0, duration=3600.0)
+        return {
+            mode: staleness_experiment(mode, **kwargs)
+            for mode in ("full-only", "immediate", "bloom")
+        }
+
+    def test_immediate_mode_far_fresher_than_full_only(self, results):
+        """The §3.3 claim: immediate mode reduces staleness."""
+        assert (
+            results["immediate"].stale_fraction
+            < 0.5 * results["full-only"].stale_fraction
+        )
+
+    def test_bloom_traffic_cheapest_per_refresh_rate(self, results):
+        """At the same refresh cadence, Bloom sends far fewer bytes."""
+        assert results["bloom"].bytes_sent < 0.5 * results["immediate"].bytes_sent
+        assert results["bloom"].updates_sent == results["immediate"].updates_sent
+
+    def test_full_only_ghosts_dominate(self, results):
+        """Under full-only updates, deletions linger until the soft-state
+        timeout — ghosts, not misses, are the staleness."""
+        r = results["full-only"]
+        assert r.ghost_fraction > r.miss_fraction
+
+    def test_deterministic(self):
+        a = staleness_experiment("immediate", catalog_size=500, duration=600.0)
+        b = staleness_experiment("immediate", catalog_size=500, duration=600.0)
+        assert a.stale_fraction == b.stale_fraction
+        assert a.bytes_sent == b.bytes_sent
+
+    def test_result_fields_consistent(self, results):
+        for r in results.values():
+            assert isinstance(r, StalenessResult)
+            assert 0 <= r.miss_fraction <= r.stale_fraction <= 1
+            assert r.samples > 100
+
+
+class TestRecoveryExperiment:
+    def test_recovery_bounded_by_full_interval(self):
+        """§2's soft-state rebuild: the index recovers within one full
+        update interval (the last LRC's next scheduled push)."""
+        result = recovery_experiment(full_interval=300.0, catalog_size=1000)
+        assert isinstance(result, RecoveryResult)
+        assert result.recovery_time <= 300.0 + 10.0
+
+    def test_recovery_scales_with_interval(self):
+        fast = recovery_experiment(full_interval=120.0, catalog_size=500)
+        slow = recovery_experiment(full_interval=600.0, catalog_size=500)
+        assert slow.recovery_time > 2 * fast.recovery_time
+
+    def test_coverage_curve_monotone_rise(self):
+        result = recovery_experiment(full_interval=200.0, catalog_size=500)
+        coverages = [c for _, c in result.coverage_curve]
+        assert coverages[0] < 0.5  # right after crash: mostly empty
+        assert coverages[-1] >= 0.99
+        # Rebuild is (weakly) monotone: coverage never decreases.
+        assert all(b >= a - 1e-9 for a, b in zip(coverages, coverages[1:]))

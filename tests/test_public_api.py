@@ -1,0 +1,71 @@
+"""Public-API consistency: exports resolve, docs' quickstarts actually run."""
+
+import pathlib
+import re
+
+import pytest
+
+import repro
+import repro.core
+import repro.db
+import repro.net
+import repro.security
+import repro.sim
+import repro.workload
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro, repro.core, repro.db, repro.net, repro.security, repro.sim,
+     repro.workload],
+)
+def test_all_exports_resolve(module):
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module.__name__}.{name} missing"
+
+
+def test_version_matches_pyproject():
+    pyproject = (REPO / "pyproject.toml").read_text()
+    match = re.search(r'^version = "([^"]+)"', pyproject, re.M)
+    assert match and repro.__version__ == match.group(1)
+
+
+def test_package_docstring_example_runs():
+    """The quickstart in repro.__doc__ must execute verbatim."""
+    doc = repro.__doc__
+    match = re.search(r"Quickstart::\n\n((?:    .+\n)+)", doc)
+    assert match, "no quickstart block in package docstring"
+    code = "\n".join(line[4:] for line in match.group(1).splitlines())
+    exec(compile(code, "<repro.__doc__>", "exec"), {})
+
+
+def test_readme_quickstart_runs():
+    """The README's first python block must execute verbatim."""
+    readme = (REPO / "README.md").read_text()
+    match = re.search(r"```python\n(.*?)```", readme, re.S)
+    assert match, "no python block in README"
+    exec(compile(match.group(1), "<README.md>", "exec"), {})
+
+
+def test_every_public_module_has_docstring():
+    missing = []
+    for path in (REPO / "src" / "repro").rglob("*.py"):
+        first_line = path.read_text().lstrip()[:3]
+        if first_line not in ('"""', "'''"):
+            missing.append(str(path))
+    assert missing == [], f"modules without docstrings: {missing}"
+
+
+def test_design_doc_mentions_every_subpackage():
+    design = (REPO / "DESIGN.md").read_text()
+    for pkg in ("repro.db", "repro.net", "repro.security", "repro.sim",
+                "repro.core", "repro.workload"):
+        assert pkg in design, f"{pkg} missing from DESIGN.md"
+
+
+def test_experiments_doc_covers_every_artifact():
+    experiments = (REPO / "EXPERIMENTS.md").read_text()
+    for artifact in [f"Figure {i}" for i in range(4, 14)] + ["Table 3"]:
+        assert artifact in experiments, f"{artifact} missing from EXPERIMENTS.md"
