@@ -47,6 +47,7 @@ def bench_deployment_ligo(benchmark):
             clients=2,
             threads_per_client=3,
             total_operations=2000,
+            trials=2,
         )
         benchmark.pedantic(
             lambda: measure_rate(

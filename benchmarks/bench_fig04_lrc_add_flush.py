@@ -9,7 +9,13 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.common import delete_all, measure_rate, record_series, scaled
+from benchmarks.common import (
+    delete_all,
+    measure_rate,
+    record_series,
+    scaled,
+    server_metrics_snapshot,
+)
 from repro.workload.driver import LoadDriver
 from repro.workload.scenarios import loaded_lrc_server
 
@@ -29,9 +35,11 @@ def lrc_server():
     server.stop()
 
 
-def _add_rate(server, threads: int, ops: int, start: int) -> float:
+def _add_rate(server, threads: int, ops: int, start: int):
+    """One add trial; returns (rate, internal metrics delta for the trial)."""
     lfns = [f"fig4-add-{start + i}" for i in range(ops)]
     pfn_of = lambda lfn: f"pfn://{lfn}"
+    before = server_metrics_snapshot(server.config.name)
     rate = measure_rate(
         server.config.name,
         LoadDriver.add_op(lfns, pfn_of),
@@ -39,8 +47,17 @@ def _add_rate(server, threads: int, ops: int, start: int) -> float:
         threads_per_client=threads,
         total_operations=ops,
     )
+    delta = server_metrics_snapshot(server.config.name).delta(before)
     delete_all(server.config.name, [(l, pfn_of(l)) for l in lfns])
-    return rate
+    return rate, delta
+
+
+def _p95_ms(delta, metric_key: str) -> str:
+    """p95 of one internal histogram over a trial, in milliseconds."""
+    hist = delta.histograms.get(metric_key)
+    if hist is None or hist.count == 0:
+        return "-"
+    return f"{hist.percentile(95) * 1e3:.1f}"
 
 
 def bench_fig04_add_rates(lrc_server, benchmark):
@@ -49,25 +66,31 @@ def bench_fig04_add_rates(lrc_server, benchmark):
     start = 0
     # Flush enabled: each add pays the 11 ms modelled disk barrier.
     server.engine.set_flush_on_commit(True)
-    on_rates = {}
+    on_rates, on_deltas = {}, {}
     for threads in THREAD_COUNTS:
-        on_rates[threads] = _add_rate(server, threads, ops=60, start=start)
+        on_rates[threads], on_deltas[threads] = _add_rate(
+            server, threads, ops=60, start=start
+        )
         start += 60
     # Flush disabled (the paper's recommendation).
     server.engine.set_flush_on_commit(False)
-    off_rates = {}
+    off_rates, off_deltas = {}, {}
     for threads in THREAD_COUNTS:
-        off_rates[threads] = _add_rate(server, threads, ops=1500, start=start)
+        off_rates[threads], off_deltas[threads] = _add_rate(
+            server, threads, ops=1500, start=start
+        )
         start += 1500
 
     def one_add_trial():
         nonlocal start
-        rate = _add_rate(server, threads=10, ops=300, start=start)
+        rate, _delta = _add_rate(server, threads=10, ops=300, start=start)
         start += 300
         return rate
 
     benchmark.pedantic(one_add_trial, rounds=3, iterations=1)
 
+    wal_key = "wal.flush_latency"
+    rpc_key = "rpc.latency{method=lrc_create_mapping}"
     for threads in THREAD_COUNTS:
         rows.append(
             [
@@ -76,16 +99,29 @@ def bench_fig04_add_rates(lrc_server, benchmark):
                 f"{on_rates[threads]:.0f}",
                 PAPER_FLUSH_OFF[threads],
                 f"{off_rates[threads]:.0f}",
+                _p95_ms(on_deltas[threads], wal_key),
+                _p95_ms(off_deltas[threads], wal_key),
+                _p95_ms(on_deltas[threads], rpc_key),
+                _p95_ms(off_deltas[threads], rpc_key),
             ]
         )
     record_series(
         "Figure 4 — LRC add rate (adds/s), flush enabled vs disabled",
-        ["threads", "paper flush-on", "ours flush-on", "paper flush-off", "ours flush-off"],
+        [
+            "threads",
+            "paper flush-on", "ours flush-on",
+            "paper flush-off", "ours flush-off",
+            "wal p95 on (ms)", "wal p95 off (ms)",
+            "add rpc p95 on (ms)", "add rpc p95 off (ms)",
+        ],
         rows,
         notes=[
             f"LRC pre-loaded with {scaled(PAPER_ENTRIES)} entries "
             f"(paper: {PAPER_ENTRIES}); modelled disk barrier 11 ms",
+            "internal columns come from the server's metrics registry "
+            "(delta over each trial): WAL flush and per-RPC add latency",
         ],
+        metrics=off_deltas[THREAD_COUNTS[-1]],
     )
 
     # Shape assertions: flush-off must dominate flush-on at every point.

@@ -107,7 +107,8 @@ def bench_fig07_native_vs_lrc(lrc_server, benchmark):
 
         # --- through the LRC server ---
         lq = measure_rate(
-            server.config.name, LoadDriver.query_op(query_lfns), clients, 10, ops
+            server.config.name, LoadDriver.query_op(query_lfns), clients, 10, ops,
+            trials=2,
         )
         base = counter[0]
         add_lfns = [f"fig7l-{base + i}" for i in range(ops)]

@@ -35,7 +35,7 @@ def bench_fig09_rli_query_rates(rli_server, benchmark):
     rates = {}
     for clients in CLIENT_COUNTS:
         rates[clients] = measure_rate(
-            server.config.name, op, clients, 3, total_operations=3000
+            server.config.name, op, clients, 3, total_operations=3000, trials=3
         )
 
     benchmark.pedantic(

@@ -48,7 +48,7 @@ def bench_fig10_bloom_query_rates(bloom_rli, benchmark):
     rates = {}
     for clients in CLIENT_COUNTS:
         rates[clients] = measure_rate(
-            server.config.name, op, clients, 3, total_operations=3000
+            server.config.name, op, clients, 3, total_operations=3000, trials=2
         )
     RESULTS[num_filters] = rates
 

@@ -1,0 +1,92 @@
+"""Assert that disabled instrumentation is effectively free.
+
+Every hot path carries metric and tracing hooks; with no registry and no
+tracer installed those hooks degenerate into attribute checks and no-op
+method calls.  This check quantifies that residual cost on the tightest
+loop in the system — LRC adds against an in-memory engine — and fails if
+it exceeds ``MAX_OVERHEAD_FRACTION`` of the measured per-add time.
+
+Run directly (CI does)::
+
+    PYTHONPATH=src python benchmarks/check_overhead.py
+
+The comparison is deterministic by construction: rather than racing two
+separately-timed loops (noisy on shared CI runners), it measures the
+per-add time once, counts the no-op hook invocations an add performs,
+times those no-op calls in isolation, and compares the products.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.core.lrc import LocalReplicaCatalog
+from repro.db.mysql_engine import MySQLEngine
+from repro.db.odbc import Connection
+from repro.obs import tracing
+from repro.obs.metrics import NULL_REGISTRY
+
+#: Disabled instrumentation must cost less than this fraction of an add.
+MAX_OVERHEAD_FRACTION = 0.05
+
+#: Upper bound on no-op hook invocations per lrc.add_mapping call:
+#: counter incs (LRC + WAL + queue gauge), tracing.active() checks in the
+#: engine/WAL, and the RPC-layer latency ``noop`` test.  Counted
+#: generously; overestimating only makes the check stricter.
+HOOKS_PER_ADD = 24
+
+ADDS = 3_000
+NOOP_CALLS = 200_000
+
+
+def time_adds(n: int) -> float:
+    """Seconds per add on a bare LRC with no registry installed."""
+    engine = MySQLEngine(flush_on_commit=False, sync_latency=0.0)
+    lrc = LocalReplicaCatalog(Connection(engine, "ovh"), name="ovh")
+    lrc.init_schema()
+    lfns = [f"ovh-{i}" for i in range(n)]
+    start = time.perf_counter()
+    for lfn in lfns:
+        lrc.create_mapping(lfn, f"pfn://{lfn}")
+    return (time.perf_counter() - start) / n
+
+
+def time_noop_hook(n: int) -> float:
+    """Seconds per disabled-instrumentation hook invocation."""
+    counter = NULL_REGISTRY.counter("x")
+    histogram = NULL_REGISTRY.histogram("y")
+    active = tracing.active
+    start = time.perf_counter()
+    for _ in range(n):
+        counter.inc()
+        if not histogram.noop:
+            histogram.observe(0.0)
+        if active():
+            pass
+    return (time.perf_counter() - start) / (3 * n)
+
+
+def main() -> int:
+    assert not tracing.active(), "overhead check requires no tracer installed"
+    per_add = time_adds(ADDS)
+    per_hook = time_noop_hook(NOOP_CALLS)
+    overhead = per_hook * HOOKS_PER_ADD
+    fraction = overhead / per_add
+    print(f"per add:            {per_add * 1e6:8.2f} us")
+    print(f"per no-op hook:     {per_hook * 1e9:8.2f} ns")
+    print(f"hooks per add:      {HOOKS_PER_ADD:5d} (upper bound)")
+    print(
+        f"overhead per add:   {overhead * 1e6:8.3f} us "
+        f"({fraction * 100:.3f}% of add; limit "
+        f"{MAX_OVERHEAD_FRACTION * 100:.0f}%)"
+    )
+    if fraction >= MAX_OVERHEAD_FRACTION:
+        print("FAIL: disabled instrumentation exceeds the overhead budget")
+        return 1
+    print("OK: disabled instrumentation is within the overhead budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

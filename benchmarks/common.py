@@ -13,6 +13,8 @@ from typing import Sequence
 
 from repro.core.client import RLSClient, connect
 from repro.db.odbc import Connection
+from repro.net.transport import LocalTransport
+from repro.obs.metrics import MetricsSnapshot
 from repro.workload.driver import LoadDriver
 
 #: Fraction of the paper's database sizes to use (1.0 = paper scale).
@@ -27,9 +29,48 @@ def record_series(
     headers: Sequence[str],
     rows: Sequence[Sequence[object]],
     notes: Sequence[str] = (),
+    metrics: MetricsSnapshot | None = None,
 ) -> None:
-    """Record one paper-vs-measured table for the terminal summary."""
-    REPORT.append((title, list(headers), [list(r) for r in rows], list(notes)))
+    """Record one paper-vs-measured table for the terminal summary.
+
+    ``metrics`` (usually a snapshot *delta* covering the measured run)
+    appends an internal-breakdown section to the table's notes: populated
+    latency histograms with p50/p95/p99 and the busiest counters.
+    """
+    all_notes = list(notes)
+    if metrics is not None:
+        all_notes.extend(metrics_notes(metrics))
+    REPORT.append((title, list(headers), [list(r) for r in rows], all_notes))
+
+
+def server_metrics_snapshot(server_name: str) -> MetricsSnapshot:
+    """Snapshot the internal metrics registry of an in-process server."""
+    return LocalTransport.lookup(server_name).server.metrics.snapshot()
+
+
+def metrics_notes(snapshot: MetricsSnapshot, max_lines: int = 12) -> list[str]:
+    """Render a snapshot's interesting contents as report-note lines."""
+    lines: list[str] = []
+    populated = [
+        (key, hist)
+        for key, hist in sorted(snapshot.histograms.items())
+        if hist.count
+    ]
+    for key, hist in populated[:max_lines]:
+        lines.append(
+            f"[internal] {key}: n={hist.count} "
+            f"p50={hist.percentile(50) * 1e3:.2f}ms "
+            f"p95={hist.percentile(95) * 1e3:.2f}ms "
+            f"p99={hist.percentile(99) * 1e3:.2f}ms"
+        )
+    busiest = sorted(
+        ((k, v) for k, v in snapshot.counters.items() if v),
+        key=lambda kv: -kv[1],
+    )
+    if busiest:
+        shown = ", ".join(f"{k}={v}" for k, v in busiest[:6])
+        lines.append(f"[internal] counters: {shown}")
+    return lines
 
 
 def scaled(paper_size: int, minimum: int = 500) -> int:

@@ -12,6 +12,8 @@ Subcommands mirror the operation classes of the paper's Table 1::
     rls attr    --server host:39281 define size pfn int
     rls attr    --server host:39281 add <pfn> size pfn 1024
     rls admin   --server host:39281 stats|ping|update|expire
+    rls stats   host:39281                         # live metrics summary
+    rls workload --server host:39281 --op query --seed 7
 
 ``--server`` accepts either an in-process endpoint name or ``host:port``.
 """
@@ -104,6 +106,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     admin.add_argument("extra", nargs="*")
     admin.add_argument("--bloom", action="store_true")
+
+    stats = sub.add_parser(
+        "stats", help="live server metrics (counters and latency percentiles)"
+    )
+    stats.add_argument("server", help="endpoint name or host:port")
+    stats.add_argument(
+        "--format",
+        choices=["summary", "json", "text"],
+        default="summary",
+        help="summary (default), raw JSON snapshot, or Prometheus text",
+    )
+
+    workload = sub.add_parser(
+        "workload", help="run a measurement workload against a server"
+    )
+    workload.add_argument("--server", required=True)
+    workload.add_argument(
+        "--op", choices=["add", "query", "rli-query", "delete"], default="query"
+    )
+    workload.add_argument("--operations", type=int, default=1000)
+    workload.add_argument("--clients", type=int, default=1)
+    workload.add_argument("--threads", type=int, default=10)
+    workload.add_argument(
+        "--count", type=int, default=1000,
+        help="namespace size (distinct logical names) the workload draws from",
+    )
+    workload.add_argument(
+        "--prefix", default="wl", help="logical-name prefix for the namespace"
+    )
+    workload.add_argument(
+        "--seed", type=int, default=1234,
+        help="RNG seed for query name sampling (reproducible runs)",
+    )
+    workload.add_argument(
+        "--metrics", action="store_true",
+        help="print the server's internal metrics delta after the run",
+    )
     return parser
 
 
@@ -174,6 +213,10 @@ def _dispatch(args: argparse.Namespace, client: RLSClient, out) -> int:
         return _attr(args, client, out)
     elif args.command == "admin":
         return _admin(args, client, out)
+    elif args.command == "stats":
+        return _stats(args, client, out)
+    elif args.command == "workload":
+        return _workload(args, client, out)
     return 0
 
 
@@ -261,6 +304,117 @@ def _admin(args: argparse.Namespace, client: RLSClient, out) -> int:
             patterns = ",".join(entry["patterns"]) or "-"
             print(f"{entry['name']}\t{flags}\t{patterns}", file=out)
     return 0
+
+
+def _format_metrics_summary(snapshot_dict: dict, out) -> None:
+    """Readable counters + latency percentile table from a snapshot dict."""
+    from repro.obs.metrics import MetricsSnapshot
+
+    snapshot = MetricsSnapshot.from_dict(snapshot_dict)
+    # Zero counters are registered-but-idle instruments; skip the noise.
+    nonzero = {k: v for k, v in snapshot.counters.items() if v}
+    if nonzero:
+        print("counters:", file=out)
+        for key in sorted(nonzero):
+            print(f"  {key} = {nonzero[key]}", file=out)
+    if snapshot.gauges:
+        print("gauges:", file=out)
+        for key in sorted(snapshot.gauges):
+            print(f"  {key} = {snapshot.gauges[key]:g}", file=out)
+    populated = {
+        key: hist
+        for key, hist in sorted(snapshot.histograms.items())
+        if hist.count
+    }
+    if populated:
+        width = max(len(key) for key in populated)
+        print("latency histograms (seconds):", file=out)
+        header = (
+            f"  {'metric':<{width}}  {'count':>8}  {'p50':>10}  "
+            f"{'p95':>10}  {'p99':>10}  {'max':>10}"
+        )
+        print(header, file=out)
+        for key, hist in populated.items():
+            print(
+                f"  {key:<{width}}  {hist.count:>8}  "
+                f"{hist.percentile(50):>10.6f}  {hist.percentile(95):>10.6f}  "
+                f"{hist.percentile(99):>10.6f}  {hist.max:>10.6f}",
+                file=out,
+            )
+
+
+def _stats(args: argparse.Namespace, client: RLSClient, out) -> int:
+    if args.format == "text":
+        print(client.metrics_text(), file=out, end="")
+        return 0
+    stats = client.stats()
+    if args.format == "json":
+        print(json.dumps(stats, indent=2, sort_keys=True), file=out)
+        return 0
+    roles = "+".join(
+        role for role, on in stats.get("roles", {}).items() if on
+    ) or "none"
+    print(f"server {stats.get('name')} ({roles}, "
+          f"{stats.get('backend')} backend)", file=out)
+    print(f"requests served: {stats.get('requests_served')}  "
+          f"errors: {stats.get('errors_returned')}", file=out)
+    for section in ("lrc", "rli", "updates"):
+        if section in stats:
+            fields = "  ".join(
+                f"{k}={v}" for k, v in sorted(stats[section].items())
+            )
+            print(f"{section}: {fields}", file=out)
+    _format_metrics_summary(stats.get("metrics", {}), out)
+    return 0
+
+
+def _workload(args: argparse.Namespace, client: RLSClient, out) -> int:
+    from repro.obs.metrics import MetricsSnapshot
+    from repro.workload.driver import LoadDriver
+    from repro.workload.names import MappingSet, pfn_for
+
+    names = MappingSet(
+        count=args.count, prefix=args.prefix, seed=args.seed
+    )
+    driver = LoadDriver(
+        server_name=args.server,
+        clients=args.clients,
+        threads_per_client=args.threads,
+        total_operations=args.operations,
+        connect_fn=lambda name, cred: _open_client(name),
+    )
+    if args.op == "add":
+        lfns = names.lfns()
+        if args.operations > len(lfns):
+            print(
+                f"--operations {args.operations} exceeds namespace size "
+                f"{len(lfns)}; raise --count",
+                file=out,
+            )
+            return 2
+        operation = LoadDriver.add_op(lfns, pfn_for)
+    elif args.op == "delete":
+        operation = LoadDriver.delete_op(names.lfns(), pfn_for)
+    elif args.op == "rli-query":
+        operation = LoadDriver.rli_query_op(
+            names.random_lfns(args.operations)
+        )
+    else:
+        operation = LoadDriver.query_op(names.random_lfns(args.operations))
+    before = None
+    if args.metrics:
+        before = MetricsSnapshot.from_dict(client.metrics())
+    result = driver.run(operation)
+    print(
+        f"{result.operations} ops in {result.elapsed:.3f}s = "
+        f"{result.rate:.1f} ops/s ({result.errors} errors, seed={args.seed})",
+        file=out,
+    )
+    if args.metrics and before is not None:
+        after = MetricsSnapshot.from_dict(client.metrics())
+        delta = after.delta(before)
+        _format_metrics_summary(delta.to_dict(), out)
+    return 1 if result.errors else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

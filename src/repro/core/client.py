@@ -175,6 +175,14 @@ class RLSClient:
     def stats(self) -> dict[str, Any]:
         return self.rpc.call("admin_stats")
 
+    def metrics(self) -> dict[str, Any]:
+        """Raw metrics snapshot (counters, gauges, histogram buckets)."""
+        return self.rpc.call("admin_metrics")
+
+    def metrics_text(self) -> str:
+        """Metrics snapshot rendered in Prometheus text exposition format."""
+        return self.rpc.call("admin_metrics_text")
+
     def trigger_full_update(self) -> float:
         """Force an immediate full soft-state update; returns duration (s)."""
         return self.rpc.call("admin_trigger_full_update")

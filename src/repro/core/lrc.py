@@ -38,6 +38,7 @@ from repro.core.errors import (
 from repro.core.naming import validate_name, wildcard_to_like
 from repro.db.errors import DuplicateKeyError
 from repro.db.odbc import Connection
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 
 
 class ObjType(enum.IntEnum):
@@ -178,13 +179,26 @@ class RLITarget:
 class LocalReplicaCatalog:
     """The LRC service logic, independent of any RPC front end."""
 
-    def __init__(self, connection: Connection, name: str = "lrc") -> None:
+    def __init__(
+        self,
+        connection: Connection,
+        name: str = "lrc",
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self.conn = connection
         self.name = name
         self._write_lock = threading.RLock()
         # Callbacks: fn(lfn, present) — present=True when the LFN gained its
         # first mapping, False when it lost its last one.
         self._lfn_listeners: list[Callable[[str, bool], None]] = []
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        self.metrics = registry
+        self._m_created = registry.counter("lrc.mappings_created")
+        self._m_added = registry.counter("lrc.mappings_added")
+        self._m_deleted = registry.counter("lrc.mappings_deleted")
+        self._m_bulk_loaded = registry.counter("lrc.mappings_bulk_loaded")
+        registry.register_gauge_fn("lrc.lfns", self.lfn_count)
+        registry.register_gauge_fn("lrc.mappings", self.mapping_count)
 
     # ------------------------------------------------------------------
     # Schema
@@ -239,6 +253,7 @@ class LocalReplicaCatalog:
                 [lfn_id, pfn_id],
             )
             self._bump_ref("t_pfn", pfn_id, +1)
+        self._m_created.inc()
         self._notify(lfn, True)
 
     def add_mapping(self, lfn: str, pfn: str) -> None:
@@ -261,6 +276,7 @@ class LocalReplicaCatalog:
                 ) from None
             self._bump_ref("t_lfn", lfn_id, +1)
             self._bump_ref("t_pfn", pfn_id, +1)
+        self._m_added.inc()
 
     def delete_mapping(self, lfn: str, pfn: str) -> None:
         """Remove one replica mapping; prunes orphaned LFN/PFN rows."""
@@ -288,6 +304,7 @@ class LocalReplicaCatalog:
                 self._delete_attr_values(pfn_id, ObjType.PFN)
             else:
                 self._bump_ref("t_pfn", pfn_id, -1)
+        self._m_deleted.inc()
         if last_for_lfn:
             self._notify(lfn, False)
 
@@ -368,6 +385,7 @@ class LocalReplicaCatalog:
                 refs = len(t_map.lookup_equal(("pfn_id",), (pfn_id,)))
                 for rid, _row in t_pfn.lookup_equal(("id",), (pfn_id,)):
                     t_pfn.update_rid(rid, {"ref": refs})
+        self._m_bulk_loaded.inc(count)
         for lfn in new_lfns:
             self._notify(lfn, True)
         return count

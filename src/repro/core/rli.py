@@ -32,6 +32,7 @@ from repro.core.errors import (
 from repro.core.naming import has_wildcard, wildcard_to_like
 from repro.db.errors import DuplicateKeyError
 from repro.db.odbc import Connection
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 
 #: Default soft-state lifetime.  The Globus default full-update interval is
 #: much shorter; entries must survive a few missed updates.
@@ -79,6 +80,7 @@ class ReplicaLocationIndex:
         name: str = "rli",
         timeout: float = DEFAULT_TIMEOUT,
         clock: Callable[[], float] = time.time,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.conn = connection
         self.name = name
@@ -88,6 +90,42 @@ class ReplicaLocationIndex:
         self._bloom: dict[str, _BloomEntry] = {}
         self._write_lock = threading.RLock()
         self.updates_applied = 0
+        # Wall-clock receipt time of the newest soft-state update per LRC
+        # (both stores), for the rli.staleness_age gauge.
+        self._last_update_at: dict[str, float] = {}
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        self.metrics = registry
+        self._m_apply = {
+            kind: (
+                registry.counter("rli.updates_applied", kind=kind),
+                registry.histogram("rli.update_apply_latency", kind=kind),
+            )
+            for kind in ("full", "incremental", "bloom")
+        }
+        self._m_expired = registry.counter("rli.entries_expired")
+        registry.register_gauge_fn("rli.mappings", self.mapping_count)
+        registry.register_gauge_fn("rli.bloom_filters", self.bloom_filter_count)
+        registry.register_gauge_fn("rli.staleness_age", self.staleness_age)
+
+    def _record_apply(self, kind: str, lrc_name: str, elapsed: float) -> None:
+        """Count one applied update and refresh the per-LRC staleness clock."""
+        counter, histogram = self._m_apply[kind]
+        counter.inc()
+        if not histogram.noop:
+            histogram.observe(elapsed)
+        self._last_update_at[lrc_name] = self.clock()
+
+    def staleness_age(self) -> float:
+        """Seconds since the least-recently-updated LRC sent soft state.
+
+        This is the worst-case age of the index's view of any contributing
+        LRC — the paper's soft-state consistency measure.  Zero when no
+        updates have been received yet.
+        """
+        if not self._last_update_at:
+            return 0.0
+        now = self.clock()
+        return max(0.0, now - min(self._last_update_at.values()))
 
     # ------------------------------------------------------------------
     # Schema
@@ -121,12 +159,14 @@ class ReplicaLocationIndex:
         """
         now = self.clock()
         count = 0
+        start = time.perf_counter()
         with self._write_lock:
             lrc_id = self._get_or_insert_lrc(lrc_name)
             for lfn in lfns:
                 self._upsert_mapping(lfn, lrc_id, now)
                 count += 1
             self.updates_applied += 1
+        self._record_apply("full", lrc_name, time.perf_counter() - start)
         return count
 
     def apply_incremental_update(
@@ -137,6 +177,7 @@ class ReplicaLocationIndex:
     ) -> int:
         """Apply an immediate-mode delta (§3.3). Returns mappings touched."""
         now = self.clock()
+        start = time.perf_counter()
         with self._write_lock:
             lrc_id = self._get_or_insert_lrc(lrc_name)
             for lfn in added:
@@ -144,6 +185,7 @@ class ReplicaLocationIndex:
             for lfn in removed:
                 self._remove_mapping(lfn, lrc_id)
             self.updates_applied += 1
+        self._record_apply("incremental", lrc_name, time.perf_counter() - start)
         return len(added) + len(removed)
 
     def _upsert_mapping(self, lfn: str, lrc_id: int, now: float) -> None:
@@ -220,6 +262,7 @@ class ReplicaLocationIndex:
         approx_entries: int = 0,
     ) -> None:
         """Store/replace the in-memory Bloom filter for ``lrc_name``."""
+        start = time.perf_counter()
         params = BloomParameters(num_bits=num_bits, num_hashes=num_hashes)
         bloom = BloomFilter.from_bytes(bitmap, params, approx_entries)
         now = self.clock()
@@ -232,6 +275,7 @@ class ReplicaLocationIndex:
                 entry.received_at = now
                 entry.updates_received += 1
             self.updates_applied += 1
+        self._record_apply("bloom", lrc_name, time.perf_counter() - start)
 
     # ------------------------------------------------------------------
     # Queries
@@ -370,6 +414,8 @@ class ReplicaLocationIndex:
             for name in stale_blooms:
                 del self._bloom[name]
                 dropped += 1
+        if dropped:
+            self._m_expired.inc(dropped)
         return dropped
 
     # ------------------------------------------------------------------

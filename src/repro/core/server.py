@@ -26,6 +26,8 @@ from repro.db.odbc import Connection, register_dsn, unregister_dsn
 from repro.db.postgres_engine import PostgresEngine
 from repro.net.rpc import ConnectionContext, RPCServer
 from repro.net.transport import LocalTransport, TCPServerTransport
+from repro.obs import tracing
+from repro.obs.metrics import MetricsRegistry
 from repro.security.acl import Privilege
 from repro.security.authorizer import Authorizer
 
@@ -37,9 +39,13 @@ class RLSServer:
         self,
         config: ServerConfig | None = None,
         sink_resolver: Callable[[str], UpdateSink] | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.config = config or ServerConfig()
         self.authorizer = Authorizer(self.config.security)
+        # Every component shares this registry, so one snapshot covers the
+        # whole server: RPC dispatch, transports, WAL, LRC/RLI, updates.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
 
         # --- database back end (Figure 2: server -> ODBC -> engine) ---
         if self.config.backend is Backend.MYSQL:
@@ -47,12 +53,14 @@ class RLSServer:
                 name=f"{self.config.name}-db",
                 flush_on_commit=self.config.flush_on_commit,
                 sync_latency=self.config.sync_latency,
+                metrics=self.metrics,
             )
         else:
             self.engine = PostgresEngine(
                 name=f"{self.config.name}-db",
                 fsync=self.config.flush_on_commit,
                 sync_latency=self.config.sync_latency,
+                metrics=self.metrics,
             )
         self.dsn = f"{self.config.name}-dsn"
         register_dsn(self.dsn, self.engine)
@@ -63,11 +71,14 @@ class RLSServer:
         self.rli: ReplicaLocationIndex | None = None
         self.update_manager: UpdateManager | None = None
         if self.config.is_lrc:
-            self.lrc = LocalReplicaCatalog(self.connection, name=self.config.name)
+            self.lrc = LocalReplicaCatalog(
+                self.connection, name=self.config.name, metrics=self.metrics
+            )
             self.lrc.init_schema()
             resolver = sink_resolver or self._default_sink_resolver
             self.update_manager = UpdateManager(
-                self.lrc, resolver, policy=self.config.updates
+                self.lrc, resolver, policy=self.config.updates,
+                metrics=self.metrics,
             )
         if self.config.is_rli:
             # The RLI tables live in their own engine when the server is
@@ -82,12 +93,15 @@ class RLSServer:
             else:
                 rli_conn = self.connection
             self.rli = ReplicaLocationIndex(
-                rli_conn, name=self.config.name, timeout=self.config.rli_timeout
+                rli_conn, name=self.config.name, timeout=self.config.rli_timeout,
+                metrics=self.metrics,
             )
             self.rli.init_schema()
 
         # --- RPC front end ---
-        self.rpc = RPCServer(authenticator=self.authorizer.authenticate)
+        self.rpc = RPCServer(
+            authenticator=self.authorizer.authenticate, metrics=self.metrics
+        )
         self._register_methods()
         self.local_transport = LocalTransport(self.rpc, name=self.config.name)
         self.tcp_transport: TCPServerTransport | None = None
@@ -179,8 +193,14 @@ class RLSServer:
 
     def _register_methods(self) -> None:
         def guarded(privilege: Privilege, fn: Callable[..., Any]):
+            privilege_name = privilege.name.lower()
+
             def handler(ctx: ConnectionContext, args: tuple) -> Any:
-                self.authorizer.check(privilege, ctx.principal)
+                if tracing.active():
+                    with tracing.span("acl.check", privilege=privilege_name):
+                        self.authorizer.check(privilege, ctx.principal)
+                else:
+                    self.authorizer.check(privilege, ctx.principal)
                 return fn(*args)
 
             return handler
@@ -241,6 +261,8 @@ class RLSServer:
         # -- admin --
         r("admin_ping", lambda ctx, args: "pong")
         r("admin_stats", guarded(admin, self._stats))
+        r("admin_metrics", guarded(admin, lambda: self.metrics.snapshot().to_dict()))
+        r("admin_metrics_text", guarded(admin, lambda: self.metrics.render_text()))
         r("admin_trigger_full_update", guarded(admin, self._trigger_full_update))
         r("admin_trigger_incremental_update", guarded(admin, self._trigger_incremental))
         r("admin_expire_once", guarded(admin, lambda: self._need_rli().expire_once()))
@@ -293,4 +315,5 @@ class RLSServer:
                 "names_sent": s.names_sent,
                 "bloom_bytes_sent": s.bytes_sent_bloom,
             }
+        stats["metrics"] = self.metrics.snapshot().to_dict()
         return stats

@@ -31,6 +31,7 @@ from repro.core.errors import UpdateTargetError
 from repro.core.lrc import LocalReplicaCatalog, RLITarget
 from repro.core.partition import PartitionRouter
 from repro.core.rli import ReplicaLocationIndex
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 
 
 class UpdateSink(Protocol):
@@ -165,6 +166,7 @@ class UpdateManager:
         sink_resolver: Callable[[str], UpdateSink],
         policy: UpdatePolicy | None = None,
         clock: Callable[[], float] = time.monotonic,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.lrc = lrc
         self.sink_resolver = sink_resolver
@@ -177,6 +179,26 @@ class UpdateManager:
         self._last_immediate_flush = clock()
         self._last_full_update = clock()
         self._bloom: CountingBloomFilter | None = None
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        self.metrics = registry
+        self._m_full_duration = registry.histogram(
+            "updates.duration", kind="full"
+        )
+        self._m_bloom_send = registry.histogram(
+            "updates.duration", kind="bloom"
+        )
+        self._m_bloom_generation = registry.histogram(
+            "updates.bloom_generation"
+        )
+        self._m_names_sent = registry.counter("updates.names_sent")
+        self._m_bloom_bytes = registry.counter("updates.bloom_bytes_sent")
+        self._m_sent = {
+            kind: registry.counter("updates.sent", kind=kind)
+            for kind in ("full", "incremental", "bloom")
+        }
+        registry.register_gauge_fn(
+            "updates.pending_changes", lambda: sum(self.pending_changes())
+        )
         lrc.add_lfn_listener(self._on_lfn_change)
 
     # ------------------------------------------------------------------
@@ -228,6 +250,7 @@ class UpdateManager:
             self._bloom = fresh
         elapsed = time.perf_counter() - start
         self.stats.bloom_generation_time = elapsed
+        self._m_bloom_generation.observe(elapsed)
         return elapsed
 
     @property
@@ -269,6 +292,8 @@ class UpdateManager:
                 with self._lock:
                     self.stats.full_updates += 1
                     self.stats.names_sent += len(names)
+                self._m_sent["full"].inc()
+                self._m_names_sent.inc(len(names))
 
         if self.policy.parallel_updates and len(targets) > 1:
             self._push_parallel(targets, push_one)
@@ -283,6 +308,7 @@ class UpdateManager:
             self._last_immediate_flush = self.clock()
         elapsed = time.perf_counter() - start
         self.stats.last_full_duration = elapsed
+        self._m_full_duration.observe(elapsed)
         return elapsed
 
     def _send_bloom(
@@ -321,7 +347,11 @@ class UpdateManager:
         )
         self.stats.bloom_updates += 1
         self.stats.bytes_sent_bloom += len(payload)
-        self.stats.last_bloom_duration = time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        self.stats.last_bloom_duration = elapsed
+        self._m_sent["bloom"].inc()
+        self._m_bloom_bytes.inc(len(payload))
+        self._m_bloom_send.observe(elapsed)
 
     def _push_parallel(self, targets, push_one) -> None:
         """Fan a push out to every target concurrently; re-raise the first
@@ -377,6 +407,8 @@ class UpdateManager:
                 )
                 self.stats.incremental_updates += 1
                 self.stats.names_sent += len(added) + len(removed)
+                self._m_sent["incremental"].inc()
+                self._m_names_sent.inc(len(added) + len(removed))
         return len(added) + len(removed)
 
     # ------------------------------------------------------------------

@@ -21,6 +21,7 @@ from repro.db.wal import (
     OP_UPDATE,
     WriteAheadLog,
 )
+from repro.obs import tracing
 
 
 class Database:
@@ -137,7 +138,10 @@ class Database:
                 self._statement_cache[sql] = stmt
         if self._executor is None:
             self._executor = Executor(self)
-        return self._executor.execute(stmt, list(params))
+        if not tracing.active():
+            return self._executor.execute(stmt, list(params))
+        with tracing.span("sql.execute", statement=type(stmt).__name__):
+            return self._executor.execute(stmt, list(params))
 
     # ------------------------------------------------------------------
     # Durability

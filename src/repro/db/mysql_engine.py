@@ -19,6 +19,7 @@ from typing import Callable
 
 from repro.db.engine import Database
 from repro.db.wal import InMemoryLogDevice, LogDevice, WriteAheadLog
+from repro.obs.metrics import MetricsRegistry
 
 
 class MySQLEngine(Database):
@@ -34,6 +35,7 @@ class MySQLEngine(Database):
         flush_interval: float = 1.0,
         device: LogDevice | None = None,
         sleep: Callable[[float], None] = time.sleep,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if device is None:
             device = InMemoryLogDevice(sync_latency=sync_latency, sleep=sleep)
@@ -41,6 +43,7 @@ class MySQLEngine(Database):
             device=device,
             flush_on_commit=flush_on_commit,
             flush_interval=flush_interval,
+            metrics=metrics,
         )
         super().__init__(name=name, wal=wal, eager_index_cleanup=True)
 

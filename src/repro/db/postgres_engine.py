@@ -23,6 +23,7 @@ from typing import Callable
 
 from repro.db.engine import Database
 from repro.db.wal import InMemoryLogDevice, LogDevice, WriteAheadLog
+from repro.obs.metrics import MetricsRegistry
 
 
 class PostgresEngine(Database):
@@ -39,6 +40,7 @@ class PostgresEngine(Database):
         device: LogDevice | None = None,
         sleep: Callable[[float], None] = time.sleep,
         dead_hit_cost: float = 5e-5,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if device is None:
             device = InMemoryLogDevice(sync_latency=sync_latency, sleep=sleep)
@@ -46,6 +48,7 @@ class PostgresEngine(Database):
             device=device,
             flush_on_commit=fsync,
             flush_interval=flush_interval,
+            metrics=metrics,
         )
         super().__init__(
             name=name,

@@ -28,6 +28,9 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
+from repro.obs import tracing
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
+
 _HEADER = struct.Struct("<QBI")  # lsn, opcode, payload length
 
 OP_INSERT = 1
@@ -208,6 +211,7 @@ class WriteAheadLog:
         flush_interval: float = 1.0,
         max_buffered_records: int = 1024,
         clock: Callable[[], float] = time.monotonic,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.device = device if device is not None else InMemoryLogDevice()
         self.flush_on_commit = flush_on_commit
@@ -220,6 +224,27 @@ class WriteAheadLog:
         self._last_flush = clock()
         self.records_appended = 0
         self._txn = threading.local()
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        self._m_flush = registry.histogram("wal.flush_latency")
+        self._m_records = registry.counter("wal.records_appended")
+        self._m_queue = registry.gauge("wal.queue_depth")
+
+    def _sync_device(self) -> None:
+        """Sync the device, recording flush latency and the queue drain.
+
+        Callers hold ``self._lock``.  With no registry installed the
+        instrument is a no-op singleton and the timing pair is skipped.
+        """
+        if self._m_flush.noop and not tracing.active():
+            self.device.sync()
+        else:
+            start = time.perf_counter()
+            with tracing.span("wal.flush", buffered=self._buffered):
+                self.device.sync()
+            self._m_flush.observe(time.perf_counter() - start)
+        self._buffered = 0
+        self._m_queue.set(0)
+        self._last_flush = self._clock()
 
     def transaction(self):
         """Defer per-commit syncs until the enclosing transaction ends.
@@ -241,29 +266,25 @@ class WriteAheadLog:
             self._next_lsn += 1
             self.device.append(encode_record(WALRecord(lsn, op, table, payload)))
             self.records_appended += 1
+            self._m_records.inc()
             self._buffered += 1
+            self._m_queue.set(self._buffered)
             if self.flush_on_commit:
                 if self._txn_depth() > 0:
                     self._txn.pending = True
                     return lsn
-                self.device.sync()
-                self._buffered = 0
-                self._last_flush = self._clock()
+                self._sync_device()
             elif (
                 self._buffered >= self.max_buffered_records
                 or self._clock() - self._last_flush >= self.flush_interval
             ):
-                self.device.sync()
-                self._buffered = 0
-                self._last_flush = self._clock()
+                self._sync_device()
             return lsn
 
     def flush(self) -> None:
         """Force a sync (used on clean shutdown / checkpoint)."""
         with self._lock:
-            self.device.sync()
-            self._buffered = 0
-            self._last_flush = self._clock()
+            self._sync_device()
 
     def records(self) -> list[WALRecord]:
         """Decode every durable record (crash-recovery view)."""
@@ -293,9 +314,7 @@ class _WALTransaction:
         ):
             local.pending = False
             with self.wal._lock:
-                self.wal.device.sync()
-                self.wal._buffered = 0
-                self.wal._last_flush = self.wal._clock()
+                self.wal._sync_device()
 
 
 def replay(log: WriteAheadLog) -> Iterator[WALRecord]:

@@ -20,7 +20,11 @@ path                  method  action
 /bulk/query           POST    {"lfns":[...]} -> {lfn: [pfn,...]}
 /admin/stats          GET     server statistics
 /admin/update         POST    force a full soft-state update
+/metrics              GET     Prometheus-style text metrics dump
 ====================  ======  =====================================
+
+``/metrics`` responds with ``text/plain`` (Prometheus exposition
+format); every other route speaks JSON.
 
 Errors map to HTTP statuses: unknown names → 404, conflicts → 409,
 validation → 400, authorization → 403, anything else → 500.
@@ -69,6 +73,14 @@ class HTTPGateway:
                 body = json.dumps(payload).encode("utf-8")
                 self.send_response(status)
                 self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def _send_text(self, status: int, text: str) -> None:
+                body = text.encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type", "text/plain; version=0.0.4")
                 self.send_header("Content-Length", str(len(body)))
                 self.end_headers()
                 self.wfile.write(body)
@@ -127,6 +139,16 @@ class HTTPGateway:
                     )
                 elif path == "/admin/stats":
                     self._handle(lambda c: (200, c.stats()))
+                elif path == "/metrics":
+                    client = None
+                    try:
+                        client = self._client()
+                        self._send_text(200, client.metrics_text())
+                    except Exception as exc:
+                        self._send(500, {"error": str(exc)})
+                    finally:
+                        if client is not None:
+                            client.close()
                 else:
                     self._send(404, {"error": f"no such route: {path}"})
 

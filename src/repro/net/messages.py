@@ -15,13 +15,24 @@ _HELLO_KIND = 2
 
 @dataclass(frozen=True)
 class Request:
-    """One RPC call: a method name plus positional arguments."""
+    """One RPC call: a method name plus positional arguments.
+
+    ``trace`` optionally carries ``(trace_id, parent_span_id)`` so a
+    server-side span can join the client's trace (see
+    :mod:`repro.obs.tracing`).  It is omitted from the wire encoding when
+    absent, keeping the frame identical to the pre-tracing protocol.
+    """
 
     method: str
     args: tuple[Any, ...] = ()
+    trace: tuple[str, str] | None = None
 
     def to_bytes(self) -> bytes:
-        return encode([_REQUEST_KIND, self.method, list(self.args)])
+        if self.trace is None:
+            return encode([_REQUEST_KIND, self.method, list(self.args)])
+        return encode(
+            [_REQUEST_KIND, self.method, list(self.args), list(self.trace)]
+        )
 
 
 @dataclass(frozen=True)
@@ -71,9 +82,12 @@ def message_from_bytes(data: bytes) -> Request | Response | Hello:
         raise ProtocolError("malformed message envelope")
     kind = decoded[0]
     if kind == _REQUEST_KIND:
-        if len(decoded) != 3:
+        if len(decoded) not in (3, 4):
             raise ProtocolError("malformed request")
-        return Request(method=decoded[1], args=tuple(decoded[2]))
+        trace = None
+        if len(decoded) == 4 and decoded[3]:
+            trace = (decoded[3][0], decoded[3][1])
+        return Request(method=decoded[1], args=tuple(decoded[2]), trace=trace)
     if kind == _RESPONSE_KIND:
         if len(decoded) != 5:
             raise ProtocolError("malformed response")

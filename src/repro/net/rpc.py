@@ -8,12 +8,15 @@ as typed exceptions (registered via :func:`register_error_type`).
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.net.errors import RemoteError
 from repro.net.messages import Hello, Request, Response
 from repro.net.transport import Channel
+from repro.obs import tracing
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 
 
 @dataclass
@@ -42,12 +45,30 @@ class RPCServer:
         authorization" server mode.
     """
 
-    def __init__(self, authenticator: Authenticator | None = None) -> None:
+    def __init__(
+        self,
+        authenticator: Authenticator | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self._methods: dict[str, Handler] = {}
         self._authenticator = authenticator
         self._lock = threading.Lock()
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._instruments: dict[str, tuple[Any, Any, Any]] = {}
         self.requests_served = 0
         self.errors_returned = 0
+
+    def _method_instruments(self, method: str) -> tuple[Any, Any, Any]:
+        """(requests counter, errors counter, latency histogram) per method."""
+        cached = self._instruments.get(method)
+        if cached is None:
+            cached = (
+                self.metrics.counter("rpc.requests", method=method),
+                self.metrics.counter("rpc.errors", method=method),
+                self.metrics.histogram("rpc.latency", method=method),
+            )
+            self._instruments[method] = cached
+        return cached
 
     def register(self, method: str, handler: Handler) -> None:
         self._methods[method] = handler
@@ -68,17 +89,31 @@ class RPCServer:
         handler = self._methods.get(request.method)
         if handler is None:
             self.errors_returned += 1
+            self.metrics.counter("rpc.errors", method=request.method).inc()
             return Response(
                 ok=False,
                 error_type="NoSuchMethodError",
                 error_message=f"unknown method {request.method!r}",
             )
-        try:
-            value = handler(ctx, request.args)
-        except Exception as exc:
-            self.errors_returned += 1
-            return Response.failure(exc)
+        requests, errors, latency = self._method_instruments(request.method)
+        timed = not latency.noop
+        start = time.perf_counter() if timed else 0.0
+        with tracing.span(
+            "rpc.handle", parent=request.trace, method=request.method
+        ) as span:
+            try:
+                value = handler(ctx, request.args)
+            except Exception as exc:
+                span.set_tag("error", type(exc).__name__)
+                self.errors_returned += 1
+                errors.inc()
+                if timed:
+                    latency.observe(time.perf_counter() - start)
+                return Response.failure(exc)
         self.requests_served += 1
+        requests.inc()
+        if timed:
+            latency.observe(time.perf_counter() - start)
         return Response.success(value)
 
 
@@ -100,7 +135,14 @@ class RPCClient:
         self.channel = channel
 
     def call(self, method: str, *args: Any) -> Any:
-        response = self.channel.request(Request(method, args))
+        tracer = tracing.current_tracer()
+        if tracer is None:
+            response = self.channel.request(Request(method, args))
+        else:
+            with tracer.span("rpc.call", method=method) as span:
+                response = self.channel.request(
+                    Request(method, args, trace=(span.trace_id, span.span_id))
+                )
         if response.ok:
             return response.value
         exc_type = _ERROR_TYPES.get(response.error_type)

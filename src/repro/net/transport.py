@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Any, Callable
 
 from repro.net.errors import ProtocolError, TransportClosedError
 from repro.net.messages import Hello, Request, Response, message_from_bytes
+from repro.obs import tracing
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.rpc import RPCServer
@@ -66,6 +67,12 @@ class LocalTransport:
         self.server = server
         self.name = name
         self.closed = False
+        metrics = server.metrics
+        self._m_bytes_in = metrics.counter("net.bytes_in", transport="local")
+        self._m_bytes_out = metrics.counter("net.bytes_out", transport="local")
+        self._m_connections = metrics.counter(
+            "net.connections_total", transport="local"
+        )
         if name is not None:
             with LocalTransport._registry_lock:
                 LocalTransport._registry[name] = self
@@ -87,6 +94,7 @@ class LocalTransport:
         if self.closed:
             raise TransportClosedError("transport closed")
         ctx = self.server.handshake(Hello(credential=credential), peer="local")
+        self._m_connections.inc()
         return LocalChannel(self, ctx, latency, sleep)
 
     def close(self) -> None:
@@ -120,10 +128,14 @@ class LocalChannel(Channel):
         # Round-trip through the wire codec so the serialization cost and
         # type constraints are identical to the TCP path.
         wire = request.to_bytes()
-        decoded = message_from_bytes(wire)
+        with tracing.span("transport.decode"):
+            decoded = message_from_bytes(wire)
         assert isinstance(decoded, Request)
+        self._transport._m_bytes_in.inc(len(wire))
         response = self._transport.server.handle(self._ctx, decoded)
-        return message_from_bytes(response.to_bytes())  # type: ignore[return-value]
+        reply_wire = response.to_bytes()
+        self._transport._m_bytes_out.inc(len(reply_wire))
+        return message_from_bytes(reply_wire)  # type: ignore[return-value]
 
     def close(self) -> None:
         self._closed = True
@@ -176,6 +188,15 @@ class TCPServerTransport:
 
     def __init__(self, server: "RPCServer", host: str = "127.0.0.1", port: int = 0):
         self.server = server
+        metrics = server.metrics
+        self._m_bytes_in = metrics.counter("net.bytes_in", transport="tcp")
+        self._m_bytes_out = metrics.counter("net.bytes_out", transport="tcp")
+        self._m_conns_total = metrics.counter(
+            "net.connections_total", transport="tcp"
+        )
+        self._m_conns_active = metrics.gauge(
+            "net.connections_active", transport="tcp"
+        )
         self._listener = socket.create_server((host, port))
         self.host, self.port = self._listener.getsockname()[:2]
         self._closed = threading.Event()
@@ -202,6 +223,8 @@ class TCPServerTransport:
 
     def _serve_connection(self, conn: socket.socket, addr: tuple) -> None:
         peer = f"{addr[0]}:{addr[1]}"
+        self._m_conns_total.inc()
+        self._m_conns_active.inc()
         try:
             with conn:
                 hello = message_from_bytes(_recv_frame(conn))
@@ -214,17 +237,24 @@ class TCPServerTransport:
                     return
                 _send_frame(conn, Response.success("welcome").to_bytes())
                 while not self._closed.is_set():
-                    request = message_from_bytes(_recv_frame(conn))
+                    frame = _recv_frame(conn)
+                    self._m_bytes_in.inc(len(frame) + _FRAME.size)
+                    with tracing.span("transport.decode"):
+                        request = message_from_bytes(frame)
                     if not isinstance(request, Request):
                         raise ProtocolError("expected Request")
                     response = self.server.handle(ctx, request)
-                    _send_frame(conn, response.to_bytes())
+                    reply = response.to_bytes()
+                    self._m_bytes_out.inc(len(reply) + _FRAME.size)
+                    _send_frame(conn, reply)
         except (TransportClosedError, ConnectionError, OSError):
             return
         except ProtocolError:
             # Malformed or oversized frame: drop this connection; the
             # listener and every other connection stay healthy.
             return
+        finally:
+            self._m_conns_active.dec()
 
     def close(self) -> None:
         self._closed.set()

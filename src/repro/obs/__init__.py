@@ -1,0 +1,69 @@
+"""Telemetry subsystem: metrics, tracing, and live stats surfaces.
+
+The paper evaluates the RLS purely from the outside (operation rates
+measured by the client harness); this package gives the reproduction the
+*inside* view — where time goes within the server, database and update
+pipeline — through three pieces:
+
+* :mod:`repro.obs.metrics` — counters, gauges, log-bucketed latency
+  histograms, and a thread-safe :class:`MetricsRegistry` whose snapshots
+  merge across servers and subtract across time windows;
+* :mod:`repro.obs.tracing` — :class:`Span`/:class:`Tracer` with context
+  propagation through the RPC layer, so one client call yields a span
+  tree covering transport decode, ACL check, SQL execution and WAL flush;
+* exposure surfaces wired elsewhere — the ``admin_stats``/``admin_metrics``
+  RPCs, ``GET /metrics`` on the HTTP gateway, the ``rls stats`` CLI
+  command, and benchmark report breakdowns.
+
+Everything defaults to off: with no registry passed and no tracer
+installed, instrumentation sites hit no-op singletons.  See
+``docs/OBSERVABILITY.md`` for the metric-name and span taxonomy.
+"""
+
+from repro.obs.metrics import (
+    BUCKET_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NULL_REGISTRY,
+    NullRegistry,
+    merge_snapshots,
+    metric_key,
+    split_metric_key,
+)
+from repro.obs.tracing import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    current_tracer,
+    format_tree,
+    install_tracer,
+    span,
+    walk_tree,
+)
+
+__all__ = [
+    "BUCKET_BOUNDS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NULL_REGISTRY",
+    "NULL_SPAN",
+    "NullRegistry",
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "format_tree",
+    "install_tracer",
+    "merge_snapshots",
+    "metric_key",
+    "span",
+    "split_metric_key",
+    "walk_tree",
+]

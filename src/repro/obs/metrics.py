@@ -1,0 +1,502 @@
+"""Metrics: counters, gauges and log-bucketed latency histograms.
+
+The paper's contribution is *measurement*, and its successor work (Zhang
+et al., cs/0304015) shows grid services need built-in monitoring surfaces
+to be evaluated at scale.  This module is that surface's data model:
+
+* :class:`Counter` — monotonically increasing count (requests, bytes);
+* :class:`Gauge` — point-in-time value (queue depth, open connections);
+* :class:`Histogram` — log-bucketed latency distribution with p50/p95/p99;
+* :class:`MetricsRegistry` — a thread-safe, label-aware instrument store
+  whose :meth:`~MetricsRegistry.snapshot` is a plain-data, *mergeable*
+  value (snapshots from many servers combine into a deployment view, and
+  two snapshots subtract to isolate one benchmark run).
+
+**Cost model.**  Instrumented code paths resolve their instruments once
+(at construction) and call ``inc()``/``observe()`` per operation.  When no
+registry is installed the module-level :data:`NULL_REGISTRY` hands out
+no-op singletons whose methods are empty, so the per-operation cost is one
+cheap method call; hot paths can additionally skip ``perf_counter`` pairs
+by checking the instrument's ``noop`` attribute (or ``registry.enabled``).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+# Log-spaced latency buckets: 1 µs doubling up to ~134 s, plus overflow.
+# Fine enough that p95/p99 interpolation lands within a factor of 2 of the
+# true value anywhere in the range an RLS operation can take.
+_BUCKET_START = 1e-6
+NUM_BUCKETS = 28
+BUCKET_BOUNDS: tuple[float, ...] = tuple(
+    _BUCKET_START * (2.0**i) for i in range(NUM_BUCKETS)
+)
+
+
+def bucket_index(value: float) -> int:
+    """Index of the histogram bucket holding ``value`` (last = overflow)."""
+    return bisect_left(BUCKET_BOUNDS, value)
+
+
+class Counter:
+    """Thread-safe monotonically increasing counter."""
+
+    noop = False
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """Thread-safe point-in-time value."""
+
+    noop = False
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Log-bucketed distribution of non-negative values (usually seconds)."""
+
+    noop = False
+    __slots__ = ("_lock", "_counts", "_count", "_sum", "_min", "_max")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts = [0] * (NUM_BUCKETS + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = 0.0
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            value = 0.0
+        idx = bisect_left(BUCKET_BOUNDS, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    def snapshot(self) -> "HistogramSnapshot":
+        with self._lock:
+            return HistogramSnapshot(
+                counts=tuple(self._counts),
+                count=self._count,
+                sum=self._sum,
+                min=self._min if self._count else 0.0,
+                max=self._max,
+            )
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def percentile(self, p: float) -> float:
+        return self.snapshot().percentile(p)
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """Immutable histogram state; merges with and subtracts from peers."""
+
+    counts: tuple[int, ...]
+    count: int
+    sum: float
+    min: float
+    max: float
+
+    def percentile(self, p: float) -> float:
+        """Estimate the ``p``-th percentile (0-100) by linear interpolation
+        within the covering log bucket.  Exact at bucket edges; within one
+        bucket width (factor of 2) everywhere else."""
+        if self.count == 0:
+            return 0.0
+        if p <= 0:
+            return self.min
+        if p >= 100:
+            return self.max
+        rank = (p / 100.0) * self.count
+        cumulative = 0
+        for idx, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            if cumulative + n >= rank:
+                lower = 0.0 if idx == 0 else BUCKET_BOUNDS[idx - 1]
+                upper = (
+                    self.max
+                    if idx >= NUM_BUCKETS
+                    else min(BUCKET_BOUNDS[idx], max(self.max, lower))
+                )
+                if upper < lower:
+                    upper = lower
+                fraction = (rank - cumulative) / n
+                return lower + (upper - lower) * fraction
+            cumulative += n
+        return self.max
+
+    def merge(self, other: "HistogramSnapshot") -> "HistogramSnapshot":
+        """Combine two snapshots (e.g. the same metric from two servers)."""
+        return HistogramSnapshot(
+            counts=tuple(a + b for a, b in zip(self.counts, other.counts)),
+            count=self.count + other.count,
+            sum=self.sum + other.sum,
+            min=min(self.min, other.min) if other.count and self.count
+            else (self.min if self.count else other.min),
+            max=max(self.max, other.max),
+        )
+
+    def delta(self, earlier: "HistogramSnapshot") -> "HistogramSnapshot":
+        """Observations recorded since ``earlier`` (cumulative subtraction).
+
+        ``min``/``max`` cannot be subtracted, so the delta keeps this
+        snapshot's extremes — an upper bound on the interval's range.
+        """
+        return HistogramSnapshot(
+            counts=tuple(
+                max(0, a - b) for a, b in zip(self.counts, earlier.counts)
+            ),
+            count=max(0, self.count - earlier.count),
+            sum=max(0.0, self.sum - earlier.sum),
+            min=self.min,
+            max=self.max,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "HistogramSnapshot":
+        return cls(
+            counts=tuple(data["counts"]),
+            count=data["count"],
+            sum=data["sum"],
+            min=data["min"],
+            max=data["max"],
+        )
+
+
+# ---------------------------------------------------------------------------
+# No-op instruments (installed-registry-absent fast path)
+# ---------------------------------------------------------------------------
+
+
+class _NullCounter:
+    noop = True
+    __slots__ = ()
+    value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    noop = True
+    __slots__ = ()
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullHistogram:
+    noop = True
+    __slots__ = ()
+    count = 0
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def snapshot(self) -> HistogramSnapshot:
+        return HistogramSnapshot((0,) * (NUM_BUCKETS + 1), 0, 0.0, 0.0, 0.0)
+
+    def percentile(self, p: float) -> float:
+        return 0.0
+
+
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+
+
+class NullRegistry:
+    """Registry stand-in that hands out no-op singletons."""
+
+    enabled = False
+
+    def counter(self, name: str, **labels: str) -> _NullCounter:
+        return NULL_COUNTER
+
+    def gauge(self, name: str, **labels: str) -> _NullGauge:
+        return NULL_GAUGE
+
+    def histogram(self, name: str, **labels: str) -> _NullHistogram:
+        return NULL_HISTOGRAM
+
+    def register_gauge_fn(
+        self, name: str, fn: Callable[[], float], **labels: str
+    ) -> None:
+        pass
+
+    def snapshot(self) -> "MetricsSnapshot":
+        return MetricsSnapshot()
+
+
+NULL_REGISTRY = NullRegistry()
+
+
+def metric_key(name: str, labels: dict[str, str]) -> str:
+    """Flattened instrument key: ``name{k=v,...}`` with sorted label keys."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def split_metric_key(key: str) -> tuple[str, dict[str, str]]:
+    """Inverse of :func:`metric_key`."""
+    if not key.endswith("}") or "{" not in key:
+        return key, {}
+    name, _, rest = key.partition("{")
+    labels = {}
+    for pair in rest[:-1].split(","):
+        if pair:
+            k, _, v = pair.partition("=")
+            labels[k] = v
+    return name, labels
+
+
+class MetricsRegistry:
+    """Thread-safe store of named, labelled instruments."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._gauge_fns: dict[str, Callable[[], float]] = {}
+
+    # -- instrument factories (get-or-create) ---------------------------
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        key = metric_key(name, labels)
+        counter = self._counters.get(key)
+        if counter is None:
+            with self._lock:
+                counter = self._counters.setdefault(key, Counter())
+        return counter
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        key = metric_key(name, labels)
+        gauge = self._gauges.get(key)
+        if gauge is None:
+            with self._lock:
+                gauge = self._gauges.setdefault(key, Gauge())
+        return gauge
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        key = metric_key(name, labels)
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            with self._lock:
+                histogram = self._histograms.setdefault(key, Histogram())
+        return histogram
+
+    def register_gauge_fn(
+        self, name: str, fn: Callable[[], float], **labels: str
+    ) -> None:
+        """Register a callback sampled at snapshot time (e.g. a row count)."""
+        with self._lock:
+            self._gauge_fns[metric_key(name, labels)] = fn
+
+    # -- output ----------------------------------------------------------
+
+    def snapshot(self) -> "MetricsSnapshot":
+        """Consistent-enough point-in-time copy of every instrument."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+            gauge_fns = dict(self._gauge_fns)
+        gauge_values = {key: float(g.value) for key, g in gauges.items()}
+        for key, fn in gauge_fns.items():
+            try:
+                gauge_values[key] = float(fn())
+            except Exception:
+                continue  # a failing callback must not break the snapshot
+        return MetricsSnapshot(
+            counters={key: c.value for key, c in counters.items()},
+            gauges=gauge_values,
+            histograms={key: h.snapshot() for key, h in histograms.items()},
+        )
+
+    def render_text(self) -> str:
+        return self.snapshot().render_text()
+
+
+@dataclass
+class MetricsSnapshot:
+    """Plain-data view of a registry: mergeable, subtractable, wire-safe."""
+
+    counters: dict[str, int] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, HistogramSnapshot] = field(default_factory=dict)
+
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Union of two snapshots: counters/gauges add, histograms merge."""
+        counters = dict(self.counters)
+        for key, value in other.counters.items():
+            counters[key] = counters.get(key, 0) + value
+        gauges = dict(self.gauges)
+        for key, value in other.gauges.items():
+            gauges[key] = gauges.get(key, 0.0) + value
+        histograms = dict(self.histograms)
+        for key, hist in other.histograms.items():
+            mine = histograms.get(key)
+            histograms[key] = hist if mine is None else mine.merge(hist)
+        return MetricsSnapshot(counters, gauges, histograms)
+
+    def delta(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
+        """What happened since ``earlier``: counters subtract, histograms
+        subtract bucket-wise, gauges keep their current values."""
+        counters = {
+            key: value - earlier.counters.get(key, 0)
+            for key, value in self.counters.items()
+        }
+        histograms = {
+            key: (
+                hist.delta(earlier.histograms[key])
+                if key in earlier.histograms
+                else hist
+            )
+            for key, hist in self.histograms.items()
+        }
+        return MetricsSnapshot(counters, dict(self.gauges), histograms)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                key: h.to_dict() for key, h in self.histograms.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "MetricsSnapshot":
+        return cls(
+            counters=dict(data.get("counters", {})),
+            gauges=dict(data.get("gauges", {})),
+            histograms={
+                key: HistogramSnapshot.from_dict(h)
+                for key, h in data.get("histograms", {}).items()
+            },
+        )
+
+    def render_text(self) -> str:
+        """Prometheus-style text exposition (dots become underscores)."""
+        lines: list[str] = []
+        seen_types: set[str] = set()
+
+        def emit(key: str, value: float, suffix: str = "",
+                 extra_labels: dict[str, str] | None = None,
+                 mtype: str = "") -> None:
+            name, labels = split_metric_key(key)
+            flat = name.replace(".", "_").replace("-", "_")
+            if mtype and flat not in seen_types:
+                seen_types.add(flat)
+                lines.append(f"# TYPE {flat} {mtype}")
+            if extra_labels:
+                labels = {**labels, **extra_labels}
+            label_text = ""
+            if labels:
+                inner = ",".join(
+                    f'{k}="{labels[k]}"' for k in sorted(labels)
+                )
+                label_text = f"{{{inner}}}"
+            if isinstance(value, float) and not value.is_integer():
+                rendered = f"{value:.9f}".rstrip("0").rstrip(".")
+            else:
+                rendered = str(int(value))
+            lines.append(f"{flat}{suffix}{label_text} {rendered}")
+
+        for key in sorted(self.counters):
+            emit(key, self.counters[key], mtype="counter")
+        for key in sorted(self.gauges):
+            emit(key, self.gauges[key], mtype="gauge")
+        for key in sorted(self.histograms):
+            hist = self.histograms[key]
+            name, labels = split_metric_key(key)
+            for q in (50.0, 95.0, 99.0):
+                emit(
+                    key,
+                    hist.percentile(q),
+                    extra_labels={"quantile": f"{q / 100:g}"},
+                    mtype="histogram",
+                )
+            flat = name.replace(".", "_").replace("-", "_")
+            label_text = ""
+            if labels:
+                inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+                label_text = f"{{{inner}}}"
+            lines.append(f"{flat}_count{label_text} {hist.count}")
+            lines.append(f"{flat}_sum{label_text} {hist.sum:.9f}")
+        return "\n".join(lines) + "\n"
+
+
+def merge_snapshots(snapshots: Iterable[MetricsSnapshot]) -> MetricsSnapshot:
+    """Fold many per-server snapshots into one deployment-wide view."""
+    merged = MetricsSnapshot()
+    for snapshot in snapshots:
+        merged = merged.merge(snapshot)
+    return merged

@@ -1,0 +1,286 @@
+"""Lightweight tracing: spans, a tracer, and RPC context propagation.
+
+One client request produces a *span tree* covering every layer it crosses:
+
+    rpc.call:lrc_add_mapping          (client side)
+      rpc.handle:lrc_add_mapping      (server dispatcher)
+        acl.check                     (authorization)
+        sql.execute                   (each statement the LRC issues)
+        wal.flush                     (the commit durability barrier)
+
+Propagation works two ways, matching the two transports:
+
+* **In-process** (:class:`~repro.net.transport.LocalTransport`): the
+  server handler runs in the caller's thread, so the tracer's thread-local
+  span stack parents server-side spans under the client span directly.
+* **TCP**: the client attaches ``(trace_id, span_id)`` to the
+  :class:`~repro.net.messages.Request` (a backwards-compatible optional
+  wire field) and the server-side span adopts it as an explicit parent.
+
+No tracer is installed by default: :func:`span` then returns a shared
+no-op context manager, so instrumentation sites cost one function call.
+Install with :func:`install_tracer` (tests, debugging, the ``stats``
+surfaces) and remove with ``install_tracer(None)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+_ids = itertools.count(1)
+
+
+def _next_id() -> str:
+    return format(next(_ids), "x")
+
+
+@dataclass
+class Span:
+    """One timed operation; ``parent_id`` links spans into a tree."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+    start: float = 0.0
+    duration: float = 0.0
+    tags: dict[str, Any] = field(default_factory=dict)
+    error: str | None = None
+
+    def set_tag(self, key: str, value: Any) -> None:
+        self.tags[key] = value
+
+
+class _NullSpan:
+    """Shared do-nothing span for the tracer-absent fast path."""
+
+    __slots__ = ()
+    trace_id = ""
+    span_id = ""
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set_tag(self, key: str, value: Any) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _SpanHandle:
+    """Context manager that opens a span on entry and records it on exit."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    @property
+    def trace_id(self) -> str:
+        return self._span.trace_id
+
+    @property
+    def span_id(self) -> str:
+        return self._span.span_id
+
+    def set_tag(self, key: str, value: Any) -> None:
+        self._span.tags[key] = value
+
+    def __enter__(self) -> "_SpanHandle":
+        self._tracer._push(self._span)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self._span.error = exc_type.__name__
+        self._tracer._pop(self._span)
+        return False
+
+
+class Tracer:
+    """Collects finished spans, retaining the most recent traces.
+
+    Thread-safe: each thread keeps its own current-span stack; finished
+    spans land in a bounded per-trace store (oldest traces evicted).
+    """
+
+    def __init__(self, max_traces: int = 256) -> None:
+        self.max_traces = max_traces
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._traces: "OrderedDict[str, list[Span]]" = OrderedDict()
+
+    # -- span lifecycle --------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        parent: tuple[str, str] | None = None,
+        **tags: Any,
+    ) -> _SpanHandle:
+        """Open a child span of ``parent`` (explicit ``(trace_id, span_id)``
+        wire context) or of the thread's current span, or a new root."""
+        if parent is not None and parent[0]:
+            trace_id, parent_id = parent[0], parent[1]
+        else:
+            current = self.current()
+            if current is not None:
+                trace_id, parent_id = current.trace_id, current.span_id
+            else:
+                trace_id, parent_id = _next_id(), None
+        span = Span(
+            name=name,
+            trace_id=trace_id,
+            span_id=_next_id(),
+            parent_id=parent_id,
+            start=time.perf_counter(),
+            tags=dict(tags) if tags else {},
+        )
+        return _SpanHandle(self, span)
+
+    def current(self) -> Span | None:
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def context(self) -> tuple[str, str] | None:
+        """Wire context ``(trace_id, span_id)`` of the current span."""
+        current = self.current()
+        if current is None:
+            return None
+        return (current.trace_id, current.span_id)
+
+    def _push(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        span.duration = time.perf_counter() - span.start
+        stack = getattr(self._local, "stack", None)
+        if stack and stack[-1] is span:
+            stack.pop()
+        with self._lock:
+            spans = self._traces.get(span.trace_id)
+            if spans is None:
+                self._traces[span.trace_id] = [span]
+                while len(self._traces) > self.max_traces:
+                    self._traces.popitem(last=False)
+            else:
+                spans.append(span)
+                self._traces.move_to_end(span.trace_id)
+
+    # -- inspection ------------------------------------------------------
+
+    def trace_ids(self) -> list[str]:
+        with self._lock:
+            return list(self._traces)
+
+    def spans(self, trace_id: str) -> list[Span]:
+        with self._lock:
+            return list(self._traces.get(trace_id, ()))
+
+    def span_tree(self, trace_id: str) -> list[dict[str, Any]]:
+        """Nested view of one trace: each node is ``{span, children}``.
+
+        Roots are spans whose parent was never recorded locally (e.g. the
+        client span of a request that arrived over TCP).
+        """
+        spans = self.spans(trace_id)
+        nodes = {
+            s.span_id: {"span": s, "children": []} for s in spans
+        }
+        roots: list[dict[str, Any]] = []
+        for s in spans:
+            node = nodes[s.span_id]
+            parent = nodes.get(s.parent_id) if s.parent_id else None
+            if parent is None:
+                roots.append(node)
+            else:
+                parent["children"].append(node)
+        return roots
+
+    def find_spans(self, name: str) -> list[Span]:
+        """Every finished span with ``name``, across retained traces."""
+        with self._lock:
+            return [
+                s
+                for spans in self._traces.values()
+                for s in spans
+                if s.name == name
+            ]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._traces.clear()
+
+
+def walk_tree(tree: list[dict[str, Any]]) -> Iterator[tuple[int, Span]]:
+    """Depth-first (depth, span) pairs over a :meth:`Tracer.span_tree`."""
+    stack = [(0, node) for node in reversed(tree)]
+    while stack:
+        depth, node = stack.pop()
+        yield depth, node["span"]
+        for child in reversed(node["children"]):
+            stack.append((depth + 1, child))
+
+
+def format_tree(tree: list[dict[str, Any]]) -> str:
+    """Human-readable indentation view of one trace."""
+    lines = []
+    for depth, s in walk_tree(tree):
+        tags = (
+            " " + " ".join(f"{k}={v}" for k, v in s.tags.items())
+            if s.tags
+            else ""
+        )
+        lines.append(f"{'  ' * depth}{s.name} {s.duration * 1e3:.3f}ms{tags}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Module-level installation point
+# ---------------------------------------------------------------------------
+
+_tracer: Tracer | None = None
+
+
+def install_tracer(tracer: Tracer | None) -> None:
+    """Install (or with ``None`` remove) the process-wide tracer."""
+    global _tracer
+    _tracer = tracer
+
+
+def current_tracer() -> Tracer | None:
+    return _tracer
+
+
+def active() -> bool:
+    return _tracer is not None
+
+
+def span(name: str, parent: tuple[str, str] | None = None, **tags: Any):
+    """Open a span on the installed tracer, or a shared no-op if none."""
+    tracer = _tracer
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, parent=parent, **tags)
+
+
+def context() -> tuple[str, str] | None:
+    """Current wire context for outbound propagation (None = no tracer)."""
+    tracer = _tracer
+    if tracer is None:
+        return None
+    return tracer.context()

@@ -77,6 +77,9 @@ class MappingSet:
     replicas: int = 1
     sites: Sequence[str] = ("site0",)
     start: int = 0
+    #: Default RNG seed for :meth:`random_lfns`; override per set so
+    #: different benchmark runs draw distinct (but reproducible) samples.
+    seed: int = 1234
 
     def lfns(self) -> list[str]:
         return sequential_names(self.count, self.prefix, self.start)
@@ -92,9 +95,12 @@ class MappingSet:
         """One (lfn, pfn) per logical name (for ``create`` loading)."""
         return [(lfn, pfn_for(lfn, self.sites[0], 0)) for lfn in self.lfns()]
 
-    def random_lfns(self, n: int, seed: int = 1234) -> list[str]:
-        """Uniform sample (with replacement) of logical names to query."""
-        rng = random.Random(seed)
+    def random_lfns(self, n: int, seed: int | None = None) -> list[str]:
+        """Uniform sample (with replacement) of logical names to query.
+
+        ``seed`` defaults to this set's :attr:`seed` field.
+        """
+        rng = random.Random(self.seed if seed is None else seed)
         width = 9
         return [
             f"{self.prefix}{rng.randrange(self.start, self.start + self.count):0{width}d}"

@@ -1,0 +1,228 @@
+"""Observability integration tests: live servers, span trees, surfaces."""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.core.client import connect, connect_tcp_server
+from repro.core.config import ServerConfig, ServerRole
+from repro.core.server import RLSServer
+from repro.net.http_gateway import HTTPGateway
+from repro.obs import tracing
+from repro.obs.metrics import MetricsSnapshot
+from repro.obs.tracing import Tracer, walk_tree
+
+
+@pytest.fixture
+def tracer():
+    """A process-wide tracer, removed again afterwards."""
+    t = Tracer()
+    tracing.install_tracer(t)
+    yield t
+    tracing.install_tracer(None)
+
+
+@pytest.fixture
+def traced_server(tracer):
+    """LRC+RLI server with per-commit WAL flushes so wal.flush spans show."""
+    server = RLSServer(
+        ServerConfig(
+            name="obs-int-server",
+            role=ServerRole.BOTH,
+            sync_latency=0.0,
+            flush_on_commit=True,
+        )
+    ).start()
+    yield server
+    server.stop()
+
+
+def _tree_names(tracer, trace_id):
+    """(depth, name) pairs of one trace's span tree."""
+    return [
+        (depth, span.name)
+        for depth, span in walk_tree(tracer.span_tree(trace_id))
+    ]
+
+
+class TestSpanTree:
+    def test_create_mapping_span_tree(self, tracer, traced_server):
+        """One client add covers transport, dispatch, ACL, SQL, and WAL."""
+        client = connect(traced_server.config.name)
+        client.create("span-lfn", "span-pfn")
+        client.close()
+
+        (root,) = tracer.find_spans("rpc.call")
+        assert root.tags["method"] == "lrc_create_mapping"
+        names = _tree_names(tracer, root.trace_id)
+        assert names[0] == (0, "rpc.call")
+        # Server-side work nests under the client span (LocalTransport runs
+        # the handler in the caller's thread).
+        assert (1, "transport.decode") in names
+        assert (1, "rpc.handle") in names
+        assert (2, "acl.check") in names
+        assert (2, "sql.execute") in names
+        assert (2, "wal.flush") in names
+
+        handles = {s.name: s for _, s in walk_tree(tracer.span_tree(root.trace_id))}
+        assert handles["rpc.handle"].tags["method"] == "lrc_create_mapping"
+        assert handles["acl.check"].tags["privilege"] == "lrc_write"
+        assert all(s.error is None for s in tracer.spans(root.trace_id))
+
+    def test_query_span_tree_has_no_wal_flush(self, tracer, traced_server):
+        client = connect(traced_server.config.name)
+        client.create("q-lfn", "q-pfn")
+        tracer.clear()
+        assert client.get_mappings("q-lfn") == ["q-pfn"]
+        client.close()
+
+        (root,) = tracer.find_spans("rpc.call")
+        assert root.tags["method"] == "lrc_get_mappings"
+        names = [name for _, name in _tree_names(tracer, root.trace_id)]
+        assert "sql.execute" in names
+        assert "wal.flush" not in names  # reads don't touch the log
+
+    def test_tcp_trace_propagates_via_wire_context(self, tracer):
+        """Over TCP the server span adopts the Request's (trace, span) ids."""
+        server = RLSServer(
+            ServerConfig(
+                name="obs-tcp-server",
+                role=ServerRole.LRC,
+                tcp=True,
+                sync_latency=0.0,
+            )
+        ).start()
+        try:
+            host, port = server.tcp_address
+            client = connect_tcp_server(host, port)
+            client.create("tcp-span-lfn", "tcp-span-pfn")
+            client.close()
+        finally:
+            server.stop()
+
+        roots = [
+            s
+            for s in tracer.find_spans("rpc.call")
+            if s.tags.get("method") == "lrc_create_mapping"
+        ]
+        (root,) = roots
+        # The server thread's spans joined the client's trace.
+        names = [name for _, name in _tree_names(tracer, root.trace_id)]
+        assert "rpc.handle" in names
+        assert "sql.execute" in names
+        handles = {s.name: s for s in tracer.spans(root.trace_id)}
+        assert handles["rpc.handle"].parent_id == root.span_id
+
+
+class TestServerCounters:
+    def test_round_trip_increments_counters(self, traced_server):
+        before = traced_server.metrics.snapshot()
+        client = connect(traced_server.config.name)
+        client.create("cnt-lfn", "cnt-pfn")
+        assert client.get_mappings("cnt-lfn") == ["cnt-pfn"]
+        client.close()
+        delta = traced_server.metrics.snapshot().delta(before)
+
+        assert delta.counters["rpc.requests{method=lrc_create_mapping}"] == 1
+        assert delta.counters["rpc.requests{method=lrc_get_mappings}"] == 1
+        assert delta.counters["lrc.mappings_created"] == 1
+        assert delta.counters["wal.records_appended"] >= 1
+        assert delta.counters["net.bytes_in{transport=local}"] > 0
+        assert delta.counters["net.bytes_out{transport=local}"] > 0
+        assert delta.counters.get("rpc.errors{method=lrc_create_mapping}", 0) == 0
+
+        hist = delta.histograms["rpc.latency{method=lrc_create_mapping}"]
+        assert hist.count == 1
+        flush = delta.histograms["wal.flush_latency"]
+        assert flush.count >= 1
+
+    def test_error_increments_error_counter(self, traced_server):
+        from repro.core.errors import MappingNotFoundError
+
+        client = connect(traced_server.config.name)
+        with pytest.raises(MappingNotFoundError):
+            client.get_mappings("does-not-exist")
+        client.close()
+        snap = traced_server.metrics.snapshot()
+        assert snap.counters["rpc.errors{method=lrc_get_mappings}"] == 1
+        # Failed requests still record a latency observation.
+        assert snap.histograms["rpc.latency{method=lrc_get_mappings}"].count == 1
+
+    def test_gauge_functions_sampled(self, traced_server):
+        client = connect(traced_server.config.name)
+        client.create("g-lfn", "g-pfn")
+        client.close()
+        gauges = traced_server.metrics.snapshot().gauges
+        assert gauges["lrc.lfns"] == 1
+        assert gauges["lrc.mappings"] == 1
+
+
+class TestExposureSurfaces:
+    def test_stats_rpc_includes_metrics(self, traced_server):
+        client = connect(traced_server.config.name)
+        client.create("s-lfn", "s-pfn")
+        stats = client.stats()
+        metrics = MetricsSnapshot.from_dict(stats["metrics"])
+        client.close()
+        assert metrics.counters["lrc.mappings_created"] == 1
+
+    def test_metrics_rpc_and_text(self, traced_server):
+        client = connect(traced_server.config.name)
+        client.create("m-lfn", "m-pfn")
+        snap = MetricsSnapshot.from_dict(client.metrics())
+        text = client.metrics_text()
+        client.close()
+        assert snap.counters["lrc.mappings_created"] == 1
+        assert 'rpc_requests{method="lrc_create_mapping"} 1' in text
+
+    def test_http_metrics_endpoint(self, traced_server):
+        gw = HTTPGateway(traced_server.config.name)
+        try:
+            with urllib.request.urlopen(f"{gw.url}/mappings/nope", timeout=10):
+                pass
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 404
+        try:
+            with urllib.request.urlopen(f"{gw.url}/metrics", timeout=10) as rsp:
+                assert rsp.status == 200
+                assert rsp.headers["Content-Type"].startswith("text/plain")
+                body = rsp.read().decode()
+        finally:
+            gw.close()
+        assert "# TYPE rpc_requests counter" in body
+        assert 'rpc_requests{method="lrc_get_mappings"}' in body
+
+    def test_admin_stats_metrics_survive_json(self, traced_server):
+        """The snapshot dict is JSON-serialisable end to end."""
+        client = connect(traced_server.config.name)
+        client.create("j-lfn", "j-pfn")
+        stats = client.stats()
+        client.close()
+        restored = MetricsSnapshot.from_dict(
+            json.loads(json.dumps(stats["metrics"]))
+        )
+        assert restored.counters["lrc.mappings_created"] == 1
+
+
+class TestSoftStateMetrics:
+    def test_update_cycle_metrics(self, make_server):
+        rli = make_server(ServerRole.RLI)
+        lrc = make_server(ServerRole.LRC)
+        client = connect(lrc.config.name)
+        client.create("u-lfn", "u-pfn")
+        client.add_rli(rli.config.name)
+        client.trigger_full_update()
+        client.close()
+
+        lrc_snap = lrc.metrics.snapshot()
+        assert lrc_snap.counters["updates.sent{kind=full}"] == 1
+        assert lrc_snap.counters["updates.names_sent"] >= 1
+        assert lrc_snap.histograms["updates.duration{kind=full}"].count == 1
+
+        rli_snap = rli.metrics.snapshot()
+        assert rli_snap.counters["rli.updates_applied{kind=full}"] == 1
+        assert rli_snap.gauges["rli.mappings"] == 1
+        assert rli_snap.gauges["rli.staleness_age"] >= 0.0

@@ -1,0 +1,270 @@
+"""Metrics unit tests: bucketing, percentile math, merging, concurrency."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.metrics import (
+    BUCKET_BOUNDS,
+    NULL_REGISTRY,
+    NUM_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+    MetricsSnapshot,
+    bucket_index,
+    merge_snapshots,
+    metric_key,
+    split_metric_key,
+)
+
+
+class TestBucketing:
+    def test_zero_lands_in_first_bucket(self):
+        assert bucket_index(0.0) == 0
+
+    def test_bounds_are_doubling(self):
+        for lo, hi in zip(BUCKET_BOUNDS, BUCKET_BOUNDS[1:]):
+            assert hi == lo * 2
+
+    def test_bucket_edges_are_inclusive_of_bound(self):
+        # bisect_left: a value exactly on a bound goes into that bound's bucket.
+        assert bucket_index(BUCKET_BOUNDS[3]) == 3
+        assert bucket_index(BUCKET_BOUNDS[3] * 1.01) == 4
+
+    def test_overflow_bucket(self):
+        assert bucket_index(BUCKET_BOUNDS[-1] * 10) == NUM_BUCKETS
+
+    def test_observe_negative_clamped(self):
+        h = Histogram()
+        h.observe(-1.0)
+        snap = h.snapshot()
+        assert snap.count == 1
+        assert snap.min == 0.0
+
+
+class TestPercentiles:
+    def test_empty_histogram(self):
+        h = Histogram()
+        assert h.percentile(95) == 0.0
+
+    def test_single_value_extremes(self):
+        h = Histogram()
+        h.observe(0.5)
+        snap = h.snapshot()
+        assert snap.percentile(0) == 0.5
+        assert snap.percentile(100) == 0.5
+
+    def test_percentile_within_bucket_factor(self):
+        """Log bucketing guarantees estimates within a factor of 2."""
+        h = Histogram()
+        values = [0.001 * (i + 1) for i in range(1000)]  # 1ms..1s uniform
+        for v in values:
+            h.observe(v)
+        snap = h.snapshot()
+        for p in (50, 95, 99):
+            exact = values[int(p / 100 * len(values)) - 1]
+            estimate = snap.percentile(p)
+            assert exact / 2 <= estimate <= exact * 2
+
+    def test_p50_of_bimodal(self):
+        h = Histogram()
+        for _ in range(100):
+            h.observe(0.0001)
+        for _ in range(100):
+            h.observe(1.0)
+        # p25 must sit in the fast mode, p75 in the slow mode.
+        snap = h.snapshot()
+        assert snap.percentile(25) < 0.01
+        assert snap.percentile(75) > 0.5
+
+    def test_sum_and_extremes(self):
+        h = Histogram()
+        for v in (0.1, 0.2, 0.3):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap.count == 3
+        assert abs(snap.sum - 0.6) < 1e-9
+        assert snap.min == 0.1
+        assert snap.max == 0.3
+
+
+class TestSnapshotAlgebra:
+    def _hist_snapshot(self, values) -> HistogramSnapshot:
+        h = Histogram()
+        for v in values:
+            h.observe(v)
+        return h.snapshot()
+
+    def test_merge_adds_counts(self):
+        a = self._hist_snapshot([0.1, 0.2])
+        b = self._hist_snapshot([0.4])
+        merged = a.merge(b)
+        assert merged.count == 3
+        assert abs(merged.sum - 0.7) < 1e-9
+        assert merged.min == 0.1
+        assert merged.max == 0.4
+
+    def test_merge_empty_keeps_min(self):
+        a = self._hist_snapshot([0.1])
+        empty = self._hist_snapshot([])
+        assert a.merge(empty).min == 0.1
+        assert empty.merge(a).min == 0.1
+
+    def test_delta_isolates_interval(self):
+        h = Histogram()
+        h.observe(0.1)
+        before = h.snapshot()
+        h.observe(0.4)
+        h.observe(0.4)
+        delta = h.snapshot().delta(before)
+        assert delta.count == 2
+        assert abs(delta.sum - 0.8) < 1e-9
+
+    def test_dict_roundtrip(self):
+        snap = self._hist_snapshot([0.01, 0.5])
+        assert HistogramSnapshot.from_dict(snap.to_dict()) == snap
+
+    def test_registry_snapshot_merge_and_delta(self):
+        r1, r2 = MetricsRegistry(), MetricsRegistry()
+        r1.counter("ops").inc(5)
+        r2.counter("ops").inc(7)
+        r1.histogram("lat").observe(0.1)
+        r2.histogram("lat").observe(0.2)
+        merged = merge_snapshots([r1.snapshot(), r2.snapshot()])
+        assert merged.counters["ops"] == 12
+        assert merged.histograms["lat"].count == 2
+
+        before = r1.snapshot()
+        r1.counter("ops").inc(3)
+        delta = r1.snapshot().delta(before)
+        assert delta.counters["ops"] == 3
+
+    def test_snapshot_dict_roundtrip(self):
+        r = MetricsRegistry()
+        r.counter("a", kind="x").inc()
+        r.gauge("g").set(2.5)
+        r.histogram("h").observe(0.3)
+        snap = r.snapshot()
+        restored = MetricsSnapshot.from_dict(snap.to_dict())
+        assert restored.counters == snap.counters
+        assert restored.gauges == snap.gauges
+        assert restored.histograms == snap.histograms
+
+
+class TestMetricKeys:
+    def test_plain_name(self):
+        assert metric_key("rpc.requests", {}) == "rpc.requests"
+        assert split_metric_key("rpc.requests") == ("rpc.requests", {})
+
+    def test_labels_sorted_and_roundtrip(self):
+        key = metric_key("rpc.latency", {"method": "add", "b": "1"})
+        assert key == "rpc.latency{b=1,method=add}"
+        assert split_metric_key(key) == (
+            "rpc.latency",
+            {"b": "1", "method": "add"},
+        )
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        r = MetricsRegistry()
+        assert r.counter("x", a="1") is r.counter("x", a="1")
+        assert r.counter("x", a="1") is not r.counter("x", a="2")
+
+    def test_gauge_fn_sampled_at_snapshot(self):
+        r = MetricsRegistry()
+        state = {"v": 1.0}
+        r.register_gauge_fn("depth", lambda: state["v"])
+        assert r.snapshot().gauges["depth"] == 1.0
+        state["v"] = 9.0
+        assert r.snapshot().gauges["depth"] == 9.0
+
+    def test_failing_gauge_fn_does_not_break_snapshot(self):
+        r = MetricsRegistry()
+        r.counter("ok").inc()
+        r.register_gauge_fn("boom", lambda: 1 / 0)
+        snap = r.snapshot()
+        assert snap.counters["ok"] == 1
+        assert "boom" not in snap.gauges
+
+    def test_null_registry_is_noop(self):
+        assert NULL_REGISTRY.enabled is False
+        c = NULL_REGISTRY.counter("x")
+        h = NULL_REGISTRY.histogram("y")
+        assert c.noop and h.noop
+        c.inc()
+        h.observe(1.0)
+        assert c.value == 0
+        assert h.count == 0
+        assert NULL_REGISTRY.snapshot().counters == {}
+
+    def test_real_instruments_advertise_not_noop(self):
+        assert Counter().noop is False
+        assert Gauge().noop is False
+        assert Histogram().noop is False
+
+    def test_render_text_format(self):
+        r = MetricsRegistry()
+        r.counter("rpc.requests", method="add").inc(3)
+        r.gauge("wal.queue_depth").set(2)
+        r.histogram("rpc.latency", method="add").observe(0.004)
+        text = r.render_text()
+        assert 'rpc_requests{method="add"} 3' in text
+        assert "wal_queue_depth 2" in text
+        assert 'rpc_latency{method="add",quantile="0.95"}' in text
+        assert 'rpc_latency_count{method="add"} 1' in text
+        assert "# TYPE rpc_requests counter" in text
+
+
+class TestConcurrency:
+    def test_concurrent_counter_increments(self):
+        r = MetricsRegistry()
+        n_threads, n_iters = 8, 5000
+
+        def work():
+            c = r.counter("hits")
+            for _ in range(n_iters):
+                c.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert r.snapshot().counters["hits"] == n_threads * n_iters
+
+    def test_concurrent_histogram_observers_and_snapshots(self):
+        """Writers racing a snapshotting reader never corrupt totals."""
+        r = MetricsRegistry()
+        h = r.histogram("lat")
+        n_threads, n_iters = 6, 2000
+        stop = threading.Event()
+        snapshots = []
+
+        def writer():
+            for i in range(n_iters):
+                h.observe(0.0001 * (1 + i % 64))
+
+        def reader():
+            while not stop.is_set():
+                snapshots.append(h.snapshot())
+
+        threads = [threading.Thread(target=writer) for _ in range(n_threads)]
+        snapper = threading.Thread(target=reader)
+        snapper.start()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stop.set()
+        snapper.join()
+
+        final = h.snapshot()
+        assert final.count == n_threads * n_iters
+        assert sum(final.counts) == final.count
+        # Every mid-flight snapshot is internally consistent too.
+        for snap in snapshots:
+            assert sum(snap.counts) == snap.count

@@ -1,0 +1,178 @@
+"""Tracer unit tests: nesting, propagation, bounded retention."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import tracing
+from repro.obs.tracing import (
+    NULL_SPAN,
+    Tracer,
+    format_tree,
+    walk_tree,
+)
+
+
+@pytest.fixture(autouse=True)
+def no_global_tracer():
+    """Each test starts with no process-wide tracer installed."""
+    tracing.install_tracer(None)
+    yield
+    tracing.install_tracer(None)
+
+
+class TestSpanNesting:
+    def test_child_inherits_trace_and_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+        spans = tracer.spans(outer.trace_id)
+        by_name = {s.name: s for s in spans}
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+        assert by_name["outer"].parent_id is None
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        tree = tracer.span_tree(root.trace_id)
+        assert len(tree) == 1
+        children = [n["span"].name for n in tree[0]["children"]]
+        assert children == ["a", "b"]
+
+    def test_duration_and_tags_recorded(self):
+        tracer = Tracer()
+        with tracer.span("op", method="add") as handle:
+            handle.set_tag("rows", 3)
+        (span,) = tracer.find_spans("op")
+        assert span.duration >= 0.0
+        assert span.tags == {"method": "add", "rows": 3}
+
+    def test_exception_marks_error_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("bad"):
+                raise ValueError("boom")
+        (span,) = tracer.find_spans("bad")
+        assert span.error == "ValueError"
+
+    def test_separate_roots_get_separate_traces(self):
+        tracer = Tracer()
+        with tracer.span("first") as a:
+            pass
+        with tracer.span("second") as b:
+            pass
+        assert a.trace_id != b.trace_id
+
+
+class TestExplicitParent:
+    def test_wire_context_adopted(self):
+        """A span with explicit (trace_id, span_id) joins that trace."""
+        tracer = Tracer()
+        with tracer.span("client") as client:
+            ctx = (client.trace_id, client.span_id)
+        with tracer.span("server", parent=ctx):
+            pass
+        tree = tracer.span_tree(client.trace_id)
+        assert len(tree) == 1
+        assert tree[0]["span"].name == "client"
+        assert tree[0]["children"][0]["span"].name == "server"
+
+    def test_empty_trace_id_falls_back_to_stack(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child", parent=("", "")):
+                pass
+        (child,) = tracer.find_spans("child")
+        assert child.trace_id == root.trace_id
+
+    def test_context_helper(self):
+        tracer = Tracer()
+        assert tracer.context() is None
+        with tracer.span("outer") as outer:
+            assert tracer.context() == (outer.trace_id, outer.span_id)
+        assert tracer.context() is None
+
+
+class TestThreadIsolation:
+    def test_stacks_are_per_thread(self):
+        tracer = Tracer()
+        seen = {}
+
+        def worker():
+            # No inherited parent: the main thread's open span is invisible.
+            with tracer.span("worker") as handle:
+                seen["trace"] = handle.trace_id
+
+        with tracer.span("main") as main:
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert seen["trace"] != main.trace_id
+
+
+class TestRetention:
+    def test_oldest_traces_evicted(self):
+        tracer = Tracer(max_traces=3)
+        ids = []
+        for i in range(5):
+            with tracer.span(f"op{i}") as handle:
+                ids.append(handle.trace_id)
+        retained = tracer.trace_ids()
+        assert len(retained) == 3
+        assert retained == ids[2:]
+
+    def test_clear(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        tracer.clear()
+        assert tracer.trace_ids() == []
+
+
+class TestModuleLevelInstall:
+    def test_no_tracer_fast_path(self):
+        assert tracing.active() is False
+        assert tracing.span("anything") is NULL_SPAN
+        assert tracing.context() is None
+        # NULL_SPAN is a usable no-op context manager.
+        with tracing.span("anything") as handle:
+            handle.set_tag("k", "v")
+
+    def test_installed_tracer_records(self):
+        tracer = Tracer()
+        tracing.install_tracer(tracer)
+        assert tracing.active() is True
+        with tracing.span("op"):
+            pass
+        assert len(tracer.find_spans("op")) == 1
+        tracing.install_tracer(None)
+        assert tracing.span("op") is NULL_SPAN
+
+
+class TestTreeHelpers:
+    def _sample_tree(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child", method="add"):
+                with tracer.span("grandchild"):
+                    pass
+        return tracer.span_tree(root.trace_id)
+
+    def test_walk_tree_depths(self):
+        walked = [(depth, s.name) for depth, s in walk_tree(self._sample_tree())]
+        assert walked == [(0, "root"), (1, "child"), (2, "grandchild")]
+
+    def test_format_tree_indents_and_tags(self):
+        text = format_tree(self._sample_tree())
+        lines = text.splitlines()
+        assert lines[0].startswith("root ")
+        assert lines[1].startswith("  child ")
+        assert "method=add" in lines[1]
+        assert lines[2].startswith("    grandchild ")
