@@ -15,6 +15,8 @@ from benchmarks.common import (
     record_series,
     scaled,
     server_metrics_snapshot,
+    snapshot_p95s,
+    write_bench_artifact,
 )
 from repro.workload.driver import LoadDriver
 from repro.workload.scenarios import loaded_lrc_server
@@ -123,6 +125,43 @@ def bench_fig04_add_rates(lrc_server, benchmark):
         ],
         metrics=off_deltas[THREAD_COUNTS[-1]],
     )
+
+    def _p95_series(deltas: dict, key: str) -> list[list[float]]:
+        return [
+            [float(threads), snapshot_p95s(deltas[threads]).get(key, 0.0)]
+            for threads in THREAD_COUNTS
+        ]
+
+    artifact = write_bench_artifact(
+        "fig04",
+        series={
+            "add_rate_flush_on": [
+                [float(t), on_rates[t]] for t in THREAD_COUNTS
+            ],
+            "add_rate_flush_off": [
+                [float(t), off_rates[t]] for t in THREAD_COUNTS
+            ],
+            "paper_flush_on": [
+                [float(t), float(PAPER_FLUSH_ON[t])] for t in THREAD_COUNTS
+            ],
+            "paper_flush_off": [
+                [float(t), float(PAPER_FLUSH_OFF[t])] for t in THREAD_COUNTS
+            ],
+            "wal_flush_p95_on": _p95_series(on_deltas, wal_key),
+            "wal_flush_p95_off": _p95_series(off_deltas, wal_key),
+            "add_rpc_p95_on": _p95_series(on_deltas, rpc_key),
+            "add_rpc_p95_off": _p95_series(off_deltas, rpc_key),
+        },
+        meta={
+            "entries": scaled(PAPER_ENTRIES),
+            "paper_entries": PAPER_ENTRIES,
+            "x_axis": "client threads",
+            "internal_p95_flush_off": snapshot_p95s(
+                off_deltas[THREAD_COUNTS[-1]]
+            ),
+        },
+    )
+    print(f"wrote {artifact}")
 
     # Shape assertions: flush-off must dominate flush-on at every point.
     for threads in THREAD_COUNTS:

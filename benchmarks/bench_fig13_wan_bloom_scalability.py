@@ -9,7 +9,7 @@ over the LA→Chicago WAN path.  Result: mean client update time stays at
 
 from __future__ import annotations
 
-from benchmarks.common import record_series
+from benchmarks.common import record_series, write_bench_artifact
 from repro.sim.models import bloom_update_times_wan
 
 ENTRIES = 5_000_000
@@ -42,6 +42,24 @@ def bench_fig13_wan_scalability(benchmark):
             "RLI ingest",
         ],
     )
+
+    artifact = write_bench_artifact(
+        "fig13",
+        series={
+            "mean_update_time": [
+                [float(n), results[n]] for n in CLIENT_COUNTS
+            ],
+            "paper_mean_update_time": [
+                [float(n), PAPER[n]] for n in CLIENT_COUNTS
+            ],
+        },
+        meta={
+            "entries_per_filter": ENTRIES,
+            "x_axis": "concurrent LRC clients",
+            "model": "simulated shared 100 Mb/s WAN, serialized RLI ingest",
+        },
+    )
+    print(f"wrote {artifact}")
 
     # Shape: flat (within ~15%) through 7 clients, then a clear rise.
     assert results[7] < results[1] * 1.15

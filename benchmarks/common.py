@@ -8,8 +8,11 @@ measurements reuse the §4 methodology via
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Sequence
+import pathlib
+import time
+from typing import Any, Sequence
 
 from repro.core.client import RLSClient, connect
 from repro.db.odbc import Connection
@@ -19,6 +22,9 @@ from repro.workload.driver import LoadDriver
 
 #: Fraction of the paper's database sizes to use (1.0 = paper scale).
 SCALE = float(os.environ.get("RLS_BENCH_SCALE", "0.02"))
+
+#: Where ``BENCH_<name>.json`` trajectory artifacts land (CI uploads it).
+ARTIFACT_DIR_ENV = "RLS_BENCH_ARTIFACT_DIR"
 
 #: Collected comparison tables: (title, headers, rows, notes).
 REPORT: list[tuple[str, list[str], list[list[object]], list[str]]] = []
@@ -76,6 +82,80 @@ def metrics_notes(snapshot: MetricsSnapshot, max_lines: int = 12) -> list[str]:
 def scaled(paper_size: int, minimum: int = 500) -> int:
     """Scale a paper database size down by ``SCALE``."""
     return max(minimum, int(paper_size * SCALE))
+
+
+# ---------------------------------------------------------------------------
+# Trajectory artifacts: BENCH_<name>.json
+# ---------------------------------------------------------------------------
+
+
+def artifact_dir() -> pathlib.Path:
+    """Artifact output directory (``RLS_BENCH_ARTIFACT_DIR``, default
+    ``bench_artifacts/`` under the working directory)."""
+    return pathlib.Path(os.environ.get(ARTIFACT_DIR_ENV, "bench_artifacts"))
+
+
+def snapshot_p95s(snapshot: MetricsSnapshot) -> dict[str, float]:
+    """p95 (seconds) of every populated histogram in a snapshot/delta."""
+    return {
+        key: hist.percentile(95)
+        for key, hist in sorted(snapshot.histograms.items())
+        if hist.count
+    }
+
+
+def attach_collector(server, interval: float = 1.0):
+    """A primed single-node :class:`ClusterCollector` over one in-process
+    server's registry — benchmarks scrape it between trials (explicit
+    ``now=``, so trial boundaries are the scrape boundaries)."""
+    from repro.obs.collector import ClusterCollector, server_source
+
+    collector = ClusterCollector([server_source(server)], interval=interval)
+    collector.scrape_once(now=0.0)  # priming round: baseline snapshot
+    return collector
+
+
+def write_bench_artifact(
+    name: str,
+    series: dict[str, Any],
+    detections: Sequence[Any] = (),
+    meta: dict[str, Any] | None = None,
+    nodes: dict[str, Any] | None = None,
+) -> pathlib.Path:
+    """Write ``BENCH_<name>.json`` (schema in docs/OBSERVABILITY.md).
+
+    ``series`` maps series name to ``[[x, y], ...]`` point lists (a
+    :meth:`SeriesStore.to_dict` plugs in directly); ``detections`` are
+    :class:`repro.obs.analyze.Detection` objects (or plain dicts);
+    ``nodes`` optionally carries per-node raw series keyed by node name.
+    """
+    directory = artifact_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    payload: dict[str, Any] = {
+        "name": name,
+        "created": time.time(),
+        "scale": SCALE,
+        "series": {
+            key: [[float(x), float(y)] for x, y in points]
+            for key, points in series.items()
+        },
+        "detections": [
+            d.to_dict() if hasattr(d, "to_dict") else dict(d)
+            for d in detections
+        ],
+        "meta": meta or {},
+    }
+    if nodes:
+        payload["nodes"] = {
+            node: {
+                key: [[float(x), float(y)] for x, y in points]
+                for key, points in store.items()
+            }
+            for node, store in nodes.items()
+        }
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
 
 
 def measure_rate(

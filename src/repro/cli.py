@@ -13,6 +13,9 @@ Subcommands mirror the operation classes of the paper's Table 1::
     rls attr    --server host:39281 add <pfn> size pfn 1024
     rls admin   --server host:39281 stats|ping|update|expire
     rls stats   host:39281                         # live metrics summary
+    rls stats   host:39281 --watch 2               # re-scrape every 2s
+    rls trace   --server host:39281                # tail-retained spans
+    rls top     --servers a:39281,b:39282,r:39283  # live cluster rates
     rls workload --server host:39281 --op query --seed 7
 
 ``--server`` accepts either an in-process endpoint name or ``host:port``.
@@ -67,6 +70,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="exit after N seconds (default: run until interrupted)",
     )
+    serve.add_argument(
+        "--trace",
+        action="store_true",
+        help="install a process-wide tracer with tail-sampled span "
+        "retention (query via 'rls trace' / GET /admin/traces)",
+    )
 
     for name, help_text in (
         ("create", "register a new logical name with its first replica"),
@@ -117,6 +126,44 @@ def build_parser() -> argparse.ArgumentParser:
         default="summary",
         help="summary (default), raw JSON snapshot, or Prometheus text",
     )
+    stats.add_argument(
+        "--watch",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="keep scraping every SECONDS, printing per-interval rates",
+    )
+    stats.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="with --watch: stop after N intervals (default: until ^C)",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="tail-retained spans: errors and slow operations"
+    )
+    trace.add_argument("--server", required=True)
+    trace.add_argument("--limit", type=int, default=20)
+    trace.add_argument(
+        "--json", action="store_true", help="raw JSON payload instead of a table"
+    )
+
+    top = sub.add_parser(
+        "top", help="live cluster view: per-node and cluster operation rates"
+    )
+    top.add_argument(
+        "--servers",
+        required=True,
+        help="comma-separated endpoints (name or host:port)",
+    )
+    top.add_argument("--interval", type=float, default=1.0)
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="stop after N scrape rounds (default: until ^C)",
+    )
 
     workload = sub.add_parser(
         "workload", help="run a measurement workload against a server"
@@ -159,12 +206,20 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
             tcp_host=args.host,
             tcp_port=args.port,
         )
+        installed_tracer = False
+        if args.trace:
+            from repro.obs.tracing import SpanSink, Tracer, install_tracer
+
+            install_tracer(Tracer(sink=SpanSink()))
+            installed_tracer = True
         server = RLSServer(config).start()
         address = server.tcp_address
         if address:
             print(f"serving {args.name} on {address[0]}:{address[1]}", file=out)
         else:
             print(f"serving {args.name} (in-process endpoint)", file=out)
+        if args.trace:
+            print("tracing enabled (tail-sampled span sink)", file=out)
         try:
             if args.run_seconds is not None:
                 time.sleep(args.run_seconds)
@@ -175,7 +230,14 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
             pass
         finally:
             server.stop()
+            if installed_tracer:
+                from repro.obs.tracing import install_tracer
+
+                install_tracer(None)
         return 0
+
+    if args.command == "top":
+        return _top(args, out)
 
     client = _open_client(args.server)
     try:
@@ -215,6 +277,8 @@ def _dispatch(args: argparse.Namespace, client: RLSClient, out) -> int:
         return _admin(args, client, out)
     elif args.command == "stats":
         return _stats(args, client, out)
+    elif args.command == "trace":
+        return _trace(args, client, out)
     elif args.command == "workload":
         return _workload(args, client, out)
     return 0
@@ -343,7 +407,146 @@ def _format_metrics_summary(snapshot_dict: dict, out) -> None:
             )
 
 
+def _watch_stats(args: argparse.Namespace, client: RLSClient, out) -> int:
+    """``rls stats --watch N``: per-interval rates via snapshot subtraction."""
+    from repro.obs.metrics import MetricsSnapshot, split_metric_key
+    from repro.obs.timeseries import Scraper
+
+    scraper = Scraper(
+        lambda: MetricsSnapshot.from_dict(client.metrics()),
+        interval=args.watch,
+    )
+    scraper.scrape_once()  # priming scrape: establishes the baseline
+    rounds = 0
+    try:
+        while args.iterations is None or rounds < args.iterations:
+            time.sleep(args.watch)
+            result = scraper.scrape_once()
+            if result is None:
+                continue
+            rounds += 1
+            errors = sum(
+                value
+                for key, value in result.delta.counters.items()
+                if split_metric_key(key)[0] == "rpc.errors"
+            )
+            line = (
+                f"[{rounds}] ops/s={result.ops_rate():.1f} "
+                f"errors/s={errors / result.interval:.1f}"
+            )
+            busiest = sorted(
+                (
+                    (value, key)
+                    for key, value in result.delta.counters.items()
+                    if value and split_metric_key(key)[0] == "rpc.requests"
+                ),
+                reverse=True,
+            )[:3]
+            if busiest:
+                detail = " ".join(
+                    f"{split_metric_key(key)[1].get('method', key)}="
+                    f"{value / result.interval:.1f}/s"
+                    for value, key in busiest
+                )
+                line += f"  top: {detail}"
+            print(line, file=out)
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    return 0
+
+
+def _trace(args: argparse.Namespace, client: RLSClient, out) -> int:
+    payload = client.traces(limit=args.limit)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+        return 0
+    if not payload.get("enabled"):
+        print(
+            "tracing not enabled on server (start it with: rls serve --trace)",
+            file=out,
+        )
+        return 1
+    sink_stats = payload.get("stats", {})
+    print(
+        f"span sink: {sink_stats.get('retained', 0)} retained of "
+        f"{sink_stats.get('offered', 0)} offered "
+        f"(latency threshold {sink_stats.get('latency_threshold', 0.0):g}s)",
+        file=out,
+    )
+    spans = payload.get("spans", [])
+    if not spans:
+        print("no retained spans", file=out)
+        return 0
+    for span_dict in spans:
+        error = span_dict.get("error")
+        reason = f"ERROR:{error}" if error else "slow"
+        tags = " ".join(
+            f"{k}={v}" for k, v in sorted(span_dict.get("tags", {}).items())
+        )
+        print(
+            f"{span_dict.get('duration', 0.0) * 1e3:10.3f}ms  "
+            f"{span_dict.get('name', '?'):<20} {reason:<16} {tags}",
+            file=out,
+        )
+    return 0
+
+
+def _top(args: argparse.Namespace, out) -> int:
+    """``rls top``: live per-node and cluster rates from a ClusterCollector."""
+    from repro.obs.collector import ClusterCollector, client_source
+
+    specs = [spec.strip() for spec in args.servers.split(",") if spec.strip()]
+    if not specs:
+        print("no servers given", file=out)
+        return 2
+    clients: list[RLSClient] = []
+    try:
+        sources = []
+        for spec in specs:
+            client = _open_client(spec)
+            clients.append(client)
+            sources.append(client_source(spec, client))
+        collector = ClusterCollector(sources, interval=args.interval)
+        collector.scrape_once()  # priming round: baselines every node
+        rounds = 0
+        try:
+            while args.iterations is None or rounds < args.iterations:
+                time.sleep(args.interval)
+                sample = collector.scrape_once()
+                rounds += 1
+                print(
+                    f"round {rounds}: nodes up {sample.nodes_up}/"
+                    f"{len(sample.nodes)}  cluster "
+                    f"ops/s={sample.cluster_ops_rate:.1f}  "
+                    f"wal queue={sum(n.wal_queue_depth for n in sample.nodes.values() if n.up):g}  "
+                    f"staleness={max((n.rli_staleness_age for n in sample.nodes.values() if n.up), default=0.0):.1f}s",
+                    file=out,
+                )
+                for name in specs:
+                    node = sample.nodes[name]
+                    if not node.up:
+                        print(f"  {name:<24} DOWN ({node.error})", file=out)
+                        continue
+                    extra = ""
+                    if node.rli_staleness_age:
+                        extra = f"  staleness={node.rli_staleness_age:.1f}s"
+                    if node.wal_queue_depth:
+                        extra += f"  wal_queue={node.wal_queue_depth:g}"
+                    print(
+                        f"  {name:<24} ops/s={node.ops_rate:>8.1f}{extra}",
+                        file=out,
+                    )
+        except KeyboardInterrupt:  # pragma: no cover - interactive path
+            pass
+        return 0
+    finally:
+        for client in clients:
+            client.close()
+
+
 def _stats(args: argparse.Namespace, client: RLSClient, out) -> int:
+    if args.watch is not None:
+        return _watch_stats(args, client, out)
     if args.format == "text":
         print(client.metrics_text(), file=out, end="")
         return 0

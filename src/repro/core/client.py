@@ -183,6 +183,14 @@ class RLSClient:
         """Metrics snapshot rendered in Prometheus text exposition format."""
         return self.rpc.call("admin_metrics_text")
 
+    def traces(self, limit: int = 100) -> dict[str, Any]:
+        """Tail-retained spans (errors + slow) from the server's span sink.
+
+        Returns ``{"enabled": bool, "stats": {...}, "spans": [...]}``;
+        ``enabled`` is False when the server runs without a tracer.
+        """
+        return self.rpc.call("admin_traces", limit)
+
     def trigger_full_update(self) -> float:
         """Force an immediate full soft-state update; returns duration (s)."""
         return self.rpc.call("admin_trigger_full_update")

@@ -127,6 +127,14 @@ class ReplicaLocationIndex:
         now = self.clock()
         return max(0.0, now - min(self._last_update_at.values()))
 
+    def staleness_ages(self) -> dict[str, float]:
+        """Per-LRC soft-state age in seconds (``rls top`` drill-down)."""
+        now = self.clock()
+        return {
+            lrc: max(0.0, now - at)
+            for lrc, at in sorted(self._last_update_at.items())
+        }
+
     # ------------------------------------------------------------------
     # Schema
     # ------------------------------------------------------------------

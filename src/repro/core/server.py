@@ -263,6 +263,7 @@ class RLSServer:
         r("admin_stats", guarded(admin, self._stats))
         r("admin_metrics", guarded(admin, lambda: self.metrics.snapshot().to_dict()))
         r("admin_metrics_text", guarded(admin, lambda: self.metrics.render_text()))
+        r("admin_traces", guarded(admin, self._traces))
         r("admin_trigger_full_update", guarded(admin, self._trigger_full_update))
         r("admin_trigger_incremental_update", guarded(admin, self._trigger_incremental))
         r("admin_expire_once", guarded(admin, lambda: self._need_rli().expire_once()))
@@ -283,6 +284,21 @@ class RLSServer:
         if self.update_manager is None:
             raise NotConfiguredError("server has no update manager (not an LRC)")
         return self.update_manager.rebuild_bloom()
+
+    def _traces(self, limit: int = 100) -> dict[str, Any]:
+        """Tail-retained spans from the process-wide tracer's sink.
+
+        Tracing is an opt-in process-wide facility (``rls serve --trace``
+        or :func:`repro.obs.tracing.install_tracer`); with none installed
+        this reports ``enabled: False`` rather than failing, so ``rls
+        trace`` degrades gracefully against an untraced server.
+        """
+        sink = tracing.current_sink()
+        if sink is None:
+            return {"enabled": False, "stats": {}, "spans": []}
+        payload = sink.to_dict(limit=limit)
+        payload["enabled"] = True
+        return payload
 
     def _stats(self) -> dict[str, Any]:
         stats: dict[str, Any] = {
@@ -305,6 +321,8 @@ class RLSServer:
                 "mappings": self.rli.mapping_count(),
                 "bloom_filters": self.rli.bloom_filter_count(),
                 "updates_applied": self.rli.updates_applied,
+                "staleness_age": self.rli.staleness_age(),
+                "staleness_ages": self.rli.staleness_ages(),
             }
         if self.update_manager is not None:
             s = self.update_manager.stats

@@ -19,6 +19,7 @@ path                  method  action
 /index/<lfn>          GET     RLI query (LRC names)
 /bulk/query           POST    {"lfns":[...]} -> {lfn: [pfn,...]}
 /admin/stats          GET     server statistics
+/admin/traces         GET     tail-retained spans (?limit=N)
 /admin/update         POST    force a full soft-state update
 /metrics              GET     Prometheus-style text metrics dump
 ====================  ======  =====================================
@@ -139,6 +140,16 @@ class HTTPGateway:
                     )
                 elif path == "/admin/stats":
                     self._handle(lambda c: (200, c.stats()))
+                elif path == "/admin/traces" or path.startswith("/admin/traces?"):
+                    query = path.partition("?")[2]
+                    limit = 100
+                    for part in query.split("&"):
+                        if part.startswith("limit="):
+                            try:
+                                limit = int(part[len("limit="):])
+                            except ValueError:
+                                pass
+                    self._handle(lambda c: (200, c.traces(limit=limit)))
                 elif path == "/metrics":
                     client = None
                     try:

@@ -55,6 +55,9 @@ class RPCServer:
         self._lock = threading.Lock()
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self._instruments: dict[str, tuple[Any, Any, Any]] = {}
+        # Requests currently inside handlers: the dispatcher-level queue
+        # signal the saturation detector watches (Fig. 13 contention).
+        self._m_inflight = self.metrics.gauge("rpc.inflight")
         self.requests_served = 0
         self.errors_returned = 0
 
@@ -98,18 +101,22 @@ class RPCServer:
         requests, errors, latency = self._method_instruments(request.method)
         timed = not latency.noop
         start = time.perf_counter() if timed else 0.0
-        with tracing.span(
-            "rpc.handle", parent=request.trace, method=request.method
-        ) as span:
-            try:
-                value = handler(ctx, request.args)
-            except Exception as exc:
-                span.set_tag("error", type(exc).__name__)
-                self.errors_returned += 1
-                errors.inc()
-                if timed:
-                    latency.observe(time.perf_counter() - start)
-                return Response.failure(exc)
+        self._m_inflight.inc()
+        try:
+            with tracing.span(
+                "rpc.handle", parent=request.trace, method=request.method
+            ) as span:
+                try:
+                    value = handler(ctx, request.args)
+                except Exception as exc:
+                    span.set_error(type(exc).__name__)
+                    self.errors_returned += 1
+                    errors.inc()
+                    if timed:
+                        latency.observe(time.perf_counter() - start)
+                    return Response.failure(exc)
+        finally:
+            self._m_inflight.dec()
         self.requests_served += 1
         requests.inc()
         if timed:

@@ -1,25 +1,49 @@
-"""Telemetry subsystem: metrics, tracing, and live stats surfaces.
+"""Telemetry subsystem: metrics, tracing, time series, and analysis.
 
 The paper evaluates the RLS purely from the outside (operation rates
 measured by the client harness); this package gives the reproduction the
 *inside* view — where time goes within the server, database and update
-pipeline — through three pieces:
+pipeline — and the *time* axis the paper's figures are drawn on:
 
 * :mod:`repro.obs.metrics` — counters, gauges, log-bucketed latency
   histograms, and a thread-safe :class:`MetricsRegistry` whose snapshots
   merge across servers and subtract across time windows;
 * :mod:`repro.obs.tracing` — :class:`Span`/:class:`Tracer` with context
-  propagation through the RPC layer, so one client call yields a span
-  tree covering transport decode, ACL check, SQL execution and WAL flush;
+  propagation through the RPC layer, plus :class:`SpanSink` tail-based
+  retention (error spans and slow spans survive buffer wrap);
+* :mod:`repro.obs.timeseries` — bounded ring-buffer series and the
+  :class:`Scraper` that turns periodic snapshots into rates;
+* :mod:`repro.obs.collector` — :class:`ClusterCollector`, scraping every
+  LRC/RLI of a deployment and deriving cluster-wide signals;
+* :mod:`repro.obs.analyze` — pathology detectors (VACUUM sawtooth,
+  staleness-SLO burn, queue saturation, baseline regression);
 * exposure surfaces wired elsewhere — the ``admin_stats``/``admin_metrics``
-  RPCs, ``GET /metrics`` on the HTTP gateway, the ``rls stats`` CLI
-  command, and benchmark report breakdowns.
+  /``admin_traces`` RPCs, ``GET /metrics`` on the HTTP gateway, and the
+  ``rls stats`` / ``rls top`` / ``rls trace`` CLI commands.
 
 Everything defaults to off: with no registry passed and no tracer
 installed, instrumentation sites hit no-op singletons.  See
-``docs/OBSERVABILITY.md`` for the metric-name and span taxonomy.
+``docs/OBSERVABILITY.md`` for the metric-name and span taxonomy, scraper
+and detector semantics, and the benchmark artifact schema.
 """
 
+from repro.obs.analyze import (
+    Detection,
+    analyze_store,
+    compare_baseline,
+    detect_queue_saturation,
+    detect_sawtooth,
+    detect_staleness_burn,
+)
+from repro.obs.collector import (
+    ClusterCollector,
+    ClusterSample,
+    NodeSample,
+    NodeSource,
+    client_source,
+    registry_source,
+    server_source,
+)
 from repro.obs.metrics import (
     BUCKET_BOUNDS,
     Counter,
@@ -34,10 +58,18 @@ from repro.obs.metrics import (
     metric_key,
     split_metric_key,
 )
+from repro.obs.timeseries import (
+    ScrapeResult,
+    Scraper,
+    SeriesStore,
+    TimeSeries,
+)
 from repro.obs.tracing import (
     NULL_SPAN,
     Span,
+    SpanSink,
     Tracer,
+    current_sink,
     current_tracer,
     format_tree,
     install_tracer,
@@ -47,7 +79,10 @@ from repro.obs.tracing import (
 
 __all__ = [
     "BUCKET_BOUNDS",
+    "ClusterCollector",
+    "ClusterSample",
     "Counter",
+    "Detection",
     "Gauge",
     "Histogram",
     "HistogramSnapshot",
@@ -55,14 +90,30 @@ __all__ = [
     "MetricsSnapshot",
     "NULL_REGISTRY",
     "NULL_SPAN",
+    "NodeSample",
+    "NodeSource",
     "NullRegistry",
+    "ScrapeResult",
+    "Scraper",
+    "SeriesStore",
     "Span",
+    "SpanSink",
+    "TimeSeries",
     "Tracer",
+    "analyze_store",
+    "client_source",
+    "compare_baseline",
+    "current_sink",
     "current_tracer",
+    "detect_queue_saturation",
+    "detect_sawtooth",
+    "detect_staleness_burn",
     "format_tree",
     "install_tracer",
     "merge_snapshots",
     "metric_key",
+    "registry_source",
+    "server_source",
     "span",
     "split_metric_key",
     "walk_tree",

@@ -1,0 +1,331 @@
+"""Automatic pathology detection over collected time series.
+
+Each detector encodes one failure shape the paper's evaluation surfaces:
+
+* :func:`detect_sawtooth` — periodic throughput collapse-and-recovery, the
+  PostgreSQL dead-tuple/VACUUM cycle of Figure 8;
+* :func:`detect_staleness_burn` — an RLI whose soft-state view stays older
+  than its SLO (the §3.2/§4.2 consistency budget) for a sustained window;
+* :func:`detect_queue_saturation` — a queue-depth gauge (WAL buffer,
+  update backlog) growing without drain, the precursor of the Figure 13
+  contention knee;
+* :func:`compare_baseline` — throughput regression against a recorded
+  baseline series (used by the benchmark trajectory artifacts).
+
+Thresholds are fixed defaults chosen to clear measurement noise, not
+tuning knobs the caller must supply: every detector is usable as
+``detect_x(values)``.  The numbers are documented in
+``docs/OBSERVABILITY.md``; change them there and here together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.obs.timeseries import SeriesStore, TimeSeries
+
+#: A sawtooth recovery must jump at least this fraction in one step.
+SAWTOOTH_MIN_RECOVERY = 0.10
+#: ... after the series decayed at least this fraction from its local peak.
+SAWTOOTH_MIN_DECAY = 0.08
+
+#: Staleness burn: fraction of recent samples over the SLO that fires.
+STALENESS_BURN_FRACTION = 0.5
+#: Minimum samples before the staleness detector will speak.
+STALENESS_MIN_SAMPLES = 4
+
+#: Queue saturation: depth must grow by this factor over the run...
+QUEUE_GROWTH_FACTOR = 2.0
+#: ... across at least this many consecutive non-decreasing samples...
+QUEUE_MIN_RUN = 5
+#: ... and end above this absolute depth (tiny queues are not pathologies).
+QUEUE_MIN_DEPTH = 8.0
+
+#: Baseline regression tolerance (fractional drop in the mean).
+BASELINE_TOLERANCE = 0.15
+
+
+@dataclass
+class Detection:
+    """One detected pathology, plain-data for artifacts and RPC replies."""
+
+    kind: str
+    summary: str
+    severity: str = "warning"
+    start: float = 0.0
+    end: float = 0.0
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "summary": self.summary,
+            "severity": self.severity,
+            "start": self.start,
+            "end": self.end,
+            "details": dict(self.details),
+        }
+
+
+def _as_points(
+    series: TimeSeries | Sequence[float] | Sequence[tuple[float, float]],
+) -> list[tuple[float, float]]:
+    """Accept a TimeSeries, a value list, or a point list uniformly."""
+    if isinstance(series, TimeSeries):
+        return series.points()
+    items = list(series)
+    if not items:
+        return []
+    first = items[0]
+    if isinstance(first, tuple) and len(first) == 2:
+        return [(float(t), float(v)) for t, v in items]  # type: ignore[misc]
+    return [(float(i), float(v)) for i, v in enumerate(items)]  # type: ignore[arg-type]
+
+
+# ---------------------------------------------------------------------------
+# Sawtooth (Figure 8)
+# ---------------------------------------------------------------------------
+
+
+def detect_sawtooth(
+    series: TimeSeries | Sequence[float] | Sequence[tuple[float, float]],
+    min_recovery: float = SAWTOOTH_MIN_RECOVERY,
+    min_decay: float = SAWTOOTH_MIN_DECAY,
+) -> list[Detection]:
+    """Find collapse-then-snap-back teeth in a throughput series.
+
+    A *tooth* is a segment where the value decays from a local peak by at
+    least ``min_decay`` (cumulatively) and then recovers by at least
+    ``min_recovery`` in a single step — the signature of an external reset
+    (VACUUM, cache rebuild, failover) rather than gradual noise.  Each
+    detection reports the tooth's period (peak-to-recovery span), its
+    amplitude (fractional drop from peak to trough), and the recovery
+    jump.
+    """
+    points = _as_points(series)
+    if len(points) < 3:
+        return []
+    detections: list[Detection] = []
+    peak_t, peak_v = points[0]
+    trough_t, trough_v = points[0]
+    last_recovery_t: float | None = None
+    for (prev_t, prev_v), (t, v) in zip(points, points[1:]):
+        if v < trough_v:
+            trough_t, trough_v = t, v
+        decayed = peak_v > 0 and (peak_v - trough_v) / peak_v >= min_decay
+        jumped = prev_v > 0 and (v - prev_v) / prev_v >= min_recovery
+        if decayed and jumped and trough_t >= peak_t:
+            amplitude = (peak_v - trough_v) / peak_v
+            period = t - (last_recovery_t if last_recovery_t is not None
+                          else peak_t)
+            detections.append(
+                Detection(
+                    kind="sawtooth",
+                    summary=(
+                        f"throughput fell {amplitude * 100:.0f}% "
+                        f"({peak_v:.1f} -> {trough_v:.1f}) then recovered "
+                        f"{(v - prev_v) / prev_v * 100:.0f}% at t={t:g} "
+                        f"(period {period:g})"
+                    ),
+                    start=peak_t,
+                    end=t,
+                    details={
+                        "period": period,
+                        "amplitude": amplitude,
+                        "peak": peak_v,
+                        "trough": trough_v,
+                        "recovered_to": v,
+                        "recovery_jump": (v - prev_v) / prev_v,
+                    },
+                )
+            )
+            last_recovery_t = t
+            peak_t, peak_v = t, v
+            trough_t, trough_v = t, v
+            continue
+        if v > peak_v:
+            peak_t, peak_v = t, v
+            trough_t, trough_v = t, v
+    return detections
+
+
+# ---------------------------------------------------------------------------
+# Staleness SLO burn (§3.2 / §4.2)
+# ---------------------------------------------------------------------------
+
+
+def detect_staleness_burn(
+    series: TimeSeries | Sequence[float] | Sequence[tuple[float, float]],
+    slo_seconds: float,
+    burn_fraction: float = STALENESS_BURN_FRACTION,
+    min_samples: int = STALENESS_MIN_SAMPLES,
+) -> list[Detection]:
+    """Fire when soft state stays older than ``slo_seconds`` persistently.
+
+    ``slo_seconds`` is the deployment's staleness budget — typically the
+    full-update interval plus slack (a healthy index's age sawtooths just
+    under it).  The detector reports the burn fraction (samples over SLO)
+    and the worst observed age; it stays silent below ``min_samples``.
+    """
+    points = _as_points(series)
+    if len(points) < min_samples:
+        return []
+    over = [(t, v) for t, v in points if v > slo_seconds]
+    fraction = len(over) / len(points)
+    if fraction < burn_fraction:
+        return []
+    worst_t, worst_v = max(over, key=lambda point: point[1])
+    return [
+        Detection(
+            kind="staleness_burn",
+            severity="critical" if fraction >= 0.9 else "warning",
+            summary=(
+                f"soft-state age exceeded the {slo_seconds:g}s SLO in "
+                f"{fraction * 100:.0f}% of samples (worst {worst_v:.1f}s)"
+            ),
+            start=over[0][0],
+            end=points[-1][0],
+            details={
+                "slo_seconds": slo_seconds,
+                "burn_fraction": fraction,
+                "worst_age": worst_v,
+                "worst_at": worst_t,
+                "samples": len(points),
+            },
+        )
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Queue-depth saturation (Figure 13 contention precursor)
+# ---------------------------------------------------------------------------
+
+
+def detect_queue_saturation(
+    series: TimeSeries | Sequence[float] | Sequence[tuple[float, float]],
+    growth_factor: float = QUEUE_GROWTH_FACTOR,
+    min_run: int = QUEUE_MIN_RUN,
+    min_depth: float = QUEUE_MIN_DEPTH,
+) -> list[Detection]:
+    """Find sustained queue growth with no drain.
+
+    Fires on a run of at least ``min_run`` consecutive non-decreasing
+    samples over which depth multiplies by ``growth_factor`` and ends at
+    ``min_depth`` or more — a producer outpacing its consumer, not a
+    transient burst.
+    """
+    points = _as_points(series)
+    if len(points) < min_run:
+        return []
+    detections: list[Detection] = []
+    run_start = 0
+    for i in range(1, len(points) + 1):
+        ended = i == len(points) or points[i][1] < points[i - 1][1]
+        if not ended:
+            continue
+        run = points[run_start:i]
+        run_start = i
+        if len(run) < min_run:
+            continue
+        first_v, last_v = run[0][1], run[-1][1]
+        baseline = max(first_v, 1.0)
+        if last_v >= min_depth and last_v / baseline >= growth_factor:
+            detections.append(
+                Detection(
+                    kind="queue_saturation",
+                    summary=(
+                        f"queue depth grew {first_v:g} -> {last_v:g} over "
+                        f"{len(run)} samples without draining"
+                    ),
+                    start=run[0][0],
+                    end=run[-1][0],
+                    details={
+                        "start_depth": first_v,
+                        "end_depth": last_v,
+                        "samples": len(run),
+                        "growth": last_v / baseline,
+                    },
+                )
+            )
+    return detections
+
+
+# ---------------------------------------------------------------------------
+# Baseline regression (benchmark trajectories)
+# ---------------------------------------------------------------------------
+
+
+def compare_baseline(
+    current: Sequence[float],
+    baseline: Sequence[float],
+    tolerance: float = BASELINE_TOLERANCE,
+    name: str = "throughput",
+) -> Detection | None:
+    """Mean-vs-mean regression check; ``None`` when within tolerance.
+
+    Both inputs are value sequences (e.g. the ``ops:rate`` series from two
+    benchmark runs).  Higher is assumed better; a current mean more than
+    ``tolerance`` below the baseline mean is a regression.
+    """
+    if not current or not baseline:
+        return None
+    current_mean = sum(current) / len(current)
+    baseline_mean = sum(baseline) / len(baseline)
+    if baseline_mean <= 0:
+        return None
+    drop = (baseline_mean - current_mean) / baseline_mean
+    if drop <= tolerance:
+        return None
+    return Detection(
+        kind="baseline_regression",
+        severity="critical" if drop > 2 * tolerance else "warning",
+        summary=(
+            f"{name} mean {current_mean:.1f} is {drop * 100:.0f}% below "
+            f"baseline {baseline_mean:.1f} (tolerance {tolerance * 100:.0f}%)"
+        ),
+        details={
+            "current_mean": current_mean,
+            "baseline_mean": baseline_mean,
+            "drop": drop,
+            "tolerance": tolerance,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Store-wide sweep
+# ---------------------------------------------------------------------------
+
+#: Substring routing: which detector looks at which series keys.
+_THROUGHPUT_MARKERS = ("ops:rate", "cluster.ops_rate", "add_rate")
+_QUEUE_MARKERS = ("queue_depth", "pending_changes", "inflight")
+_STALENESS_MARKERS = ("staleness_age",)
+
+
+def analyze_store(
+    store: SeriesStore,
+    staleness_slo: float | None = None,
+) -> list[Detection]:
+    """Run every applicable detector over a store's series.
+
+    Throughput-shaped keys get sawtooth detection, queue-depth keys get
+    saturation detection, staleness keys get SLO-burn detection (when a
+    budget is supplied).  Each detection's details carry the series key it
+    came from.
+    """
+    detections: list[Detection] = []
+    for key, series in store.items():
+        found: list[Detection] = []
+        if any(marker in key for marker in _THROUGHPUT_MARKERS):
+            found.extend(detect_sawtooth(series))
+        if any(marker in key for marker in _QUEUE_MARKERS):
+            found.extend(detect_queue_saturation(series))
+        if staleness_slo is not None and any(
+            marker in key for marker in _STALENESS_MARKERS
+        ):
+            found.extend(detect_staleness_burn(series, staleness_slo))
+        for detection in found:
+            detection.details.setdefault("series", key)
+        detections.extend(found)
+    return detections

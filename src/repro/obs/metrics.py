@@ -314,6 +314,66 @@ def split_metric_key(key: str) -> tuple[str, dict[str, str]]:
     return name, labels
 
 
+def flatten_metric_name(name: str) -> str:
+    """Dotted internal name -> Prometheus-legal flat name."""
+    return name.replace(".", "_").replace("-", "_")
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the text exposition format (0.0.4)."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def escape_help_text(text: str) -> str:
+    """Escape ``# HELP`` free text (backslash and newline only)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+#: Exposition HELP strings for the stable metric inventory (see
+#: docs/OBSERVABILITY.md); unknown names get a generated fallback.
+_METRIC_HELP: dict[str, str] = {
+    "rpc_requests": "Requests dispatched per RPC method",
+    "rpc_errors": "Requests that raised, including unknown methods",
+    "rpc_latency": "RPC handler latency in seconds (ACL+SQL+WAL inclusive)",
+    "rpc_inflight": "Requests currently executing in handlers",
+    "net_bytes_in": "Wire bytes received, including frame headers",
+    "net_bytes_out": "Wire bytes sent, including frame headers",
+    "net_connections_total": "Connections accepted",
+    "net_connections_active": "Currently open TCP connections",
+    "wal_flush_latency": "WAL device sync latency in seconds",
+    "wal_records_appended": "Records written to the write-ahead log",
+    "wal_queue_depth": "Records buffered since the last WAL sync",
+    "lrc_mappings_created": "Mappings created via the catalog API",
+    "lrc_mappings_added": "Replica mappings added via the catalog API",
+    "lrc_mappings_deleted": "Mappings deleted via the catalog API",
+    "lrc_mappings_bulk_loaded": "Mappings ingested via bulk_load",
+    "lrc_lfns": "Live logical-name count",
+    "lrc_mappings": "Live mapping count",
+    "rli_updates_applied": "Soft-state updates absorbed by the index",
+    "rli_update_apply_latency": "Seconds to apply one soft-state update",
+    "rli_entries_expired": "Index mappings dropped by timeout sweeps",
+    "rli_mappings": "Index mapping count",
+    "rli_bloom_filters": "Bloom filters held by the index",
+    "rli_staleness_age": "Seconds since the least-recently-updated LRC",
+    "updates_sent": "Soft-state updates pushed to RLIs",
+    "updates_duration": "End-to-end soft-state update send time in seconds",
+    "updates_bloom_generation": "Bloom filter (re)build time in seconds",
+    "updates_names_sent": "LFNs shipped in full/incremental updates",
+    "updates_bloom_bytes_sent": "Compressed filter bytes shipped",
+    "updates_pending_changes": "Immediate-mode backlog across RLIs",
+}
+
+
+def help_text(flat_name: str) -> str:
+    """HELP string for one flattened metric name."""
+    known = _METRIC_HELP.get(flat_name)
+    if known is not None:
+        return escape_help_text(known)
+    return f"RLS metric {flat_name}"
+
+
 class MetricsRegistry:
     """Thread-safe store of named, labelled instruments."""
 
@@ -408,9 +468,14 @@ class MetricsSnapshot:
 
     def delta(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
         """What happened since ``earlier``: counters subtract, histograms
-        subtract bucket-wise, gauges keep their current values."""
+        subtract bucket-wise, gauges keep their current values.
+
+        Counter deltas clamp at zero: a counter lower than it was in
+        ``earlier`` means the process restarted (counters are monotonic),
+        and a negative "events since" would poison every rate computed
+        from it downstream."""
         counters = {
-            key: value - earlier.counters.get(key, 0)
+            key: max(0, value - earlier.counters.get(key, 0))
             for key, value in self.counters.items()
         }
         histograms = {
@@ -444,31 +509,46 @@ class MetricsSnapshot:
         )
 
     def render_text(self) -> str:
-        """Prometheus-style text exposition (dots become underscores)."""
+        """Prometheus text exposition (format 0.0.4).
+
+        Dots/dashes in names become underscores; every metric gets one
+        ``# HELP`` and one ``# TYPE`` line before its first sample; label
+        values escape backslash, double-quote and newline as the format
+        requires (``\\\\``, ``\\"``, ``\\n``).
+        """
         lines: list[str] = []
-        seen_types: set[str] = set()
+        seen_headers: set[str] = set()
+
+        def label_block(labels: dict[str, str]) -> str:
+            if not labels:
+                return ""
+            inner = ",".join(
+                f'{k}="{escape_label_value(str(labels[k]))}"'
+                for k in sorted(labels)
+            )
+            return f"{{{inner}}}"
+
+        def headers(flat: str, mtype: str) -> None:
+            if flat in seen_headers:
+                return
+            seen_headers.add(flat)
+            lines.append(f"# HELP {flat} {help_text(flat)}")
+            lines.append(f"# TYPE {flat} {mtype}")
 
         def emit(key: str, value: float, suffix: str = "",
                  extra_labels: dict[str, str] | None = None,
                  mtype: str = "") -> None:
             name, labels = split_metric_key(key)
-            flat = name.replace(".", "_").replace("-", "_")
-            if mtype and flat not in seen_types:
-                seen_types.add(flat)
-                lines.append(f"# TYPE {flat} {mtype}")
+            flat = flatten_metric_name(name)
+            if mtype:
+                headers(flat, mtype)
             if extra_labels:
                 labels = {**labels, **extra_labels}
-            label_text = ""
-            if labels:
-                inner = ",".join(
-                    f'{k}="{labels[k]}"' for k in sorted(labels)
-                )
-                label_text = f"{{{inner}}}"
             if isinstance(value, float) and not value.is_integer():
                 rendered = f"{value:.9f}".rstrip("0").rstrip(".")
             else:
                 rendered = str(int(value))
-            lines.append(f"{flat}{suffix}{label_text} {rendered}")
+            lines.append(f"{flat}{suffix}{label_block(labels)} {rendered}")
 
         for key in sorted(self.counters):
             emit(key, self.counters[key], mtype="counter")
@@ -482,15 +562,12 @@ class MetricsSnapshot:
                     key,
                     hist.percentile(q),
                     extra_labels={"quantile": f"{q / 100:g}"},
-                    mtype="histogram",
+                    mtype="summary",
                 )
-            flat = name.replace(".", "_").replace("-", "_")
-            label_text = ""
-            if labels:
-                inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
-                label_text = f"{{{inner}}}"
-            lines.append(f"{flat}_count{label_text} {hist.count}")
-            lines.append(f"{flat}_sum{label_text} {hist.sum:.9f}")
+            flat = flatten_metric_name(name)
+            block = label_block(labels)
+            lines.append(f"{flat}_count{block} {hist.count}")
+            lines.append(f"{flat}_sum{block} {hist.sum:.9f}")
         return "\n".join(lines) + "\n"
 
 

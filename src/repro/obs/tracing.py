@@ -55,6 +55,131 @@ class Span:
     def set_tag(self, key: str, value: Any) -> None:
         self.tags[key] = value
 
+    def to_dict(self) -> dict[str, Any]:
+        """Wire-safe form (the ``admin_traces`` RPC payload)."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "duration": self.duration,
+            "tags": {k: str(v) for k, v in self.tags.items()},
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Span":
+        return cls(
+            name=data["name"],
+            trace_id=data["trace_id"],
+            span_id=data["span_id"],
+            parent_id=data.get("parent_id"),
+            start=data.get("start", 0.0),
+            duration=data.get("duration", 0.0),
+            tags=dict(data.get("tags", {})),
+            error=data.get("error"),
+        )
+
+
+#: Spans at or above this duration are always retained by a SpanSink.
+DEFAULT_LATENCY_THRESHOLD = 0.050
+
+
+class SpanSink:
+    """Bounded retention with tail-based sampling.
+
+    Head-based samplers decide at span *start* and therefore drop exactly
+    the spans one wants to keep (the slow and the broken are not known to
+    be slow or broken yet).  This sink decides at span *end*:
+
+    * spans with an error, or with ``duration >= latency_threshold``, go
+      to the **interesting** buffer (capacity ``capacity``);
+    * every span also lands in a smaller **recent** ring (context for the
+      interesting ones).
+
+    Both rings evict their own oldest entries, so a flood of fast-and-fine
+    spans can never push out a retained error or slow span — the property
+    the overflow test asserts.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 512,
+        latency_threshold: float = DEFAULT_LATENCY_THRESHOLD,
+        recent_capacity: int | None = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.latency_threshold = latency_threshold
+        self.recent_capacity = (
+            recent_capacity if recent_capacity is not None
+            else max(16, capacity // 4)
+        )
+        self._lock = threading.Lock()
+        self._interesting: "OrderedDict[str, Span]" = OrderedDict()
+        self._recent: "OrderedDict[str, Span]" = OrderedDict()
+        self.offered = 0
+        self.retained = 0
+
+    def interesting_reason(self, span: Span) -> str | None:
+        """Why this span is tail-retained, or ``None`` if it is not."""
+        if span.error is not None:
+            return "error"
+        if span.duration >= self.latency_threshold:
+            return "slow"
+        return None
+
+    def offer(self, span: Span) -> None:
+        """Consider one finished span for retention."""
+        reason = self.interesting_reason(span)
+        with self._lock:
+            self.offered += 1
+            self._recent[span.span_id] = span
+            while len(self._recent) > self.recent_capacity:
+                self._recent.popitem(last=False)
+            if reason is not None:
+                self.retained += 1
+                self._interesting[span.span_id] = span
+                while len(self._interesting) > self.capacity:
+                    self._interesting.popitem(last=False)
+
+    def interesting(self) -> list[Span]:
+        """Tail-retained spans (errors and slow), oldest first."""
+        with self._lock:
+            return list(self._interesting.values())
+
+    def recent(self) -> list[Span]:
+        with self._lock:
+            return list(self._recent.values())
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "offered": self.offered,
+                "retained": self.retained,
+                "interesting": len(self._interesting),
+                "recent": len(self._recent),
+                "capacity": self.capacity,
+                "latency_threshold": self.latency_threshold,
+            }
+
+    def to_dict(self, limit: int | None = None) -> dict[str, Any]:
+        """RPC payload: stats plus the interesting spans (newest last)."""
+        spans = self.interesting()
+        if limit is not None and limit >= 0:
+            spans = spans[-limit:]
+        return {
+            "stats": self.stats(),
+            "spans": [span.to_dict() for span in spans],
+        }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._interesting.clear()
+            self._recent.clear()
+
 
 class _NullSpan:
     """Shared do-nothing span for the tracer-absent fast path."""
@@ -70,6 +195,9 @@ class _NullSpan:
         return False
 
     def set_tag(self, key: str, value: Any) -> None:
+        pass
+
+    def set_error(self, error: str) -> None:
         pass
 
 
@@ -96,6 +224,11 @@ class _SpanHandle:
     def set_tag(self, key: str, value: Any) -> None:
         self._span.tags[key] = value
 
+    def set_error(self, error: str) -> None:
+        """Mark the span failed without an exception escaping the ``with``
+        (dispatchers that catch and convert errors into replies)."""
+        self._span.error = error
+
     def __enter__(self) -> "_SpanHandle":
         self._tracer._push(self._span)
         return self
@@ -114,8 +247,11 @@ class Tracer:
     spans land in a bounded per-trace store (oldest traces evicted).
     """
 
-    def __init__(self, max_traces: int = 256) -> None:
+    def __init__(
+        self, max_traces: int = 256, sink: SpanSink | None = None
+    ) -> None:
         self.max_traces = max_traces
+        self.sink = sink
         self._local = threading.local()
         self._lock = threading.Lock()
         self._traces: "OrderedDict[str, list[Span]]" = OrderedDict()
@@ -171,6 +307,8 @@ class Tracer:
         stack = getattr(self._local, "stack", None)
         if stack and stack[-1] is span:
             stack.pop()
+        if self.sink is not None:
+            self.sink.offer(span)
         with self._lock:
             spans = self._traces.get(span.trace_id)
             if spans is None:
@@ -264,6 +402,12 @@ def install_tracer(tracer: Tracer | None) -> None:
 
 def current_tracer() -> Tracer | None:
     return _tracer
+
+
+def current_sink() -> SpanSink | None:
+    """The installed tracer's span sink, if both exist."""
+    tracer = _tracer
+    return tracer.sink if tracer is not None else None
 
 
 def active() -> bool:

@@ -23,6 +23,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro.obs.timeseries import SeriesStore
 from repro.sim.kernel import Simulator
 from repro.sim.network import NetworkPath, SharedLink
 from repro.sim.resources import Resource
@@ -102,14 +103,24 @@ class SimRLI:
         self.up = True
         self.ingest = Resource(sim, capacity=1)
         self.updates_applied = 0
+        # Virtual time of the newest applied update — the simulated twin
+        # of ReplicaLocationIndex._last_update_at.
+        self.last_update_at: float | None = None
 
     def crash(self) -> None:
         """Lose all soft state (an RLI restart, §2)."""
         self.entries.clear()
         self.up = False
+        self.last_update_at = None
 
     def restart(self) -> None:
         self.up = True
+
+    def staleness_age(self) -> float:
+        """Virtual seconds since the last applied update (0 before any)."""
+        if self.last_update_at is None:
+            return 0.0
+        return max(0.0, self.sim.now - self.last_update_at)
 
     def apply_full(self, names) -> None:
         if not self.up:
@@ -118,6 +129,7 @@ class SimRLI:
         for name in names:
             self.entries[name] = expiry
         self.updates_applied += 1
+        self.last_update_at = self.sim.now
 
     def apply_delta(self, added, removed) -> None:
         if not self.up:
@@ -128,6 +140,7 @@ class SimRLI:
         for name in removed:
             self.entries.pop(name, None)
         self.updates_applied += 1
+        self.last_update_at = self.sim.now
 
     def apply_bloom(self, names) -> None:
         """Bloom replacement: the new filter IS the new state (no FP model
@@ -137,6 +150,7 @@ class SimRLI:
         expiry = self.sim.now + self.policy.rli_timeout
         self.entries = {name: expiry for name in names}
         self.updates_applied += 1
+        self.last_update_at = self.sim.now
 
     def contains(self, name: str) -> bool:
         expiry = self.entries.get(name)
@@ -154,6 +168,10 @@ class StalenessResult:
     ghost_fraction: float       # deleted names the RLI still advertised
     bytes_sent: float
     updates_sent: int
+    #: Virtual-time trajectory of the run (probe-interval resolution):
+    #: ``rli.staleness_age`` and the running ``probe.stale_fraction`` —
+    #: detector-ready input for :func:`repro.obs.analyze.analyze_store`.
+    store: SeriesStore = field(repr=False, default_factory=SeriesStore)
 
 
 def _update_proc(sim, lrc: SimLRC, rli: SimRLI, path, policy: SimPolicy, stats):
@@ -243,6 +261,7 @@ def staleness_experiment(
 
     counters = {"samples": 0, "miss": 0, "ghost": 0}
     recently_deleted: list[str] = []
+    store = SeriesStore()
 
     def probe():
         probe_rng = random.Random(seed + 1)
@@ -261,6 +280,16 @@ def staleness_experiment(
                     counters["samples"] += 1
                     if rli.contains(dead):
                         counters["ghost"] += 1
+            # Trajectory on the *virtual* clock — same series keys the
+            # live collector records, so the detectors run unchanged.
+            store.record("rli.staleness_age", sim.now, rli.staleness_age())
+            if counters["samples"]:
+                store.record(
+                    "probe.stale_fraction",
+                    sim.now,
+                    (counters["miss"] + counters["ghost"])
+                    / counters["samples"],
+                )
 
     sim.process(probe())
     sim.run(until=duration)
@@ -273,6 +302,7 @@ def staleness_experiment(
         ghost_fraction=counters["ghost"] / samples,
         bytes_sent=stats["bytes"],
         updates_sent=stats["updates"],
+        store=store,
     )
 
 

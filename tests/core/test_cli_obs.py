@@ -1,0 +1,241 @@
+"""Observability CLI surfaces: stats --watch, trace, top, admin_traces."""
+
+from __future__ import annotations
+
+import io
+import json
+import re
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.core.client import connect
+from repro.core.config import ServerRole
+from repro.obs import tracing
+from repro.obs.collector import ClusterCollector, client_source
+from repro.obs.tracing import SpanSink, Tracer, install_tracer
+
+
+def run_cli(*argv) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture
+def server_name(make_server):
+    return make_server(ServerRole.BOTH).config.name
+
+
+@pytest.fixture
+def traced():
+    """Process-wide tracer whose sink retains every span (threshold 0)."""
+    sink = SpanSink(latency_threshold=0.0)
+    install_tracer(Tracer(sink=sink))
+    yield sink
+    install_tracer(None)
+
+
+@pytest.fixture
+def traffic():
+    """Background client loops generating load while a CLI command runs."""
+    stop = threading.Event()
+    threads: list[threading.Thread] = []
+
+    def start(server_name: str, op: str = "create") -> None:
+        def loop() -> None:
+            client = connect(server_name)
+            i = 0
+            try:
+                while not stop.is_set():
+                    if op == "create":
+                        client.create(f"load-{server_name}-{i}", f"pfn-{i}")
+                    else:
+                        client.ping()
+                    i += 1
+            finally:
+                client.close()
+
+        thread = threading.Thread(target=loop, daemon=True)
+        threads.append(thread)
+        thread.start()
+
+    yield start
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=10)
+
+
+class TestStatsWatch:
+    def test_prints_per_interval_rates(self, server_name, traffic):
+        traffic(server_name)
+        code, out = run_cli(
+            "stats", server_name, "--watch", "0.2", "--iterations", "2"
+        )
+        assert code == 0
+        lines = [l for l in out.splitlines() if l.startswith("[")]
+        assert len(lines) == 2
+        for line in lines:
+            assert "ops/s=" in line and "errors/s=" in line
+        # Load ran throughout, so the rate is positive and the busiest
+        # method breakdown appears.
+        rate = float(re.search(r"ops/s=([0-9.]+)", lines[-1]).group(1))
+        assert rate > 0
+        assert "top:" in lines[-1]
+
+
+class TestTrace:
+    def test_without_tracer_fails_with_hint(self, server_name):
+        code, out = run_cli("trace", "--server", server_name)
+        assert code == 1
+        assert "rls serve --trace" in out
+
+    def test_lists_retained_spans(self, server_name, traced):
+        run_cli("create", "--server", server_name, "t-lfn", "t-pfn")
+        run_cli("query", "--server", server_name, "t-lfn")
+        code, out = run_cli("trace", "--server", server_name)
+        assert code == 0
+        assert out.startswith("span sink:")
+        body = out.splitlines()[1:]
+        assert body, out
+        assert any("rpc.handle" in line for line in body)
+        assert all("ms" in line for line in body)
+
+    def test_json_payload(self, server_name, traced):
+        run_cli("create", "--server", server_name, "j-lfn", "j-pfn")
+        code, out = run_cli(
+            "trace", "--server", server_name, "--json", "--limit", "3"
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["enabled"] is True
+        assert 0 < len(payload["spans"]) <= 3
+        assert payload["stats"]["retained"] > 0
+
+    def test_handler_failures_are_tail_retained(self, server_name, make_server):
+        """The dispatcher converts handler exceptions into error replies,
+        so it must mark the span failed itself — otherwise error spans
+        would never reach the sink's interesting buffer."""
+        sink = SpanSink()  # default 50ms threshold: only errors retain
+        install_tracer(Tracer(sink=sink))
+        try:
+            code, _ = run_cli("query", "--server", server_name, "absent-lfn")
+        except Exception:
+            pass
+        finally:
+            install_tracer(None)
+        errors = [s for s in sink.interesting() if s.error]
+        assert errors, "failed RPC left no retained error span"
+        assert any(s.name == "rpc.handle" for s in errors)
+        assert errors[0].error == "MappingNotFoundError"
+
+    def test_traces_rpc_respects_limit(self, server_name, traced):
+        client = connect(server_name)
+        try:
+            for i in range(5):
+                client.create(f"rpc-{i}", "p")
+            payload = client.traces(limit=2)
+        finally:
+            client.close()
+        assert payload["enabled"] is True
+        assert len(payload["spans"]) == 2
+
+
+class TestServeTrace:
+    def test_installs_and_uninstalls_tracer(self):
+        assert not tracing.active()
+        code, out = run_cli(
+            "serve", "--name", "serve-trace-cli", "--run-seconds", "0.01",
+            "--trace",
+        )
+        assert code == 0
+        assert "tracing enabled" in out
+        # The serve path must not leak the process-wide tracer.
+        assert not tracing.active()
+
+
+class TestTop:
+    def test_cluster_sample_rates_sum_exactly(self, make_server):
+        """Per-node rates and the cluster rate come from the same round
+        and add up exactly (the aggregate-consistency invariant)."""
+        lrc1 = make_server(ServerRole.LRC)
+        lrc2 = make_server(ServerRole.LRC)
+        rli = make_server(ServerRole.RLI)
+        servers = [lrc1, lrc2, rli]
+        clients = [connect(s.config.name) for s in servers]
+        try:
+            collector = ClusterCollector(
+                [
+                    client_source(s.config.name, c)
+                    for s, c in zip(servers, clients)
+                ]
+            )
+            collector.scrape_once(now=0.0)
+            for i in range(6):
+                clients[0].create(f"a{i}", "p")
+            for i in range(4):
+                clients[1].create(f"b{i}", "p")
+            for _ in range(2):
+                clients[2].ping()
+            sample = collector.scrape_once(now=2.0)
+            assert sample.nodes_up == 3
+            rates = {n: s.ops_rate for n, s in sample.nodes.items()}
+            assert sample.cluster_ops_rate == sum(rates.values())
+            assert (
+                collector.store.latest("cluster.ops_rate")
+                == sample.cluster_ops_rate
+            )
+            for name, rate in rates.items():
+                key = f"node.ops_rate{{node={name}}}"
+                assert collector.store.latest(key) == rate
+            # Each node also served one admin_metrics call (the priming
+            # scrape), which cancels in pairwise differences.
+            assert rates[lrc1.config.name] - rates[lrc2.config.name] == 1.0
+            assert rates[lrc2.config.name] - rates[rli.config.name] == 1.0
+        finally:
+            for client in clients:
+                client.close()
+
+    def test_top_cli_two_lrcs_one_rli(self, make_server, traffic):
+        """Acceptance: ``rls top`` against 2 LRCs + 1 RLI shows per-node
+        and cluster rates that sum consistently within one interval."""
+        lrc1 = make_server(ServerRole.LRC)
+        lrc2 = make_server(ServerRole.LRC)
+        rli = make_server(ServerRole.RLI)
+        specs = [lrc1.config.name, lrc2.config.name, rli.config.name]
+        traffic(lrc1.config.name)
+        traffic(lrc2.config.name)
+        traffic(rli.config.name, op="ping")
+
+        code, out = run_cli(
+            "top", "--servers", ",".join(specs),
+            "--interval", "0.2", "--iterations", "2",
+        )
+        assert code == 0
+        lines = out.splitlines()
+        round_indexes = [
+            i for i, l in enumerate(lines) if l.startswith("round ")
+        ]
+        assert len(round_indexes) == 2
+        for i in round_indexes:
+            assert "nodes up 3/3" in lines[i]
+            cluster = float(
+                re.search(r"cluster ops/s=([0-9.]+)", lines[i]).group(1)
+            )
+            node_rates = []
+            for offset, spec in enumerate(specs, start=1):
+                line = lines[i + offset]
+                assert spec in line and "DOWN" not in line
+                node_rates.append(
+                    float(re.search(r"ops/s=\s*([0-9.]+)", line).group(1))
+                )
+            # All four numbers print rounded to one decimal place, so the
+            # sum can drift by at most 0.05 per figure.
+            assert abs(cluster - sum(node_rates)) <= 0.21, out
+            assert cluster > 0
+
+    def test_empty_server_list_is_usage_error(self):
+        code, out = run_cli("top", "--servers", ",", "--iterations", "1")
+        assert code == 2
+        assert "no servers" in out

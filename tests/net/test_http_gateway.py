@@ -129,3 +129,28 @@ class TestIndexAndBulk:
         assert status == 404
         status, _ = http("POST", f"{gw.url}/nope")
         assert status == 404
+
+
+class TestTraces:
+    def test_disabled_without_tracer(self, gateway):
+        gw, _ = gateway
+        status, body = http("GET", f"{gw.url}/admin/traces")
+        assert status == 200
+        assert body["enabled"] is False and body["spans"] == []
+
+    def test_tail_retained_spans_with_limit(self, gateway):
+        from repro.obs.tracing import SpanSink, Tracer, install_tracer
+
+        gw, _ = gateway
+        install_tracer(Tracer(sink=SpanSink(latency_threshold=0.0)))
+        try:
+            for i in range(5):
+                http("POST", f"{gw.url}/mappings", {"lfn": f"tr{i}", "pfn": "p"})
+            status, body = http("GET", f"{gw.url}/admin/traces?limit=3")
+        finally:
+            install_tracer(None)
+        assert status == 200
+        assert body["enabled"] is True
+        assert 0 < len(body["spans"]) <= 3
+        assert body["stats"]["retained"] >= 5
+        assert {"name", "trace_id", "duration"} <= set(body["spans"][0])

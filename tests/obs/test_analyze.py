@@ -1,0 +1,180 @@
+"""Pathology detectors and the store-wide analyzer sweep."""
+
+from __future__ import annotations
+
+from repro.obs.analyze import (
+    Detection,
+    analyze_store,
+    compare_baseline,
+    detect_queue_saturation,
+    detect_sawtooth,
+    detect_staleness_burn,
+)
+from repro.obs.timeseries import SeriesStore, TimeSeries
+
+
+def sawtooth_values(teeth=3, decay_steps=4):
+    """100 -> decay ~25% -> snap back to 100, repeated."""
+    values = []
+    for _ in range(teeth):
+        values.append(100.0)
+        for i in range(1, decay_steps + 1):
+            values.append(100.0 - 7.0 * i)
+    values.append(100.0)
+    return values
+
+
+class TestSawtooth:
+    def test_detects_each_tooth_with_period_and_amplitude(self):
+        detections = detect_sawtooth(sawtooth_values(teeth=3))
+        assert len(detections) == 3
+        for d in detections:
+            assert d.kind == "sawtooth"
+            assert d.details["amplitude"] > 0.2
+            assert d.details["period"] > 0
+            assert d.details["peak"] == 100.0
+            assert d.details["trough"] == 72.0
+        # Steady-state period is peak-to-peak: 5 steps per tooth.
+        assert detections[1].details["period"] == 5.0
+        assert detections[2].details["period"] == 5.0
+
+    def test_monotonic_series_is_clean(self):
+        assert detect_sawtooth([float(i) for i in range(20)]) == []
+        assert detect_sawtooth([float(20 - i) for i in range(20)]) == []
+
+    def test_small_noise_is_clean(self):
+        # 3% wobble: under both the decay and recovery thresholds.
+        values = [100.0, 98.0, 100.0, 97.5, 99.5, 98.0, 100.0]
+        assert detect_sawtooth(values) == []
+
+    def test_accepts_point_tuples_and_timeseries(self):
+        points = [(float(t * 10), v) for t, v in enumerate(sawtooth_values(1))]
+        by_points = detect_sawtooth(points)
+        series = TimeSeries()
+        for t, v in points:
+            series.append(t, v)
+        by_series = detect_sawtooth(series)
+        assert len(by_points) == len(by_series) == 1
+        assert by_points[0].details["period"] == 50.0
+
+    def test_too_short_series(self):
+        assert detect_sawtooth([100.0, 50.0]) == []
+
+
+class TestStalenessBurn:
+    def test_sustained_burn_fires(self):
+        ages = [31.0, 35.0, 40.0, 33.0, 29.0, 36.0]
+        detections = detect_staleness_burn(ages, slo_seconds=30.0)
+        assert len(detections) == 1
+        d = detections[0]
+        assert d.kind == "staleness_burn"
+        assert d.details["worst_age"] == 40.0
+        assert d.details["burn_fraction"] > 0.5
+
+    def test_healthy_sawtooth_under_slo_is_clean(self):
+        # Age ramps to just under the budget then resets (full update).
+        ages = [5.0, 10.0, 15.0, 20.0, 25.0, 2.0, 7.0, 12.0]
+        assert detect_staleness_burn(ages, slo_seconds=30.0) == []
+
+    def test_below_min_samples_stays_silent(self):
+        assert detect_staleness_burn([100.0, 100.0], slo_seconds=1.0) == []
+
+    def test_critical_severity_when_always_over(self):
+        ages = [50.0] * 10
+        [d] = detect_staleness_burn(ages, slo_seconds=30.0)
+        assert d.severity == "critical"
+
+
+class TestQueueSaturation:
+    def test_sustained_growth_fires(self):
+        depths = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0]
+        [d] = detect_queue_saturation(depths)
+        assert d.kind == "queue_saturation"
+        assert d.details["end_depth"] == 32.0
+        assert d.details["samples"] == 6
+
+    def test_draining_queue_is_clean(self):
+        depths = [1.0, 4.0, 9.0, 2.0, 5.0, 11.0, 3.0]
+        assert detect_queue_saturation(depths) == []
+
+    def test_shallow_queue_is_clean(self):
+        # Doubles, but never reaches QUEUE_MIN_DEPTH.
+        depths = [0.5, 1.0, 1.5, 2.0, 2.5, 3.0]
+        assert detect_queue_saturation(depths) == []
+
+    def test_short_run_is_clean(self):
+        assert detect_queue_saturation([1.0, 50.0, 100.0]) == []
+
+
+class TestCompareBaseline:
+    def test_within_tolerance_is_none(self):
+        assert compare_baseline([95.0] * 5, [100.0] * 5) is None
+
+    def test_regression_fires(self):
+        d = compare_baseline([60.0] * 5, [100.0] * 5)
+        assert d is not None and d.kind == "baseline_regression"
+        assert d.severity == "critical"  # 40% drop > 2 * 15%
+        assert abs(d.details["drop"] - 0.4) < 1e-9
+
+    def test_empty_inputs(self):
+        assert compare_baseline([], [1.0]) is None
+        assert compare_baseline([1.0], []) is None
+        assert compare_baseline([1.0], [0.0]) is None
+
+
+class TestAnalyzeStore:
+    def test_routes_by_key_shape(self):
+        store = SeriesStore()
+        for i, v in enumerate(sawtooth_values(2)):
+            store.record("ops:rate", float(i), v)
+        for i, v in enumerate([1.0, 2.0, 4.0, 8.0, 16.0, 32.0]):
+            store.record("wal.queue_depth", float(i), v)
+        for i in range(6):
+            store.record("rli.staleness_age", float(i), 100.0)
+        # An unclassified key never triggers any detector.
+        for i, v in enumerate(sawtooth_values(2)):
+            store.record("misc.metric", float(i), v)
+
+        detections = analyze_store(store, staleness_slo=30.0)
+        kinds = {d.kind for d in detections}
+        assert kinds == {"sawtooth", "queue_saturation", "staleness_burn"}
+        for d in detections:
+            assert d.details["series"] in (
+                "ops:rate",
+                "wal.queue_depth",
+                "rli.staleness_age",
+            )
+
+    def test_staleness_needs_slo(self):
+        store = SeriesStore()
+        for i in range(6):
+            store.record("rli.staleness_age", float(i), 100.0)
+        assert analyze_store(store) == []
+        assert len(analyze_store(store, staleness_slo=30.0)) == 1
+
+    def test_cluster_and_benchmark_keys_route_to_sawtooth(self):
+        store = SeriesStore()
+        for key in ("cluster.ops_rate", "lrc.add_rate"):
+            for i, v in enumerate(sawtooth_values(1)):
+                store.record(key, float(i), v)
+        detections = analyze_store(store)
+        assert {d.details["series"] for d in detections} == {
+            "cluster.ops_rate",
+            "lrc.add_rate",
+        }
+
+
+def test_detection_to_dict_round_trip():
+    d = Detection(
+        kind="sawtooth",
+        summary="s",
+        start=1.0,
+        end=2.0,
+        details={"period": 5.0},
+    )
+    payload = d.to_dict()
+    assert payload["kind"] == "sawtooth"
+    assert payload["details"] == {"period": 5.0}
+    import json
+
+    json.dumps(payload)  # plain data, artifact-safe

@@ -1,0 +1,163 @@
+"""Cluster-wide collector: aggregation, consistency, failure handling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.collector import (
+    ClusterCollector,
+    NodeSource,
+    client_source,
+    registry_source,
+    server_source,
+)
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+
+
+def make_registries(*names):
+    return {name: MetricsRegistry() for name in names}
+
+
+def make_collector(registries, **kwargs):
+    sources = [registry_source(n, r) for n, r in registries.items()]
+    return ClusterCollector(sources, **kwargs)
+
+
+class TestConstruction:
+    def test_requires_nodes(self):
+        with pytest.raises(ValueError):
+            ClusterCollector([])
+
+    def test_rejects_duplicate_names(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="duplicate"):
+            ClusterCollector(
+                [registry_source("a", registry), registry_source("a", registry)]
+            )
+
+    def test_node_names(self):
+        collector = make_collector(make_registries("a", "b"))
+        assert collector.node_names == ["a", "b"]
+
+
+class TestAggregation:
+    def test_cluster_ops_rate_is_exact_sum_of_node_rates(self):
+        """The invariant ``rls top`` renders: per-node rates sum to the
+        cluster rate within the same round."""
+        registries = make_registries("lrc-1", "lrc-2", "rli-1")
+        collector = make_collector(registries)
+        collector.scrape_once(now=0.0)  # priming round
+        registries["lrc-1"].counter("rpc.requests", method="add").inc(30)
+        registries["lrc-2"].counter("rpc.requests", method="add").inc(50)
+        registries["rli-1"].counter("rpc.requests", method="query_rli").inc(20)
+        sample = collector.scrape_once(now=2.0)
+        rates = {name: node.ops_rate for name, node in sample.nodes.items()}
+        assert rates == {"lrc-1": 15.0, "lrc-2": 25.0, "rli-1": 10.0}
+        assert sample.cluster_ops_rate == sum(rates.values())
+        assert collector.store.latest("cluster.ops_rate") == 50.0
+        for name, rate in rates.items():
+            key = f"node.ops_rate{{node={name}}}"
+            assert collector.store.latest(key) == rate
+
+    def test_wal_queue_depth_sums_and_staleness_maxes(self):
+        registries = make_registries("a", "b")
+        registries["a"].gauge("wal.queue_depth").set(10.0)
+        registries["b"].gauge("wal.queue_depth").set(7.0)
+        registries["a"].gauge("rli.staleness_age").set(3.0)
+        registries["b"].gauge("rli.staleness_age").set(9.0)
+        collector = make_collector(registries)
+        collector.scrape_once(now=0.0)
+        assert collector.store.latest("cluster.wal_queue_depth") == 17.0
+        assert collector.store.latest("cluster.rli_staleness_age") == 9.0
+
+    def test_labeled_gauges_aggregate(self):
+        registry = MetricsRegistry()
+        registry.gauge("wal.queue_depth", wal="x").set(4.0)
+        registry.gauge("wal.queue_depth", wal="y").set(6.0)
+        collector = make_collector({"n": registry})
+        sample = collector.scrape_once(now=0.0)
+        assert sample.nodes["n"].wal_queue_depth == 10.0
+
+    def test_priming_round_records_gauges_but_no_rates(self):
+        registries = make_registries("a")
+        registries["a"].gauge("wal.queue_depth").set(5.0)
+        collector = make_collector(registries)
+        sample = collector.scrape_once(now=0.0)
+        assert sample.nodes["a"].up
+        assert collector.store.latest("cluster.ops_rate") is None
+        assert collector.store.latest("cluster.wal_queue_depth") == 5.0
+        assert collector.store.latest("cluster.nodes_up") == 1.0
+
+
+class TestNodeFailure:
+    def test_down_node_is_excluded_from_aggregates(self):
+        good = MetricsRegistry()
+
+        def bad_fetch():
+            raise ConnectionError("boom")
+
+        collector = ClusterCollector(
+            [
+                registry_source("good", good),
+                NodeSource(name="bad", fetch=bad_fetch),
+            ]
+        )
+        collector.scrape_once(now=0.0)
+        good.counter("rpc.requests").inc(10)
+        sample = collector.scrape_once(now=1.0)
+        assert sample.nodes["good"].up
+        assert not sample.nodes["bad"].up
+        assert "ConnectionError" in sample.nodes["bad"].error
+        assert sample.nodes_up == 1
+        assert sample.cluster_ops_rate == 10.0
+        assert collector.store.latest("cluster.nodes_up") == 1.0
+        assert collector.store.latest("node.up{node=bad}") == 0.0
+        assert collector.store.latest("node.up{node=good}") == 1.0
+
+    def test_node_recovers_after_transient_failure(self):
+        registry = MetricsRegistry()
+        fail = {"on": False}
+
+        def fetch():
+            if fail["on"]:
+                raise TimeoutError("slow")
+            return registry.snapshot()
+
+        collector = ClusterCollector([NodeSource(name="n", fetch=fetch)])
+        collector.scrape_once(now=0.0)
+        fail["on"] = True
+        assert not collector.scrape_once(now=1.0).nodes["n"].up
+        fail["on"] = False
+        assert collector.scrape_once(now=2.0).nodes["n"].up
+
+
+class TestSources:
+    def test_server_source_uses_config_name(self, server):
+        source = server_source(server)
+        assert source.name == server.config.name
+        assert isinstance(source.fetch(), MetricsSnapshot)
+
+    def test_client_source_round_trips_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("rpc.requests").inc(3)
+
+        class FakeClient:
+            def metrics(self):
+                return registry.snapshot().to_dict()
+
+        snapshot = client_source("remote", FakeClient()).fetch()
+        assert snapshot.counters["rpc.requests"] == 3
+
+
+def test_background_collection():
+    registries = make_registries("a")
+    counter = registries["a"].counter("rpc.requests")
+    with make_collector(registries, interval=0.01) as collector:
+        import time as _time
+
+        deadline = _time.monotonic() + 2.0
+        while collector.rounds < 3 and _time.monotonic() < deadline:
+            counter.inc()
+            _time.sleep(0.005)
+    assert collector.rounds >= 3
+    assert collector.store.latest("cluster.nodes_up") == 1.0

@@ -1,0 +1,147 @@
+"""Prometheus text exposition (format 0.0.4) conformance."""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    escape_help_text,
+    escape_label_value,
+    flatten_metric_name,
+    help_text,
+)
+
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(_count|_sum)?(\{[^}]*\})? -?[0-9.e+-]+$"
+)
+
+
+def render(registry):
+    return registry.render_text()
+
+
+def sample_lines(text):
+    return [l for l in text.splitlines() if l and not l.startswith("#")]
+
+
+class TestHeaders:
+    def test_help_and_type_once_per_metric_before_first_sample(self):
+        registry = MetricsRegistry()
+        registry.counter("rpc.requests", method="add").inc(1)
+        registry.counter("rpc.requests", method="query").inc(2)
+        text = render(registry)
+        lines = text.splitlines()
+        assert lines.count("# HELP rpc_requests " + help_text("rpc_requests")) == 1
+        assert lines.count("# TYPE rpc_requests counter") == 1
+        first_sample = next(
+            i for i, l in enumerate(lines) if l.startswith("rpc_requests{")
+        )
+        assert lines.index("# TYPE rpc_requests counter") < first_sample
+        assert lines.index("# HELP rpc_requests " + help_text("rpc_requests")) \
+            < first_sample
+
+    def test_types(self):
+        registry = MetricsRegistry()
+        registry.counter("rpc.requests").inc()
+        registry.gauge("wal.queue_depth").set(1.0)
+        registry.histogram("rpc.latency").observe(0.01)
+        text = render(registry)
+        assert "# TYPE rpc_requests counter" in text
+        assert "# TYPE wal_queue_depth gauge" in text
+        # Quantile-style exposition (pre-aggregated percentiles) is a
+        # summary in the 0.0.4 taxonomy, not a histogram.
+        assert "# TYPE rpc_latency summary" in text
+
+    def test_unknown_metric_gets_fallback_help(self):
+        registry = MetricsRegistry()
+        registry.counter("made.up.metric").inc()
+        assert "# HELP made_up_metric RLS metric made_up_metric" in \
+            render(registry)
+
+    def test_ends_with_newline(self):
+        registry = MetricsRegistry()
+        registry.counter("rpc.requests").inc()
+        assert render(registry).endswith("\n")
+
+
+class TestNames:
+    def test_dots_and_dashes_flatten_to_underscores(self):
+        assert flatten_metric_name("rpc.latency") == "rpc_latency"
+        assert flatten_metric_name("a-b.c") == "a_b_c"
+
+    def test_every_sample_line_is_legal(self):
+        registry = MetricsRegistry()
+        registry.counter("rpc.requests", method="add").inc(5)
+        registry.gauge("wal.queue_depth", wal="main").set(2.5)
+        registry.histogram("rpc.latency", method="add").observe(0.002)
+        for line in sample_lines(render(registry)):
+            assert _SAMPLE_RE.match(line), line
+
+
+class TestLabelEscaping:
+    def test_escape_label_value(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+
+    def test_escape_help_text_leaves_quotes(self):
+        assert escape_help_text('say "hi"\n') == 'say "hi"\\n'
+
+    def test_rendered_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "rpc.errors", error='bad "lfn"\nname', path="C:\\tmp"
+        ).inc()
+        text = render(registry)
+        assert 'error="bad \\"lfn\\"\\nname"' in text
+        assert 'path="C:\\\\tmp"' in text
+        # No raw newline may survive inside a sample line.
+        for line in sample_lines(text):
+            assert "\n" not in line
+
+    def test_labels_sorted_and_quoted(self):
+        registry = MetricsRegistry()
+        registry.counter("rpc.requests", zeta="z", alpha="a").inc()
+        assert 'rpc_requests{alpha="a",zeta="z"} 1' in render(registry)
+
+
+class TestSummarySamples:
+    def test_quantiles_count_and_sum(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("rpc.latency", method="add")
+        for _ in range(100):
+            hist.observe(0.010)
+        text = render(registry)
+        for q in ("0.5", "0.95", "0.99"):
+            assert re.search(
+                r'rpc_latency\{method="add",quantile="%s"\} [0-9.]+'
+                % re.escape(q),
+                text,
+            ), text
+        assert 'rpc_latency_count{method="add"} 100' in text
+        assert re.search(r'rpc_latency_sum\{method="add"\} 1\.0*\b', text)
+
+    def test_count_and_sum_lines_carry_no_quantile_label(self):
+        registry = MetricsRegistry()
+        registry.histogram("rpc.latency").observe(0.001)
+        text = render(registry)
+        count_line = next(
+            l for l in text.splitlines() if l.startswith("rpc_latency_count")
+        )
+        assert "quantile" not in count_line
+
+
+class TestValueRendering:
+    def test_integers_render_without_decimal_point(self):
+        registry = MetricsRegistry()
+        registry.counter("rpc.requests").inc(42)
+        registry.gauge("wal.queue_depth").set(3.0)
+        text = render(registry)
+        assert "rpc_requests 42" in text
+        assert "wal_queue_depth 3" in text
+
+    def test_fractions_render_plainly(self):
+        registry = MetricsRegistry()
+        registry.gauge("wal.queue_depth").set(2.5)
+        assert "wal_queue_depth 2.5" in render(registry)

@@ -1,0 +1,126 @@
+"""MetricsSnapshot merge/delta edge cases the collector depends on."""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    NUM_BUCKETS,
+    HistogramSnapshot,
+    MetricsRegistry,
+    MetricsSnapshot,
+    merge_snapshots,
+)
+
+
+def hist_of(*values):
+    registry = MetricsRegistry()
+    h = registry.histogram("h")
+    for v in values:
+        h.observe(v)
+    return h.snapshot()
+
+
+EMPTY_HIST = HistogramSnapshot((0,) * (NUM_BUCKETS + 1), 0, 0.0, 0.0, 0.0)
+
+
+class TestDeltaMismatchedSets:
+    def test_new_metrics_pass_through(self):
+        later = MetricsSnapshot(
+            counters={"a": 5, "b": 3},
+            gauges={"g": 2.0},
+            histograms={"h": hist_of(0.01)},
+        )
+        earlier = MetricsSnapshot(counters={"a": 2})
+        delta = later.delta(earlier)
+        assert delta.counters == {"a": 3, "b": 3}
+        assert delta.gauges == {"g": 2.0}
+        assert delta.histograms["h"].count == 1
+
+    def test_metrics_absent_from_later_disappear(self):
+        """A restarted node that lost an instrument must not leave a
+        phantom key in the delta."""
+        later = MetricsSnapshot(counters={"a": 1})
+        earlier = MetricsSnapshot(counters={"a": 0, "gone": 99})
+        assert later.delta(earlier).counters == {"a": 1}
+
+    def test_counter_reset_clamps_to_zero(self):
+        later = MetricsSnapshot(counters={"a": 5})
+        earlier = MetricsSnapshot(counters={"a": 100})
+        assert later.delta(earlier).counters == {"a": 0}
+
+    def test_histogram_reset_clamps_bucketwise(self):
+        later = hist_of(0.01)
+        earlier = hist_of(0.01, 0.01, 10.0)
+        delta = later.delta(earlier)
+        assert delta.count == 0
+        assert delta.sum == 0.0
+        assert all(c >= 0 for c in delta.counts)
+
+    def test_gauges_keep_current_values(self):
+        later = MetricsSnapshot(gauges={"depth": 3.0})
+        earlier = MetricsSnapshot(gauges={"depth": 100.0})
+        assert later.delta(earlier).gauges == {"depth": 3.0}
+
+
+class TestMergeMismatchedSets:
+    def test_union_semantics(self):
+        a = MetricsSnapshot(
+            counters={"x": 1}, gauges={"g": 2.0}, histograms={"h": hist_of(0.01)}
+        )
+        b = MetricsSnapshot(
+            counters={"x": 2, "y": 5},
+            gauges={"g": 3.0},
+            histograms={"h": hist_of(0.02), "k": hist_of(1.0)},
+        )
+        merged = a.merge(b)
+        assert merged.counters == {"x": 3, "y": 5}
+        assert merged.gauges == {"g": 5.0}
+        assert merged.histograms["h"].count == 2
+        assert merged.histograms["k"].count == 1
+
+    def test_merge_with_empty_is_identity(self):
+        a = MetricsSnapshot(counters={"x": 7}, histograms={"h": hist_of(0.5)})
+        for merged in (a.merge(MetricsSnapshot()), MetricsSnapshot().merge(a)):
+            assert merged.counters == {"x": 7}
+            assert merged.histograms["h"].count == 1
+
+    def test_merge_min_ignores_empty_side(self):
+        populated = hist_of(0.5)
+        assert populated.merge(EMPTY_HIST).min == 0.5
+        assert EMPTY_HIST.merge(populated).min == 0.5
+
+    def test_merge_snapshots_folds_many(self):
+        parts = [MetricsSnapshot(counters={"x": i}) for i in (1, 2, 3)]
+        assert merge_snapshots(parts).counters == {"x": 6}
+        assert merge_snapshots([]).counters == {}
+
+
+class TestEmptyHistogramPercentiles:
+    def test_all_percentiles_zero(self):
+        for p in (0, 50, 95, 99, 100):
+            assert EMPTY_HIST.percentile(p) == 0.0
+
+    def test_delta_to_empty_has_zero_percentiles(self):
+        snapshot = hist_of(0.01, 0.02)
+        delta = snapshot.delta(snapshot)
+        assert delta.count == 0
+        assert delta.percentile(95) == 0.0
+
+    def test_single_observation_percentiles_bounded(self):
+        h = hist_of(0.010)
+        assert h.percentile(0) == 0.010
+        assert h.percentile(100) == 0.010
+        assert 0.0 < h.percentile(95) <= 0.020
+
+
+class TestWireRoundTrip:
+    def test_to_from_dict_preserves_delta_inputs(self):
+        registry = MetricsRegistry()
+        registry.counter("c", method="m").inc(4)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(0.3)
+        snapshot = registry.snapshot()
+        restored = MetricsSnapshot.from_dict(snapshot.to_dict())
+        assert restored.counters == snapshot.counters
+        assert restored.gauges == snapshot.gauges
+        assert restored.histograms["h"] == snapshot.histograms["h"]
+        assert restored.delta(snapshot).counters == {"c{method=m}": 0}

@@ -1,0 +1,193 @@
+"""Time-series store and snapshot-delta scraper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+from repro.obs.timeseries import (
+    OPS_RATE_KEY,
+    ScrapeResult,
+    Scraper,
+    SeriesStore,
+    TimeSeries,
+    merge_points,
+    rate_key,
+    summarize,
+)
+
+
+class TestTimeSeries:
+    def test_append_and_read(self):
+        series = TimeSeries(capacity=10)
+        for i in range(5):
+            series.append(float(i), float(i * 2))
+        assert series.points() == [(float(i), float(i * 2)) for i in range(5)]
+        assert series.values() == [0.0, 2.0, 4.0, 6.0, 8.0]
+        assert series.times() == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert series.latest() == (4.0, 8.0)
+        assert len(series) == 5
+
+    def test_ring_buffer_evicts_oldest(self):
+        series = TimeSeries(capacity=3)
+        for i in range(10):
+            series.append(float(i), float(i))
+        assert len(series) == 3
+        assert series.times() == [7.0, 8.0, 9.0]
+
+    def test_window(self):
+        series = TimeSeries()
+        for i in range(10):
+            series.append(float(i), float(i))
+        assert series.window(since=7.0) == [(7.0, 7.0), (8.0, 8.0), (9.0, 9.0)]
+
+    def test_empty(self):
+        series = TimeSeries()
+        assert series.latest() is None
+        assert not series
+        assert summarize(series) == {"count": 0}
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TimeSeries(capacity=0)
+
+
+class TestSeriesStore:
+    def test_record_creates_series(self):
+        store = SeriesStore()
+        store.record("a", 1.0, 10.0)
+        store.record("a", 2.0, 20.0)
+        store.record("b", 1.0, 5.0)
+        assert store.keys() == ["a", "b"]
+        assert store.latest("a") == 20.0
+        assert store.latest("missing") is None
+
+    def test_to_dict_is_artifact_shaped(self):
+        store = SeriesStore()
+        store.record("x", 0.0, 1.0)
+        store.record("x", 1.0, 2.0)
+        assert store.to_dict() == {"x": [[0.0, 1.0], [1.0, 2.0]]}
+
+    def test_capacity_applies_to_new_series(self):
+        store = SeriesStore(capacity=2)
+        for i in range(5):
+            store.record("k", float(i), float(i))
+        assert store.series("k").times() == [3.0, 4.0]
+
+
+class TestScraper:
+    def test_priming_scrape_returns_none(self):
+        registry = MetricsRegistry()
+        scraper = Scraper(registry.snapshot)
+        assert scraper.scrape_once(now=0.0) is None
+        assert scraper.last_snapshot is not None
+
+    def test_counter_rates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("rpc.requests", method="add")
+        scraper = Scraper(registry.snapshot)
+        scraper.scrape_once(now=0.0)
+        counter.inc(40)
+        result = scraper.scrape_once(now=2.0)
+        assert isinstance(result, ScrapeResult)
+        assert result.interval == 2.0
+        key = rate_key("rpc.requests", method="add")
+        assert scraper.store.latest(key) == 20.0
+        assert result.ops_rate() == 20.0
+        assert scraper.store.latest(OPS_RATE_KEY) == 20.0
+
+    def test_ops_rate_sums_all_methods(self):
+        registry = MetricsRegistry()
+        a = registry.counter("rpc.requests", method="a")
+        b = registry.counter("rpc.requests", method="b")
+        other = registry.counter("wal.records_appended")
+        scraper = Scraper(registry.snapshot)
+        scraper.scrape_once(now=0.0)
+        a.inc(3)
+        b.inc(7)
+        other.inc(100)
+        result = scraper.scrape_once(now=1.0)
+        assert result.ops_rate() == 10.0
+
+    def test_gauges_recorded_verbatim(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("wal.queue_depth")
+        scraper = Scraper(registry.snapshot)
+        scraper.scrape_once(now=0.0)
+        gauge.set(17.0)
+        scraper.scrape_once(now=1.0)
+        assert scraper.store.latest("wal.queue_depth") == 17.0
+
+    def test_histogram_p95_and_rate(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("rpc.latency", method="q")
+        scraper = Scraper(registry.snapshot)
+        scraper.scrape_once(now=0.0)
+        for _ in range(10):
+            hist.observe(0.010)
+        result = scraper.scrape_once(now=2.0)
+        p95 = scraper.store.latest("rpc.latency{method=q}:p95")
+        assert p95 is not None and 0.004 < p95 < 0.020
+        assert scraper.store.latest("rpc.latency{method=q}:rate") == 5.0
+        assert result is not None
+
+    def test_non_advancing_clock_returns_none(self):
+        registry = MetricsRegistry()
+        scraper = Scraper(registry.snapshot)
+        scraper.scrape_once(now=5.0)
+        assert scraper.scrape_once(now=5.0) is None
+        assert scraper.scrape_once(now=4.0) is None
+
+    def test_counter_reset_clamps_to_zero_rate(self):
+        """A restarted node must not emit negative rates."""
+        snapshots = [
+            MetricsSnapshot(counters={"rpc.requests": 100}),
+            MetricsSnapshot(counters={"rpc.requests": 5}),  # reset
+        ]
+        scraper = Scraper(lambda: snapshots.pop(0))
+        scraper.scrape_once(now=0.0)
+        result = scraper.scrape_once(now=1.0)
+        assert result.delta.counters["rpc.requests"] == 0
+        assert result.ops_rate() == 0.0
+
+    def test_on_scrape_callback(self):
+        registry = MetricsRegistry()
+        seen = []
+        scraper = Scraper(registry.snapshot, on_scrape=seen.append)
+        scraper.scrape_once(now=0.0)
+        scraper.scrape_once(now=1.0)
+        assert len(seen) == 1 and seen[0].t == 1.0
+
+    def test_background_thread(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("rpc.requests")
+        with Scraper(registry.snapshot, interval=0.01) as scraper:
+            counter.inc(5)
+            import time as _time
+
+            deadline = _time.monotonic() + 2.0
+            while scraper.scrapes < 3 and _time.monotonic() < deadline:
+                _time.sleep(0.005)
+        assert scraper.scrapes >= 3
+        assert scraper.store.get(OPS_RATE_KEY) is not None
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Scraper(MetricsRegistry().snapshot, interval=0.0)
+
+
+def test_merge_points_orders_by_time():
+    a = TimeSeries()
+    b = TimeSeries()
+    a.append(0.0, 1.0)
+    a.append(2.0, 3.0)
+    b.append(1.0, 2.0)
+    assert merge_points([a, b]) == [(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)]
+
+
+def test_summarize():
+    series = TimeSeries()
+    for v in (1.0, 3.0, 2.0):
+        series.append(v, v)
+    summary = summarize(series)
+    assert summary == {"count": 3, "min": 1.0, "max": 3.0, "mean": 2.0, "last": 2.0}
