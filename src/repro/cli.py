@@ -564,9 +564,22 @@ def _stats(args: argparse.Namespace, client: RLSClient, out) -> int:
     for section in ("lrc", "rli", "updates"):
         if section in stats:
             fields = "  ".join(
-                f"{k}={v}" for k, v in sorted(stats[section].items())
+                f"{k}={v}"
+                for k, v in sorted(stats[section].items())
+                if not isinstance(v, dict)
             )
             print(f"{section}: {fields}", file=out)
+    for name, health in sorted(
+        stats.get("updates", {}).get("targets", {}).items()
+    ):
+        status = "healthy" if health.get("healthy") else "UNHEALTHY"
+        line = (f"  target {name}: {status}  backlog={health.get('backlog', 0)}"
+                f"  retries={health.get('retries', 0)}")
+        if health.get("needs_full"):
+            line += "  needs_full"
+        if health.get("last_error"):
+            line += f"  last_error={health['last_error']}"
+        print(line, file=out)
     _format_metrics_summary(stats.get("metrics", {}), out)
     return 0
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Any, Sequence
 
 from repro.core.lrc import ObjType
+from repro.net.retry import RetryPolicy
 from repro.net.rpc import RPCClient
 from repro.net.transport import connect_local, connect_tcp
 
@@ -218,13 +219,39 @@ class RLSClient:
         self.close()
 
 
-def connect(name: str, credential: bytes | None = None) -> RLSClient:
-    """Connect to an in-process server endpoint by name."""
-    return RLSClient(RPCClient(connect_local(name, credential)))
+def connect(
+    name: str,
+    credential: bytes | None = None,
+    retry: RetryPolicy | None = None,
+) -> RLSClient:
+    """Connect to an in-process server endpoint by name.
+
+    With ``retry``, transport-level call failures reconnect to the
+    endpoint and retry with the policy's backoff.
+    """
+    reconnect = None
+    if retry is not None:
+        reconnect = lambda: connect_local(name, credential)  # noqa: E731
+    return RLSClient(
+        RPCClient(connect_local(name, credential), retry=retry, reconnect=reconnect)
+    )
 
 
 def connect_tcp_server(
-    host: str, port: int, credential: bytes | None = None
+    host: str,
+    port: int,
+    credential: bytes | None = None,
+    retry: RetryPolicy | None = None,
 ) -> RLSClient:
-    """Connect to a TCP server."""
-    return RLSClient(RPCClient(connect_tcp(host, port, credential)))
+    """Connect to a TCP server.
+
+    With ``retry``, both the initial connect and later calls are retried
+    with backoff; failed calls re-dial the server first.
+    """
+    channel = connect_tcp(host, port, credential, retry=retry)
+    reconnect = None
+    if retry is not None:
+        reconnect = lambda: connect_tcp(  # noqa: E731
+            host, port, credential, retry=retry
+        )
+    return RLSClient(RPCClient(channel, retry=retry, reconnect=reconnect))

@@ -19,6 +19,7 @@ from typing import Sequence
 from repro.core.client import RLSClient
 from repro.core.errors import MappingNotFoundError
 from repro.core.membership import StaticMembership
+from repro.net.retry import RetryPolicy
 
 
 @dataclass
@@ -46,14 +47,19 @@ class ReplicaDiscovery:
         self,
         membership: StaticMembership,
         rli_names: Sequence[str],
+        retry: RetryPolicy | None = None,
     ) -> None:
         if not rli_names:
             raise ValueError("at least one RLI is required")
         self.membership = membership
         self.rli_names = list(rli_names)
+        #: Optional retry policy for RLI/LRC connections and queries; a
+        #: briefly-flapping server then costs a backoff instead of being
+        #: misreported as unreachable / skipped.
+        self.retry = retry
 
     def _open(self, name: str) -> RLSClient:
-        return RLSClient(self.membership.connect(name))
+        return RLSClient(self.membership.connect(name, retry=self.retry))
 
     def candidate_lrcs(self, lfn: str) -> list[str]:
         """Union of LRC candidates across every reachable RLI."""

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from repro.core.errors import UpdateTargetError
 from repro.core.updates import RPCSink, UpdateSink
+from repro.net.retry import RetryPolicy
 from repro.net.rpc import RPCClient
 from repro.net.transport import connect_local, connect_tcp
 
@@ -61,30 +62,65 @@ class StaticMembership:
             raise UpdateTargetError(f"unknown RLS member: {name!r}")
         return address
 
-    def connect(self, name: str, credential: bytes | None = None) -> RPCClient:
-        """Open an RPC client to a member by name."""
-        address = self.lookup(name)
-        if address.kind == "local":
-            return RPCClient(connect_local(address.name, credential))
-        return RPCClient(connect_tcp(address.host, address.port, credential))
+    def connect(
+        self,
+        name: str,
+        credential: bytes | None = None,
+        retry: RetryPolicy | None = None,
+    ) -> RPCClient:
+        """Open an RPC client to a member by name.
 
-    def resolve_sink(self, name: str, credential: bytes | None = None) -> UpdateSink:
+        With ``retry``, transport failures re-dial the member (via a fresh
+        address lookup, so re-registration at a new port is picked up) and
+        retry the call with the policy's backoff.
+        """
+        address = self.lookup(name)
+        reconnect = None
+        if retry is not None:
+            reconnect = lambda: self._dial(self.lookup(name), credential, retry)  # noqa: E731
+        return RPCClient(
+            self._dial(address, credential, retry),
+            retry=retry,
+            reconnect=reconnect,
+        )
+
+    def _dial(
+        self,
+        address: MemberAddress,
+        credential: bytes | None,
+        retry: RetryPolicy | None = None,
+    ):
+        if address.kind == "local":
+            return connect_local(address.name, credential)
+        return connect_tcp(address.host, address.port, credential, retry=retry)
+
+    def resolve_sink(
+        self,
+        name: str,
+        credential: bytes | None = None,
+        retry: RetryPolicy | None = None,
+    ) -> UpdateSink:
         """Update sink for an RLI member (a fresh RPC connection)."""
         # Members registered only as in-process servers can also be reached
         # directly through the local transport registry even without an
         # explicit membership entry — see the module-level resolve_sink().
-        return RPCSink(self.connect(name, credential))
+        return RPCSink(self.connect(name, credential, retry=retry))
 
 
 #: Default process-wide membership, used when no explicit one is supplied.
 DEFAULT = StaticMembership()
 
 
-def resolve_sink(name: str) -> UpdateSink:
+def resolve_sink(name: str, retry: RetryPolicy | None = None) -> UpdateSink:
     """Resolve ``name`` via the default membership, falling back to the
     in-process transport registry (covers servers that never registered
     a membership entry explicitly)."""
     try:
-        return DEFAULT.resolve_sink(name)
+        return DEFAULT.resolve_sink(name, retry=retry)
     except UpdateTargetError:
-        return RPCSink(RPCClient(connect_local(name)))
+        reconnect = None
+        if retry is not None:
+            reconnect = lambda: connect_local(name)  # noqa: E731
+        return RPCSink(
+            RPCClient(connect_local(name), retry=retry, reconnect=reconnect)
+        )

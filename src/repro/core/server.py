@@ -332,6 +332,9 @@ class RLSServer:
                 "bloom": s.bloom_updates,
                 "names_sent": s.names_sent,
                 "bloom_bytes_sent": s.bytes_sent_bloom,
+                "errors": s.errors,
+                "retries": s.retries,
+                "targets": self.update_manager.target_health(),
             }
         stats["metrics"] = self.metrics.snapshot().to_dict()
         return stats

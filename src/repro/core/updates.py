@@ -17,20 +17,31 @@ The manager is transport-agnostic: it resolves RLI names to
 :class:`UpdateSink` objects, which may write straight into an in-process
 :class:`~repro.core.rli.ReplicaLocationIndex`, call through the RPC layer,
 or record traffic for tests.
+
+**Delivery is reliable per target.**  Every RLI has a
+:class:`TargetDeliveryState`: an incremental push that fails re-queues its
+changes for *that* target (newer changes always win over re-queued ones),
+a failed full/Bloom push marks the target unhealthy and due for a fresh
+full push, and :meth:`UpdateManager.tick` redelivers with the backoff of
+the policy's :class:`~repro.net.retry.RetryPolicy`.  Nothing is lost to a
+transient failure; the soft-state full refresh remains the backstop, not
+the only healer.
 """
 
 from __future__ import annotations
 
+import random
 import threading
 import time
-from dataclasses import dataclass
-from typing import Callable, Protocol, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Protocol, Sequence
 
 from repro.core.bloom import BloomParameters, CountingBloomFilter
 from repro.core.errors import UpdateTargetError
 from repro.core.lrc import LocalReplicaCatalog, RLITarget
 from repro.core.partition import PartitionRouter
 from repro.core.rli import ReplicaLocationIndex
+from repro.net.retry import RetryPolicy
 from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 
 
@@ -141,6 +152,15 @@ class UpdatePolicy:
     #: Off by default: sequential pushes match the measured v2.0.9 server;
     #: parallel fan-out helps fully-connected meshes (§6, ESG).
     parallel_updates: bool = False
+    #: Backoff schedule for per-target redelivery after a failed push.
+    #: ``max_attempts`` is deliberately ignored here — soft state never
+    #: gives up on a target; only the delay curve (base/multiplier/max/
+    #: jitter) shapes how quickly ``tick()`` re-tries it.
+    retry: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(
+            backoff_base=2.0, backoff_multiplier=2.0, backoff_max=120.0
+        )
+    )
 
 
 @dataclass
@@ -155,6 +175,43 @@ class UpdateStats:
     last_full_duration: float = 0.0
     last_bloom_duration: float = 0.0
     bloom_generation_time: float = 0.0
+    #: Failed push attempts (any flavour, any target).
+    errors: int = 0
+    #: Redelivery attempts made by ``tick()`` for unhealthy/backlogged targets.
+    retries: int = 0
+
+
+@dataclass
+class TargetDeliveryState:
+    """Per-RLI delivery bookkeeping: health, backlog, and retry schedule."""
+
+    name: str
+    healthy: bool = True
+    consecutive_failures: int = 0
+    #: Incremental changes accepted for this target but not yet delivered.
+    pending_added: set[str] = field(default_factory=set)
+    pending_removed: set[str] = field(default_factory=set)
+    #: A full/Bloom push failed: the next delivery must be a fresh full.
+    needs_full: bool = False
+    last_error: str | None = None
+    #: Clock time before which ``tick()`` will not retry this target.
+    next_retry_at: float = 0.0
+    #: Redelivery attempts made for this target.
+    retries: int = 0
+
+    @property
+    def backlog(self) -> int:
+        return len(self.pending_added) + len(self.pending_removed)
+
+    def to_dict(self) -> dict:
+        return {
+            "healthy": self.healthy,
+            "consecutive_failures": self.consecutive_failures,
+            "backlog": self.backlog,
+            "needs_full": self.needs_full,
+            "last_error": self.last_error,
+            "retries": self.retries,
+        }
 
 
 class UpdateManager:
@@ -167,11 +224,13 @@ class UpdateManager:
         policy: UpdatePolicy | None = None,
         clock: Callable[[], float] = time.monotonic,
         metrics: MetricsRegistry | None = None,
+        rng: Callable[[], float] = random.random,
     ) -> None:
         self.lrc = lrc
         self.sink_resolver = sink_resolver
         self.policy = policy or UpdatePolicy()
         self.clock = clock
+        self.rng = rng
         self.stats = UpdateStats()
         self._lock = threading.RLock()
         self._pending_added: set[str] = set()
@@ -179,6 +238,7 @@ class UpdateManager:
         self._last_immediate_flush = clock()
         self._last_full_update = clock()
         self._bloom: CountingBloomFilter | None = None
+        self._targets: dict[str, TargetDeliveryState] = {}
         registry = metrics if metrics is not None else NULL_REGISTRY
         self.metrics = registry
         self._m_full_duration = registry.histogram(
@@ -196,8 +256,19 @@ class UpdateManager:
             kind: registry.counter("updates.sent", kind=kind)
             for kind in ("full", "incremental", "bloom")
         }
+        self._m_errors = {
+            kind: registry.counter("updates.errors", kind=kind)
+            for kind in ("full", "incremental", "bloom")
+        }
+        self._m_retries = registry.counter("updates.retries")
         registry.register_gauge_fn(
             "updates.pending_changes", lambda: sum(self.pending_changes())
+        )
+        registry.register_gauge_fn(
+            "updates.retry_backlog", self._total_backlog
+        )
+        registry.register_gauge_fn(
+            "updates.targets_unhealthy", self._unhealthy_count
         )
         lrc.add_lfn_listener(self._on_lfn_change)
 
@@ -221,6 +292,95 @@ class UpdateManager:
     def pending_changes(self) -> tuple[int, int]:
         with self._lock:
             return len(self._pending_added), len(self._pending_removed)
+
+    # ------------------------------------------------------------------
+    # Per-target delivery state
+    # ------------------------------------------------------------------
+
+    def _state(self, name: str) -> TargetDeliveryState:
+        with self._lock:
+            state = self._targets.get(name)
+            created = state is None
+            if created:
+                state = self._targets[name] = TargetDeliveryState(name=name)
+        if created:
+            self.metrics.register_gauge_fn(
+                "updates.target_healthy",
+                lambda s=state: 1.0 if s.healthy else 0.0,
+                target=name,
+            )
+        return state
+
+    def _total_backlog(self) -> float:
+        with self._lock:
+            return float(sum(s.backlog for s in self._targets.values()))
+
+    def _unhealthy_count(self) -> float:
+        with self._lock:
+            return float(
+                sum(1 for s in self._targets.values() if not s.healthy)
+            )
+
+    def target_health(self) -> dict[str, dict]:
+        """Delivery health for every registered target (for admin stats)."""
+        with self._lock:
+            health = {
+                name: state.to_dict() for name, state in self._targets.items()
+            }
+        for tgt in self.lrc.rli_targets():
+            health.setdefault(tgt.name, TargetDeliveryState(tgt.name).to_dict())
+        return health
+
+    def _record_failure(
+        self,
+        state: TargetDeliveryState,
+        kind: str,
+        exc: BaseException,
+        needs_full: bool = False,
+    ) -> None:
+        with self._lock:
+            state.healthy = False
+            state.consecutive_failures += 1
+            state.last_error = f"{type(exc).__name__}: {exc}"
+            if needs_full:
+                state.needs_full = True
+            # Exponential per-target backoff; the attempt index is capped
+            # so long outages plateau at backoff_max rather than overflow.
+            attempt = min(state.consecutive_failures - 1, 16)
+            state.next_retry_at = self.clock() + self.policy.retry.backoff(
+                attempt, self.rng
+            )
+            self.stats.errors += 1
+        self._m_errors[kind].inc()
+
+    def _record_success(self, state: TargetDeliveryState) -> None:
+        with self._lock:
+            state.healthy = True
+            state.consecutive_failures = 0
+            state.last_error = None
+            state.next_retry_at = 0.0
+
+    def _merge_delta(
+        self,
+        state: TargetDeliveryState,
+        added: Iterable[str],
+        removed: Iterable[str],
+    ) -> None:
+        """Fold a fresh delta into a target's backlog; newer intents win.
+
+        An add supersedes a still-queued remove of the same LFN (and vice
+        versa) — the same collapse rule ``_on_lfn_change`` applies to the
+        global delta.  Because the backlog is merged *before* each send
+        and only drained on success, a failed push never clobbers changes
+        that arrived after it was queued.
+        """
+        with self._lock:
+            for lfn in added:
+                state.pending_removed.discard(lfn)
+                state.pending_added.add(lfn)
+            for lfn in removed:
+                state.pending_added.discard(lfn)
+                state.pending_removed.add(lfn)
 
     # ------------------------------------------------------------------
     # Bloom filter maintenance
@@ -270,7 +430,10 @@ class UpdateManager:
         """Push a full update to one target (or all); returns duration (s).
 
         Bloom-flagged targets get the packed filter snapshot; others get
-        the (possibly partition-filtered) complete LFN list.
+        the (possibly partition-filtered) complete LFN list.  A failing
+        target no longer aborts the fan-out: every target is attempted,
+        failures mark their target unhealthy (``tick()`` re-pushes them
+        later), and the first failure is re-raised once all pushes ran.
         """
         targets = [target] if target is not None else self.lrc.rli_targets()
         if not targets:
@@ -282,26 +445,24 @@ class UpdateManager:
             all_names = self.lrc.all_lfns()
 
         def push_one(tgt: RLITarget) -> None:
-            sink = self.sink_resolver(tgt.name)
-            if tgt.bloom:
-                self._send_bloom(sink, tgt, router)
-            else:
-                assert all_names is not None
-                names = router.filter_names(tgt, all_names)
-                sink.full_update(self.lrc.name, names)
-                with self._lock:
-                    self.stats.full_updates += 1
-                    self.stats.names_sent += len(names)
-                self._m_sent["full"].inc()
-                self._m_names_sent.inc(len(names))
+            self._push_full_to(tgt, router, all_names)
 
+        errors: list[BaseException] = []
         if self.policy.parallel_updates and len(targets) > 1:
-            self._push_parallel(targets, push_one)
+            try:
+                self._push_parallel(targets, push_one)
+            except Exception as exc:
+                errors.append(exc)
         else:
             for tgt in targets:
-                push_one(tgt)
+                try:
+                    push_one(tgt)
+                except Exception as exc:
+                    errors.append(exc)
         with self._lock:
-            # A full update subsumes any pending incremental changes.
+            # A full update subsumes any pending incremental changes;
+            # targets that missed it are flagged needs_full, so dropping
+            # the global delta loses nothing for them either.
             self._pending_added.clear()
             self._pending_removed.clear()
             self._last_full_update = self.clock()
@@ -309,7 +470,45 @@ class UpdateManager:
         elapsed = time.perf_counter() - start
         self.stats.last_full_duration = elapsed
         self._m_full_duration.observe(elapsed)
+        if errors:
+            raise errors[0]
         return elapsed
+
+    def _push_full_to(
+        self,
+        tgt: RLITarget,
+        router: PartitionRouter,
+        all_names: list[str] | None = None,
+    ) -> None:
+        """One target's share of a full update, with delivery bookkeeping."""
+        state = self._state(tgt.name)
+        try:
+            sink = self.sink_resolver(tgt.name)
+            if tgt.bloom:
+                self._send_bloom(sink, tgt, router)
+            else:
+                names = all_names
+                if names is None:
+                    names = self.lrc.all_lfns()
+                names = router.filter_names(tgt, names)
+                sink.full_update(self.lrc.name, names)
+                with self._lock:
+                    self.stats.full_updates += 1
+                    self.stats.names_sent += len(names)
+                self._m_sent["full"].inc()
+                self._m_names_sent.inc(len(names))
+        except Exception as exc:
+            self._record_failure(
+                state, "bloom" if tgt.bloom else "full", exc, needs_full=True
+            )
+            raise
+        with self._lock:
+            # The full push replaces the target's state wholesale: any
+            # backlog from earlier incremental failures is subsumed.
+            state.pending_added.clear()
+            state.pending_removed.clear()
+            state.needs_full = False
+        self._record_success(state)
 
     def _send_bloom(
         self, sink: UpdateSink, target: RLITarget, router: PartitionRouter
@@ -383,7 +582,12 @@ class UpdateManager:
         """Flush pending adds/removes to all non-Bloom targets (§3.3).
 
         Bloom targets receive a fresh filter snapshot instead, since their
-        RLI state is replaced wholesale.  Returns changes flushed.
+        RLI state is replaced wholesale.  Returns new changes flushed.
+
+        A sink failure does **not** raise and does **not** lose changes:
+        the undelivered delta stays in that target's backlog (newer
+        changes win over re-queued ones) and ``tick()`` redelivers it once
+        the target's backoff expires.
         """
         with self._lock:
             added = sorted(self._pending_added)
@@ -391,25 +595,70 @@ class UpdateManager:
             self._pending_added.clear()
             self._pending_removed.clear()
             self._last_immediate_flush = self.clock()
-        if not added and not removed:
+            have_backlog = any(s.backlog for s in self._targets.values())
+        if not added and not removed and not have_backlog:
             return 0
         targets = self.lrc.rli_targets()
         router = PartitionRouter(targets)
         for tgt in targets:
-            sink = self.sink_resolver(tgt.name)
             if tgt.bloom:
-                self._send_bloom(sink, tgt, router)
+                if not added and not removed:
+                    continue
+                state = self._state(tgt.name)
+                try:
+                    sink = self.sink_resolver(tgt.name)
+                    self._send_bloom(sink, tgt, router)
+                except Exception as exc:
+                    # The filter snapshot is wholesale state: nothing to
+                    # re-queue, but the target must get a fresh one.
+                    self._record_failure(state, "bloom", exc, needs_full=True)
+                    continue
+                self._record_success(state)
             else:
-                sink.incremental_update(
-                    self.lrc.name,
+                self._push_incremental_to(
+                    tgt,
                     router.filter_names(tgt, added),
                     router.filter_names(tgt, removed),
                 )
-                self.stats.incremental_updates += 1
-                self.stats.names_sent += len(added) + len(removed)
-                self._m_sent["incremental"].inc()
-                self._m_names_sent.inc(len(added) + len(removed))
         return len(added) + len(removed)
+
+    def _push_incremental_to(
+        self,
+        tgt: RLITarget,
+        added: Sequence[str],
+        removed: Sequence[str],
+    ) -> bool:
+        """Deliver backlog + new delta to one target; False on failure.
+
+        The target's backlog and the new delta are merged *before* the
+        send (newer intents win), so a crash between "clear pending" and
+        "sink delivered" can no longer drop changes: nothing leaves the
+        backlog until the sink call returns.
+        """
+        state = self._state(tgt.name)
+        self._merge_delta(state, added, removed)
+        with self._lock:
+            send_added = sorted(state.pending_added)
+            send_removed = sorted(state.pending_removed)
+        if not send_added and not send_removed:
+            return True
+        try:
+            sink = self.sink_resolver(tgt.name)
+            sink.incremental_update(self.lrc.name, send_added, send_removed)
+        except Exception as exc:
+            self._record_failure(state, "incremental", exc)
+            return False
+        with self._lock:
+            # Remove exactly what was delivered; changes that raced in
+            # during the send stay queued for the next flush.
+            state.pending_added.difference_update(send_added)
+            state.pending_removed.difference_update(send_removed)
+            self.stats.incremental_updates += 1
+            self.stats.names_sent += len(send_added) + len(send_removed)
+        self._m_sent["incremental"].inc()
+        self._m_names_sent.inc(len(send_added) + len(send_removed))
+        self._record_success(state)
+        return True
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -430,8 +679,50 @@ class UpdateManager:
                 due.append("incremental")
         return due
 
+    def retry_failed_deliveries(self) -> list[str]:
+        """Redeliver to targets whose backoff has expired.
+
+        Returns ``"retry:<target>"`` markers for every attempt made.  A
+        target flagged ``needs_full`` gets a fresh full/Bloom push; one
+        with only incremental backlog gets the backlog.  Failures re-arm
+        the target's backoff; nothing raises.
+        """
+        now = self.clock()
+        with self._lock:
+            candidates = [
+                state
+                for state in self._targets.values()
+                if (not state.healthy or state.needs_full or state.backlog)
+                and now >= state.next_retry_at
+            ]
+        if not candidates:
+            return []
+        targets = {tgt.name: tgt for tgt in self.lrc.rli_targets()}
+        router = PartitionRouter(list(targets.values()))
+        attempted: list[str] = []
+        for state in candidates:
+            tgt = targets.get(state.name)
+            if tgt is None:
+                # The RLI was unregistered; drop its delivery state.
+                with self._lock:
+                    self._targets.pop(state.name, None)
+                continue
+            with self._lock:
+                self.stats.retries += 1
+                state.retries += 1
+            self._m_retries.inc()
+            attempted.append(f"retry:{state.name}")
+            if state.needs_full or tgt.bloom:
+                try:
+                    self._push_full_to(tgt, router)
+                except Exception:
+                    continue  # recorded by _push_full_to; backoff re-armed
+            else:
+                self._push_incremental_to(tgt, (), ())
+        return attempted
+
     def tick(self) -> list[str]:
-        """Run any due pushes; returns what was performed."""
+        """Run any due pushes plus pending redeliveries; returns actions."""
         performed = []
         for action in self.due_actions():
             if action == "full":
@@ -439,6 +730,7 @@ class UpdateManager:
             else:
                 self.send_incremental_update()
             performed.append(action)
+        performed.extend(self.retry_failed_deliveries())
         return performed
 
 
@@ -450,6 +742,9 @@ class UpdateThread:
         self.poll_interval = poll_interval
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
+        #: Exceptions that escaped ``tick()`` (the daemon keeps running).
+        self.errors = 0
+        self.last_error: str | None = None
 
     def start(self) -> None:
         if self._thread is not None:
@@ -465,8 +760,18 @@ class UpdateThread:
         while not self._stop.wait(self.poll_interval):
             try:
                 self.manager.tick()
-            except Exception:  # pragma: no cover - keep the daemon alive
-                pass
+            except Exception as exc:
+                # Keep the daemon alive, but never silently: the error
+                # count and type feed the collector's pathology detectors.
+                self.errors += 1
+                self.last_error = f"{type(exc).__name__}: {exc}"
+                self.manager.metrics.counter(
+                    "updates.errors",
+                    kind="tick",
+                    error=type(exc).__name__,
+                ).inc()
+                with self.manager._lock:
+                    self.manager.stats.errors += 1
 
     def stop(self) -> None:
         self._stop.set()

@@ -15,6 +15,14 @@ from repro.net.errors import (
     TransportClosedError,
 )
 from repro.net.messages import Request, Response
+from repro.net.retry import (
+    DEFAULT_RETRY,
+    NO_RETRY,
+    RetryExhaustedError,
+    RetryPolicy,
+    is_retryable,
+    retry_call,
+)
 from repro.net.rpc import RPCClient, RPCServer
 from repro.net.transport import (
     LocalTransport,
@@ -24,7 +32,9 @@ from repro.net.transport import (
 )
 
 __all__ = [
+    "DEFAULT_RETRY",
     "LocalTransport",
+    "NO_RETRY",
     "NetError",
     "ProtocolError",
     "RPCClient",
@@ -32,10 +42,14 @@ __all__ = [
     "RemoteError",
     "Request",
     "Response",
+    "RetryExhaustedError",
+    "RetryPolicy",
     "TCPServerTransport",
     "TransportClosedError",
     "connect_local",
     "connect_tcp",
     "decode",
     "encode",
+    "is_retryable",
+    "retry_call",
 ]

@@ -1,0 +1,140 @@
+"""Retry policy: bounded attempts, per-call timeout, backoff with jitter.
+
+The soft-state design (§3.2–§3.5) tolerates *lost* updates — a later
+refresh heals the index — but a transient network failure should not have
+to wait for the next full update when a couple of quick retries would
+deliver the same bytes seconds later.  :class:`RetryPolicy` is the one
+shared description of "how hard to try": the RPC client, the TCP
+connector, and the update manager's per-target redelivery all consult it.
+
+Everything time-related is injectable (``sleep``, ``rng``) so tests assert
+exact backoff schedules with fake clocks instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from repro.net.errors import NetError, ProtocolError, RemoteError, TransportClosedError
+
+T = TypeVar("T")
+
+#: Exception types worth retrying: the request may never have reached the
+#: server (or the server vanished mid-call), so a later attempt can win.
+_RETRYABLE = (ConnectionError, TimeoutError, OSError, TransportClosedError)
+
+#: Exception types that must never be retried, even though they derive
+#: from a retryable base: the server *answered* (RemoteError) or spoke
+#: garbage (ProtocolError) — retrying would repeat a completed operation
+#: or re-parse the same bad bytes.
+_FATAL = (RemoteError, ProtocolError)
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """True when ``exc`` signals a transient transport-level failure."""
+    if isinstance(exc, _FATAL):
+        return False
+    return isinstance(exc, _RETRYABLE)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded-retry knobs shared by RPC calls, connects, and redelivery.
+
+    ``backoff(attempt)`` grows exponentially from ``backoff_base`` and is
+    capped at ``backoff_max``; ``jitter`` spreads each delay uniformly in
+    ``[delay * (1 - jitter), delay * (1 + jitter)]`` so a fleet of LRCs
+    retrying the same dead RLI does not stampede it in lockstep.
+    """
+
+    max_attempts: int = 3
+    #: Per-call timeout in seconds (socket timeout for TCP transports).
+    call_timeout: float | None = 10.0
+    backoff_base: float = 0.5
+    backoff_multiplier: float = 2.0
+    backoff_max: float = 30.0
+    jitter: float = 0.1
+
+    def backoff(
+        self, attempt: int, rng: Callable[[], float] | None = None
+    ) -> float:
+        """Delay in seconds before retry number ``attempt`` (0-based)."""
+        nominal = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_multiplier**attempt,
+        )
+        if self.jitter <= 0:
+            return nominal
+        roll = random.random() if rng is None else rng()
+        return nominal * (1.0 - self.jitter + 2.0 * self.jitter * roll)
+
+    def delays(
+        self, rng: Callable[[], float] | None = None
+    ) -> list[float]:
+        """The full backoff schedule (one delay between each attempt pair)."""
+        return [
+            self.backoff(attempt, rng)
+            for attempt in range(max(self.max_attempts - 1, 0))
+        ]
+
+
+#: A conservative default for soft-state delivery: three attempts, short
+#: backoff — anything still failing is left to the next scheduled update.
+DEFAULT_RETRY = RetryPolicy()
+
+#: No retries at all, for callers that want the policy plumbing (timeouts)
+#: without repeated attempts.
+NO_RETRY = RetryPolicy(max_attempts=1)
+
+
+class RetryExhaustedError(NetError):
+    """Every attempt allowed by the policy failed.
+
+    The final underlying failure is chained as ``__cause__`` and exposed
+    as ``last_error``.
+    """
+
+    def __init__(self, attempts: int, last_error: BaseException) -> None:
+        super().__init__(
+            f"{attempts} attempt(s) failed; last error: "
+            f"{type(last_error).__name__}: {last_error}"
+        )
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+def retry_call(
+    fn: Callable[[], T],
+    policy: RetryPolicy,
+    sleep: Callable[[float], None] = time.sleep,
+    rng: Callable[[], float] | None = None,
+    retryable: Callable[[BaseException], bool] = is_retryable,
+    on_retry: Callable[[int, BaseException], None] | None = None,
+) -> T:
+    """Call ``fn`` under ``policy``, backing off between attempts.
+
+    Non-retryable exceptions propagate immediately.  When every attempt
+    fails with a retryable error, the *last* error is re-raised (not
+    wrapped), so caller-visible exception types are unchanged by adding a
+    policy.  ``on_retry(attempt, exc)`` fires before each backoff sleep —
+    the hook the update manager uses to count ``updates.retries``.
+    """
+    attempts = max(policy.max_attempts, 1)
+    last: BaseException | None = None
+    for attempt in range(attempts):
+        try:
+            return fn()
+        except BaseException as exc:
+            if not retryable(exc):
+                raise
+            last = exc
+            if attempt + 1 >= attempts:
+                break
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            sleep(policy.backoff(attempt, rng))
+    assert last is not None
+    raise last

@@ -14,6 +14,7 @@ from typing import Any, Callable
 
 from repro.net.errors import RemoteError
 from repro.net.messages import Hello, Request, Response
+from repro.net.retry import RetryPolicy, is_retryable, retry_call
 from repro.net.transport import Channel
 from repro.obs import tracing
 from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
@@ -136,18 +137,70 @@ def register_error_type(exc_type: type[Exception]) -> type[Exception]:
 
 
 class RPCClient:
-    """Typed convenience wrapper over a :class:`Channel`."""
+    """Typed convenience wrapper over a :class:`Channel`.
 
-    def __init__(self, channel: Channel) -> None:
+    Parameters
+    ----------
+    retry:
+        Optional :class:`~repro.net.retry.RetryPolicy`.  Transport-level
+        failures (connection reset, timeout, closed channel) are retried
+        with backoff; server-side errors (``RemoteError``) never are — the
+        server answered, so a retry could repeat a completed mutation.
+    reconnect:
+        Optional factory returning a fresh :class:`Channel`.  Between
+        retry attempts the client replaces its channel through this —
+        necessary for TCP, where a failed socket stays dead.
+    sleep:
+        Injectable backoff sleeper (tests pass a recorder).
+    """
+
+    def __init__(
+        self,
+        channel: Channel,
+        retry: RetryPolicy | None = None,
+        reconnect: Callable[[], Channel] | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
         self.channel = channel
+        self.retry = retry
+        self.reconnect = reconnect
+        self._sleep = sleep
+        #: Transport-level retries performed over this client's lifetime.
+        self.retries = 0
+
+    def _request(self, request: Request) -> Response:
+        if self.retry is None:
+            return self.channel.request(request)
+
+        def on_retry(attempt: int, exc: BaseException) -> None:
+            self.retries += 1
+            if self.reconnect is not None:
+                try:
+                    self.channel.close()
+                except Exception:
+                    pass
+                try:
+                    self.channel = self.reconnect()
+                except Exception:
+                    # Leave the dead channel in place; the next attempt
+                    # fails fast and the loop backs off again.
+                    pass
+
+        return retry_call(
+            lambda: self.channel.request(request),
+            self.retry,
+            sleep=self._sleep,
+            retryable=is_retryable,
+            on_retry=on_retry,
+        )
 
     def call(self, method: str, *args: Any) -> Any:
         tracer = tracing.current_tracer()
         if tracer is None:
-            response = self.channel.request(Request(method, args))
+            response = self._request(Request(method, args))
         else:
             with tracer.span("rpc.call", method=method) as span:
-                response = self.channel.request(
+                response = self._request(
                     Request(method, args, trace=(span.trace_id, span.span_id))
                 )
         if response.ok:

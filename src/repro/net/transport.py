@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Any, Callable
 
 from repro.net.errors import ProtocolError, TransportClosedError
 from repro.net.messages import Hello, Request, Response, message_from_bytes
+from repro.net.retry import RetryPolicy, retry_call
 from repro.obs import tracing
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -201,6 +202,8 @@ class TCPServerTransport:
         self.host, self.port = self._listener.getsockname()[:2]
         self._closed = threading.Event()
         self._threads: list[threading.Thread] = []
+        self._conns: set[socket.socket] = set()
+        self._conns_lock = threading.Lock()
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name=f"rls-accept-{self.port}", daemon=True
         )
@@ -212,6 +215,14 @@ class TCPServerTransport:
                 conn, addr = self._listener.accept()
             except OSError:
                 return
+            with self._conns_lock:
+                if self._closed.is_set():
+                    conn.close()
+                    return
+                self._conns.add(conn)
+                # Reap finished handler threads so connection churn does
+                # not grow the list without bound.
+                self._threads = [t for t in self._threads if t.is_alive()]
             thread = threading.Thread(
                 target=self._serve_connection,
                 args=(conn, addr),
@@ -255,13 +266,47 @@ class TCPServerTransport:
             return
         finally:
             self._m_conns_active.dec()
+            with self._conns_lock:
+                self._conns.discard(conn)
 
-    def close(self) -> None:
+    def close(self, join_timeout: float = 5.0) -> None:
+        """Stop accepting, shut down live connections, join handlers."""
         self._closed.set()
+        # A thread blocked in accept() is not reliably interrupted by
+        # close() alone: shutdown() wakes it on Linux, and the self-connect
+        # poke covers platforms where shutdown() of a listener is a no-op.
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            host = "127.0.0.1" if self.host in ("0.0.0.0", "") else self.host
+            socket.create_connection((host, self.port), timeout=0.5).close()
+        except OSError:
+            pass
         try:
             self._listener.close()
         except OSError:  # pragma: no cover
             pass
+        with self._conns_lock:
+            live = list(self._conns)
+            self._conns.clear()
+            threads = list(self._threads)
+            self._threads = []
+        for conn in live:
+            # Unblock handler threads parked in recv(); close() alone
+            # does not interrupt a blocking read on every platform.
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._accept_thread.join(timeout=join_timeout)
+        for thread in threads:
+            thread.join(timeout=join_timeout)
 
 
 class TCPChannel(Channel):
@@ -296,18 +341,40 @@ def connect_tcp(
     port: int,
     credential: bytes | None = None,
     timeout: float = 10.0,
+    retry: RetryPolicy | None = None,
+    sleep: Callable[[float], None] = time.sleep,
 ) -> TCPChannel:
-    """Open a TCP channel and perform the Hello handshake."""
-    sock = socket.create_connection((host, port), timeout=timeout)
-    sock.settimeout(timeout)
-    _send_frame(sock, Hello(credential=credential).to_bytes())
-    reply = message_from_bytes(_recv_frame(sock))
-    if not isinstance(reply, Response):
-        sock.close()
-        raise ProtocolError("expected handshake Response")
-    if not reply.ok:
-        sock.close()
-        from repro.net.errors import RemoteError
+    """Open a TCP channel and perform the Hello handshake.
 
-        raise RemoteError(reply.error_type, reply.error_message)
-    return TCPChannel(sock)
+    With a :class:`~repro.net.retry.RetryPolicy`, connection establishment
+    (socket connect + handshake) is retried with backoff — the reconnect
+    path an LRC takes when its RLI restarts mid-deployment.  The policy's
+    ``call_timeout`` (when set) overrides ``timeout`` as the per-attempt
+    socket timeout.
+    """
+
+    def attempt() -> TCPChannel:
+        attempt_timeout = timeout
+        if retry is not None and retry.call_timeout is not None:
+            attempt_timeout = retry.call_timeout
+        sock = socket.create_connection((host, port), timeout=attempt_timeout)
+        sock.settimeout(attempt_timeout)
+        try:
+            _send_frame(sock, Hello(credential=credential).to_bytes())
+            reply = message_from_bytes(_recv_frame(sock))
+        except BaseException:
+            sock.close()
+            raise
+        if not isinstance(reply, Response):
+            sock.close()
+            raise ProtocolError("expected handshake Response")
+        if not reply.ok:
+            sock.close()
+            from repro.net.errors import RemoteError
+
+            raise RemoteError(reply.error_type, reply.error_message)
+        return TCPChannel(sock)
+
+    if retry is None:
+        return attempt()
+    return retry_call(attempt, retry, sleep=sleep)

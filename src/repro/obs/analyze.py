@@ -299,7 +299,7 @@ def compare_baseline(
 
 #: Substring routing: which detector looks at which series keys.
 _THROUGHPUT_MARKERS = ("ops:rate", "cluster.ops_rate", "add_rate")
-_QUEUE_MARKERS = ("queue_depth", "pending_changes", "inflight")
+_QUEUE_MARKERS = ("queue_depth", "pending_changes", "inflight", "retry_backlog")
 _STALENESS_MARKERS = ("staleness_age",)
 
 

@@ -168,16 +168,38 @@ class StalenessResult:
     ghost_fraction: float       # deleted names the RLI still advertised
     bytes_sent: float
     updates_sent: int
+    #: Pushes lost to injected faults (0 without a failure schedule).
+    updates_failed: int = 0
     #: Virtual-time trajectory of the run (probe-interval resolution):
     #: ``rli.staleness_age`` and the running ``probe.stale_fraction`` —
     #: detector-ready input for :func:`repro.obs.analyze.analyze_store`.
     store: SeriesStore = field(repr=False, default_factory=SeriesStore)
 
 
-def _update_proc(sim, lrc: SimLRC, rli: SimRLI, path, policy: SimPolicy, stats):
-    """LRC-side update scheduler, mirroring UpdateManager semantics."""
+def _update_proc(
+    sim, lrc: SimLRC, rli: SimRLI, path, policy: SimPolicy, stats, faults=None
+):
+    """LRC-side update scheduler, mirroring UpdateManager semantics.
 
-    def send(names_count: int, apply):
+    ``faults`` is an optional :class:`repro.testing.FailureSchedule`: one
+    slot is consumed per push, and a scheduled failure loses that push
+    *after* it crossed the wire (bytes still count).  Failure handling
+    mirrors the live manager: a lost incremental re-queues its delta
+    (newer catalog intents win), a lost full/Bloom flags ``needs_full`` so
+    the next cycle sends a fresh full instead of a delta.
+    """
+
+    def requeue(added, removed):
+        # Fold the undelivered delta back without clobbering newer
+        # intents; the authoritative catalog filters out stale ones.
+        for name in added:
+            if name not in lrc.pending_removed and name in lrc.names:
+                lrc.pending_added.add(name)
+        for name in removed:
+            if name not in lrc.pending_added and name not in lrc.names:
+                lrc.pending_removed.add(name)
+
+    def send(names_count: int, apply, on_fail=None):
         def proc():
             if policy.mode == "bloom":
                 size = names_count * policy.bloom_bits_per_entry / 8.0
@@ -188,6 +210,11 @@ def _update_proc(sim, lrc: SimLRC, rli: SimRLI, path, policy: SimPolicy, stats):
             stats["bytes"] += size
             stats["updates"] += 1
             yield sim.process(path.send(size))
+            if faults is not None and faults.next_outcome():
+                stats["failed"] = stats.get("failed", 0) + 1
+                if on_fail is not None:
+                    on_fail()
+                return
             yield rli.ingest.acquire()
             try:
                 yield sim.timeout(service)
@@ -197,15 +224,28 @@ def _update_proc(sim, lrc: SimLRC, rli: SimRLI, path, policy: SimPolicy, stats):
 
         return sim.process(proc())
 
+    state = {"needs_full": False}
+
+    def fail_full():
+        state["needs_full"] = True
+
     def scheduler():
         last_full = sim.now
         while True:
             if policy.mode == "immediate":
                 yield sim.timeout(policy.immediate_interval)
-                if sim.now - last_full >= policy.full_interval:
+                if (
+                    sim.now - last_full >= policy.full_interval
+                    or state["needs_full"]
+                ):
+                    state["needs_full"] = False
                     snapshot = set(lrc.names)
                     lrc.take_delta()
-                    yield send(len(snapshot), lambda s=snapshot: rli.apply_full(s))
+                    yield send(
+                        len(snapshot),
+                        lambda s=snapshot: rli.apply_full(s),
+                        on_fail=fail_full,
+                    )
                     last_full = sim.now
                 else:
                     added, removed = lrc.take_delta()
@@ -213,17 +253,24 @@ def _update_proc(sim, lrc: SimLRC, rli: SimRLI, path, policy: SimPolicy, stats):
                         yield send(
                             len(added) + len(removed),
                             lambda a=added, r=removed: rli.apply_delta(a, r),
+                            on_fail=lambda a=added, r=removed: requeue(a, r),
                         )
             elif policy.mode == "bloom":
                 yield sim.timeout(policy.immediate_interval)
                 snapshot = set(lrc.names)
                 lrc.take_delta()
-                yield send(len(snapshot), lambda s=snapshot: rli.apply_bloom(s))
+                yield send(
+                    len(snapshot), lambda s=snapshot: rli.apply_bloom(s)
+                )
             else:  # full-only
                 yield sim.timeout(policy.full_interval)
                 snapshot = set(lrc.names)
                 lrc.take_delta()
-                yield send(len(snapshot), lambda s=snapshot: rli.apply_full(s))
+                yield send(
+                    len(snapshot),
+                    lambda s=snapshot: rli.apply_full(s),
+                    on_fail=fail_full,
+                )
 
     return sim.process(scheduler())
 
@@ -237,12 +284,17 @@ def staleness_experiment(
     immediate_interval: float = 30.0,
     full_interval: float = 600.0,
     seed: int = 42,
+    faults=None,
 ) -> StalenessResult:
     """Measure RLI answer quality under churn for one update mode.
 
     A probe process samples one live name and one recently-deleted name
     every ``probe_interval``; the stale fraction counts RLI answers that
     disagree with the (authoritative) catalog.
+
+    ``faults`` (a :class:`repro.testing.FailureSchedule`) injects push
+    failures into the update path: failed deltas re-queue, failed fulls
+    re-send next cycle — measuring how flaky delivery degrades freshness.
     """
     sim = Simulator()
     rng = random.Random(seed)
@@ -254,8 +306,8 @@ def staleness_experiment(
     lrc = SimLRC(sim, "lrc0", catalog_size, churn_per_sec, rng)
     rli = SimRLI(sim, policy)
     path = NetworkPath(rtt=0.2e-3, link=SharedLink(sim, 100e6))
-    stats = {"bytes": 0.0, "updates": 0}
-    _update_proc(sim, lrc, rli, path, policy, stats)
+    stats = {"bytes": 0.0, "updates": 0, "failed": 0}
+    _update_proc(sim, lrc, rli, path, policy, stats, faults=faults)
     # Seed the index with an initial full update, applied instantly.
     rli.apply_full(lrc.names)
 
@@ -302,6 +354,7 @@ def staleness_experiment(
         ghost_fraction=counters["ghost"] / samples,
         bytes_sent=stats["bytes"],
         updates_sent=stats["updates"],
+        updates_failed=stats["failed"],
         store=store,
     )
 

@@ -1,0 +1,24 @@
+"""Fault injection for tests, experiments, and the simulator.
+
+One shared vocabulary of failure modes: a scriptable
+:class:`FailureSchedule` decides *when* to fail, and the
+:class:`FlakyChannel` / :class:`FlakySink` wrappers decide *where* —
+the RPC transport or the soft-state update path.  Unit tests, the
+integration suite, and :mod:`repro.sim.rls_sim` experiments all drive
+the same schedules, so a failure shape proven in a fast unit test is the
+same shape the simulator replays over hours of virtual time.
+"""
+
+from repro.testing.faults import (
+    FailureSchedule,
+    FaultInjected,
+    FlakyChannel,
+    FlakySink,
+)
+
+__all__ = [
+    "FailureSchedule",
+    "FaultInjected",
+    "FlakyChannel",
+    "FlakySink",
+]

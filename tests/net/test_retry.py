@@ -1,0 +1,229 @@
+"""Retry policy tests: backoff schedules, classification, client retries."""
+
+import socket
+
+import pytest
+
+from repro.net.errors import (
+    NetError,
+    ProtocolError,
+    RemoteError,
+    TransportClosedError,
+)
+from repro.net.messages import Request
+from repro.net.retry import (
+    DEFAULT_RETRY,
+    NO_RETRY,
+    RetryPolicy,
+    is_retryable,
+    retry_call,
+)
+from repro.net.rpc import RPCClient, RPCServer
+from repro.net.transport import LocalTransport, connect_tcp
+from repro.testing import FailureSchedule, FaultInjected, FlakyChannel
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConnectionError("reset"),
+            ConnectionRefusedError("refused"),
+            TimeoutError("slow"),
+            OSError("broken pipe"),
+            TransportClosedError("closed"),
+            FaultInjected("scripted"),
+        ],
+    )
+    def test_transient_errors_retryable(self, exc):
+        assert is_retryable(exc)
+
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            RemoteError("MappingExistsError", "exists"),
+            ProtocolError("bad frame"),
+            ValueError("not a net error"),
+            KeyError("nope"),
+        ],
+    )
+    def test_fatal_and_foreign_errors_not_retryable(self, exc):
+        # RemoteError means the server answered: retrying could repeat a
+        # completed mutation.  ProtocolError means garbage on the wire.
+        assert not is_retryable(exc)
+
+
+class TestBackoff:
+    def test_exponential_schedule_without_jitter(self):
+        policy = RetryPolicy(
+            max_attempts=5, backoff_base=0.5, backoff_multiplier=2.0,
+            backoff_max=30.0, jitter=0.0,
+        )
+        assert policy.delays() == [0.5, 1.0, 2.0, 4.0]
+
+    def test_backoff_capped_at_max(self):
+        policy = RetryPolicy(
+            backoff_base=1.0, backoff_multiplier=10.0, backoff_max=5.0,
+            jitter=0.0,
+        )
+        assert policy.backoff(0) == 1.0
+        assert policy.backoff(1) == 5.0
+        assert policy.backoff(4) == 5.0
+
+    def test_jitter_spreads_around_nominal(self):
+        policy = RetryPolicy(backoff_base=1.0, jitter=0.1)
+        assert policy.backoff(0, rng=lambda: 0.0) == pytest.approx(0.9)
+        assert policy.backoff(0, rng=lambda: 0.5) == pytest.approx(1.0)
+        assert policy.backoff(0, rng=lambda: 1.0) == pytest.approx(1.1)
+
+    def test_no_retry_policy_has_empty_schedule(self):
+        assert NO_RETRY.delays() == []
+
+
+class TestRetryCall:
+    def test_succeeds_after_transient_failures(self):
+        schedule = FailureSchedule.pattern("FF.")
+        sleeps = []
+
+        def flaky():
+            schedule.check("op")
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=3, backoff_base=0.5, jitter=0.0)
+        assert retry_call(flaky, policy, sleep=sleeps.append) == "ok"
+        assert sleeps == [0.5, 1.0]
+        assert schedule.failures == 2
+
+    def test_exhaustion_reraises_last_error_unwrapped(self):
+        policy = RetryPolicy(max_attempts=3, jitter=0.0)
+        sleeps = []
+
+        def dead():
+            raise ConnectionRefusedError("still down")
+
+        with pytest.raises(ConnectionRefusedError):
+            retry_call(dead, policy, sleep=sleeps.append)
+        assert len(sleeps) == 2  # backoffs between 3 attempts
+
+    def test_fatal_error_propagates_immediately(self):
+        calls = []
+
+        def answered():
+            calls.append(1)
+            raise RemoteError("SomeError", "server said no")
+
+        with pytest.raises(RemoteError):
+            retry_call(answered, DEFAULT_RETRY, sleep=lambda s: None)
+        assert len(calls) == 1
+
+    def test_on_retry_hook_sees_each_failure(self):
+        seen = []
+        schedule = FailureSchedule.fail_first(2)
+
+        def flaky():
+            schedule.check("op")
+            return 42
+
+        retry_call(
+            flaky,
+            RetryPolicy(max_attempts=3, jitter=0.0),
+            sleep=lambda s: None,
+            on_retry=lambda attempt, exc: seen.append((attempt, type(exc))),
+        )
+        assert seen == [(0, FaultInjected), (1, FaultInjected)]
+
+
+def _echo_server():
+    server = RPCServer()
+    server.register("echo", lambda ctx, args: args[0])
+    return server
+
+
+class TestRPCClientRetry:
+    def test_flaky_channel_retried_to_success(self):
+        transport = LocalTransport(_echo_server(), name=None)
+        schedule = FailureSchedule.pattern("F.")
+        sleeps = []
+        client = RPCClient(
+            FlakyChannel(transport.open_channel(), schedule),
+            retry=RetryPolicy(max_attempts=3, jitter=0.0),
+            sleep=sleeps.append,
+        )
+        assert client.call("echo", "hello") == "hello"
+        assert client.retries == 1
+        assert sleeps == [0.5]
+
+    def test_reply_lost_mode_also_retried(self):
+        transport = LocalTransport(_echo_server(), name=None)
+        schedule = FailureSchedule.pattern("F.")
+        client = RPCClient(
+            FlakyChannel(transport.open_channel(), schedule, fail_after=True),
+            retry=RetryPolicy(max_attempts=3, jitter=0.0),
+            sleep=lambda s: None,
+        )
+        # The first request reached the server, its reply was lost, and
+        # the retry delivered: the client must still get an answer.
+        assert client.call("echo", "x") == "x"
+
+    def test_reconnect_replaces_channel_between_attempts(self):
+        transport = LocalTransport(_echo_server(), name=None)
+
+        class DeadChannel:
+            def request(self, request: Request):
+                raise ConnectionResetError("peer vanished")
+
+            def close(self):
+                pass
+
+        client = RPCClient(
+            DeadChannel(),
+            retry=RetryPolicy(max_attempts=2, jitter=0.0),
+            reconnect=lambda: transport.open_channel(),
+            sleep=lambda s: None,
+        )
+        assert client.call("echo", "back") == "back"
+        assert not isinstance(client.channel, DeadChannel)
+
+    def test_no_retry_without_policy(self):
+        transport = LocalTransport(_echo_server(), name=None)
+        schedule = FailureSchedule.fail_first(1)
+        client = RPCClient(FlakyChannel(transport.open_channel(), schedule))
+        with pytest.raises(FaultInjected):
+            client.call("echo", "x")
+        assert client.retries == 0
+
+    def test_remote_error_never_retried(self):
+        server = RPCServer()
+        calls = []
+
+        def boom(ctx, args):
+            calls.append(1)
+            raise ValueError("handler failed")
+
+        server.register("boom", boom)
+        transport = LocalTransport(server, name=None)
+        client = RPCClient(
+            transport.open_channel(), retry=RetryPolicy(max_attempts=5, jitter=0.0),
+            sleep=lambda s: None,
+        )
+        with pytest.raises(NetError):
+            client.call("boom")
+        assert len(calls) == 1  # the handler ran once, not five times
+
+
+class TestConnectTCPRetry:
+    def test_refused_connect_retried_then_raises(self):
+        # Grab a port that is definitely closed.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        sleeps = []
+        policy = RetryPolicy(
+            max_attempts=3, call_timeout=0.5, backoff_base=0.1, jitter=0.0
+        )
+        with pytest.raises(OSError):
+            connect_tcp(
+                "127.0.0.1", port, retry=policy, sleep=sleeps.append
+            )
+        assert sleeps == [0.1, 0.2]

@@ -194,3 +194,58 @@ class TestTCPTransport:
             client.close()
         finally:
             tcp.close()
+
+
+class TestTCPLifecycle:
+    def test_close_joins_handler_threads(self):
+        server = make_server()
+        tcp = TCPServerTransport(server)
+        clients = [RPCClient(connect_tcp(tcp.host, tcp.port)) for _ in range(4)]
+        for i, client in enumerate(clients):
+            assert client.call("echo", i) == [i]
+        handler_threads = list(tcp._threads)
+        assert len(handler_threads) == 4
+        tcp.close()
+        # close() must reap every handler thread, even for connections
+        # whose clients never said goodbye.
+        assert all(not t.is_alive() for t in handler_threads)
+        assert not tcp._accept_thread.is_alive()
+        assert tcp._threads == []
+        assert tcp._conns == set()
+        for client in clients:
+            client.close()
+
+    def test_thread_list_reaped_under_connection_churn(self):
+        server = make_server()
+        tcp = TCPServerTransport(server)
+        try:
+            for i in range(30):
+                client = RPCClient(connect_tcp(tcp.host, tcp.port))
+                client.call("echo", i)
+                client.close()
+            # Give the handler threads a moment to notice the closes.
+            deadline = 5.0
+            import time
+
+            start = time.monotonic()
+            while (
+                sum(t.is_alive() for t in tcp._threads) > 1
+                and time.monotonic() - start < deadline
+            ):
+                time.sleep(0.01)
+            # One more accept reaps the dead entries from the list.
+            probe = RPCClient(connect_tcp(tcp.host, tcp.port))
+            probe.call("echo", "probe")
+            assert len(tcp._threads) < 30
+            probe.close()
+        finally:
+            tcp.close()
+
+    def test_calls_after_close_fail_cleanly(self):
+        server = make_server()
+        tcp = TCPServerTransport(server)
+        client = RPCClient(connect_tcp(tcp.host, tcp.port))
+        assert client.call("echo", 1) == [1]
+        tcp.close()
+        with pytest.raises((TransportClosedError, ConnectionError, OSError)):
+            client.call("echo", 2)

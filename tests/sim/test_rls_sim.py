@@ -134,3 +134,45 @@ class TestRecoveryExperiment:
         assert coverages[-1] >= 0.99
         # Rebuild is (weakly) monotone: coverage never decreases.
         assert all(b >= a - 1e-9 for a, b in zip(coverages, coverages[1:]))
+
+
+class TestFaultInjection:
+    def test_lossy_delivery_counts_failures(self):
+        from repro.testing import FailureSchedule
+
+        faults = FailureSchedule.pattern("F" * 5)  # first 5 pushes lost
+        result = staleness_experiment(
+            "immediate", catalog_size=500, churn_per_sec=1.0,
+            duration=1800.0, faults=faults,
+        )
+        assert result.updates_failed == 5
+        assert result.updates_sent > result.updates_failed
+
+    def test_failed_deltas_requeue_and_converge(self):
+        """A lossy update path must not lose changes permanently: once the
+        faults stop, the index converges just like the reliable manager."""
+        from repro.testing import FailureSchedule
+
+        clean = staleness_experiment(
+            "immediate", catalog_size=500, churn_per_sec=1.0, duration=3600.0,
+        )
+        lossy = staleness_experiment(
+            "immediate", catalog_size=500, churn_per_sec=1.0, duration=3600.0,
+            faults=FailureSchedule.pattern("FF.FF."),
+        )
+        assert lossy.updates_failed == 4
+        # Re-queued deltas are delivered on a later cycle, so answer
+        # quality degrades only modestly versus the fault-free run.
+        assert lossy.stale_fraction <= clean.stale_fraction + 0.05
+
+    def test_always_failing_full_only_goes_fully_stale(self):
+        from repro.testing import FailureSchedule
+
+        result = staleness_experiment(
+            "full-only", catalog_size=200, churn_per_sec=1.0,
+            duration=7200.0, full_interval=600.0,
+            faults=FailureSchedule.always(),
+        )
+        # Every push lost and entries time out: answers go bad.
+        assert result.updates_failed == result.updates_sent
+        assert result.stale_fraction > 0.2
