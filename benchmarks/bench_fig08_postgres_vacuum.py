@@ -74,7 +74,14 @@ def bench_fig08_sawtooth(pg_server, benchmark):
     for cycle in range(CYCLES):
         for trial in range(TRIALS_PER_CYCLE):
             rates.append(_trial_add_rate(lrc, ops))
-            dead_counts.append(server.engine.dead_tuples()["t_lfn"])
+            # Attribution via the public metrics surface: the engine
+            # exports dead-tuple counts as db.table.* gauges, so the
+            # sawtooth explanation needs no private engine access.
+            dead_counts.append(int(
+                server.metrics.snapshot().gauges[
+                    "db.table.dead_tuples{table=t_lfn}"
+                ]
+            ))
             t = float(len(rates))
             collector.scrape_once(now=t)
             collector.store.record("lrc.add_rate", t, rates[-1])
@@ -118,6 +125,7 @@ def bench_fig08_sawtooth(pg_server, benchmark):
             "trials_per_cycle": TRIALS_PER_CYCLE,
             "cycles": CYCLES,
             "dead_tuples": dead_counts,
+            "dead_tuples_source": "db.table.dead_tuples{table=t_lfn}",
         },
         nodes={
             name: collector.node_store(name).to_dict()

@@ -11,7 +11,12 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.common import measure_rate, record_series, scaled
+from benchmarks.common import (
+    measure_rate,
+    record_series,
+    scaled,
+    write_bench_artifact,
+)
 from repro.workload.driver import LoadDriver
 from repro.workload.scenarios import loaded_rli_server_bloom
 
@@ -89,6 +94,27 @@ def bench_fig10_bloom_query_rates(bloom_rli, benchmark):
                 "paper shape: 1bf ~= 10bf >> 100bf",
             ],
         )
+        from repro.obs.timeseries import SeriesStore
+
+        store = SeriesStore()
+        for nf in FILTER_COUNTS:
+            for c in CLIENT_COUNTS:
+                store.record(
+                    f"rli.bloom_query_rate{{filters={nf}}}",
+                    float(c),
+                    RESULTS[nf][c],
+                )
+        artifact = write_bench_artifact(
+            "fig10",
+            series=store.to_dict(),
+            meta={
+                "filter_counts": FILTER_COUNTS,
+                "client_counts": CLIENT_COUNTS,
+                "entries_per_filter": scaled(PAPER_ENTRIES_PER_FILTER),
+            },
+        )
+        print(f"wrote {artifact}")
+
         # Cross-series shape: 100 filters must be much slower than 1 filter.
         for c in CLIENT_COUNTS:
             assert RESULTS[100][c] < 0.5 * RESULTS[1][c]

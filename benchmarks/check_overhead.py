@@ -38,9 +38,12 @@ MAX_OVERHEAD_FRACTION = 0.05
 
 #: Upper bound on no-op hook invocations per lrc.add_mapping call:
 #: counter incs (LRC + WAL + queue gauge), tracing.active() checks in the
-#: engine/WAL, and the RPC-layer latency ``noop`` test.  Counted
-#: generously; overestimating only makes the check stricter.
-HOOKS_PER_ADD = 24
+#: engine/WAL, the RPC-layer latency ``noop`` test, plus the query-level
+#: observability hooks — per statement a cache hit/miss counter inc and a
+#: ``profiler.enabled`` check, per latch/WAL-lock acquisition a histogram
+#: ``noop`` check (an add touches t_lfn/t_pfn/t_map several times).
+#: Counted generously; overestimating only makes the check stricter.
+HOOKS_PER_ADD = 40
 
 ADDS = 3_000
 NOOP_CALLS = 200_000
@@ -71,6 +74,35 @@ def time_noop_hook(n: int) -> float:
         if active():
             pass
     return (time.perf_counter() - start) / (3 * n)
+
+
+#: Upper bound on disabled-profiler guards per lrc.add_mapping call: one
+#: ``profiler.enabled`` check per statement (an uncached add runs up to
+#: ~8 statements across t_lfn/t_pfn/t_map) plus one TimedLatch no-op
+#: acquire/release per table-latch and WAL-lock acquisition.
+PROFILER_GUARDS_PER_ADD = 24
+
+
+def time_profiler_guard(n: int) -> float:
+    """Seconds per disabled query-profiler guard.
+
+    The query-observability layer's whole disabled-path cost is (a) the
+    ``profiler.enabled`` attribute check in ``Database.execute`` and (b)
+    the ``hist.noop`` check inside a :class:`TimedLatch` acquire; measure
+    one of each per iteration, in isolation.
+    """
+    from repro.db.profiler import QueryProfiler, TimedLatch
+
+    profiler = QueryProfiler()
+    assert not profiler.enabled, "profiler must default to disabled"
+    latch = TimedLatch()
+    start = time.perf_counter()
+    for _ in range(n):
+        if profiler.enabled:
+            pass
+        with latch:
+            pass
+    return (time.perf_counter() - start) / (2 * n)
 
 
 SCRAPE_ROUNDS = 50
@@ -119,6 +151,22 @@ def main() -> int:
         print("FAIL: disabled instrumentation exceeds the overhead budget")
         return 1
     print("OK: disabled instrumentation is within the overhead budget")
+
+    # Query profiler: disabled by default on bare engines; its guards
+    # (enabled flag + latch noop checks) get their own budget line.
+    per_guard = time_profiler_guard(NOOP_CALLS)
+    guard_overhead = per_guard * PROFILER_GUARDS_PER_ADD
+    guard_fraction = guard_overhead / per_add
+    print(f"per profiler guard: {per_guard * 1e9:8.2f} ns")
+    print(
+        f"profiler overhead:  {guard_overhead * 1e6:8.3f} us per add "
+        f"({guard_fraction * 100:.3f}% of add; limit "
+        f"{MAX_OVERHEAD_FRACTION * 100:.0f}%)"
+    )
+    if guard_fraction >= MAX_OVERHEAD_FRACTION:
+        print("FAIL: disabled query profiler exceeds the overhead budget")
+        return 1
+    print("OK: disabled query profiler is within the overhead budget")
 
     # Background scraping: one scrape round per DEFAULT_INTERVAL steals
     # per_scrape/DEFAULT_INTERVAL of the core the add loop saturates.

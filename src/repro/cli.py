@@ -15,6 +15,8 @@ Subcommands mirror the operation classes of the paper's Table 1::
     rls stats   host:39281                         # live metrics summary
     rls stats   host:39281 --watch 2               # re-scrape every 2s
     rls trace   --server host:39281                # tail-retained spans
+    rls slowlog --server host:39281                # slow/error statements
+    rls explain mysite-dsn "SELECT ... WHERE ..."  # EXPLAIN ANALYZE a query
     rls top     --servers a:39281,b:39282,r:39283  # live cluster rates
     rls workload --server host:39281 --op query --seed 7
 
@@ -149,6 +151,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="raw JSON payload instead of a table"
     )
 
+    slowlog = sub.add_parser(
+        "slowlog", help="tail-retained slow/error SQL statements"
+    )
+    slowlog.add_argument("--server", required=True)
+    slowlog.add_argument("--limit", type=int, default=20)
+    slowlog.add_argument(
+        "--json", action="store_true", help="raw JSON payload instead of a table"
+    )
+    slowlog.add_argument(
+        "--plans", action="store_true",
+        help="also print each statement's recorded operator plan",
+    )
+
+    explain = sub.add_parser(
+        "explain",
+        help="run EXPLAIN ANALYZE against a local engine (by DSN)",
+    )
+    explain.add_argument("dsn", help="registered data source name")
+    explain.add_argument("sql", help="statement to explain (SELECT/UPDATE/DELETE)")
+    explain.add_argument(
+        "--static",
+        action="store_true",
+        help="plan only (plain EXPLAIN) — do not execute the statement",
+    )
+
     top = sub.add_parser(
         "top", help="live cluster view: per-node and cluster operation rates"
     )
@@ -239,6 +266,11 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
     if args.command == "top":
         return _top(args, out)
 
+    if args.command == "explain":
+        # Takes a DSN, not a server endpoint: EXPLAIN runs inside the
+        # engine's process, where the registered data sources live.
+        return _explain(args, out)
+
     client = _open_client(args.server)
     try:
         return _dispatch(args, client, out)
@@ -279,6 +311,8 @@ def _dispatch(args: argparse.Namespace, client: RLSClient, out) -> int:
         return _stats(args, client, out)
     elif args.command == "trace":
         return _trace(args, client, out)
+    elif args.command == "slowlog":
+        return _slowlog(args, client, out)
     elif args.command == "workload":
         return _workload(args, client, out)
     return 0
@@ -488,6 +522,60 @@ def _trace(args: argparse.Namespace, client: RLSClient, out) -> int:
             f"{span_dict.get('name', '?'):<20} {reason:<16} {tags}",
             file=out,
         )
+    return 0
+
+
+def _explain(args: argparse.Namespace, out) -> int:
+    from repro.db import odbc
+
+    sql = args.sql.strip().rstrip(";")
+    if sql.split(None, 1)[0].upper() != "EXPLAIN":
+        prefix = "EXPLAIN " if args.static else "EXPLAIN ANALYZE "
+        sql = prefix + sql
+    connection = odbc.connect(args.dsn)
+    try:
+        for row in connection.execute(sql):
+            print(row[0], file=out)
+    finally:
+        connection.close()
+    return 0
+
+
+def _slowlog(args: argparse.Namespace, client: RLSClient, out) -> int:
+    payload = client.slow_queries(limit=args.limit)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+        return 0
+    log_stats = payload.get("stats", {})
+    state = "" if payload.get("enabled") else " (profiling disabled)"
+    print(
+        f"query log{state}: {log_stats.get('retained', 0)} retained of "
+        f"{log_stats.get('offered', 0)} offered "
+        f"(slow threshold {log_stats.get('slow_threshold', 0.0):g}s)",
+        file=out,
+    )
+    queries = payload.get("queries", [])
+    if not queries:
+        print("no retained statements", file=out)
+        return 0
+    for entry in queries:
+        error = entry.get("error")
+        reason = f"ERROR:{error}" if error else "slow"
+        span = entry.get("span_id") or "-"
+        print(
+            f"{entry.get('duration', 0.0) * 1e3:10.3f}ms  "
+            f"{entry.get('statement_class', '?'):<18} "
+            f"rows={entry.get('rows_examined', 0)}/"
+            f"{entry.get('rows_returned', 0)} "
+            f"dead={entry.get('dead_index_hits', 0)} "
+            f"span={span}  {entry.get('sql', '')}",
+            file=out,
+        )
+        if args.plans:
+            from repro.db.profiler import OpStats
+
+            for op in entry.get("plan", []):
+                print(f"    {OpStats(**op).render()}", file=out)
     return 0
 
 

@@ -192,6 +192,15 @@ class RLSClient:
         """
         return self.rpc.call("admin_traces", limit)
 
+    def slow_queries(self, limit: int = 50) -> dict[str, Any]:
+        """Tail-retained slow/error statements from the engine's query log.
+
+        Returns ``{"enabled": bool, "stats": {...}, "queries": [...]}``;
+        ``enabled`` is False when the server runs with query profiling
+        disabled.
+        """
+        return self.rpc.call("admin_slow_queries", limit)
+
     def trigger_full_update(self) -> float:
         """Force an immediate full soft-state update; returns duration (s)."""
         return self.rpc.call("admin_trigger_full_update")

@@ -62,6 +62,14 @@ class ServerConfig:
     tcp: bool = False
     tcp_host: str = "127.0.0.1"
     tcp_port: int = 0  # 0 = ephemeral
+    #: Record per-statement query profiles into the engine's slow-query
+    #: log (``admin_slow_queries`` / ``rls slowlog``).
+    profile_queries: bool = True
+    #: Statements at or above this duration (seconds) are retained as
+    #: "slow" and counted in ``db.slow_statements``.
+    slow_query_threshold: float = 0.050
+    #: Capacity of the slow/error statement ring kept per engine.
+    query_log_capacity: int = 256
 
     def __post_init__(self) -> None:
         self.backend = Backend.parse(self.backend)

@@ -62,6 +62,11 @@ class RLSServer:
                 sync_latency=self.config.sync_latency,
                 metrics=self.metrics,
             )
+        self.engine.profiler.configure(
+            enabled=self.config.profile_queries,
+            slow_threshold=self.config.slow_query_threshold,
+            capacity=self.config.query_log_capacity,
+        )
         self.dsn = f"{self.config.name}-dsn"
         register_dsn(self.dsn, self.engine)
         self.connection = Connection(self.engine, self.dsn)
@@ -264,6 +269,7 @@ class RLSServer:
         r("admin_metrics", guarded(admin, lambda: self.metrics.snapshot().to_dict()))
         r("admin_metrics_text", guarded(admin, lambda: self.metrics.render_text()))
         r("admin_traces", guarded(admin, self._traces))
+        r("admin_slow_queries", guarded(admin, self._slow_queries))
         r("admin_trigger_full_update", guarded(admin, self._trigger_full_update))
         r("admin_trigger_incremental_update", guarded(admin, self._trigger_incremental))
         r("admin_expire_once", guarded(admin, lambda: self._need_rli().expire_once()))
@@ -298,6 +304,19 @@ class RLSServer:
             return {"enabled": False, "stats": {}, "spans": []}
         payload = sink.to_dict(limit=limit)
         payload["enabled"] = True
+        return payload
+
+    def _slow_queries(self, limit: int = 50) -> dict[str, Any]:
+        """Tail-retained slow/error statements from the engine's query log.
+
+        Profiling is a per-server knob (``ServerConfig.profile_queries``,
+        on by default); when disabled this reports ``enabled: False``
+        with whatever the log last retained, so ``rls slowlog`` degrades
+        gracefully instead of failing.
+        """
+        profiler = self.engine.profiler
+        payload = profiler.log.to_dict(limit=limit)
+        payload["enabled"] = profiler.enabled
         return payload
 
     def _stats(self) -> dict[str, Any]:

@@ -10,11 +10,13 @@ policy.
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from typing import Any, Sequence
 
 from repro.db.errors import NoSuchTableError, TableExistsError
+from repro.db.profiler import QueryProfile, QueryProfiler
 from repro.db.schema import TableSchema
-from repro.db.table import Table
+from repro.db.table import Table, TableStats
 from repro.db.wal import (
     OP_DELETE,
     OP_INSERT,
@@ -22,6 +24,12 @@ from repro.db.wal import (
     WriteAheadLog,
 )
 from repro.obs import tracing
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+
+#: Default bound on the parsed-statement LRU cache.  The RLS issues a
+#: small fixed statement set; user SQL with inlined literals is unique
+#: per call and must not grow the cache without bound.
+DEFAULT_STATEMENT_CACHE_SIZE = 512
 
 
 class Database:
@@ -39,6 +47,15 @@ class Database:
     eager_index_cleanup:
         Storage flavour passed through to tables; see
         :class:`repro.db.table.Table`.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`.  When
+        present, tables export ``db.table.*{table=...}`` gauges and
+        ``db.latch_wait{table=...}`` histograms, and the statement cache
+        counts hits/misses.
+    profiler:
+        Optional :class:`~repro.db.profiler.QueryProfiler` (mainly for
+        clock injection in tests); one is built against ``metrics`` by
+        default, disabled until something enables it.
     """
 
     flavor = "generic"
@@ -49,14 +66,25 @@ class Database:
         wal: WriteAheadLog | None = None,
         eager_index_cleanup: bool = True,
         dead_hit_cost: float = 0.0,
+        metrics: MetricsRegistry | None = None,
+        profiler: QueryProfiler | None = None,
+        statement_cache_size: int = DEFAULT_STATEMENT_CACHE_SIZE,
     ) -> None:
         self.name = name
         self.wal = wal
         self.eager_index_cleanup = eager_index_cleanup
         self.dead_hit_cost = dead_hit_cost
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.profiler = (
+            profiler if profiler is not None
+            else QueryProfiler(metrics=self.metrics)
+        )
         self._tables: dict[str, Table] = {}
         self._ddl_lock = threading.RLock()
-        self._statement_cache: dict[str, Any] = {}
+        self._statement_cache: "OrderedDict[str, Any]" = OrderedDict()
+        self._statement_cache_size = statement_cache_size
+        self._m_cache_hits = self.metrics.counter("db.stmt_cache_hits")
+        self._m_cache_misses = self.metrics.counter("db.stmt_cache_misses")
         self._executor: Any = None  # built lazily to avoid import cycle
 
     # ------------------------------------------------------------------
@@ -72,9 +100,36 @@ class Database:
                 schema,
                 eager_index_cleanup=self.eager_index_cleanup,
                 dead_hit_cost=self.dead_hit_cost,
+                metrics=self.metrics,
             )
             self._tables[key] = table
+            self._register_table_metrics(table)
             return table
+
+    def _register_table_metrics(self, table: Table) -> None:
+        """Export TableStats and tuple counts as ``db.table.*{table=...}``.
+
+        Gauge callbacks are sampled only at snapshot time, so the table
+        hot path pays nothing.  The stats fields are monotonic counters,
+        but gauge-fn sampling is the registry's only pull mechanism; the
+        collector still sees correct interval deltas.
+        """
+        registry = self.metrics
+        name = table.schema.name
+        registry.register_gauge_fn(
+            "db.table.live_tuples", lambda t=table: float(t.row_count),
+            table=name,
+        )
+        registry.register_gauge_fn(
+            "db.table.dead_tuples", lambda t=table: float(t.dead_tuple_count),
+            table=name,
+        )
+        for field in TableStats.__slots__:
+            registry.register_gauge_fn(
+                f"db.table.{field}",
+                lambda s=table.stats, f=field: float(getattr(s, f)),
+                table=name,
+            )
 
     def drop_table(self, name: str) -> None:
         with self._ddl_lock:
@@ -129,19 +184,67 @@ class Database:
         from repro.db.sql.executor import Executor
         from repro.db.sql.parser import parse
 
-        stmt = self._statement_cache.get(sql)
+        cache = self._statement_cache
+        stmt = cache.get(sql)
         if stmt is None:
+            self._m_cache_misses.inc()
             stmt = parse(sql)
-            # Unbounded growth guard: the RLS issues a small fixed set of
-            # statements, but user SQL could be unique per call.
-            if len(self._statement_cache) < 4096:
-                self._statement_cache[sql] = stmt
+            cache[sql] = stmt
+            # LRU bound: parameter-inlined user SQL is unique per call
+            # and must not grow the cache forever.
+            if len(cache) > self._statement_cache_size:
+                cache.popitem(last=False)
+        else:
+            self._m_cache_hits.inc()
+            cache.move_to_end(sql)
         if self._executor is None:
             self._executor = Executor(self)
+        profiler = self.profiler
+        if profiler.enabled:
+            return self._execute_profiled(profiler, sql, stmt, list(params))
         if not tracing.active():
             return self._executor.execute(stmt, list(params))
         with tracing.span("sql.execute", statement=type(stmt).__name__):
             return self._executor.execute(stmt, list(params))
+
+    def _execute_profiled(
+        self,
+        profiler: QueryProfiler,
+        sql: str,
+        stmt: Any,
+        params: list[Any],
+    ) -> "ResultSet":
+        """Run one statement under a :class:`QueryProfile`.
+
+        The enclosing trace context (the server's ``rpc.handle`` span
+        when called from a request) is captured *before* opening the
+        ``sql.execute`` child span, so a retained slow statement links
+        back to the RPC that issued it.
+        """
+        trace = tracing.context()
+        profile = QueryProfile(clock=profiler.clock)
+        start = profiler.clock()
+        try:
+            if tracing.active():
+                with tracing.span(
+                    "sql.execute", statement=type(stmt).__name__
+                ):
+                    result = self._executor.execute(stmt, params, profile)
+            else:
+                result = self._executor.execute(stmt, params, profile)
+        except Exception as exc:
+            profile.duration = profiler.clock() - start
+            profiler.record(
+                sql, stmt, profile, profile.duration,
+                error=f"{type(exc).__name__}: {exc}", trace=trace,
+            )
+            raise
+        profile.duration = profiler.clock() - start
+        profile.rows_returned = (
+            len(result.rows) if result.rows else result.rowcount
+        )
+        profiler.record(sql, stmt, profile, profile.duration, trace=trace)
+        return result
 
     # ------------------------------------------------------------------
     # Durability

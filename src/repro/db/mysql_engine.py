@@ -45,7 +45,9 @@ class MySQLEngine(Database):
             flush_interval=flush_interval,
             metrics=metrics,
         )
-        super().__init__(name=name, wal=wal, eager_index_cleanup=True)
+        super().__init__(
+            name=name, wal=wal, eager_index_cleanup=True, metrics=metrics
+        )
 
     @property
     def flush_on_commit(self) -> bool:

@@ -55,6 +55,7 @@ class PostgresEngine(Database):
             wal=wal,
             eager_index_cleanup=False,
             dead_hit_cost=dead_hit_cost,
+            metrics=metrics,
         )
 
     def vacuum(self, table: str | None = None) -> int:

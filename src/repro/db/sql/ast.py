@@ -174,9 +174,15 @@ class Vacuum:
 
 @dataclass(frozen=True)
 class Explain:
-    """``EXPLAIN <select|update|delete>`` — describe the access plan."""
+    """``EXPLAIN [ANALYZE] <select|update|delete>``.
+
+    Plain EXPLAIN describes the access plan without executing; with
+    ``analyze`` the statement actually runs (PostgreSQL semantics) and
+    the plan reports actual rows, dead-index hits and operator timings.
+    """
 
     statement: Any
+    analyze: bool = False
 
 
 Statement = (

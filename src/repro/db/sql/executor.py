@@ -6,16 +6,26 @@ The executor does simple but effective access-path selection:
   lookups (the hot path for every RLS operation);
 * ``LIKE 'prefix%'`` predicates use an ordered-index prefix scan when one
   exists (RLS wildcard queries);
+* ``IN (...)`` lists over a hash-indexed column probe the index once per
+  distinct key (RLS bulk queries);
 * joins run as nested loops, probing the inner table through a hash index
   on the join key when available (the LFN→map→PFN three-way join).
 
 Everything else falls back to a scan + filter, which is fine for the small
 administrative tables (``t_rli``, ``t_rlipartition``).
+
+Every DML path optionally threads a
+:class:`~repro.db.profiler.QueryProfile` through execution, recording the
+chosen access path, rows examined vs. returned, dead-index hits and
+per-operator wall time — the data behind ``EXPLAIN ANALYZE`` and the
+slow-query log.  With no profile the extra cost is a handful of
+``is None`` checks.
 """
 
 from __future__ import annotations
 
 import re
+import time
 from typing import Any, Iterable
 
 from repro.db.errors import (
@@ -23,10 +33,22 @@ from repro.db.errors import (
     NoSuchColumnError,
     SQLSyntaxError,
 )
+from repro.db.profiler import QueryProfile
 from repro.db.schema import Column, TableSchema
 from repro.db.sql import ast
 from repro.db.table import Table
 from repro.db.types import type_from_sql
+
+
+class _SelectProf:
+    """Per-SELECT profiling state shared across the join recursion."""
+
+    __slots__ = ("profile", "join_ops", "filter_op")
+
+    def __init__(self, profile: QueryProfile) -> None:
+        self.profile = profile
+        self.join_ops: dict[str, Any] = {}
+        self.filter_op: Any = None
 
 
 class Executor:
@@ -37,19 +59,24 @@ class Executor:
 
     # ------------------------------------------------------------------
 
-    def execute(self, stmt: ast.Statement, params: list[Any]) -> Any:
+    def execute(
+        self,
+        stmt: ast.Statement,
+        params: list[Any],
+        profile: QueryProfile | None = None,
+    ) -> Any:
         from repro.db.engine import ResultSet
 
         if isinstance(stmt, ast.Select):
-            cols, rows = self._select(stmt, params)
+            cols, rows = self._select(stmt, params, profile)
             return ResultSet(cols, rows, len(rows))
         if isinstance(stmt, ast.Insert):
-            count, lastrowid = self._insert(stmt, params)
+            count, lastrowid = self._insert(stmt, params, profile)
             return ResultSet([], [], count, lastrowid)
         if isinstance(stmt, ast.Update):
-            return ResultSet([], [], self._update(stmt, params))
+            return ResultSet([], [], self._update(stmt, params, profile))
         if isinstance(stmt, ast.Delete):
-            return ResultSet([], [], self._delete(stmt, params))
+            return ResultSet([], [], self._delete(stmt, params, profile))
         if isinstance(stmt, ast.CreateTable):
             self._create_table(stmt)
             return ResultSet([], [], 0)
@@ -62,7 +89,11 @@ class Executor:
         if isinstance(stmt, ast.Vacuum):
             return ResultSet([], [], self._vacuum(stmt))
         if isinstance(stmt, ast.Explain):
-            rows = [(line,) for line in self._explain(stmt.statement, params)]
+            if stmt.analyze:
+                lines = self._explain_analyze(stmt.statement, params)
+            else:
+                lines = self._explain(stmt.statement, params)
+            rows = [(line,) for line in lines]
             return ResultSet(["plan"], rows, len(rows))
         raise DBError(f"unsupported statement type: {type(stmt).__name__}")
 
@@ -109,7 +140,12 @@ class Executor:
     # DML
     # ------------------------------------------------------------------
 
-    def _insert(self, stmt: ast.Insert, params: list[Any]) -> tuple[int, int | None]:
+    def _insert(
+        self,
+        stmt: ast.Insert,
+        params: list[Any],
+        profile: QueryProfile | None = None,
+    ) -> tuple[int, int | None]:
         lastrowid: int | None = None
         table = self.db.table(stmt.table)
         autoinc_pos = next(
@@ -120,6 +156,7 @@ class Executor:
             ),
             None,
         )
+        start = profile.clock() if profile is not None else 0.0
         count = 0
         for row_exprs in stmt.rows:
             values = {
@@ -130,12 +167,25 @@ class Executor:
             if autoinc_pos is not None:
                 lastrowid = row[autoinc_pos]
             count += 1
+        if profile is not None:
+            profile.add_op(
+                "insert",
+                table.schema.name,
+                rows_returned=count,
+                elapsed=profile.clock() - start,
+            )
         return count, lastrowid
 
-    def _update(self, stmt: ast.Update, params: list[Any]) -> int:
+    def _update(
+        self,
+        stmt: ast.Update,
+        params: list[Any],
+        profile: QueryProfile | None = None,
+    ) -> int:
         table = self.db.table(stmt.table)
-        matches = self._single_table_matches(table, stmt.where, params)
+        matches = self._single_table_matches(table, stmt.where, params, profile)
         changes_exprs = stmt.assignments
+        start = profile.clock() if profile is not None else 0.0
         count = 0
         for rid, _row in matches:
             changes = {
@@ -143,32 +193,68 @@ class Executor:
             }
             self.db.update_row(stmt.table, rid, changes)
             count += 1
+        if profile is not None:
+            profile.add_op(
+                "update",
+                table.schema.name,
+                rows_returned=count,
+                elapsed=profile.clock() - start,
+            )
         return count
 
-    def _delete(self, stmt: ast.Delete, params: list[Any]) -> int:
+    def _delete(
+        self,
+        stmt: ast.Delete,
+        params: list[Any],
+        profile: QueryProfile | None = None,
+    ) -> int:
         table = self.db.table(stmt.table)
-        matches = self._single_table_matches(table, stmt.where, params)
+        matches = self._single_table_matches(table, stmt.where, params, profile)
+        start = profile.clock() if profile is not None else 0.0
         count = 0
         for rid, _row in matches:
             self.db.delete_row(stmt.table, rid)
             count += 1
+        if profile is not None:
+            profile.add_op(
+                "delete",
+                table.schema.name,
+                rows_returned=count,
+                elapsed=profile.clock() - start,
+            )
         return count
 
     def _single_table_matches(
-        self, table: Table, where: Any, params: list[Any]
+        self,
+        table: Table,
+        where: Any,
+        params: list[Any],
+        profile: QueryProfile | None = None,
     ) -> list[tuple[int, list[Any]]]:
         """Candidate (rid, row) pairs for UPDATE/DELETE, index-accelerated."""
         binding = table.schema.name.lower()
         candidates, residual, _plan = self._access_path(
-            table, binding, where, params
+            table, binding, where, params, profile
         )
         if residual is None:
             return list(candidates)
+        filter_op = None
+        if profile is not None:
+            filter_op = profile.add_op(
+                "filter",
+                "residual WHERE re-checked per row",
+                rows_examined=0,
+                rows_returned=0,
+            )
         env = _Env({binding: table.schema})
         out = []
         for rid, row in candidates:
+            if filter_op is not None:
+                filter_op.rows_examined += 1
             env.set_row(binding, row)
             if _truthy(_eval(residual, env, params)):
+                if filter_op is not None:
+                    filter_op.rows_returned += 1
                 out.append((rid, row))
         return out
 
@@ -177,7 +263,10 @@ class Executor:
     # ------------------------------------------------------------------
 
     def _select(
-        self, stmt: ast.Select, params: list[Any]
+        self,
+        stmt: ast.Select,
+        params: list[Any],
+        profile: QueryProfile | None = None,
     ) -> tuple[list[str], list[tuple]]:
         base_table = self.db.table(stmt.table.name)
         bindings: dict[str, TableSchema] = {stmt.table.binding: base_table.schema}
@@ -194,8 +283,29 @@ class Executor:
 
         # Split WHERE into conjuncts usable by the driving table vs. residual.
         candidates, residual, _plan = self._access_path(
-            base_table, stmt.table.binding, stmt.where, params
+            base_table, stmt.table.binding, stmt.where, params, profile
         )
+
+        prof: _SelectProf | None = None
+        if profile is not None:
+            prof = _SelectProf(profile)
+            for binding, jt, on in join_tables:
+                probe = self._join_probe_text(jt, binding, on)
+                prof.join_ops[binding] = profile.add_op(
+                    "join",
+                    f"{jt.schema.name} via {probe}",
+                    rows_examined=0,
+                    rows_returned=0,
+                    dead_hits=0,
+                    elapsed=0.0,
+                )
+            if residual is not None:
+                prof.filter_op = profile.add_op(
+                    "filter",
+                    "residual WHERE re-checked per row",
+                    rows_examined=0,
+                    rows_returned=0,
+                )
 
         # Materialize result rows (list of env snapshots).
         rows_env: list[dict[str, list[Any]]] = []
@@ -208,6 +318,7 @@ class Executor:
             residual,
             params,
             rows_env,
+            prof,
         )
 
         # Projection
@@ -260,12 +371,32 @@ class Executor:
             for item in stmt.order_by:
                 if not isinstance(item.expr, ast.ColumnRef):
                     raise SQLSyntaxError("ORDER BY supports columns only")
+            sort_start = profile.clock() if profile is not None else 0.0
             projected = self._apply_order_by(
                 stmt, projected, col_names, rows_env, env, params
             )
+            if profile is not None:
+                cols = ", ".join(
+                    item.expr.name for item in stmt.order_by
+                    if isinstance(item.expr, ast.ColumnRef)
+                )
+                profile.add_op(
+                    "sort",
+                    cols,
+                    rows_returned=len(projected),
+                    elapsed=profile.clock() - sort_start,
+                )
 
         if stmt.limit is not None:
+            before = len(projected)
             projected = projected[: stmt.limit]
+            if profile is not None:
+                profile.add_op(
+                    "limit",
+                    str(stmt.limit),
+                    rows_examined=before,
+                    rows_returned=len(projected),
+                )
 
         return col_names, projected
 
@@ -322,28 +453,47 @@ class Executor:
         residual: Any,
         params: list[Any],
         out: list[dict[str, list[Any]]],
+        prof: _SelectProf | None = None,
     ) -> None:
         """Depth-first nested-loop join, index-probing each inner table."""
         if depth == 0:
             for _rid, row in base_rows:
                 env.rows = {base_binding: row}
                 self._join_rec(
-                    env, base_binding, (), joins, 1, residual, params, out
+                    env, base_binding, (), joins, 1, residual, params, out, prof
                 )
             return
         if depth - 1 < len(joins):
             binding, table, on = joins[depth - 1]
-            probe = self._probe_rows(table, binding, on, env, params)
+            if prof is None:
+                probe: Iterable[tuple[int, list[Any]]] = self._probe_rows(
+                    table, binding, on, env, params
+                )
+            else:
+                op = prof.join_ops[binding]
+                probe_start = prof.profile.clock()
+                dead_before = table.stats.dead_index_hits
+                probe = list(self._probe_rows(table, binding, on, env, params))
+                op.elapsed += prof.profile.clock() - probe_start
+                op.dead_hits += table.stats.dead_index_hits - dead_before
+                op.rows_examined += len(probe)
             for _rid, row in probe:
                 env.rows[binding] = row
                 if _truthy(_eval(on, env, params)):
+                    if prof is not None:
+                        prof.join_ops[binding].rows_returned += 1
                     self._join_rec(
-                        env, base_binding, (), joins, depth + 1, residual, params, out
+                        env, base_binding, (), joins, depth + 1, residual,
+                        params, out, prof
                     )
             env.rows.pop(binding, None)
             return
         # All joins satisfied: apply residual predicate and emit.
+        if prof is not None and prof.filter_op is not None:
+            prof.filter_op.rows_examined += 1
         if residual is None or _truthy(_eval(residual, env, params)):
+            if prof is not None and prof.filter_op is not None:
+                prof.filter_op.rows_returned += 1
             out.append(dict(env.rows))
 
     def _probe_rows(
@@ -380,6 +530,18 @@ class Executor:
     # EXPLAIN
     # ------------------------------------------------------------------
 
+    def _join_probe_text(self, jt: Table, binding: str, on: Any) -> str:
+        """How the nested loop reaches ``jt``: hash probe or full scan."""
+        for left, right in _equality_pairs(on):
+            for col_expr in (left, right):
+                if (
+                    isinstance(col_expr, ast.ColumnRef)
+                    and (col_expr.qualifier or "").lower() == binding
+                    and jt.find_hash_index((col_expr.name,)) is not None
+                ):
+                    return f"hash probe on {col_expr.name}"
+        return "full scan"
+
     def _explain(self, stmt: ast.Statement, params: list[Any]) -> list[str]:
         """Human-readable access plan (one line per step)."""
         if isinstance(stmt, (ast.Update, ast.Delete)):
@@ -396,19 +558,7 @@ class Executor:
         lines = [f"drive: {plan}"]
         for join in stmt.joins:
             jt = self.db.table(join.table.name)
-            binding = join.table.binding
-            probe = "full scan"
-            for left, right in _equality_pairs(join.on):
-                for col_expr in (left, right):
-                    if (
-                        isinstance(col_expr, ast.ColumnRef)
-                        and (col_expr.qualifier or "").lower() == binding
-                        and jt.find_hash_index((col_expr.name,)) is not None
-                    ):
-                        probe = f"hash probe on {col_expr.name}"
-                        break
-                if probe != "full scan":
-                    break
+            probe = self._join_probe_text(jt, join.table.binding, join.on)
             lines.append(f"join: {jt.schema.name} via {probe}")
         if stmt.where is not None:
             lines.append("filter: residual WHERE re-checked per row")
@@ -422,62 +572,137 @@ class Executor:
             lines.append(f"limit: {stmt.limit}")
         return lines
 
+    def _explain_analyze(
+        self, stmt: ast.Statement, params: list[Any]
+    ) -> list[str]:
+        """Execute the statement for real, reporting per-operator actuals.
+
+        PostgreSQL semantics: ``EXPLAIN ANALYZE UPDATE/DELETE`` performs
+        the mutation.  Timings come from the profiler's injectable clock
+        so tests are deterministic.
+        """
+        profiler = getattr(self.db, "profiler", None)
+        clock = profiler.clock if profiler is not None else time.perf_counter
+        profile = QueryProfile(clock=clock)
+        start = clock()
+        result = self.execute(stmt, params, profile)
+        profile.duration = clock() - start
+        profile.rows_returned = (
+            len(result.rows) if isinstance(stmt, ast.Select) else result.rowcount
+        )
+        return profile.plan_lines()
+
     # ------------------------------------------------------------------
     # Access-path selection for the driving table
     # ------------------------------------------------------------------
 
     def _access_path(
-        self, table: Table, binding: str, where: Any, params: list[Any]
+        self,
+        table: Table,
+        binding: str,
+        where: Any,
+        params: list[Any],
+        profile: QueryProfile | None = None,
     ) -> tuple[Iterable[tuple[int, list[Any]]], Any, str]:
-        """Return (candidate rows, residual predicate or None, plan text)."""
+        """Return (candidate rows, residual predicate or None, plan text).
+
+        With a profile, candidates are materialized and a ``drive``
+        operator records rows fetched, the dead-index-hit delta, and the
+        access-path wall time.
+        """
         name = table.schema.name
+        start = profile.clock() if profile is not None else 0.0
+        dead_before = table.stats.dead_index_hits if profile is not None else 0
+
         if where is None:
-            return table.scan(), None, f"full scan {name}"
-        conjuncts = list(_flatten_and(where))
-        candidates: Iterable[tuple[int, list[Any]]] | None = None
-        description = f"full scan {name} + filter"
+            candidates: Iterable[tuple[int, list[Any]]] | None = table.scan()
+            residual: Any = None
+            description = f"full scan {name}"
+        else:
+            residual = where
+            conjuncts = list(_flatten_and(where))
+            candidates = None
+            description = f"full scan {name} + filter"
 
-        # 1) Equality on an indexed column set.
-        eq_cols: list[str] = []
-        eq_vals: list[Any] = []
-        for conj in conjuncts:
-            col, val_expr = _local_equality(conj, binding, table.schema)
-            if col is not None:
-                eq_cols.append(col)
-                eq_vals.append(_eval_const(val_expr, params))
-        if eq_cols:
-            # Try the widest covered index first, then single columns.
-            for cols_tuple in _index_candidates(eq_cols):
-                idx = table.find_hash_index(cols_tuple)
-                if idx is not None:
-                    key = tuple(
-                        eq_vals[eq_cols.index(c)] for c in cols_tuple
-                    )
-                    candidates = table.lookup_equal(cols_tuple, key)
-                    description = (
-                        f"hash index lookup {name}({', '.join(cols_tuple)})"
-                    )
-                    break
-
-        # 2) LIKE prefix on an ordered-indexed column.
-        if candidates is None:
+            # 1) Equality on an indexed column set.
+            eq_cols: list[str] = []
+            eq_vals: list[Any] = []
             for conj in conjuncts:
-                like = _local_like_prefix(conj, binding, table.schema, params)
-                if like is not None:
-                    colname, prefix = like
-                    if table.find_ordered_index(colname) is not None:
-                        candidates = table.prefix_lookup(colname, prefix)
+                col, val_expr = _local_equality(conj, binding, table.schema)
+                if col is not None:
+                    eq_cols.append(col)
+                    eq_vals.append(_eval_const(val_expr, params))
+            if eq_cols:
+                # Try the widest covered index first, then single columns.
+                for cols_tuple in _index_candidates(eq_cols):
+                    idx = table.find_hash_index(cols_tuple)
+                    if idx is not None:
+                        key = tuple(
+                            eq_vals[eq_cols.index(c)] for c in cols_tuple
+                        )
+                        candidates = table.lookup_equal(cols_tuple, key)
                         description = (
-                            f"ordered index prefix scan {name}({colname}) "
-                            f"prefix={prefix!r}"
+                            f"hash index lookup {name}({', '.join(cols_tuple)})"
                         )
                         break
 
-        if candidates is None:
-            candidates = table.scan()
-        # Keep the full WHERE as residual — re-checking the indexed conjunct
-        # is cheap and avoids subtle partial-predicate bugs.
-        return candidates, where, description
+            # 2) IN-list over a hash-indexed column: one probe per key.
+            if candidates is None:
+                for conj in conjuncts:
+                    in_list = _local_in_list(conj, binding, table.schema)
+                    if in_list is not None:
+                        colname, item_exprs = in_list
+                        if table.find_hash_index((colname,)) is not None:
+                            keys = list(dict.fromkeys(
+                                _eval_const(item, params)
+                                for item in item_exprs
+                            ))
+                            probed: list[tuple[int, list[Any]]] = []
+                            for key_value in keys:
+                                probed.extend(
+                                    table.lookup_equal(
+                                        (colname,), (key_value,)
+                                    )
+                                )
+                            candidates = probed
+                            description = (
+                                f"hash index IN probe {name}({colname}) "
+                                f"[{len(keys)} keys]"
+                            )
+                            break
+
+            # 3) LIKE prefix on an ordered-indexed column.
+            if candidates is None:
+                for conj in conjuncts:
+                    like = _local_like_prefix(
+                        conj, binding, table.schema, params
+                    )
+                    if like is not None:
+                        colname, prefix = like
+                        if table.find_ordered_index(colname) is not None:
+                            candidates = table.prefix_lookup(colname, prefix)
+                            description = (
+                                f"ordered index prefix scan {name}({colname}) "
+                                f"prefix={prefix!r}"
+                            )
+                            break
+
+            if candidates is None:
+                candidates = table.scan()
+            # Keep the full WHERE as residual — re-checking the indexed
+            # conjunct is cheap and avoids subtle partial-predicate bugs.
+
+        if profile is not None:
+            candidates = list(candidates)
+            profile.add_op(
+                "drive",
+                description,
+                rows_examined=len(candidates),
+                rows_returned=len(candidates),
+                dead_hits=table.stats.dead_index_hits - dead_before,
+                elapsed=profile.clock() - start,
+            )
+        return candidates, residual, description
 
 
 # ---------------------------------------------------------------------------
@@ -667,6 +892,25 @@ def _local_equality(
         ):
             return col_expr.name, val_expr
     return None, None
+
+
+def _local_in_list(
+    conj: Any, binding: str, schema: TableSchema
+) -> tuple[str, list[Any]] | None:
+    """If ``conj`` is ``col IN (const, ...)`` on this table, return
+    (col, item expressions).  Negated lists never narrow the scan."""
+    if not isinstance(conj, ast.InList) or conj.negated:
+        return None
+    col_expr = conj.expr
+    if not (
+        isinstance(col_expr, ast.ColumnRef)
+        and (col_expr.qualifier is None or col_expr.qualifier.lower() == binding)
+        and schema.has_column(col_expr.name)
+        and conj.items
+        and all(_is_const(item) for item in conj.items)
+    ):
+        return None
+    return col_expr.name, list(conj.items)
 
 
 def _local_like_prefix(

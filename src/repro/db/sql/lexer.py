@@ -7,6 +7,7 @@ from dataclasses import dataclass
 from repro.db.errors import SQLSyntaxError
 
 KEYWORDS = {
+    "ANALYZE",
     "AND", "AS", "ASC", "AUTO_INCREMENT", "BY", "COUNT", "CREATE", "DELETE",
     "DESC", "DISTINCT", "DROP", "EXPLAIN", "FROM", "HASH", "IN", "INDEX",
     "INNER", "INSERT", "INTO", "IS", "JOIN", "KEY", "LIKE", "LIMIT", "NOT",

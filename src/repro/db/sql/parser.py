@@ -111,12 +111,13 @@ class _Parser:
             return self.vacuum()
         if tok.value == "EXPLAIN":
             self.advance()
+            analyze = bool(self.accept_kw("ANALYZE"))
             inner = self.statement()
             if not isinstance(inner, (ast.Select, ast.Update, ast.Delete)):
                 raise SQLSyntaxError(
                     "EXPLAIN supports SELECT/UPDATE/DELETE only", tok.pos
                 )
-            return ast.Explain(inner)
+            return ast.Explain(inner, analyze=analyze)
         raise SQLSyntaxError(f"unsupported statement: {tok.value}", tok.pos)
 
     def select(self) -> ast.Select:

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import itertools
-import threading
 from typing import Any, Iterator
 
 from repro.db.errors import (
@@ -12,8 +11,10 @@ from repro.db.errors import (
     NoSuchIndexError,
 )
 from repro.db.index import HashIndex, OrderedIndex
+from repro.db.profiler import TimedLatch
 from repro.db.schema import TableSchema
 from repro.db.storage import RowHeap
+from repro.obs.metrics import MetricsRegistry
 
 
 class Table:
@@ -34,7 +35,10 @@ class Table:
     Thread safety: a single re-entrant latch serializes structural
     mutations; reads take the same latch.  The coarse latch is intentional —
     it reproduces the serialized-ingest behaviour of the paper's RLI back
-    end under concurrent soft-state updates (Figure 12).
+    end under concurrent soft-state updates (Figure 12).  With a metrics
+    registry, contended latch acquisitions are observed into
+    ``db.latch_wait{table=...}`` so multi-client runs expose the
+    serialization directly.
     """
 
     def __init__(
@@ -42,6 +46,7 @@ class Table:
         schema: TableSchema,
         eager_index_cleanup: bool = True,
         dead_hit_cost: float = 0.0,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.schema = schema
         self.eager_index_cleanup = eager_index_cleanup
@@ -52,7 +57,14 @@ class Table:
         #: instead (see repro.db.postgres_engine).
         self.dead_hit_cost = dead_hit_cost
         self.heap = RowHeap()
-        self.latch = threading.RLock()
+        self.latch = TimedLatch(
+            hist=(
+                metrics.histogram("db.latch_wait", table=schema.name)
+                if metrics is not None
+                else None
+            ),
+            reentrant=True,
+        )
         self._autoinc = itertools.count(1)
         self._hash_indexes: dict[str, HashIndex] = {}
         self._ordered_indexes: dict[str, OrderedIndex] = {}

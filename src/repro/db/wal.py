@@ -28,6 +28,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
+from repro.db.profiler import TimedLatch
 from repro.obs import tracing
 from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 
@@ -218,7 +219,6 @@ class WriteAheadLog:
         self.flush_interval = flush_interval
         self.max_buffered_records = max_buffered_records
         self._clock = clock
-        self._lock = threading.Lock()
         self._next_lsn = 1
         self._buffered = 0
         self._last_flush = clock()
@@ -228,6 +228,12 @@ class WriteAheadLog:
         self._m_flush = registry.histogram("wal.flush_latency")
         self._m_records = registry.counter("wal.records_appended")
         self._m_queue = registry.gauge("wal.queue_depth")
+        # Contended acquisitions of the append lock surface as
+        # db.wal_lock_wait, separating "waiting for the log" from
+        # "waiting for the device" (wal.flush_latency) under load.
+        self._lock = TimedLatch(
+            hist=registry.histogram("db.wal_lock_wait"), reentrant=False
+        )
 
     def _sync_device(self) -> None:
         """Sync the device, recording flush latency and the queue drain.

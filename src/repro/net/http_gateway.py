@@ -20,6 +20,7 @@ path                  method  action
 /bulk/query           POST    {"lfns":[...]} -> {lfn: [pfn,...]}
 /admin/stats          GET     server statistics
 /admin/traces         GET     tail-retained spans (?limit=N)
+/admin/queries        GET     slow/error statement log (?limit=N)
 /admin/update         POST    force a full soft-state update
 /metrics              GET     Prometheus-style text metrics dump
 ====================  ======  =====================================
@@ -150,6 +151,18 @@ class HTTPGateway:
                             except ValueError:
                                 pass
                     self._handle(lambda c: (200, c.traces(limit=limit)))
+                elif path == "/admin/queries" or path.startswith(
+                    "/admin/queries?"
+                ):
+                    query = path.partition("?")[2]
+                    limit = 50
+                    for part in query.split("&"):
+                        if part.startswith("limit="):
+                            try:
+                                limit = int(part[len("limit="):])
+                            except ValueError:
+                                pass
+                    self._handle(lambda c: (200, c.slow_queries(limit=limit)))
                 elif path == "/metrics":
                     client = None
                     try:

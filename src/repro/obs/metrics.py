@@ -363,6 +363,20 @@ _METRIC_HELP: dict[str, str] = {
     "updates_names_sent": "LFNs shipped in full/incremental updates",
     "updates_bloom_bytes_sent": "Compressed filter bytes shipped",
     "updates_pending_changes": "Immediate-mode backlog across RLIs",
+    "db_statements": "SQL statements executed, by statement class",
+    "db_statement_latency": "Per-statement execution time in seconds",
+    "db_slow_statements": "Statements at or above the slow-query threshold",
+    "db_stmt_cache_hits": "Parsed-statement cache hits",
+    "db_stmt_cache_misses": "Parsed-statement cache misses (parses)",
+    "db_latch_wait": "Seconds spent waiting for a contended table latch",
+    "db_wal_lock_wait": "Seconds spent waiting for the WAL append lock",
+    "db_table_live_tuples": "Live rows in the table heap",
+    "db_table_dead_tuples": "Dead (tombstoned) tuples awaiting VACUUM",
+    "db_table_inserts": "Rows inserted since table creation",
+    "db_table_deletes": "Rows deleted since table creation",
+    "db_table_dead_index_hits": "Index probes that landed on dead tuples",
+    "db_table_vacuums": "VACUUM passes completed",
+    "db_table_tuples_reclaimed": "Dead tuples reclaimed by VACUUM",
 }
 
 

@@ -1,0 +1,217 @@
+"""Slow-query surfaces: admin RPC, span linkage, CLI, HTTP gateway."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.client import connect
+from repro.core.config import ServerRole
+from repro.obs.tracing import SpanSink, Tracer, install_tracer
+
+
+def run_cli(*argv) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture
+def profiled_server(make_server):
+    """LRC+RLI server retaining every statement (slow threshold 0)."""
+    return make_server(ServerRole.BOTH, slow_query_threshold=0.0)
+
+
+@pytest.fixture
+def traced():
+    sink = SpanSink(latency_threshold=0.0)
+    install_tracer(Tracer(sink=sink))
+    yield sink
+    install_tracer(None)
+
+
+class TestAdminSlowQueries:
+    def test_rpc_returns_retained_statements(self, profiled_server):
+        client = connect(profiled_server.config.name)
+        try:
+            client.create("sq-lfn", "sq-pfn")
+            payload = client.slow_queries(limit=50)
+        finally:
+            client.close()
+        assert payload["enabled"] is True
+        assert payload["stats"]["retained"] > 0
+        classes = {q["statement_class"] for q in payload["queries"]}
+        assert "insert:t_lfn" in classes
+        # Normalized SQL: literals are replaced, so no client values leak.
+        assert all("sq-lfn" not in q["sql"] for q in payload["queries"])
+
+    def test_profiling_disabled_reports_enabled_false(self, make_server):
+        server = make_server(ServerRole.BOTH, profile_queries=False)
+        client = connect(server.config.name)
+        try:
+            client.create("off-lfn", "off-pfn")
+            payload = client.slow_queries()
+        finally:
+            client.close()
+        assert payload["enabled"] is False
+        assert payload["queries"] == []
+
+    def test_limit_caps_returned_queries(self, profiled_server):
+        client = connect(profiled_server.config.name)
+        try:
+            for i in range(5):
+                client.create(f"lim-{i}", f"pfn-{i}")
+            payload = client.slow_queries(limit=2)
+        finally:
+            client.close()
+        assert len(payload["queries"]) == 2
+
+    def test_entries_carry_rpc_span_id(self, traced, profiled_server):
+        client = connect(profiled_server.config.name)
+        try:
+            client.create("span-lfn", "span-pfn")
+            payload = client.slow_queries(limit=200)
+        finally:
+            client.close()
+        handle_span_ids = {
+            s["span_id"]
+            for s in traced.to_dict(limit=None)["spans"]
+            if s["name"] == "rpc.handle"
+        }
+        linked = [
+            q for q in payload["queries"]
+            if q["statement_class"] == "insert:t_lfn"
+        ]
+        assert linked, "no insert statements retained"
+        # The enclosing rpc.handle span (not the sql.execute child) is
+        # what the entry links to, so the slowlog joins to `rls trace`.
+        assert any(q["span_id"] in handle_span_ids for q in linked)
+
+    def test_profiles_attribute_dead_tuples(self, make_server):
+        server = make_server(
+            ServerRole.LRC, backend="postgresql", slow_query_threshold=0.0
+        )
+        client = connect(server.config.name)
+        try:
+            for _ in range(3):
+                client.create("churn", "pfn://churn")
+                client.delete("churn", "pfn://churn")
+            client.create("churn", "pfn://churn")
+            payload = client.slow_queries(limit=500)
+        finally:
+            client.close()
+        assert any(q["dead_index_hits"] > 0 for q in payload["queries"])
+
+
+class TestSlowlogCLI:
+    def test_table_output(self, profiled_server):
+        client = connect(profiled_server.config.name)
+        try:
+            client.create("cli-lfn", "cli-pfn")
+        finally:
+            client.close()
+        code, output = run_cli(
+            "slowlog", "--server", profiled_server.config.name
+        )
+        assert code == 0
+        assert "query log" in output
+        assert "insert:t_lfn" in output
+
+    def test_json_output(self, profiled_server):
+        client = connect(profiled_server.config.name)
+        try:
+            client.create("cli-json", "cli-pfn")
+        finally:
+            client.close()
+        code, output = run_cli(
+            "slowlog", "--server", profiled_server.config.name, "--json"
+        )
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["enabled"] is True and payload["queries"]
+
+    def test_plans_flag_prints_operators(self, profiled_server):
+        client = connect(profiled_server.config.name)
+        try:
+            client.create("cli-plan", "cli-pfn")
+            client.get_mappings("cli-plan")
+        finally:
+            client.close()
+        code, output = run_cli(
+            "slowlog", "--server", profiled_server.config.name, "--plans"
+        )
+        assert code == 0
+        assert "drive: hash index lookup" in output
+
+    def test_disabled_profiling_notice(self, make_server):
+        server = make_server(ServerRole.BOTH, profile_queries=False)
+        code, output = run_cli("slowlog", "--server", server.config.name)
+        assert code == 0
+        assert "profiling disabled" in output
+        assert "no retained statements" in output
+
+
+class TestExplainCLI:
+    def test_explain_analyze_by_dsn(self, profiled_server):
+        client = connect(profiled_server.config.name)
+        try:
+            client.create("exp-lfn", "exp-pfn")
+        finally:
+            client.close()
+        code, output = run_cli(
+            "explain",
+            profiled_server.dsn,
+            "SELECT id FROM t_lfn WHERE name = 'exp-lfn'",
+        )
+        assert code == 0
+        assert "drive: hash index lookup t_lfn(name)" in output
+        assert "actual rows examined=1" in output
+        assert "total: 1 rows in" in output
+
+    def test_static_flag_skips_execution(self, profiled_server):
+        code, output = run_cli(
+            "explain",
+            "--static",
+            profiled_server.dsn,
+            "SELECT id FROM t_lfn WHERE name = 'x'",
+        )
+        assert code == 0
+        assert "drive: hash index lookup t_lfn(name)" in output
+        assert "actual" not in output
+
+    def test_existing_explain_prefix_respected(self, profiled_server):
+        code, output = run_cli(
+            "explain",
+            profiled_server.dsn,
+            "EXPLAIN SELECT id FROM t_lfn WHERE name = 'x';",
+        )
+        assert code == 0
+        assert "actual" not in output
+
+
+class TestGatewayQueries:
+    def test_admin_queries_route(self, profiled_server):
+        import urllib.request
+
+        from repro.net.http_gateway import HTTPGateway
+
+        client = connect(profiled_server.config.name)
+        try:
+            client.create("gw-lfn", "gw-pfn")
+        finally:
+            client.close()
+        gw = HTTPGateway(profiled_server.config.name)
+        try:
+            with urllib.request.urlopen(
+                f"{gw.url}/admin/queries?limit=3", timeout=10
+            ) as response:
+                assert response.status == 200
+                body = json.loads(response.read().decode())
+        finally:
+            gw.close()
+        assert body["enabled"] is True
+        assert 0 < len(body["queries"]) <= 3
+        assert all("statement_class" in q for q in body["queries"])

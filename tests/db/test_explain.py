@@ -72,6 +72,27 @@ class TestSelectPlans:
         assert "sort: name" in lines
         assert "limit: 3" in lines
 
+    def test_in_list_probes_hash_index(self, db):
+        lines = plan(
+            db, "SELECT id FROM t_lfn WHERE name IN ('a', 'b', 'a')"
+        )
+        # Duplicate keys are de-duplicated before probing.
+        assert lines[0] == "drive: hash index IN probe t_lfn(name) [2 keys]"
+
+    def test_in_list_with_params(self, db):
+        lines = plan(
+            db, "SELECT id FROM t_lfn WHERE name IN (?, ?, ?)", ["a", "b", "c"]
+        )
+        assert lines[0] == "drive: hash index IN probe t_lfn(name) [3 keys]"
+
+    def test_negated_in_list_falls_back_to_scan(self, db):
+        lines = plan(db, "SELECT id FROM t_lfn WHERE name NOT IN ('a')")
+        assert lines[0] == "drive: full scan t_lfn + filter"
+
+    def test_in_list_on_unindexed_column_scans(self, db):
+        lines = plan(db, "SELECT id FROM t_lfn WHERE ref IN (1, 2)")
+        assert lines[0] == "drive: full scan t_lfn + filter"
+
 
 class TestUpdateDeletePlans:
     def test_delete_by_key(self, db):
@@ -81,6 +102,68 @@ class TestUpdateDeletePlans:
     def test_update_by_pk(self, db):
         lines = plan(db, "UPDATE t_lfn SET ref = 1 WHERE id = 7")
         assert lines == ["update via hash index lookup t_lfn(id)"]
+
+
+class TestExplainAnalyze:
+    """EXPLAIN ANALYZE executes the statement and reports actuals."""
+
+    def fill(self, db, n=4):
+        for i in range(n):
+            db.execute(
+                "INSERT INTO t_lfn (name, ref) VALUES (?, ?)", [f"lfn{i}", 1]
+            )
+
+    def analyze(self, db, sql, params=()):
+        return [r[0] for r in db.execute("EXPLAIN ANALYZE " + sql, params).rows]
+
+    def test_join_reports_probe_actuals(self, db):
+        self.fill(db)
+        db.execute("INSERT INTO t_map (lfn_id, pfn_id) VALUES (1, 10)")
+        db.execute("INSERT INTO t_map (lfn_id, pfn_id) VALUES (1, 11)")
+        lines = self.analyze(
+            db,
+            "SELECT m.pfn_id FROM t_lfn l "
+            "JOIN t_map m ON l.id = m.lfn_id WHERE l.name = 'lfn0'",
+        )
+        assert lines[0].startswith("drive: hash index lookup t_lfn(name)")
+        assert lines[1].startswith("join: t_map via hash probe on lfn_id")
+        assert "rows examined=2 returned=2" in lines[1]
+        assert lines[-1].startswith("total: 2 rows in ")
+
+    def test_like_prefix_reports_actuals(self, db):
+        self.fill(db)
+        lines = self.analyze(
+            db, "SELECT name FROM t_lfn WHERE name LIKE 'lfn%'"
+        )
+        assert "ordered index prefix scan t_lfn(name)" in lines[0]
+        assert "rows examined=4 returned=4" in lines[0]
+
+    def test_in_list_probe_reports_actuals(self, db):
+        self.fill(db)
+        lines = self.analyze(
+            db, "SELECT id FROM t_lfn WHERE name IN ('lfn1', 'lfn3', 'nope')"
+        )
+        assert lines[0].startswith(
+            "drive: hash index IN probe t_lfn(name) [3 keys]"
+        )
+        assert "rows examined=2 returned=2" in lines[0]
+        assert lines[-1].startswith("total: 2 rows in ")
+
+    def test_sort_and_limit_report_row_reduction(self, db):
+        self.fill(db)
+        lines = self.analyze(
+            db, "SELECT name FROM t_lfn ORDER BY name LIMIT 2"
+        )
+        sort_line = next(li for li in lines if li.startswith("sort:"))
+        limit_line = next(li for li in lines if li.startswith("limit:"))
+        assert "returned=4" in sort_line
+        assert "rows examined=4 returned=2" in limit_line
+
+    def test_analyze_runs_mutations(self, db):
+        self.fill(db, n=2)
+        lines = self.analyze(db, "DELETE FROM t_lfn WHERE name = 'lfn0'")
+        assert db.execute("SELECT COUNT(*) FROM t_lfn").scalar() == 1
+        assert any("returned=1" in li for li in lines)
 
 
 class TestExplainErrors:
