@@ -10,7 +10,12 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.common import measure_rate, record_series, scaled
+from benchmarks.common import (
+    measure_rate,
+    record_series,
+    scaled,
+    write_bench_artifact,
+)
 from repro.workload.driver import LoadDriver
 from repro.workload.scenarios import loaded_lrc_server
 
@@ -87,6 +92,20 @@ def bench_fig06_operation_rates(lrc_server, benchmark):
             f"{scaled(PAPER_ENTRIES)} entries (paper: {PAPER_ENTRIES}); "
             "paper shape: rates decline 20-35% from 10 to 100 threads",
         ],
+    )
+
+    write_bench_artifact(
+        "fig06",
+        series={
+            "lrc.query_rate": [[c, query_rates[c]] for c in CLIENT_COUNTS],
+            "lrc.add_rate": [[c, add_rates[c]] for c in CLIENT_COUNTS],
+            "lrc.delete_rate": [[c, delete_rates[c]] for c in CLIENT_COUNTS],
+        },
+        meta={
+            "entries": scaled(PAPER_ENTRIES),
+            "threads_per_client": 10,
+            "x_axis": "clients",
+        },
     )
 
     # Shape: queries are the fastest operation class at every point.

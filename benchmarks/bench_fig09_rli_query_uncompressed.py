@@ -9,7 +9,12 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.common import measure_rate, record_series, scaled
+from benchmarks.common import (
+    measure_rate,
+    record_series,
+    scaled,
+    write_bench_artifact,
+)
 from repro.workload.driver import LoadDriver
 from repro.workload.scenarios import loaded_rli_server_uncompressed
 
@@ -55,6 +60,18 @@ def bench_fig09_rli_query_rates(rli_server, benchmark):
             f"RLI holds {scaled(PAPER_MAPPINGS)} mappings "
             f"(paper: {PAPER_MAPPINGS})",
         ],
+    )
+
+    write_bench_artifact(
+        "fig09",
+        series={
+            "rli.query_rate": [[c, rates[c]] for c in CLIENT_COUNTS],
+        },
+        meta={
+            "mappings": scaled(PAPER_MAPPINGS),
+            "threads_per_client": 3,
+            "x_axis": "clients",
+        },
     )
 
     # Shape: roughly flat across client counts (within 2x of the 1-client rate).

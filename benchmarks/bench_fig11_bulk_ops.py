@@ -10,7 +10,12 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.common import measure_rate, record_series, scaled
+from benchmarks.common import (
+    measure_rate,
+    record_series,
+    scaled,
+    write_bench_artifact,
+)
 from repro.core.client import connect
 from repro.workload.driver import LoadDriver
 from repro.workload.scenarios import loaded_lrc_server
@@ -109,6 +114,22 @@ def bench_fig11_bulk_rates(lrc_server, benchmark):
             "paper shape: bulk query > non-bulk query, advantage shrinking "
             "with total threads",
         ],
+    )
+
+    write_bench_artifact(
+        "fig11",
+        series={
+            "lrc.bulk_query_rate": [
+                [c, bulk_query[c]] for c in CLIENT_COUNTS
+            ],
+            "lrc.bulk_add_delete_rate": [
+                [c, bulk_ad[c]] for c in CLIENT_COUNTS
+            ],
+            "lrc.nonbulk_query_rate": [
+                [c, nonbulk_query[c]] for c in CLIENT_COUNTS
+            ],
+        },
+        meta={"batch": BATCH, "x_axis": "clients"},
     )
 
     # Shape: bulk queries outperform non-bulk queries in aggregate

@@ -17,7 +17,7 @@ from __future__ import annotations
 import threading
 import time
 
-from benchmarks.common import record_series, scaled
+from benchmarks.common import record_series, scaled, write_bench_artifact
 from repro.core.config import ServerRole
 from repro.core.server import RLSServer
 from repro.core.config import ServerConfig
@@ -68,6 +68,17 @@ def bench_fig12_simulated_series(benchmark):
             "simulated LAN + serialized RLI ingest calibrated at "
             "1203 entries/s (from the paper's 831 s single-LRC update)",
         ],
+    )
+
+    write_bench_artifact(
+        "fig12",
+        series={
+            f"updates.full_time.{size}": [
+                [count, results[(count, size)]] for count in LRC_COUNTS
+            ]
+            for size in LRC_SIZES
+        },
+        meta={"x_axis": "concurrent LRCs", "unit": "seconds"},
     )
 
     # Shapes: linear in LRC count; ~proportional to LRC size.

@@ -12,7 +12,7 @@ linearly from a sample at reduced scale).
 
 from __future__ import annotations
 
-from benchmarks.common import SCALE, record_series
+from benchmarks.common import SCALE, record_series, write_bench_artifact
 from repro.sim.models import bloom_table3_row
 
 ROWS = [
@@ -65,6 +65,28 @@ def bench_table3_bloom_update_performance(benchmark):
             "our generation is faster than the paper's 2003 testbed "
             "(NumPy bit ops vs their C implementation on a 547 MHz P-III)",
         ],
+    )
+
+    write_bench_artifact(
+        "table3",
+        series={
+            "bloom.update_time": [
+                [entries, row.update_time]
+                for (entries, *_), row in zip(ROWS, measured)
+            ],
+            "bloom.generation_time": [
+                [entries, row.generation_time]
+                for (entries, *_), row in zip(ROWS, measured)
+            ],
+        },
+        meta={
+            "filter_bits": {
+                str(entries): row.filter_bits
+                for (entries, *_), row in zip(ROWS, measured)
+            },
+            "generation_sample": generation_sample,
+            "x_axis": "mappings",
+        },
     )
 
     # Shape/values: filter bits identical to the paper; update times within

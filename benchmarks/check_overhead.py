@@ -105,6 +105,77 @@ def time_profiler_guard(n: int) -> float:
     return (time.perf_counter() - start) / (2 * n)
 
 
+SAMPLE_ROUNDS = 200
+
+#: The wall-clock sampler gate runs at this rate (the documented
+#: "diagnostics on" setting from docs/OPERATIONS.md).
+SAMPLER_HZ = 25.0
+
+
+def time_sampler_walk(rounds: int) -> tuple[float, int]:
+    """(Seconds per frame-walk pass, threads walked) at a realistic
+    thread population.
+
+    Spins up a handful of registered busy threads so the sampler walks
+    stacks comparable to a live server (RPC workers + updater + scraper),
+    then times ``sample_once`` in isolation.  Duty cycle is the product
+    walk_time x SAMPLER_HZ, the same figure the profiler self-reports as
+    ``obs.profiler.duty_cycle``.
+    """
+    from repro.obs.profile import SamplingProfiler, register_thread
+    import threading
+
+    stop = threading.Event()
+
+    def busy(role: str) -> None:
+        register_thread(role)
+        x = 0
+        while not stop.is_set():
+            x += 1
+
+    threads = [
+        threading.Thread(target=busy, args=("rpc.worker",), daemon=True)
+        for _ in range(4)
+    ]
+    threads += [
+        threading.Thread(target=busy, args=("updates",), daemon=True),
+        threading.Thread(target=busy, args=("scraper",), daemon=True),
+    ]
+    for t in threads:
+        t.start()
+    profiler = SamplingProfiler(hz=SAMPLER_HZ)
+    try:
+        profiler.sample_once()  # priming pass
+        start = time.perf_counter()
+        for _ in range(rounds):
+            profiler.sample_once()
+        elapsed = time.perf_counter() - start
+    finally:
+        stop.set()
+        for t in threads:
+            t.join()
+    return elapsed / rounds, len(profiler.profile().by_role())
+
+
+def time_disabled_profiler_guard(n: int) -> float:
+    """Seconds per ``profiler.enabled`` check on an hz=0 sampler.
+
+    With ``profile_hz`` left at its default of 0 the server never starts
+    the sampling thread; the *entire* residual cost is this property
+    check at server start plus nothing on any hot path.  Gate it anyway
+    so the no-op guard can never grow teeth.
+    """
+    from repro.obs.profile import SamplingProfiler
+
+    profiler = SamplingProfiler(hz=0.0)
+    assert not profiler.enabled, "sampler must default to disabled"
+    start = time.perf_counter()
+    for _ in range(n):
+        if profiler.enabled:
+            pass
+    return (time.perf_counter() - start) / n
+
+
 SCRAPE_ROUNDS = 50
 
 
@@ -184,6 +255,34 @@ def main() -> int:
         print("FAIL: background scraping exceeds the overhead budget")
         return 1
     print("OK: background scraping is within the overhead budget")
+
+    # Wall-clock sampler: at the documented diagnostics rate the frame
+    # walk must leave >95% of the wall clock to the threads being walked.
+    per_walk, roles = time_sampler_walk(SAMPLE_ROUNDS)
+    duty = per_walk * SAMPLER_HZ
+    print(f"per sampler walk:   {per_walk * 1e6:8.2f} us "
+          f"({roles} roles walked)")
+    print(
+        f"sampler duty cycle: {duty * 100:8.3f}% at {SAMPLER_HZ:g} Hz "
+        f"(limit {MAX_OVERHEAD_FRACTION * 100:.0f}%)"
+    )
+    if duty >= MAX_OVERHEAD_FRACTION:
+        print("FAIL: sampling profiler exceeds the duty-cycle budget")
+        return 1
+    print("OK: sampling profiler is within the duty-cycle budget")
+
+    # Disabled sampler: profile_hz=0 must cost one attribute check at
+    # startup and nothing per add — gate the guard itself against the
+    # same per-add budget as the other disabled paths.
+    per_enabled = time_disabled_profiler_guard(NOOP_CALLS)
+    enabled_fraction = per_enabled / per_add
+    print(f"disabled sampler:   {per_enabled * 1e9:8.2f} ns per guard "
+          f"({enabled_fraction * 100:.4f}% of add; limit "
+          f"{MAX_OVERHEAD_FRACTION * 100:.0f}%)")
+    if enabled_fraction >= MAX_OVERHEAD_FRACTION:
+        print("FAIL: disabled sampling profiler exceeds the overhead budget")
+        return 1
+    print("OK: disabled sampling profiler is within the overhead budget")
     return 0
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import subprocess
 import time
 from typing import Any, Sequence
 
@@ -115,12 +116,36 @@ def attach_collector(server, interval: float = 1.0):
     return collector
 
 
+#: Run records kept per artifact; older runs roll off the front.
+MAX_ARTIFACT_RUNS = 100
+
+_git_sha_cache: str | None = None
+
+
+def git_sha() -> str:
+    """Short commit sha for run provenance (``"unknown"`` outside git)."""
+    global _git_sha_cache
+    if _git_sha_cache is None:
+        try:
+            _git_sha_cache = subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                capture_output=True,
+                text=True,
+                timeout=10,
+                check=True,
+            ).stdout.strip()
+        except Exception:
+            _git_sha_cache = "unknown"
+    return _git_sha_cache
+
+
 def write_bench_artifact(
     name: str,
     series: dict[str, Any],
     detections: Sequence[Any] = (),
     meta: dict[str, Any] | None = None,
     nodes: dict[str, Any] | None = None,
+    seed: int | None = None,
 ) -> pathlib.Path:
     """Write ``BENCH_<name>.json`` (schema in docs/OBSERVABILITY.md).
 
@@ -128,22 +153,48 @@ def write_bench_artifact(
     :meth:`SeriesStore.to_dict` plugs in directly); ``detections`` are
     :class:`repro.obs.analyze.Detection` objects (or plain dicts);
     ``nodes`` optionally carries per-node raw series keyed by node name.
+
+    The top-level keys always describe the **latest** run (so existing
+    readers keep working), and a ``runs`` list accumulates one record per
+    invocation — seed, git sha, timestamp, scale, and the run's series —
+    so ``bench_artifacts/`` holds a performance trajectory rather than
+    only the last data point (``benchmarks/compare.py`` diffs it).
     """
     directory = artifact_dir()
     directory.mkdir(parents=True, exist_ok=True)
-    payload: dict[str, Any] = {
-        "name": name,
+    path = directory / f"BENCH_{name}.json"
+    clean_series = {
+        key: [[float(x), float(y)] for x, y in points]
+        for key, points in series.items()
+    }
+    clean_detections = [
+        d.to_dict() if hasattr(d, "to_dict") else dict(d) for d in detections
+    ]
+    runs: list[dict[str, Any]] = []
+    if path.exists():
+        try:
+            runs = json.loads(path.read_text()).get("runs", [])
+        except (json.JSONDecodeError, OSError):
+            runs = []  # corrupt artifact: start the trajectory over
+    run_record: dict[str, Any] = {
         "created": time.time(),
         "scale": SCALE,
-        "series": {
-            key: [[float(x), float(y)] for x, y in points]
-            for key, points in series.items()
-        },
-        "detections": [
-            d.to_dict() if hasattr(d, "to_dict") else dict(d)
-            for d in detections
-        ],
+        "git_sha": git_sha(),
+        "seed": seed,
+        "series": clean_series,
+        "detections": clean_detections,
         "meta": meta or {},
+    }
+    runs.append(run_record)
+    runs = runs[-MAX_ARTIFACT_RUNS:]
+    payload: dict[str, Any] = {
+        "name": name,
+        "created": run_record["created"],
+        "scale": SCALE,
+        "series": clean_series,
+        "detections": clean_detections,
+        "meta": meta or {},
+        "runs": runs,
     }
     if nodes:
         payload["nodes"] = {
@@ -153,7 +204,6 @@ def write_bench_artifact(
             }
             for node, store in nodes.items()
         }
-    path = directory / f"BENCH_{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True))
     return path
 

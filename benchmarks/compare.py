@@ -1,0 +1,187 @@
+"""Diff benchmark artifact sets and flag regressions.
+
+Two modes::
+
+    python benchmarks/compare.py CURRENT_DIR BASELINE_DIR
+        Compare every ``BENCH_<name>.json`` in CURRENT_DIR against the
+        artifact of the same name in BASELINE_DIR (e.g. a fresh CI run
+        against a cached main-branch run).
+
+    python benchmarks/compare.py DIR
+        Self-compare each artifact's trajectory: the latest run record in
+        its ``runs`` list against the previous one (the accumulation that
+        :func:`benchmarks.common.write_bench_artifact` appends).
+
+Each matching series is diffed through
+:func:`repro.obs.analyze.compare_baseline` (mean vs mean, default 15%
+tolerance).  Series whose name marks them as lower-is-better (``time``,
+``latency``, ``duration``) are inverted before the comparison so a
+slowdown — not a speedup — counts as the regression.  Exits non-zero when
+any regression is detected, so CI can surface it (the workflow step is
+non-blocking: scaled-down benchmark runs on shared runners are noisy).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Any, Iterator
+
+try:
+    from repro.obs.analyze import Detection, compare_baseline
+except ModuleNotFoundError:  # running from a checkout without installing
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+    from repro.obs.analyze import Detection, compare_baseline
+
+#: Series-name substrings meaning "smaller values are better".
+LOWER_IS_BETTER_MARKERS = ("time", "latency", "duration")
+
+
+def _values(points: list[list[float]]) -> list[float]:
+    return [float(p[1]) for p in points]
+
+
+def _oriented(name: str, values: list[float]) -> list[float]:
+    """Invert lower-is-better series so compare_baseline's higher-is-better
+    assumption flags slowdowns instead of speedups."""
+    if any(marker in name for marker in LOWER_IS_BETTER_MARKERS):
+        return [1.0 / v for v in values if v > 0]
+    return values
+
+
+def compare_series(
+    name: str,
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    tolerance: float,
+) -> list[Detection]:
+    """Regressions between two ``{series: [[x, y], ...]}`` maps."""
+    detections: list[Detection] = []
+    for key in sorted(set(current) & set(baseline)):
+        detection = compare_baseline(
+            _oriented(key, _values(current[key])),
+            _oriented(key, _values(baseline[key])),
+            tolerance=tolerance,
+            name=f"{name}:{key}",
+        )
+        if detection is not None:
+            detection.details.setdefault("artifact", name)
+            detection.details.setdefault("series", key)
+            detections.append(detection)
+    return detections
+
+
+def _load(path: pathlib.Path) -> dict[str, Any] | None:
+    try:
+        return json.loads(path.read_text())
+    except (json.JSONDecodeError, OSError):
+        return None
+
+
+def iter_artifacts(directory: pathlib.Path) -> Iterator[pathlib.Path]:
+    yield from sorted(directory.glob("BENCH_*.json"))
+
+
+def compare_dirs(
+    current_dir: pathlib.Path, baseline_dir: pathlib.Path, tolerance: float
+) -> tuple[list[Detection], int]:
+    """Cross-directory mode; returns (regressions, artifacts compared)."""
+    detections: list[Detection] = []
+    compared = 0
+    for path in iter_artifacts(current_dir):
+        baseline_path = baseline_dir / path.name
+        if not baseline_path.exists():
+            print(f"skip {path.name}: no baseline artifact")
+            continue
+        current = _load(path)
+        baseline = _load(baseline_path)
+        if current is None or baseline is None:
+            print(f"skip {path.name}: unreadable artifact")
+            continue
+        compared += 1
+        detections.extend(
+            compare_series(
+                current.get("name", path.stem),
+                current.get("series", {}),
+                baseline.get("series", {}),
+                tolerance,
+            )
+        )
+    return detections, compared
+
+
+def compare_trajectory(
+    directory: pathlib.Path, tolerance: float
+) -> tuple[list[Detection], int]:
+    """Self-compare mode: each artifact's last run vs its previous run."""
+    detections: list[Detection] = []
+    compared = 0
+    for path in iter_artifacts(directory):
+        payload = _load(path)
+        if payload is None:
+            print(f"skip {path.name}: unreadable artifact")
+            continue
+        runs = payload.get("runs", [])
+        if len(runs) < 2:
+            print(f"skip {path.name}: fewer than 2 recorded runs")
+            continue
+        compared += 1
+        detections.extend(
+            compare_series(
+                payload.get("name", path.stem),
+                runs[-1].get("series", {}),
+                runs[-2].get("series", {}),
+                tolerance,
+            )
+        )
+    return detections, compared
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="diff BENCH_*.json artifact sets; exit 1 on regression"
+    )
+    parser.add_argument("current", help="artifact directory (current run)")
+    parser.add_argument(
+        "baseline",
+        nargs="?",
+        default=None,
+        help="baseline artifact directory (omit to self-compare each "
+        "artifact's last two recorded runs)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="allowed fractional mean drop before flagging (default 0.15)",
+    )
+    args = parser.parse_args(argv)
+
+    current_dir = pathlib.Path(args.current)
+    if not current_dir.is_dir():
+        print(f"no such directory: {current_dir}")
+        return 2
+    if args.baseline is not None:
+        baseline_dir = pathlib.Path(args.baseline)
+        if not baseline_dir.is_dir():
+            print(f"no such directory: {baseline_dir}")
+            return 2
+        detections, compared = compare_dirs(
+            current_dir, baseline_dir, args.tolerance
+        )
+    else:
+        detections, compared = compare_trajectory(current_dir, args.tolerance)
+
+    for detection in detections:
+        print(f"REGRESSION [{detection.severity}] {detection.summary}")
+    print(
+        f"{compared} artifact(s) compared, "
+        f"{len(detections)} regression(s) found"
+    )
+    return 1 if detections else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,9 @@ Subcommands mirror the operation classes of the paper's Table 1::
     rls stats   host:39281 --watch 2               # re-scrape every 2s
     rls trace   --server host:39281                # tail-retained spans
     rls slowlog --server host:39281                # slow/error statements
+    rls profile host:39281 --seconds 5 --folded    # sampling profiler
+    rls threads host:39281                         # thread dump + stuck check
+    rls flight  host:39281                         # flight-recorder events
     rls explain mysite-dsn "SELECT ... WHERE ..."  # EXPLAIN ANALYZE a query
     rls top     --servers a:39281,b:39282,r:39283  # live cluster rates
     rls workload --server host:39281 --op query --seed 7
@@ -28,6 +31,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import threading
 import time
 from typing import Sequence
 
@@ -77,6 +81,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="install a process-wide tracer with tail-sampled span "
         "retention (query via 'rls trace' / GET /admin/traces)",
+    )
+    serve.add_argument(
+        "--profile-hz",
+        type=float,
+        default=0.0,
+        help="enable the sampling profiler at this rate "
+        "(query via 'rls profile' / 'rls threads'; default: disabled)",
     )
 
     for name, help_text in (
@@ -164,6 +175,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print each statement's recorded operator plan",
     )
 
+    profile = sub.add_parser(
+        "profile", help="sampling-profiler folded stacks (FlameGraph input)"
+    )
+    profile.add_argument("server", help="endpoint name or host:port")
+    profile.add_argument(
+        "--seconds",
+        type=float,
+        default=None,
+        metavar="N",
+        help="sample a window: diff two snapshots N seconds apart "
+        "(default: cumulative since server start)",
+    )
+    profile_fmt = profile.add_mutually_exclusive_group()
+    profile_fmt.add_argument(
+        "--folded",
+        action="store_true",
+        help="raw 'stack count' lines (pipe into flamegraph.pl)",
+    )
+    profile_fmt.add_argument(
+        "--json", action="store_true", help="raw JSON payload"
+    )
+
+    threads = sub.add_parser(
+        "threads", help="thread dump: roles, spans, stuck-thread detections"
+    )
+    threads.add_argument("server", help="endpoint name or host:port")
+    threads.add_argument(
+        "--json", action="store_true", help="raw JSON payload instead of a table"
+    )
+
+    flight = sub.add_parser(
+        "flight", help="flight-recorder events (the server's black box)"
+    )
+    flight.add_argument("server", help="endpoint name or host:port")
+    flight.add_argument("--limit", type=int, default=50)
+    flight.add_argument(
+        "--json", action="store_true", help="raw JSON payload instead of a table"
+    )
+
     explain = sub.add_parser(
         "explain",
         help="run EXPLAIN ANALYZE against a local engine (by DSN)",
@@ -232,6 +282,7 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
             tcp=args.tcp,
             tcp_host=args.host,
             tcp_port=args.port,
+            profile_hz=args.profile_hz,
         )
         installed_tracer = False
         if args.trace:
@@ -247,12 +298,18 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
             print(f"serving {args.name} (in-process endpoint)", file=out)
         if args.trace:
             print("tracing enabled (tail-sampled span sink)", file=out)
+        if args.profile_hz > 0:
+            print(f"profiling enabled at {args.profile_hz:g} Hz", file=out)
+        # Park on an Event rather than time.sleep: Event.wait leaves a
+        # Python-level ``wait`` frame on the stack, so the sampling
+        # profiler's stuck-thread detector sees this thread as idle.
+        parked = threading.Event()
         try:
             if args.run_seconds is not None:
-                time.sleep(args.run_seconds)
+                parked.wait(args.run_seconds)
             else:  # pragma: no cover - interactive path
                 while True:
-                    time.sleep(3600)
+                    parked.wait(3600)
         except KeyboardInterrupt:  # pragma: no cover
             pass
         finally:
@@ -313,6 +370,12 @@ def _dispatch(args: argparse.Namespace, client: RLSClient, out) -> int:
         return _trace(args, client, out)
     elif args.command == "slowlog":
         return _slowlog(args, client, out)
+    elif args.command == "profile":
+        return _profile(args, client, out)
+    elif args.command == "threads":
+        return _threads(args, client, out)
+    elif args.command == "flight":
+        return _flight(args, client, out)
     elif args.command == "workload":
         return _workload(args, client, out)
     return 0
@@ -576,6 +639,140 @@ def _slowlog(args: argparse.Namespace, client: RLSClient, out) -> int:
 
             for op in entry.get("plan", []):
                 print(f"    {OpStats(**op).render()}", file=out)
+    return 0
+
+
+def _profile(args: argparse.Namespace, client: RLSClient, out) -> int:
+    from repro.obs.profile import StackProfile
+
+    payload = client.profile()
+    if args.seconds is not None and payload.get("enabled"):
+        # Window mode: two cumulative snapshots subtracted, same algebra
+        # as the metrics delta in `rls stats --watch`.
+        before = StackProfile.from_dict(payload.get("profile", {}))
+        time.sleep(args.seconds)
+        payload = client.profile()
+        window = StackProfile.from_dict(payload.get("profile", {})).delta(before)
+        payload = dict(
+            payload,
+            profile=window.to_dict(),
+            samples=window.samples,
+            roles=window.by_role(),
+            window_seconds=args.seconds,
+        )
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+        return 0
+    if not payload.get("enabled"):
+        print(
+            "profiler not enabled on server (set ServerConfig.profile_hz > 0)",
+            file=out,
+        )
+        return 1
+    profile = StackProfile.from_dict(payload.get("profile", {}))
+    if args.folded:
+        folded = profile.render_folded()
+        if folded:
+            print(folded, file=out)
+        return 0
+    window = (
+        f" over {payload['window_seconds']:g}s"
+        if "window_seconds" in payload
+        else ""
+    )
+    print(
+        f"profiler: {payload.get('hz', 0):g} Hz, "
+        f"{payload.get('samples', 0)} samples{window}, "
+        f"duty cycle {payload.get('duty_cycle', 0.0) * 100:.2f}%",
+        file=out,
+    )
+    roles = payload.get("roles", {})
+    if roles:
+        detail = "  ".join(
+            f"{role}={count}"
+            for role, count in sorted(roles.items(), key=lambda kv: -kv[1])
+        )
+        print(f"samples by role: {detail}", file=out)
+    hottest = profile.top(20)
+    if not hottest:
+        print("no samples", file=out)
+        return 0
+    print("hottest stacks:", file=out)
+    for folded, count in hottest:
+        print(f"{count:>8}  {folded}", file=out)
+    return 0
+
+
+def _threads(args: argparse.Namespace, client: RLSClient, out) -> int:
+    payload = client.threads()
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+        return 0
+    threads = payload.get("threads", [])
+    print(f"{len(threads)} threads:", file=out)
+    for entry in threads:
+        state = "idle" if entry.get("idle") else "busy"
+        span = entry.get("span_id") or "-"
+        frames = " < ".join(entry.get("frames", [])[:4]) or "?"
+        print(
+            f"  [{entry.get('ident')}] {entry.get('role', 'other'):<12} "
+            f"{state:<5} span={span:<8} "
+            f"run={entry.get('consecutive_top', 0):<4} {frames}",
+            file=out,
+        )
+    detections = payload.get("detections", [])
+    for detection in detections:
+        print(
+            f"DETECTION [{detection.get('severity', '?')}] "
+            f"{detection.get('summary', '')}",
+            file=out,
+        )
+    if not detections:
+        print("no stuck threads detected", file=out)
+    return 0
+
+
+def _flight(args: argparse.Namespace, client: RLSClient, out) -> int:
+    payload = client.flight(limit=args.limit)
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+        return 0
+    if not payload.get("enabled"):
+        print(
+            "flight recorder not enabled on server "
+            "(set ServerConfig.flight_capacity > 0)",
+            file=out,
+        )
+        return 1
+    ring_stats = payload.get("stats", {})
+    print(
+        f"flight recorder: {ring_stats.get('recent', 0)} events retained of "
+        f"{ring_stats.get('recorded', 0)} recorded "
+        f"({ring_stats.get('errors', 0)} errors)",
+        file=out,
+    )
+    events = payload.get("events", [])
+    if not events:
+        print("no recorded events", file=out)
+        return 0
+    for event in events:
+        marker = "!" if event.get("error") else " "
+        span = event.get("span_id") or "-"
+        data = " ".join(
+            f"{k}={v}" for k, v in sorted(event.get("data", {}).items())
+        )
+        print(
+            f"{marker} #{event.get('seq'):<6} {event.get('kind', '?'):<16} "
+            f"span={span:<8} {event.get('detail', '')} {data}".rstrip(),
+            file=out,
+        )
+    dump = payload.get("last_dump")
+    if dump:
+        print(
+            f"last error dump: {dump.get('reason', '?')} "
+            f"({len(dump.get('events', []))} events frozen)",
+            file=out,
+        )
     return 0
 
 

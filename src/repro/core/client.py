@@ -201,6 +201,32 @@ class RLSClient:
         """
         return self.rpc.call("admin_slow_queries", limit)
 
+    def profile(self) -> dict[str, Any]:
+        """Cumulative sampling-profiler state (folded stacks + meters).
+
+        Returns ``{"enabled": bool, "hz": float, "samples": int,
+        "duty_cycle": float, "roles": {...}, "profile": {...}}``;
+        ``enabled`` is False when the server runs with ``profile_hz=0``.
+        """
+        return self.rpc.call("admin_profile")
+
+    def threads(self) -> dict[str, Any]:
+        """Point-in-time thread dump with roles, spans, and top frames.
+
+        Returns ``{"enabled": True, "threads": [...], "detections":
+        [...]}``; detections list stuck-thread findings (if any).
+        """
+        return self.rpc.call("admin_threads")
+
+    def flight(self, limit: int = 100) -> dict[str, Any]:
+        """Flight-recorder snapshot: stats, event tail, last error dump.
+
+        Returns ``{"enabled": bool, "stats": {...}, "events": [...],
+        "last_dump": ...}``; ``enabled`` is False when the server runs
+        with ``flight_capacity=0``.
+        """
+        return self.rpc.call("admin_flight", limit)
+
     def trigger_full_update(self) -> float:
         """Force an immediate full soft-state update; returns duration (s)."""
         return self.rpc.call("admin_trigger_full_update")

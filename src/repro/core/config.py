@@ -70,6 +70,12 @@ class ServerConfig:
     slow_query_threshold: float = 0.050
     #: Capacity of the slow/error statement ring kept per engine.
     query_log_capacity: int = 256
+    #: Wall-clock sampling profiler rate (samples/second); 0 disables the
+    #: sampler thread entirely (``admin_profile`` / ``rls profile``).
+    profile_hz: float = 0.0
+    #: Capacity of the flight-recorder event ring; 0 disables recording
+    #: (``admin_flight`` / ``rls flight``).
+    flight_capacity: int = 256
 
     def __post_init__(self) -> None:
         self.backend = Backend.parse(self.backend)

@@ -27,7 +27,9 @@ from repro.db.postgres_engine import PostgresEngine
 from repro.net.rpc import ConnectionContext, RPCServer
 from repro.net.transport import LocalTransport, TCPServerTransport
 from repro.obs import tracing
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import SamplingProfiler
 from repro.security.acl import Privilege
 from repro.security.authorizer import Authorizer
 
@@ -67,6 +69,21 @@ class RLSServer:
             slow_threshold=self.config.slow_query_threshold,
             capacity=self.config.query_log_capacity,
         )
+
+        # --- flight recorder + sampling profiler ---
+        self.flight: FlightRecorder | None = (
+            FlightRecorder(capacity=self.config.flight_capacity)
+            if self.config.flight_capacity > 0
+            else None
+        )
+        if self.flight is not None and self.engine.wal is not None:
+            # WAL flushes land in the same ring as RPC and update events.
+            self.engine.wal.flight = self.flight
+        self.profiler = SamplingProfiler(
+            hz=self.config.profile_hz,
+            metrics=self.metrics,
+            inflight=self._rpc_inflight,
+        )
         self.dsn = f"{self.config.name}-dsn"
         register_dsn(self.dsn, self.engine)
         self.connection = Connection(self.engine, self.dsn)
@@ -83,7 +100,7 @@ class RLSServer:
             resolver = sink_resolver or self._default_sink_resolver
             self.update_manager = UpdateManager(
                 self.lrc, resolver, policy=self.config.updates,
-                metrics=self.metrics,
+                metrics=self.metrics, flight=self.flight,
             )
         if self.config.is_rli:
             # The RLI tables live in their own engine when the server is
@@ -105,7 +122,9 @@ class RLSServer:
 
         # --- RPC front end ---
         self.rpc = RPCServer(
-            authenticator=self.authorizer.authenticate, metrics=self.metrics
+            authenticator=self.authorizer.authenticate,
+            metrics=self.metrics,
+            flight=self.flight,
         )
         self._register_methods()
         self.local_transport = LocalTransport(self.rpc, name=self.config.name)
@@ -141,6 +160,8 @@ class RLSServer:
                     poll_interval=self.config.update_poll_interval,
                 )
                 self._update_thread.start()
+            if self.profiler.enabled:
+                self.profiler.start()
             self._started = True
         return self
 
@@ -152,6 +173,7 @@ class RLSServer:
             if self._update_thread is not None:
                 self._update_thread.stop()
                 self._update_thread = None
+            self.profiler.stop()
             self.local_transport.close()
             if self.tcp_transport is not None:
                 self.tcp_transport.close()
@@ -270,6 +292,9 @@ class RLSServer:
         r("admin_metrics_text", guarded(admin, lambda: self.metrics.render_text()))
         r("admin_traces", guarded(admin, self._traces))
         r("admin_slow_queries", guarded(admin, self._slow_queries))
+        r("admin_profile", guarded(admin, self._profile))
+        r("admin_threads", guarded(admin, self._threads))
+        r("admin_flight", guarded(admin, self._flight))
         r("admin_trigger_full_update", guarded(admin, self._trigger_full_update))
         r("admin_trigger_incremental_update", guarded(admin, self._trigger_incremental))
         r("admin_expire_once", guarded(admin, lambda: self._need_rli().expire_once()))
@@ -317,6 +342,46 @@ class RLSServer:
         profiler = self.engine.profiler
         payload = profiler.log.to_dict(limit=limit)
         payload["enabled"] = profiler.enabled
+        return payload
+
+    def _rpc_inflight(self) -> float:
+        """Current in-flight RPC count (the stuck-thread detector gate)."""
+        return float(self.rpc.inflight)
+
+    def _profile(self) -> dict[str, Any]:
+        """Cumulative sampling-profiler state (folded stacks + meters).
+
+        The sampler is a per-server knob (``ServerConfig.profile_hz``, off
+        by default); when disabled the payload reports ``enabled: False``
+        with zero samples, so ``rls profile`` degrades gracefully.
+        """
+        return self.profiler.to_dict()
+
+    def _threads(self) -> dict[str, Any]:
+        """Point-in-time dump of registered threads plus stuck detections.
+
+        Works even with the sampler disabled — the dump walks live frames
+        on demand; only ``consecutive_top`` bookkeeping needs samples.
+        """
+        return {
+            "enabled": True,
+            "threads": self.profiler.thread_dump(),
+            "detections": [d.to_dict() for d in self.profiler.detections()],
+        }
+
+    def _flight(self, limit: int = 100) -> dict[str, Any]:
+        """Flight-recorder snapshot: stats, event tail, last error dump.
+
+        Recording is a per-server knob (``ServerConfig.flight_capacity``,
+        on by default); ``flight_capacity=0`` reports ``enabled: False``
+        so ``rls flight`` degrades gracefully.
+        """
+        if self.flight is None:
+            return {
+                "enabled": False, "stats": {}, "events": [], "last_dump": None,
+            }
+        payload = self.flight.to_dict(limit=limit)
+        payload["enabled"] = True
         return payload
 
     def _stats(self) -> dict[str, Any]:

@@ -225,12 +225,16 @@ class UpdateManager:
         clock: Callable[[], float] = time.monotonic,
         metrics: MetricsRegistry | None = None,
         rng: Callable[[], float] = random.random,
+        flight=None,
     ) -> None:
         self.lrc = lrc
         self.sink_resolver = sink_resolver
         self.policy = policy or UpdatePolicy()
         self.clock = clock
         self.rng = rng
+        #: Optional flight recorder: delivery attempts, retries, and
+        #: failures land in the server-wide black-box event ring.
+        self.flight = flight
         self.stats = UpdateStats()
         self._lock = threading.RLock()
         self._pending_added: set[str] = set()
@@ -331,6 +335,12 @@ class UpdateManager:
             health.setdefault(tgt.name, TargetDeliveryState(tgt.name).to_dict())
         return health
 
+    def _flight_record(
+        self, kind: str, detail: str, error: bool = False, **data
+    ) -> None:
+        if self.flight is not None:
+            self.flight.record(kind, detail=detail, error=error, **data)
+
     def _record_failure(
         self,
         state: TargetDeliveryState,
@@ -338,6 +348,12 @@ class UpdateManager:
         exc: BaseException,
         needs_full: bool = False,
     ) -> None:
+        self._flight_record(
+            "error",
+            f"update {kind}->{state.name}: {type(exc).__name__}",
+            error=True,
+            target=state.name,
+        )
         with self._lock:
             state.healthy = False
             state.consecutive_failures += 1
@@ -482,6 +498,11 @@ class UpdateManager:
     ) -> None:
         """One target's share of a full update, with delivery bookkeeping."""
         state = self._state(tgt.name)
+        self._flight_record(
+            "update.attempt",
+            f"{'bloom' if tgt.bloom else 'full'}->{tgt.name}",
+            target=tgt.name,
+        )
         try:
             sink = self.sink_resolver(tgt.name)
             if tgt.bloom:
@@ -605,6 +626,9 @@ class UpdateManager:
                 if not added and not removed:
                     continue
                 state = self._state(tgt.name)
+                self._flight_record(
+                    "update.attempt", f"bloom->{tgt.name}", target=tgt.name
+                )
                 try:
                     sink = self.sink_resolver(tgt.name)
                     self._send_bloom(sink, tgt, router)
@@ -642,6 +666,13 @@ class UpdateManager:
             send_removed = sorted(state.pending_removed)
         if not send_added and not send_removed:
             return True
+        self._flight_record(
+            "update.attempt",
+            f"incremental->{tgt.name}",
+            target=tgt.name,
+            added=len(send_added),
+            removed=len(send_removed),
+        )
         try:
             sink = self.sink_resolver(tgt.name)
             sink.incremental_update(self.lrc.name, send_added, send_removed)
@@ -712,6 +743,12 @@ class UpdateManager:
                 state.retries += 1
             self._m_retries.inc()
             attempted.append(f"retry:{state.name}")
+            self._flight_record(
+                "update.retry",
+                state.name,
+                target=state.name,
+                consecutive_failures=state.consecutive_failures,
+            )
             if state.needs_full or tgt.bloom:
                 try:
                     self._push_full_to(tgt, router)
@@ -757,6 +794,15 @@ class UpdateThread:
         self._thread.start()
 
     def _loop(self) -> None:
+        from repro.obs.profile import register_thread, unregister_thread
+
+        register_thread("updates")
+        try:
+            self._run()
+        finally:
+            unregister_thread()
+
+    def _run(self) -> None:
         while not self._stop.wait(self.poll_interval):
             try:
                 self.manager.tick()

@@ -234,6 +234,9 @@ class WriteAheadLog:
         self._lock = TimedLatch(
             hist=registry.histogram("db.wal_lock_wait"), reentrant=False
         )
+        #: Optional flight recorder; the server wires this so WAL flushes
+        #: land in the same event ring as RPC and update-delivery events.
+        self.flight = None
 
     def _sync_device(self) -> None:
         """Sync the device, recording flush latency and the queue drain.
@@ -241,13 +244,19 @@ class WriteAheadLog:
         Callers hold ``self._lock``.  With no registry installed the
         instrument is a no-op singleton and the timing pair is skipped.
         """
-        if self._m_flush.noop and not tracing.active():
+        buffered = self._buffered
+        if self._m_flush.noop and not tracing.active() and self.flight is None:
             self.device.sync()
         else:
+            from repro.obs.profile import thread_role
+
             start = time.perf_counter()
-            with tracing.span("wal.flush", buffered=self._buffered):
-                self.device.sync()
+            with thread_role("wal.flush"):
+                with tracing.span("wal.flush", buffered=buffered):
+                    self.device.sync()
             self._m_flush.observe(time.perf_counter() - start)
+            if self.flight is not None:
+                self.flight.record("wal.flush", buffered=buffered)
         self._buffered = 0
         self._m_queue.set(0)
         self._last_flush = self._clock()

@@ -21,6 +21,9 @@ path                  method  action
 /admin/stats          GET     server statistics
 /admin/traces         GET     tail-retained spans (?limit=N)
 /admin/queries        GET     slow/error statement log (?limit=N)
+/admin/profile        GET     sampling-profiler folded stacks
+/admin/threads        GET     thread dump + stuck-thread detections
+/admin/flight         GET     flight-recorder events (?limit=N)
 /admin/update         POST    force a full soft-state update
 /metrics              GET     Prometheus-style text metrics dump
 ====================  ======  =====================================
@@ -163,6 +166,22 @@ class HTTPGateway:
                             except ValueError:
                                 pass
                     self._handle(lambda c: (200, c.slow_queries(limit=limit)))
+                elif path == "/admin/profile":
+                    self._handle(lambda c: (200, c.profile()))
+                elif path == "/admin/threads":
+                    self._handle(lambda c: (200, c.threads()))
+                elif path == "/admin/flight" or path.startswith(
+                    "/admin/flight?"
+                ):
+                    query = path.partition("?")[2]
+                    limit = 100
+                    for part in query.split("&"):
+                        if part.startswith("limit="):
+                            try:
+                                limit = int(part[len("limit="):])
+                            except ValueError:
+                                pass
+                    self._handle(lambda c: (200, c.flight(limit=limit)))
                 elif path == "/metrics":
                     client = None
                     try:

@@ -44,23 +44,35 @@ class RPCServer:
         anonymous) or raises to reject the connection.  ``None`` disables
         authentication entirely — the paper's "no authentication or
         authorization" server mode.
+    flight:
+        Optional :class:`~repro.obs.flight.FlightRecorder`.  When set,
+        dispatch appends ``rpc.in``/``rpc.out`` events, handler failures
+        append an ``error`` event, and each failure freezes a black-box
+        dump of the ring (the events *leading up to* the error).
     """
 
     def __init__(
         self,
         authenticator: Authenticator | None = None,
         metrics: MetricsRegistry | None = None,
+        flight: Any = None,
     ) -> None:
         self._methods: dict[str, Handler] = {}
         self._authenticator = authenticator
         self._lock = threading.Lock()
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.flight = flight
         self._instruments: dict[str, tuple[Any, Any, Any]] = {}
         # Requests currently inside handlers: the dispatcher-level queue
         # signal the saturation detector watches (Fig. 13 contention).
         self._m_inflight = self.metrics.gauge("rpc.inflight")
         self.requests_served = 0
         self.errors_returned = 0
+
+    @property
+    def inflight(self) -> float:
+        """Requests currently inside handlers (stuck-thread detector gate)."""
+        return self._m_inflight.value
 
     def _method_instruments(self, method: str) -> tuple[Any, Any, Any]:
         """(requests counter, errors counter, latency histogram) per method."""
@@ -107,14 +119,30 @@ class RPCServer:
             with tracing.span(
                 "rpc.handle", parent=request.trace, method=request.method
             ) as span:
+                if self.flight is not None:
+                    self.flight.record("rpc.in", detail=request.method)
                 try:
                     value = handler(ctx, request.args)
+                    if self.flight is not None:
+                        self.flight.record("rpc.out", detail=request.method)
                 except Exception as exc:
                     span.set_error(type(exc).__name__)
                     self.errors_returned += 1
                     errors.inc()
                     if timed:
                         latency.observe(time.perf_counter() - start)
+                    if self.flight is not None:
+                        # Black box: freeze the events leading up to the
+                        # failure so a later wrap can't erase them.
+                        self.flight.record(
+                            "error",
+                            detail=f"{request.method}: {type(exc).__name__}",
+                            error=True,
+                            message=str(exc),
+                        )
+                        self.flight.dump(
+                            reason=f"{request.method}: {type(exc).__name__}"
+                        )
                     return Response.failure(exc)
         finally:
             self._m_inflight.dec()
@@ -171,9 +199,25 @@ class RPCClient:
     def _request(self, request: Request) -> Response:
         if self.retry is None:
             return self.channel.request(request)
+        tracer = tracing.current_tracer()
+        attempt_no = [1]
+
+        def attempt() -> Response:
+            if tracer is None:
+                return self.channel.request(request)
+            # One child span per attempt under the enclosing rpc.call, so
+            # a retried request shows its full timeline: failed attempts
+            # carry the transport error, the last one carries the answer.
+            with tracer.span(
+                "rpc.attempt", method=request.method, attempt=attempt_no[0]
+            ):
+                return self.channel.request(request)
 
         def on_retry(attempt: int, exc: BaseException) -> None:
             self.retries += 1
+            # retry_call's attempt is the 0-based index of the attempt
+            # that just failed; the next span is 1-based attempt + 2.
+            attempt_no[0] = attempt + 2
             if self.reconnect is not None:
                 try:
                     self.channel.close()
@@ -187,7 +231,7 @@ class RPCClient:
                     pass
 
         return retry_call(
-            lambda: self.channel.request(request),
+            attempt,
             self.retry,
             sleep=self._sleep,
             retryable=is_retryable,
@@ -200,9 +244,12 @@ class RPCClient:
             response = self._request(Request(method, args))
         else:
             with tracer.span("rpc.call", method=method) as span:
+                before = self.retries
                 response = self._request(
                     Request(method, args, trace=(span.trace_id, span.span_id))
                 )
+                if self.retry is not None:
+                    span.set_tag("retries", self.retries - before)
         if response.ok:
             return response.value
         exc_type = _ERROR_TYPES.get(response.error_type)

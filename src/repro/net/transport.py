@@ -233,7 +233,10 @@ class TCPServerTransport:
             thread.start()
 
     def _serve_connection(self, conn: socket.socket, addr: tuple) -> None:
+        from repro.obs.profile import register_thread, unregister_thread
+
         peer = f"{addr[0]}:{addr[1]}"
+        register_thread("rpc.worker")
         self._m_conns_total.inc()
         self._m_conns_active.inc()
         try:
@@ -265,6 +268,7 @@ class TCPServerTransport:
             # listener and every other connection stay healthy.
             return
         finally:
+            unregister_thread()
             self._m_conns_active.dec()
             with self._conns_lock:
                 self._conns.discard(conn)

@@ -16,10 +16,19 @@ pipeline — and the *time* axis the paper's figures are drawn on:
 * :mod:`repro.obs.collector` — :class:`ClusterCollector`, scraping every
   LRC/RLI of a deployment and deriving cluster-wide signals;
 * :mod:`repro.obs.analyze` — pathology detectors (VACUUM sawtooth,
-  staleness-SLO burn, queue saturation, baseline regression);
+  staleness-SLO burn, queue saturation, baseline regression, stuck
+  threads);
+* :mod:`repro.obs.profile` — wall-clock :class:`SamplingProfiler` over
+  ``sys._current_frames()`` folding samples into a :class:`StackProfile`,
+  a thread registry (:func:`register_thread` / :class:`thread_role`)
+  attributing samples to named roles, and thread-state introspection;
+* :mod:`repro.obs.flight` — :class:`FlightRecorder`, a bounded ring of
+  typed events (RPC dispatch, update delivery, WAL flush, errors) with
+  error-preferential retention and automatic black-box dumps;
 * exposure surfaces wired elsewhere — the ``admin_stats``/``admin_metrics``
-  /``admin_traces`` RPCs, ``GET /metrics`` on the HTTP gateway, and the
-  ``rls stats`` / ``rls top`` / ``rls trace`` CLI commands.
+  /``admin_traces``/``admin_profile``/``admin_flight`` RPCs,
+  ``GET /metrics`` on the HTTP gateway, and the ``rls stats`` / ``rls
+  top`` / ``rls trace`` / ``rls profile`` / ``rls flight`` CLI commands.
 
 Everything defaults to off: with no registry passed and no tracer
 installed, instrumentation sites hit no-op singletons.  See
@@ -34,6 +43,11 @@ from repro.obs.analyze import (
     detect_queue_saturation,
     detect_sawtooth,
     detect_staleness_burn,
+    detect_stuck_threads,
+)
+from repro.obs.flight import (
+    FlightEvent,
+    FlightRecorder,
 )
 from repro.obs.collector import (
     ClusterCollector,
@@ -57,6 +71,15 @@ from repro.obs.metrics import (
     merge_snapshots,
     metric_key,
     split_metric_key,
+)
+from repro.obs.profile import (
+    SamplingProfiler,
+    StackProfile,
+    fold_stack,
+    register_thread,
+    registered_threads,
+    thread_role,
+    unregister_thread,
 )
 from repro.obs.timeseries import (
     ScrapeResult,
@@ -83,6 +106,8 @@ __all__ = [
     "ClusterSample",
     "Counter",
     "Detection",
+    "FlightEvent",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "HistogramSnapshot",
@@ -93,11 +118,13 @@ __all__ = [
     "NodeSample",
     "NodeSource",
     "NullRegistry",
+    "SamplingProfiler",
     "ScrapeResult",
     "Scraper",
     "SeriesStore",
     "Span",
     "SpanSink",
+    "StackProfile",
     "TimeSeries",
     "Tracer",
     "analyze_store",
@@ -108,13 +135,19 @@ __all__ = [
     "detect_queue_saturation",
     "detect_sawtooth",
     "detect_staleness_burn",
+    "detect_stuck_threads",
+    "fold_stack",
     "format_tree",
     "install_tracer",
     "merge_snapshots",
     "metric_key",
+    "register_thread",
+    "registered_threads",
     "registry_source",
     "server_source",
     "span",
     "split_metric_key",
+    "thread_role",
+    "unregister_thread",
     "walk_tree",
 ]

@@ -10,7 +10,10 @@ Each detector encodes one failure shape the paper's evaluation surfaces:
   update backlog) growing without drain, the precursor of the Figure 13
   contention knee;
 * :func:`compare_baseline` — throughput regression against a recorded
-  baseline series (used by the benchmark trajectory artifacts).
+  baseline series (used by the benchmark trajectory artifacts);
+* :func:`detect_stuck_threads` — a server thread pinned on the same
+  non-idle frame across consecutive profiler samples while requests are
+  in flight (fed by :class:`repro.obs.profile.SamplingProfiler`).
 
 Thresholds are fixed defaults chosen to clear measurement noise, not
 tuning knobs the caller must supply: every detector is usable as
@@ -44,6 +47,9 @@ QUEUE_MIN_DEPTH = 8.0
 
 #: Baseline regression tolerance (fractional drop in the mean).
 BASELINE_TOLERANCE = 0.15
+
+#: Consecutive identical non-idle top frames before a thread is "stuck".
+STUCK_MIN_SAMPLES = 5
 
 
 @dataclass
@@ -291,6 +297,56 @@ def compare_baseline(
             "tolerance": tolerance,
         },
     )
+
+
+# ---------------------------------------------------------------------------
+# Stuck threads (sampling-profiler input)
+# ---------------------------------------------------------------------------
+
+
+def detect_stuck_threads(
+    threads: Sequence[dict[str, Any]],
+    min_samples: int = STUCK_MIN_SAMPLES,
+    inflight: float = 0.0,
+) -> list[Detection]:
+    """Fire for threads pinned on one non-idle frame while work is queued.
+
+    ``threads`` is the profiler's per-thread run bookkeeping
+    (:meth:`~repro.obs.profile.SamplingProfiler.thread_states`): dicts
+    with ``role``, ``top_frame``, ``consecutive`` (identical top-frame
+    samples in a row) and ``idle``.  A thread parked in a wait primitive
+    is never stuck, and with ``inflight == 0`` nothing fires — an idle
+    server legitimately shows unchanging stacks.
+    """
+    if inflight <= 0:
+        return []
+    detections: list[Detection] = []
+    for state in threads:
+        if state.get("idle"):
+            continue
+        run = int(state.get("consecutive", 0))
+        if run < min_samples:
+            continue
+        role = state.get("role", "other")
+        top = state.get("top_frame", "?")
+        detections.append(
+            Detection(
+                kind="stuck_thread",
+                severity="critical" if run >= 2 * min_samples else "warning",
+                summary=(
+                    f"thread role={role} pinned on {top} for {run} "
+                    f"consecutive samples with {inflight:g} requests in flight"
+                ),
+                details={
+                    "ident": state.get("ident"),
+                    "role": role,
+                    "top_frame": top,
+                    "consecutive": run,
+                    "inflight": inflight,
+                },
+            )
+        )
+    return detections
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,201 @@
+"""Black-box flight recorder: a bounded ring of typed server events.
+
+When a server misbehaves, the question is rarely "what is happening now"
+— it is "what happened in the seconds *before* this error".  The flight
+recorder answers it the way an aircraft black box does: every layer
+appends small typed events (RPC dispatch, update delivery attempts and
+retries, WAL flushes, errors) into a bounded thread-safe ring, correlated
+with span ids from the tracer, and the ring is snapshotted on demand
+(``admin_flight`` / ``rls flight``) or automatically when a handler
+raises.
+
+Retention mirrors :class:`~repro.obs.tracing.SpanSink`: every event lands
+in a **recent** ring (capacity ``capacity``) and error events *also* land
+in a smaller **errors** ring, so a flood of healthy traffic can never
+push out the failure evidence — the property the wrap test asserts.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+_event_seq = itertools.count(1)
+
+#: Event kinds the instrumentation sites emit (informative, not enforced).
+EVENT_KINDS = (
+    "rpc.in",
+    "rpc.out",
+    "update.attempt",
+    "update.retry",
+    "wal.flush",
+    "error",
+)
+
+
+@dataclass(frozen=True)
+class FlightEvent:
+    """One recorded event; ``seq`` totally orders events across rings."""
+
+    seq: int
+    t: float
+    kind: str
+    detail: str = ""
+    trace_id: str | None = None
+    span_id: str | None = None
+    error: bool = False
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "t": self.t,
+            "kind": self.kind,
+            "detail": self.detail,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "error": self.error,
+            "data": dict(self.data),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FlightEvent":
+        return cls(
+            seq=int(data["seq"]),
+            t=float(data.get("t", 0.0)),
+            kind=data["kind"],
+            detail=data.get("detail", ""),
+            trace_id=data.get("trace_id"),
+            span_id=data.get("span_id"),
+            error=bool(data.get("error", False)),
+            data=dict(data.get("data", {})),
+        )
+
+
+class FlightRecorder:
+    """Bounded, thread-safe event ring with error-preferential retention.
+
+    ``record`` is the single producer entry point; with ``span=None`` the
+    event adopts the calling thread's current trace context (if a tracer
+    is installed), so instrumentation sites get correlation for free.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        error_capacity: int | None = None,
+        clock: Any = time.time,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.error_capacity = (
+            error_capacity if error_capacity is not None
+            else max(16, capacity // 4)
+        )
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._recent: "OrderedDict[int, FlightEvent]" = OrderedDict()
+        self._errors: "OrderedDict[int, FlightEvent]" = OrderedDict()
+        self.recorded = 0
+        self.error_count = 0
+        #: Snapshot taken by :meth:`dump` (the last unhandled-error dump).
+        self.last_dump: dict[str, Any] | None = None
+
+    def record(
+        self,
+        kind: str,
+        detail: str = "",
+        span: tuple[str, str] | None = None,
+        error: bool = False,
+        **data: Any,
+    ) -> FlightEvent:
+        """Append one event; returns it (tests assert on the result)."""
+        if span is None:
+            from repro.obs import tracing
+
+            span = tracing.context()
+        event = FlightEvent(
+            seq=next(_event_seq),
+            t=self.clock(),
+            kind=kind,
+            detail=detail,
+            trace_id=span[0] if span else None,
+            span_id=span[1] if span else None,
+            error=error,
+            data=data,
+        )
+        with self._lock:
+            self.recorded += 1
+            self._recent[event.seq] = event
+            while len(self._recent) > self.capacity:
+                self._recent.popitem(last=False)
+            if error:
+                self.error_count += 1
+                self._errors[event.seq] = event
+                while len(self._errors) > self.error_capacity:
+                    self._errors.popitem(last=False)
+        return event
+
+    def events(self) -> list[FlightEvent]:
+        """Union of both rings in sequence order (oldest first).
+
+        Errors evicted from the recent ring survive via the error ring;
+        the union is deduplicated by ``seq``.
+        """
+        with self._lock:
+            merged = dict(self._errors)
+            merged.update(self._recent)
+        return [merged[seq] for seq in sorted(merged)]
+
+    def errors(self) -> list[FlightEvent]:
+        with self._lock:
+            return list(self._errors.values())
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "recorded": self.recorded,
+                "errors": self.error_count,
+                "recent": len(self._recent),
+                "retained_errors": len(self._errors),
+                "capacity": self.capacity,
+                "error_capacity": self.error_capacity,
+            }
+
+    def to_dict(self, limit: int | None = None) -> dict[str, Any]:
+        """RPC payload: stats, the event tail, and the last error dump."""
+        events = self.events()
+        if limit is not None and limit >= 0:
+            events = events[-limit:]
+        return {
+            "stats": self.stats(),
+            "events": [event.to_dict() for event in events],
+            "last_dump": self.last_dump,
+        }
+
+    def dump(self, reason: str) -> dict[str, Any]:
+        """Freeze the current ring into ``last_dump`` (auto on errors).
+
+        The dump survives subsequent wraps of the live ring, so the
+        events *leading up to* the error stay retrievable even after the
+        server has moved on.
+        """
+        snapshot = {
+            "reason": reason,
+            "t": self.clock(),
+            "stats": self.stats(),
+            "events": [event.to_dict() for event in self.events()],
+        }
+        self.last_dump = snapshot
+        return snapshot
+
+    def clear(self) -> None:
+        with self._lock:
+            self._recent.clear()
+            self._errors.clear()
+        self.last_dump = None

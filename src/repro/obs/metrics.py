@@ -377,6 +377,9 @@ _METRIC_HELP: dict[str, str] = {
     "db_table_dead_index_hits": "Index probes that landed on dead tuples",
     "db_table_vacuums": "VACUUM passes completed",
     "db_table_tuples_reclaimed": "Dead tuples reclaimed by VACUUM",
+    "obs_profiler_samples": "Thread stacks sampled by the wall-clock profiler",
+    "obs_profiler_walk_latency": "Seconds per profiler frame-walk pass",
+    "obs_profiler_duty_cycle": "Fraction of wall time the profiler spends walking",
 }
 
 

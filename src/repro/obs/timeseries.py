@@ -268,13 +268,19 @@ class Scraper:
         return self
 
     def _loop(self) -> None:
-        while not self._stop.wait(self.interval):
-            try:
-                self.scrape_once()
-            except Exception:
-                # A failing source (e.g. a node mid-restart) must not kill
-                # the scrape loop; the next tick retries.
-                continue
+        from repro.obs.profile import register_thread, unregister_thread
+
+        register_thread("scraper")
+        try:
+            while not self._stop.wait(self.interval):
+                try:
+                    self.scrape_once()
+                except Exception:
+                    # A failing source (e.g. a node mid-restart) must not
+                    # kill the scrape loop; the next tick retries.
+                    continue
+        finally:
+            unregister_thread()
 
     def stop(self) -> None:
         self._stop.set()

@@ -255,6 +255,11 @@ class Tracer:
         self._local = threading.local()
         self._lock = threading.Lock()
         self._traces: "OrderedDict[str, list[Span]]" = OrderedDict()
+        # Cross-thread view of each thread's innermost open span, for
+        # thread dumps (the thread-local stack is invisible from the
+        # admin RPC's thread).  Plain dict ops under the GIL; entries are
+        # removed when a thread's stack empties.
+        self._active_by_thread: dict[int, Span] = {}
 
     # -- span lifecycle --------------------------------------------------
 
@@ -295,18 +300,31 @@ class Tracer:
             return None
         return (current.trace_id, current.span_id)
 
+    def context_for_thread(self, ident: int) -> tuple[str, str] | None:
+        """Wire context of another thread's innermost open span, if any."""
+        span = self._active_by_thread.get(ident)
+        if span is None:
+            return None
+        return (span.trace_id, span.span_id)
+
     def _push(self, span: Span) -> None:
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = []
             self._local.stack = stack
         stack.append(span)
+        self._active_by_thread[threading.get_ident()] = span
 
     def _pop(self, span: Span) -> None:
         span.duration = time.perf_counter() - span.start
         stack = getattr(self._local, "stack", None)
         if stack and stack[-1] is span:
             stack.pop()
+        ident = threading.get_ident()
+        if stack:
+            self._active_by_thread[ident] = stack[-1]
+        else:
+            self._active_by_thread.pop(ident, None)
         if self.sink is not None:
             self.sink.offer(span)
         with self._lock:

@@ -78,6 +78,40 @@ class TestCLIServeVariants:
             thread.join()
         assert "serving pg-served" in out.getvalue()
 
+    def test_serve_profile_hz_enables_sampler(self):
+        import threading
+        import time
+
+        out = io.StringIO()
+
+        def serve():
+            main(
+                [
+                    "serve", "--name", "prof-served", "--role", "both",
+                    "--run-seconds", "1.5", "--profile-hz", "500",
+                ],
+                out=out,
+            )
+
+        thread = threading.Thread(target=serve)
+        thread.start()
+        try:
+            deadline = time.time() + 5.0
+            sampled = False
+            while time.time() < deadline and not sampled:
+                try:
+                    profile_out = io.StringIO()
+                    code = main(["profile", "prof-served"], out=profile_out)
+                    sampled = code == 0 and "samples by role" in profile_out.getvalue()
+                except Exception:
+                    pass
+                if not sampled:
+                    time.sleep(0.05)
+            assert sampled
+        finally:
+            thread.join()
+        assert "profiling enabled at 500 Hz" in out.getvalue()
+
 
 class TestOrderByDistinctInteraction:
     def test_distinct_with_nonprojected_order_rejected(self):

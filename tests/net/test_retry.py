@@ -227,3 +227,85 @@ class TestConnectTCPRetry:
                 "127.0.0.1", port, retry=policy, sleep=sleeps.append
             )
         assert sleeps == [0.1, 0.2]
+
+
+class TestRetryTracePropagation:
+    """Each retried attempt gets its own child span under the client span,
+    and the retry count lands on the ``rpc.call`` span as a tag."""
+
+    @pytest.fixture
+    def tracer(self):
+        from repro.obs import tracing
+        from repro.obs.tracing import Tracer
+
+        t = Tracer()
+        tracing.install_tracer(t)
+        yield t
+        tracing.install_tracer(None)
+
+    def flaky_client(self, pattern, max_attempts=3):
+        transport = LocalTransport(_echo_server(), name=None)
+        return RPCClient(
+            FlakyChannel(transport.open_channel(), FailureSchedule.pattern(pattern)),
+            retry=RetryPolicy(max_attempts=max_attempts, jitter=0.0),
+            sleep=lambda s: None,
+        )
+
+    def test_each_attempt_is_a_child_span_of_the_same_call(self, tracer):
+        client = self.flaky_client("FF.")
+        assert client.call("echo", "hi") == "hi"
+        assert client.retries == 2
+
+        (root,) = tracer.find_spans("rpc.call")
+        attempts = sorted(
+            tracer.find_spans("rpc.attempt"), key=lambda s: s.tags["attempt"]
+        )
+        assert len(attempts) == 3
+        assert [s.tags["attempt"] for s in attempts] == [1, 2, 3]
+        for span in attempts:
+            # All attempts share the client span's trace and parent under it.
+            assert span.trace_id == root.trace_id
+            assert span.parent_id == root.span_id
+            assert span.tags["method"] == "echo"
+        # Failed attempts carry the transport error; the last one is clean.
+        assert attempts[0].error == "FaultInjected"
+        assert attempts[1].error == "FaultInjected"
+        assert attempts[2].error is None
+
+    def test_retry_count_tagged_on_call_span(self, tracer):
+        client = self.flaky_client("F.")
+        client.call("echo", "x")
+        (root,) = tracer.find_spans("rpc.call")
+        assert root.tags["retries"] == 1
+
+    def test_clean_call_tags_zero_retries_and_one_attempt(self, tracer):
+        client = self.flaky_client(".")
+        client.call("echo", "x")
+        (root,) = tracer.find_spans("rpc.call")
+        assert root.tags["retries"] == 0
+        (attempt,) = tracer.find_spans("rpc.attempt")
+        assert attempt.tags["attempt"] == 1
+        assert attempt.error is None
+
+    def test_no_retry_policy_means_no_attempt_spans(self, tracer):
+        transport = LocalTransport(_echo_server(), name=None)
+        client = RPCClient(transport.open_channel())
+        client.call("echo", "x")
+        (root,) = tracer.find_spans("rpc.call")
+        assert "retries" not in root.tags
+        assert tracer.find_spans("rpc.attempt") == []
+
+    def test_exhaustion_leaves_failed_attempt_spans(self, tracer):
+        client = self.flaky_client("FFF", max_attempts=2)
+        with pytest.raises(FaultInjected):
+            client.call("echo", "x")
+        attempts = sorted(
+            tracer.find_spans("rpc.attempt"), key=lambda s: s.tags["attempt"]
+        )
+        assert [s.tags["attempt"] for s in attempts] == [1, 2]
+        assert all(s.error == "FaultInjected" for s in attempts)
+
+    def test_retries_work_without_tracer_installed(self):
+        client = self.flaky_client("F.")
+        assert client.call("echo", "ok") == "ok"
+        assert client.retries == 1

@@ -1,0 +1,146 @@
+"""benchmarks/compare.py: artifact regression diffing (both modes)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks.compare import (
+    LOWER_IS_BETTER_MARKERS,
+    compare_dirs,
+    compare_series,
+    compare_trajectory,
+    main,
+)
+
+
+def write_artifact(directory, name, series, runs=None):
+    payload = {"name": name, "series": series}
+    if runs is not None:
+        payload["runs"] = runs
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def points(values):
+    return [[float(i), float(v)] for i, v in enumerate(values)]
+
+
+class TestCompareSeries:
+    def test_matching_rates_pass(self):
+        current = {"lrc.query_rate": points([100, 102])}
+        baseline = {"lrc.query_rate": points([101, 99])}
+        assert compare_series("f", current, baseline, tolerance=0.15) == []
+
+    def test_rate_drop_flagged(self):
+        current = {"lrc.query_rate": points([50, 50])}
+        baseline = {"lrc.query_rate": points([100, 100])}
+        (det,) = compare_series("f", current, baseline, tolerance=0.15)
+        assert det.kind == "baseline_regression"
+        assert det.severity == "critical"  # 50% drop > 2 * 0.15
+        assert det.details["artifact"] == "f"
+        assert det.details["series"] == "lrc.query_rate"
+        assert "f:lrc.query_rate" in det.summary
+
+    def test_rate_improvement_not_flagged(self):
+        current = {"r": points([200])}
+        baseline = {"r": points([100])}
+        assert compare_series("f", current, baseline, tolerance=0.15) == []
+
+    def test_time_series_slowdown_flagged(self):
+        """Lower-is-better series invert: a slowdown is the regression."""
+        assert "time" in LOWER_IS_BETTER_MARKERS
+        current = {"updates.full_time.10000": points([20.0])}
+        baseline = {"updates.full_time.10000": points([10.0])}
+        (det,) = compare_series("f", current, baseline, tolerance=0.15)
+        assert det.kind == "baseline_regression"
+
+    def test_time_series_speedup_not_flagged(self):
+        current = {"bloom.generation_time": points([5.0])}
+        baseline = {"bloom.generation_time": points([10.0])}
+        assert compare_series("f", current, baseline, tolerance=0.15) == []
+
+    def test_unshared_series_ignored(self):
+        current = {"only.current": points([1.0])}
+        baseline = {"only.baseline": points([100.0])}
+        assert compare_series("f", current, baseline, tolerance=0.15) == []
+
+
+class TestCompareDirs:
+    def test_cross_directory_regression(self, tmp_path):
+        cur, base = tmp_path / "cur", tmp_path / "base"
+        cur.mkdir(), base.mkdir()
+        write_artifact(cur, "fig06", {"lrc.query_rate": points([40])})
+        write_artifact(base, "fig06", {"lrc.query_rate": points([100])})
+        write_artifact(cur, "fig09", {"rli.query_rate": points([100])})
+        write_artifact(base, "fig09", {"rli.query_rate": points([100])})
+        detections, compared = compare_dirs(cur, base, tolerance=0.15)
+        assert compared == 2
+        assert len(detections) == 1
+        assert detections[0].details["artifact"] == "fig06"
+
+    def test_missing_baseline_skipped(self, tmp_path, capsys):
+        cur, base = tmp_path / "cur", tmp_path / "base"
+        cur.mkdir(), base.mkdir()
+        write_artifact(cur, "solo", {"r": points([1])})
+        detections, compared = compare_dirs(cur, base, tolerance=0.15)
+        assert detections == [] and compared == 0
+        assert "no baseline artifact" in capsys.readouterr().out
+
+
+class TestCompareTrajectory:
+    def test_last_two_runs_compared(self, tmp_path):
+        runs = [
+            {"series": {"r": points([100])}},
+            {"series": {"r": points([100])}},
+            {"series": {"r": points([40])}},  # latest run regressed
+        ]
+        write_artifact(tmp_path, "traj", {"r": points([40])}, runs=runs)
+        detections, compared = compare_trajectory(tmp_path, tolerance=0.15)
+        assert compared == 1
+        assert len(detections) == 1
+
+    def test_single_run_skipped(self, tmp_path, capsys):
+        write_artifact(
+            tmp_path, "one", {"r": points([1])}, runs=[{"series": {}}]
+        )
+        detections, compared = compare_trajectory(tmp_path, tolerance=0.15)
+        assert detections == [] and compared == 0
+        assert "fewer than 2 recorded runs" in capsys.readouterr().out
+
+
+class TestMain:
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        cur, base = tmp_path / "cur", tmp_path / "base"
+        cur.mkdir(), base.mkdir()
+        write_artifact(cur, "f", {"r": points([10])})
+        write_artifact(base, "f", {"r": points([100])})
+        assert main([str(cur), str(base)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "1 regression(s) found" in out
+
+    def test_exit_zero_when_clean(self, tmp_path):
+        cur, base = tmp_path / "cur", tmp_path / "base"
+        cur.mkdir(), base.mkdir()
+        write_artifact(cur, "f", {"r": points([100])})
+        write_artifact(base, "f", {"r": points([100])})
+        assert main([str(cur), str(base)]) == 0
+
+    def test_self_compare_mode(self, tmp_path):
+        runs = [{"series": {"r": points([100])}}, {"series": {"r": points([99])}}]
+        write_artifact(tmp_path, "f", {"r": points([99])}, runs=runs)
+        assert main([str(tmp_path)]) == 0
+
+    def test_tolerance_flag(self, tmp_path):
+        cur, base = tmp_path / "cur", tmp_path / "base"
+        cur.mkdir(), base.mkdir()
+        write_artifact(cur, "f", {"r": points([80])})  # 20% drop
+        write_artifact(base, "f", {"r": points([100])})
+        assert main([str(cur), str(base)]) == 1
+        assert main([str(cur), str(base), "--tolerance", "0.3"]) == 0
+
+    def test_missing_directory_is_usage_error(self, tmp_path):
+        assert main([str(tmp_path / "nope")]) == 2

@@ -9,6 +9,7 @@ import repro
 import repro.core
 import repro.db
 import repro.net
+import repro.obs
 import repro.security
 import repro.sim
 import repro.workload
@@ -18,12 +19,29 @@ REPO = pathlib.Path(__file__).resolve().parents[1]
 
 @pytest.mark.parametrize(
     "module",
-    [repro, repro.core, repro.db, repro.net, repro.security, repro.sim,
-     repro.workload],
+    [repro, repro.core, repro.db, repro.net, repro.obs, repro.security,
+     repro.sim, repro.workload],
 )
 def test_all_exports_resolve(module):
     for name in getattr(module, "__all__", []):
         assert hasattr(module, name), f"{module.__name__}.{name} missing"
+
+
+def test_obs_exports_profiler_and_flight_surface():
+    """The profiling/flight-recorder names are part of the public surface."""
+    for name in (
+        "SamplingProfiler",
+        "StackProfile",
+        "FlightRecorder",
+        "FlightEvent",
+        "register_thread",
+        "unregister_thread",
+        "thread_role",
+        "fold_stack",
+        "detect_stuck_threads",
+    ):
+        assert name in repro.obs.__all__, f"repro.obs.__all__ missing {name}"
+        assert hasattr(repro.obs, name)
 
 
 def test_version_matches_pyproject():
