@@ -176,6 +176,45 @@ def time_disabled_profiler_guard(n: int) -> float:
     return (time.perf_counter() - start) / n
 
 
+#: Partition-routing population for the route() budget: a namespace split
+#: across this many RLI targets, each owning this many regex patterns.
+ROUTE_TARGETS = 8
+ROUTE_PATTERNS = 4
+ROUTE_CALLS = 50_000
+
+
+def time_partition_route(n: int) -> float:
+    """Seconds per ``PartitionRouter.route`` call at realistic fan-out.
+
+    ``route`` runs once per changed LFN on the update hot path, so its
+    cost must stay a small fraction of the add that triggered it.  The
+    compiled-alternation fast path turns the per-call work into one
+    C-level search per target instead of targets x patterns Python-level
+    ``any`` probes.
+    """
+    from repro.core.lrc import RLITarget
+    from repro.core.partition import PartitionRouter
+
+    targets = [
+        RLITarget(
+            name=f"rli-{t}",
+            patterns=tuple(
+                rf"^site{t}/dir{p}/run[0-9]+" for p in range(ROUTE_PATTERNS)
+            ),
+        )
+        for t in range(ROUTE_TARGETS)
+    ]
+    router = PartitionRouter(targets)
+    # Worst case for the alternation: an LFN matching no target forces
+    # every branch of every combined pattern to be tried.
+    lfns = [f"elsewhere/dir{i % 10}/run{i}" for i in range(100)]
+    assert router.route(f"site3/dir1/run7") and not router.route(lfns[0])
+    start = time.perf_counter()
+    for i in range(n):
+        router.route(lfns[i % len(lfns)])
+    return (time.perf_counter() - start) / n
+
+
 SCRAPE_ROUNDS = 50
 
 
@@ -283,6 +322,23 @@ def main() -> int:
         print("FAIL: disabled sampling profiler exceeds the overhead budget")
         return 1
     print("OK: disabled sampling profiler is within the overhead budget")
+
+    # Partition routing: one route() per changed LFN on the update path
+    # must stay under the same per-add budget at realistic fan-out.
+    per_route = time_partition_route(ROUTE_CALLS)
+    route_fraction = per_route / per_add
+    print(
+        f"per route call:     {per_route * 1e9:8.2f} ns "
+        f"({ROUTE_TARGETS} targets x {ROUTE_PATTERNS} patterns, no match)"
+    )
+    print(
+        f"routing overhead:   {route_fraction * 100:8.3f}% of add "
+        f"(limit {MAX_OVERHEAD_FRACTION * 100:.0f}%)"
+    )
+    if route_fraction >= MAX_OVERHEAD_FRACTION:
+        print("FAIL: partition routing exceeds the overhead budget")
+        return 1
+    print("OK: partition routing is within the overhead budget")
     return 0
 
 

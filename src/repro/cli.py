@@ -89,6 +89,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable the sampling profiler at this rate "
         "(query via 'rls profile' / 'rls threads'; default: disabled)",
     )
+    serve.add_argument(
+        "--shards",
+        default=None,
+        help="comma-separated shard masters forming the cluster's "
+        "consistent-hash ring (gives this server a shard map to serve "
+        "from 'admin_shard_map' / 'rls shards')",
+    )
+    serve.add_argument(
+        "--mirror-of",
+        default=None,
+        help="run as a read-only mirror of the named shard master: "
+        "client writes are rejected, the master's replica stream is "
+        "applied via the mirror ingest RPCs",
+    )
+    serve.add_argument(
+        "--mirrors",
+        default=None,
+        help="comma-separated read-only mirrors this shard master "
+        "streams replica mappings to",
+    )
+    serve.add_argument(
+        "--vnodes",
+        type=int,
+        default=None,
+        help="virtual nodes per shard on the consistent-hash ring "
+        "(default: 64)",
+    )
 
     for name, help_text in (
         ("create", "register a new logical name with its first replica"),
@@ -267,6 +294,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", action="store_true",
         help="print the server's internal metrics delta after the run",
     )
+
+    shards = sub.add_parser(
+        "shards", help="cluster shard map + mirror delivery health"
+    )
+    shards.add_argument("--server", required=True)
     return parser
 
 
@@ -274,6 +306,26 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
     args = build_parser().parse_args(argv)
 
     if args.command == "serve":
+        cluster = None
+        if args.shards:
+            from repro.cluster.ring import DEFAULT_VNODES, ShardMap
+
+            shard_names = tuple(
+                s.strip() for s in args.shards.split(",") if s.strip()
+            )
+            mirror_names = tuple(
+                m.strip() for m in (args.mirrors or "").split(",") if m.strip()
+            )
+            # Each serve process carries the slice of topology it knows:
+            # the ring members plus its own mirrors entry.  A combined
+            # client can bootstrap from any master's answer.
+            cluster = ShardMap(
+                shards=shard_names,
+                mirrors={args.name: mirror_names}
+                if mirror_names and args.name in shard_names
+                else {},
+                vnodes=args.vnodes or DEFAULT_VNODES,
+            )
         config = ServerConfig(
             name=args.name,
             role=args.role,
@@ -283,6 +335,11 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
             tcp_host=args.host,
             tcp_port=args.port,
             profile_hz=args.profile_hz,
+            cluster=cluster,
+            mirror_of=args.mirror_of,
+            mirrors=tuple(
+                m.strip() for m in (args.mirrors or "").split(",") if m.strip()
+            ),
         )
         installed_tracer = False
         if args.trace:
@@ -296,6 +353,12 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
             print(f"serving {args.name} on {address[0]}:{address[1]}", file=out)
         else:
             print(f"serving {args.name} (in-process endpoint)", file=out)
+        if config.mirror_of:
+            print(f"read-only mirror of {config.mirror_of}", file=out)
+        if config.mirrors:
+            print(
+                f"streaming to mirrors: {', '.join(config.mirrors)}", file=out
+            )
         if args.trace:
             print("tracing enabled (tail-sampled span sink)", file=out)
         if args.profile_hz > 0:
@@ -378,6 +441,8 @@ def _dispatch(args: argparse.Namespace, client: RLSClient, out) -> int:
         return _flight(args, client, out)
     elif args.command == "workload":
         return _workload(args, client, out)
+    elif args.command == "shards":
+        return _shards(args, client, out)
     return 0
 
 
@@ -916,6 +981,45 @@ def _workload(args: argparse.Namespace, client: RLSClient, out) -> int:
         delta = after.delta(before)
         _format_metrics_summary(delta.to_dict(), out)
     return 1 if result.errors else 0
+
+
+def _shards(args: argparse.Namespace, client: RLSClient, out) -> int:
+    """Print the server's shard map and its mirror delivery health."""
+    info = client.shard_map()
+    print(f"server: {info['self']}", file=out)
+    if info.get("mirror_of"):
+        print(f"role:   read-only mirror of {info['mirror_of']}", file=out)
+    shard_map = info.get("shard_map")
+    if not shard_map:
+        print("no shard map configured (not a cluster member)", file=out)
+        return 0
+    mirrors = shard_map.get("mirrors", {})
+    print(
+        f"ring:   {len(shard_map['shards'])} shards, "
+        f"{shard_map['vnodes']} vnodes/shard, "
+        f"version {shard_map['version']}",
+        file=out,
+    )
+    for shard in shard_map["shards"]:
+        names = mirrors.get(shard, [])
+        suffix = f" -> mirrors: {', '.join(names)}" if names else ""
+        print(f"  shard {shard}{suffix}", file=out)
+    delivery = client.mirror_list()
+    if delivery:
+        print("mirror delivery:", file=out)
+        for name, state in delivery.items():
+            status = "healthy" if state["healthy"] else "UNHEALTHY"
+            print(
+                f"  {name}: {status}, backlog={state['backlog']}, "
+                f"retries={state['retries']}"
+                + (
+                    f", last_error={state['last_error']}"
+                    if state["last_error"]
+                    else ""
+                ),
+                file=out,
+            )
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

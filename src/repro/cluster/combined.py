@@ -1,0 +1,400 @@
+"""Combined routing client for a sharded LRC namespace.
+
+:class:`CombinedClient` presents one logical catalog over N shard masters
+and their read-only mirrors, after the DIRAC
+``LcgFileCatalogCombinedClient`` pattern: the client declares which
+catalog methods are reads and which are writes, sends every write to the
+shard master that owns the LFN (consistent-hash placement via
+:class:`~repro.cluster.ring.HashRing`), and fans reads across the shard's
+mirrors — shuffled once per client so load spreads — failing over to the
+next mirror and ultimately back to the master when an endpoint dies.
+
+Failover discipline: a *transport* failure (endpoint gone, RPC channel
+broken) marks the endpoint unhealthy with a backoff and tries the next
+one; a typed :class:`~repro.core.errors.RLSError` is a genuine answer
+from a live server (e.g. ``MappingNotFoundError``) and propagates
+immediately.  When every endpoint of a shard is down the client raises
+:class:`~repro.core.errors.ShardRoutingError` naming the shard.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.cluster.ring import ShardMap
+from repro.core.errors import RLSError, ShardRoutingError
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
+
+#: Catalog methods the client may serve from a read-only mirror.
+RO_METHODS = (
+    "get_mappings",
+    "get_lfns",
+    "query_wildcard",
+    "bulk_query",
+    "exists",
+    "lfn_count",
+    "mapping_count",
+    "get_attributes",
+    "query_by_attribute",
+)
+
+#: Catalog methods that must reach the owning shard master.
+WRITE_METHODS = (
+    "create",
+    "add",
+    "delete",
+    "bulk_create",
+    "bulk_add",
+    "bulk_delete",
+    "define_attribute",
+    "undefine_attribute",
+    "add_attribute",
+    "modify_attribute",
+    "remove_attribute",
+    "bulk_add_attribute",
+)
+
+#: Seconds an endpoint stays benched after a transport failure before the
+#: client tries it again (doubles per consecutive failure, capped).
+_RETRY_BASE = 1.0
+_RETRY_CAP = 30.0
+
+
+@dataclass
+class EndpointHealth:
+    """Per-endpoint client-side failure bookkeeping."""
+
+    name: str
+    healthy: bool = True
+    consecutive_failures: int = 0
+    next_retry_at: float = 0.0
+    failures: int = 0
+    last_error: str | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "healthy": self.healthy,
+            "consecutive_failures": self.consecutive_failures,
+            "failures": self.failures,
+            "last_error": self.last_error,
+        }
+
+
+def _default_connect(name: str):
+    from repro.core.client import connect
+
+    return connect(name)
+
+
+class CombinedClient:
+    """One logical RLS catalog over shard masters plus mirror replicas."""
+
+    def __init__(
+        self,
+        shard_map: ShardMap,
+        connect_fn: Callable[[str], Any] | None = None,
+        metrics: MetricsRegistry | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        rng: random.Random | None = None,
+    ) -> None:
+        if not shard_map.shards:
+            raise ShardRoutingError("shard map is empty")
+        self.map = shard_map
+        self.ring = shard_map.ring()
+        self.connect_fn = connect_fn or _default_connect
+        self.clock = clock
+        rng = rng or random.Random()
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._clients: dict[str, Any] = {}
+        self._health: dict[str, EndpointHealth] = {}
+        # Per-shard read order: mirrors shuffled once per client (so a fleet
+        # of clients spreads load), master always last as the fallback.
+        self._read_order: dict[str, list[str]] = {}
+        for shard in shard_map.shards:
+            mirrors = list(shard_map.mirrors_of(shard))
+            rng.shuffle(mirrors)
+            self._read_order[shard] = mirrors + [shard]
+            for name in self._read_order[shard]:
+                self._health.setdefault(name, EndpointHealth(name=name))
+        self._m_routes: dict[tuple[str, str], Any] = {}
+        self._m_failovers: dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Endpoint management
+    # ------------------------------------------------------------------
+
+    def _client(self, name: str):
+        client = self._clients.get(name)
+        if client is None:
+            client = self._clients[name] = self.connect_fn(name)
+        return client
+
+    def _drop_client(self, name: str) -> None:
+        client = self._clients.pop(name, None)
+        if client is not None:
+            try:
+                client.close()
+            except Exception:
+                pass
+
+    def _mark_failed(self, name: str, exc: BaseException) -> None:
+        health = self._health[name]
+        health.healthy = False
+        health.failures += 1
+        health.consecutive_failures += 1
+        health.last_error = f"{type(exc).__name__}: {exc}"
+        backoff = min(
+            _RETRY_BASE * (2 ** (health.consecutive_failures - 1)), _RETRY_CAP
+        )
+        health.next_retry_at = self.clock() + backoff
+        self._drop_client(name)
+
+    def _mark_ok(self, name: str) -> None:
+        health = self._health[name]
+        health.healthy = True
+        health.consecutive_failures = 0
+        health.next_retry_at = 0.0
+
+    def _count_route(self, shard: str, kind: str) -> None:
+        key = (shard, kind)
+        counter = self._m_routes.get(key)
+        if counter is None:
+            counter = self._m_routes[key] = self.metrics.counter(
+                "cluster.routes", shard=shard, kind=kind
+            )
+        counter.inc()
+
+    def _count_failover(self, shard: str) -> None:
+        counter = self._m_failovers.get(shard)
+        if counter is None:
+            counter = self._m_failovers[shard] = self.metrics.counter(
+                "cluster.failovers", shard=shard
+            )
+        counter.inc()
+
+    # ------------------------------------------------------------------
+    # Routing primitives
+    # ------------------------------------------------------------------
+
+    def _write(self, shard: str, method: str, *args: Any) -> Any:
+        """Run a write on the shard master; no failover (mirrors reject)."""
+        self._count_route(shard, "write")
+        try:
+            result = getattr(self._client(shard), method)(*args)
+        except RLSError:
+            raise  # genuine server answer (exists/not-found/read-only)
+        except Exception as exc:
+            self._mark_failed(shard, exc)
+            raise ShardRoutingError(
+                f"shard master {shard!r} unreachable for {method}: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        self._mark_ok(shard)
+        return result
+
+    def _read(self, shard: str, method: str, *args: Any) -> Any:
+        """Run a read on the shard, preferring mirrors, master as fallback.
+
+        Benched endpoints (failed recently, backoff not expired) are
+        skipped on the first pass but retried as a last resort — a stale
+        bench must never fail a request that some endpoint could serve.
+        """
+        self._count_route(shard, "read")
+        order = self._read_order[shard]
+        now = self.clock()
+        first = [
+            n
+            for n in order
+            if self._health[n].healthy or now >= self._health[n].next_retry_at
+        ]
+        benched = [n for n in order if n not in first]
+        last_exc: BaseException | None = None
+        for attempt, name in enumerate(first + benched):
+            try:
+                result = getattr(self._client(name), method)(*args)
+            except RLSError:
+                raise  # a live server answered; not a routing failure
+            except Exception as exc:
+                last_exc = exc
+                self._mark_failed(name, exc)
+                self._count_failover(shard)
+                continue
+            self._mark_ok(name)
+            return result
+        raise ShardRoutingError(
+            f"no endpoint of shard {shard!r} reachable for {method} "
+            f"(tried {order})"
+        ) from last_exc
+
+    def _scatter(self, method: str, *args: Any) -> list[Any]:
+        """Run a read on every shard (mirror-first each); list of results."""
+        results = []
+        for shard in self.map.shards:
+            self._count_route(shard, "scatter")
+            results.append(self._read(shard, method, *args))
+        return results
+
+    def _broadcast_write(self, method: str, *args: Any) -> list[Any]:
+        """Run a write on every shard master (schema-like operations)."""
+        return [self._write(shard, method, *args) for shard in self.map.shards]
+
+    def _group_pairs(
+        self, pairs: Sequence[tuple[str, str]]
+    ) -> dict[str, list[tuple[str, str]]]:
+        grouped: dict[str, list[tuple[str, str]]] = {}
+        for lfn, pfn in pairs:
+            grouped.setdefault(self.ring.owner(lfn), []).append((lfn, pfn))
+        return grouped
+
+    # ------------------------------------------------------------------
+    # Mapping writes (owner-routed)
+    # ------------------------------------------------------------------
+
+    def create(self, lfn: str, pfn: str) -> None:
+        self._write(self.ring.owner(lfn), "create", lfn, pfn)
+
+    def add(self, lfn: str, pfn: str) -> None:
+        self._write(self.ring.owner(lfn), "add", lfn, pfn)
+
+    def delete(self, lfn: str, pfn: str) -> None:
+        self._write(self.ring.owner(lfn), "delete", lfn, pfn)
+
+    def _bulk_write(
+        self, method: str, pairs: Sequence[tuple[str, str]]
+    ) -> list[tuple[str, str, str]]:
+        failures: list[tuple[str, str, str]] = []
+        for shard, group in self._group_pairs(pairs).items():
+            failures.extend(self._write(shard, method, group))
+        return failures
+
+    def bulk_create(self, pairs: Sequence[tuple[str, str]]) -> list[tuple[str, str, str]]:
+        return self._bulk_write("bulk_create", pairs)
+
+    def bulk_add(self, pairs: Sequence[tuple[str, str]]) -> list[tuple[str, str, str]]:
+        return self._bulk_write("bulk_add", pairs)
+
+    def bulk_delete(self, pairs: Sequence[tuple[str, str]]) -> list[tuple[str, str, str]]:
+        return self._bulk_write("bulk_delete", pairs)
+
+    # ------------------------------------------------------------------
+    # Reads (mirror-first with failover)
+    # ------------------------------------------------------------------
+
+    def get_mappings(self, lfn: str) -> list[str]:
+        return self._read(self.ring.owner(lfn), "get_mappings", lfn)
+
+    def exists(self, lfn: str) -> bool:
+        return self._read(self.ring.owner(lfn), "exists", lfn)
+
+    def bulk_query(self, lfns: Sequence[str]) -> dict[str, list[str]]:
+        merged: dict[str, list[str]] = {}
+        for shard, group in self.ring.partition(lfns).items():
+            merged.update(self._read(shard, "bulk_query", group))
+        return merged
+
+    def get_lfns(self, pfn: str) -> list[str]:
+        """PFNs are not ring-placed: gather matches from every shard."""
+        out: list[str] = []
+        for part in self._scatter("get_lfns", pfn):
+            out.extend(part)
+        return out
+
+    def query_wildcard(self, pattern: str) -> list[tuple[str, str]]:
+        out: list[tuple[str, str]] = []
+        for part in self._scatter("query_wildcard", pattern):
+            out.extend(tuple(p) for p in part)
+        return out
+
+    def lfn_count(self) -> int:
+        return sum(self._scatter("lfn_count"))
+
+    def mapping_count(self) -> int:
+        return sum(self._scatter("mapping_count"))
+
+    # ------------------------------------------------------------------
+    # Attributes
+    # ------------------------------------------------------------------
+
+    def define_attribute(self, name: str, objtype, attrtype: str) -> int:
+        """Attribute definitions are schema: broadcast to every master."""
+        return self._broadcast_write("define_attribute", name, objtype, attrtype)[0]
+
+    def undefine_attribute(self, name: str, objtype) -> None:
+        self._broadcast_write("undefine_attribute", name, objtype)
+
+    def add_attribute(self, obj: str, name: str, objtype, value: Any) -> None:
+        self._write(self.ring.owner(obj), "add_attribute", obj, name, objtype, value)
+
+    def modify_attribute(self, obj: str, name: str, objtype, value: Any) -> None:
+        self._write(self.ring.owner(obj), "modify_attribute", obj, name, objtype, value)
+
+    def remove_attribute(self, obj: str, name: str, objtype) -> None:
+        self._write(self.ring.owner(obj), "remove_attribute", obj, name, objtype)
+
+    def get_attributes(self, obj: str, objtype) -> dict[str, Any]:
+        return self._read(self.ring.owner(obj), "get_attributes", obj, objtype)
+
+    def query_by_attribute(
+        self, name: str, objtype, value: Any = None, op: str = "="
+    ) -> list[tuple[str, Any]]:
+        out: list[tuple[str, Any]] = []
+        for part in self._scatter("query_by_attribute", name, objtype, value, op):
+            out.extend(tuple(p) for p in part)
+        return out
+
+    def bulk_add_attribute(
+        self, triples: Sequence[tuple[str, str, Any]], objtype
+    ) -> list[tuple[str, str, str]]:
+        grouped: dict[str, list[tuple[str, str, Any]]] = {}
+        for obj, name, value in triples:
+            grouped.setdefault(self.ring.owner(obj), []).append((obj, name, value))
+        failures: list[tuple[str, str, str]] = []
+        for shard, group in grouped.items():
+            failures.extend(self._write(shard, "bulk_add_attribute", group, objtype))
+        return failures
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+
+    def owner(self, lfn: str) -> str:
+        """Shard master owning ``lfn`` under the current ring."""
+        return self.ring.owner(lfn)
+
+    def shard_map(self) -> ShardMap:
+        return self.map
+
+    def health(self) -> dict[str, dict]:
+        """Client-side endpoint health, keyed by endpoint name."""
+        return {
+            name: h.to_dict() for name, h in sorted(self._health.items())
+        }
+
+    def close(self) -> None:
+        for name in list(self._clients):
+            self._drop_client(name)
+
+    def __enter__(self) -> "CombinedClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def combined_from_server(client) -> CombinedClient:
+    """Bootstrap a :class:`CombinedClient` from any cluster member.
+
+    Asks the server for its ``admin_shard_map`` (every member carries the
+    topology in its :class:`~repro.core.config.ServerConfig`) and builds a
+    routing client from the answer.
+    """
+    info = client.shard_map()
+    data = info.get("shard_map") if isinstance(info, dict) else None
+    if not data:
+        raise ShardRoutingError(
+            "server has no shard map configured (not a cluster member?)"
+        )
+    return CombinedClient(ShardMap.from_dict(data))

@@ -150,6 +150,30 @@ class RLSClient:
         return self.rpc.call("lrc_rli_list")
 
     # ------------------------------------------------------------------
+    # LRC: mirror management (sharded cluster)
+    # ------------------------------------------------------------------
+
+    def mirror_add(self, name: str) -> None:
+        """Register a read-only mirror this LRC streams mappings to."""
+        self.rpc.call("lrc_mirror_add", name)
+
+    def mirror_remove(self, name: str) -> None:
+        self.rpc.call("lrc_mirror_remove", name)
+
+    def mirror_list(self) -> dict[str, Any]:
+        """Per-mirror delivery health (empty when no mirrors registered)."""
+        return self.rpc.call("lrc_mirror_list")
+
+    def mirror_sync(self) -> int:
+        """Force a full sync to every mirror; returns pairs pushed."""
+        return self.rpc.call("admin_mirror_sync")
+
+    def shard_map(self) -> dict[str, Any]:
+        """Cluster topology as seen by this server (``None`` fields when
+        the server is not a cluster member)."""
+        return self.rpc.call("admin_shard_map")
+
+    # ------------------------------------------------------------------
     # RLI operations
     # ------------------------------------------------------------------
 

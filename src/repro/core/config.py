@@ -11,6 +11,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from repro.cluster.ring import ShardMap
 from repro.core.updates import UpdatePolicy
 from repro.security.authorizer import SecurityPolicy
 
@@ -76,9 +77,33 @@ class ServerConfig:
     #: Capacity of the flight-recorder event ring; 0 disables recording
     #: (``admin_flight`` / ``rls flight``).
     flight_capacity: int = 256
+    #: Sharded-namespace topology this server belongs to (answers
+    #: ``admin_shard_map``); ``None`` outside cluster deployments.
+    cluster: ShardMap | None = None
+    #: Run this LRC as a read-only mirror of the named shard master:
+    #: mapping/attribute writes are rejected with
+    #: :class:`~repro.core.errors.ReadOnlyCatalogError`, and the
+    #: ``mirror_full_sync``/``mirror_incremental`` ingest RPCs apply the
+    #: master's replica stream.
+    mirror_of: str | None = None
+    #: Mirror LRCs this shard master streams replica mappings to (more
+    #: can be registered at runtime via ``lrc_mirror_add``).
+    mirrors: tuple[str, ...] = ()
+    #: Seconds between mirror incremental pushes (mirror feeds run much
+    #: hotter than the 30 s RLI soft-state interval: a mirror serves
+    #: reads directly, so its staleness is user-visible).
+    mirror_push_interval: float = 5.0
+    #: Modeled per-request service time (seconds) for the in-process
+    #: transport: requests serialize through one stage of this duration,
+    #: capping the endpoint at ~1/service_latency ops/s.  Used by
+    #: multi-server capacity experiments; 0 disables the model.
+    service_latency: float = 0.0
 
     def __post_init__(self) -> None:
         self.backend = Backend.parse(self.backend)
+        self.mirrors = tuple(self.mirrors)
+        if self.mirror_of and self.mirrors:
+            raise ValueError("a mirror cannot itself have mirrors")
 
     @property
     def is_lrc(self) -> bool:

@@ -58,4 +58,14 @@ class WildcardNotSupportedError(RLSError):
     """Wildcard query sent to an RLI that only holds Bloom filters (§5.4)."""
 
 
+@register_error_type
+class ReadOnlyCatalogError(RLSError):
+    """Write sent to a read-only mirror LRC; route it to the shard master."""
+
+
+@register_error_type
+class ShardRoutingError(RLSError):
+    """Sharded-cluster routing failure (no shard map, no reachable endpoint)."""
+
+
 register_error_type(RLSError)

@@ -191,6 +191,11 @@ class LocalReplicaCatalog:
         # Callbacks: fn(lfn, present) — present=True when the LFN gained its
         # first mapping, False when it lost its last one.
         self._lfn_listeners: list[Callable[[str, bool], None]] = []
+        # Callbacks: fn(lfn, pfn, added) — one call per mapping change.
+        # LFN listeners carry enough for the RLI index (which only tracks
+        # logical names); mirror replication needs the full (lfn, pfn)
+        # pair, hence the separate channel.
+        self._mapping_listeners: list[Callable[[str, str, bool], None]] = []
         registry = metrics if metrics is not None else NULL_REGISTRY
         self.metrics = registry
         self._m_created = registry.counter("lrc.mappings_created")
@@ -231,6 +236,16 @@ class LocalReplicaCatalog:
         for listener in self._lfn_listeners:
             listener(lfn, present)
 
+    def add_mapping_listener(
+        self, listener: Callable[[str, str, bool], None]
+    ) -> None:
+        """Subscribe to (lfn, pfn, added) mapping changes (mirror feeds)."""
+        self._mapping_listeners.append(listener)
+
+    def _notify_mapping(self, lfn: str, pfn: str, added: bool) -> None:
+        for listener in self._mapping_listeners:
+            listener(lfn, pfn, added)
+
     # ------------------------------------------------------------------
     # Mapping management (Table 1: create, add, delete + bulk)
     # ------------------------------------------------------------------
@@ -255,6 +270,7 @@ class LocalReplicaCatalog:
             self._bump_ref("t_pfn", pfn_id, +1)
         self._m_created.inc()
         self._notify(lfn, True)
+        self._notify_mapping(lfn, pfn, True)
 
     def add_mapping(self, lfn: str, pfn: str) -> None:
         """Register an additional replica for an existing logical name."""
@@ -277,6 +293,7 @@ class LocalReplicaCatalog:
             self._bump_ref("t_lfn", lfn_id, +1)
             self._bump_ref("t_pfn", pfn_id, +1)
         self._m_added.inc()
+        self._notify_mapping(lfn, pfn, True)
 
     def delete_mapping(self, lfn: str, pfn: str) -> None:
         """Remove one replica mapping; prunes orphaned LFN/PFN rows."""
@@ -307,6 +324,7 @@ class LocalReplicaCatalog:
         self._m_deleted.inc()
         if last_for_lfn:
             self._notify(lfn, False)
+        self._notify_mapping(lfn, pfn, False)
 
     # -- bulk variants ----------------------------------------------------
 
@@ -349,6 +367,10 @@ class LocalReplicaCatalog:
         t_map = db.table("t_map")
         count = 0
         new_lfns: list[str] = []
+        # Only buffer the pair list when someone (a mirror feed) listens.
+        loaded_pairs: list[tuple[str, str]] | None = (
+            [] if self._mapping_listeners else None
+        )
         with self._write_lock:
             lfn_ids: dict[str, int] = {}
             pfn_ids: dict[str, int] = {}
@@ -375,6 +397,8 @@ class LocalReplicaCatalog:
                         pfn_id = row[0]
                     pfn_ids[pfn] = pfn_id
                 t_map.insert({"lfn_id": lfn_id, "pfn_id": pfn_id})
+                if loaded_pairs is not None:
+                    loaded_pairs.append((lfn, pfn))
                 count += 1
             # Fix up reference counts in one pass.
             for name, lfn_id in lfn_ids.items():
@@ -388,6 +412,9 @@ class LocalReplicaCatalog:
         self._m_bulk_loaded.inc(count)
         for lfn in new_lfns:
             self._notify(lfn, True)
+        if loaded_pairs is not None:
+            for lfn, pfn in loaded_pairs:
+                self._notify_mapping(lfn, pfn, True)
         return count
 
     # ------------------------------------------------------------------

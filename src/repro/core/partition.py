@@ -3,6 +3,13 @@
 When partitioning is enabled, logical names are matched against regular
 expressions and updates for different subsets of the namespace go to
 different RLIs.  A target with no patterns receives the whole namespace.
+
+``route`` sits on the hot update path — it runs once per changed LFN —
+so each target's pattern list is pre-joined into a single compiled
+alternation (``(?:p1)|(?:p2)|...``): one C-level ``search`` per target
+instead of a Python-level ``any()`` over k patterns.  Patterns containing
+backreferences cannot be joined safely (group numbers shift inside an
+alternation), so those targets keep the per-pattern path.
 """
 
 from __future__ import annotations
@@ -11,6 +18,18 @@ import re
 from typing import Iterable, Sequence
 
 from repro.core.lrc import RLITarget
+
+#: Backreference forms (``\1`` ... ``\99``, ``(?P=name)``) whose meaning
+#: would change inside a joined alternation.
+_BACKREF = re.compile(r"\\[1-9]|\(\?P=")
+
+
+def _combine(patterns: Sequence[str]) -> re.Pattern[str] | None:
+    """One alternation matching iff any pattern matches, or ``None`` when
+    the patterns cannot be combined without changing semantics."""
+    if any(_BACKREF.search(p) for p in patterns):
+        return None
+    return re.compile("|".join(f"(?:{p})" for p in patterns))
 
 
 class PartitionRouter:
@@ -21,6 +40,19 @@ class PartitionRouter:
         self._compiled: dict[str, list[re.Pattern[str]]] = {
             t.name: [re.compile(p) for p in t.patterns] for t in self.targets
         }
+        # Fast path: (target, combined-alternation-or-None); None marks a
+        # match-all target (no patterns).  Targets whose patterns cannot
+        # be combined fall back to the per-pattern list.
+        self._route_plan: list[
+            tuple[RLITarget, re.Pattern[str] | None, list[re.Pattern[str]]]
+        ] = []
+        for t in self.targets:
+            if not t.patterns:
+                self._route_plan.append((t, None, []))
+            else:
+                combined = _combine(t.patterns)
+                fallback = self._compiled[t.name] if combined is None else []
+                self._route_plan.append((t, combined, fallback))
 
     def matches(self, target: RLITarget, lfn: str) -> bool:
         """True if ``target`` should receive updates about ``lfn``.
@@ -38,8 +70,21 @@ class PartitionRouter:
         patterns = self._compiled[target.name]
         if not patterns:
             return list(lfns)
+        combined = _combine([p.pattern for p in patterns])
+        if combined is not None:
+            search = combined.search
+            return [lfn for lfn in lfns if search(lfn)]
         return [lfn for lfn in lfns if any(p.search(lfn) for p in patterns)]
 
     def route(self, lfn: str) -> list[RLITarget]:
         """Every target that should hear about ``lfn``."""
-        return [t for t in self.targets if self.matches(t, lfn)]
+        matched: list[RLITarget] = []
+        for target, combined, fallback in self._route_plan:
+            if combined is not None:
+                if combined.search(lfn):
+                    matched.append(target)
+            elif not fallback:
+                matched.append(target)  # match-all target
+            elif any(p.search(lfn) for p in fallback):
+                matched.append(target)
+        return matched

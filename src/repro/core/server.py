@@ -11,8 +11,9 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable
 
+from repro.cluster.mirror import MirrorIngest, MirrorManager, MirrorSink
 from repro.core.config import Backend, ServerConfig
-from repro.core.errors import NotConfiguredError
+from repro.core.errors import NotConfiguredError, ReadOnlyCatalogError
 from repro.core.lrc import LocalReplicaCatalog
 from repro.core.rli import ExpireThread, ReplicaLocationIndex
 from repro.core.updates import (
@@ -42,9 +43,12 @@ class RLSServer:
         config: ServerConfig | None = None,
         sink_resolver: Callable[[str], UpdateSink] | None = None,
         metrics: MetricsRegistry | None = None,
+        mirror_sink_resolver: Callable[[str], MirrorSink] | None = None,
     ) -> None:
         self.config = config or ServerConfig()
         self.authorizer = Authorizer(self.config.security)
+        self._started = False
+        self._lock = threading.Lock()
         # Every component shares this registry, so one snapshot covers the
         # whole server: RPC dispatch, transports, WAL, LRC/RLI, updates.
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -102,6 +106,20 @@ class RLSServer:
                 self.lrc, resolver, policy=self.config.updates,
                 metrics=self.metrics, flight=self.flight,
             )
+        # --- sharded-cluster roles (mirror master / read-only mirror) ---
+        self._mirror_sink_resolver = mirror_sink_resolver
+        self.mirror_manager: MirrorManager | None = None
+        self.mirror_ingest: MirrorIngest | None = None
+        if self.config.mirror_of:
+            self.mirror_ingest = MirrorIngest(
+                self._need_lrc(),
+                master=self.config.mirror_of,
+                metrics=self.metrics,
+            )
+        if self.config.mirrors:
+            manager = self._ensure_mirror_manager()
+            for mirror_name in self.config.mirrors:
+                manager.add_mirror(mirror_name)
         if self.config.is_rli:
             # The RLI tables live in their own engine when the server is
             # also an LRC, since both schemas define t_lfn/t_map.
@@ -127,7 +145,11 @@ class RLSServer:
             flight=self.flight,
         )
         self._register_methods()
-        self.local_transport = LocalTransport(self.rpc, name=self.config.name)
+        self.local_transport = LocalTransport(
+            self.rpc,
+            name=self.config.name,
+            service_time=self.config.service_latency,
+        )
         self.tcp_transport: TCPServerTransport | None = None
         if self.config.tcp:
             self.tcp_transport = TCPServerTransport(
@@ -137,8 +159,7 @@ class RLSServer:
         # --- daemons ---
         self._expire_thread: ExpireThread | None = None
         self._update_thread: UpdateThread | None = None
-        self._started = False
-        self._lock = threading.Lock()
+        self._mirror_thread: UpdateThread | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -160,6 +181,12 @@ class RLSServer:
                     poll_interval=self.config.update_poll_interval,
                 )
                 self._update_thread.start()
+            if self.mirror_manager is not None:
+                self._mirror_thread = UpdateThread(
+                    self.mirror_manager,
+                    poll_interval=self.config.update_poll_interval,
+                )
+                self._mirror_thread.start()
             if self.profiler.enabled:
                 self.profiler.start()
             self._started = True
@@ -173,6 +200,9 @@ class RLSServer:
             if self._update_thread is not None:
                 self._update_thread.stop()
                 self._update_thread = None
+            if self._mirror_thread is not None:
+                self._mirror_thread.stop()
+                self._mirror_thread = None
             self.profiler.stop()
             self.local_transport.close()
             if self.tcp_transport is not None:
@@ -195,6 +225,36 @@ class RLSServer:
     # ------------------------------------------------------------------
     # Method table
     # ------------------------------------------------------------------
+
+    def _ensure_mirror_manager(self) -> MirrorManager:
+        """Create the mirror delivery manager lazily (first mirror added).
+
+        When the server is already started, the manager gets its own
+        background scheduler immediately; otherwise :meth:`start` will
+        launch it.
+        """
+        if self.mirror_manager is None:
+            if self.config.mirror_of:
+                raise ReadOnlyCatalogError(
+                    f"server {self.config.name!r} is a read-only mirror of "
+                    f"{self.config.mirror_of!r}; it cannot have mirrors"
+                )
+            self.mirror_manager = MirrorManager(
+                self._need_lrc(),
+                sink_resolver=self._mirror_sink_resolver,
+                policy=self.config.updates,
+                push_interval=self.config.mirror_push_interval,
+                metrics=self.metrics,
+                flight=self.flight,
+            )
+            with self._lock:
+                if self._started and self._mirror_thread is None:
+                    self._mirror_thread = UpdateThread(
+                        self.mirror_manager,
+                        poll_interval=self.config.update_poll_interval,
+                    )
+                    self._mirror_thread.start()
+        return self.mirror_manager
 
     def _default_sink_resolver(self, name: str) -> UpdateSink:
         """Resolve an RLI name to a sink via the in-process registry."""
@@ -300,6 +360,85 @@ class RLSServer:
         r("admin_expire_once", guarded(admin, lambda: self._need_rli().expire_once()))
         r("admin_rebuild_bloom", guarded(admin, self._rebuild_bloom))
         r("admin_verify", guarded(admin, lambda: self._need_lrc().verify_integrity()))
+
+        # -- sharded cluster: mirror feed + topology --
+        r("mirror_full_sync", guarded(lrc_write, lambda master, pairs: self._need_ingest().apply_full(master, [tuple(p) for p in pairs])))
+        r("mirror_incremental", guarded(lrc_write, lambda master, added, removed: list(self._need_ingest().apply_incremental(master, [tuple(p) for p in added], [tuple(p) for p in removed]))))
+        r("lrc_mirror_add", guarded(admin, lambda name: self._ensure_mirror_manager().add_mirror(name)))
+        r("lrc_mirror_remove", guarded(admin, self._mirror_remove))
+        r("lrc_mirror_list", guarded(lrc_read, self._mirror_list))
+        r("admin_mirror_sync", guarded(admin, self._mirror_sync))
+        r("admin_shard_map", guarded(lrc_read, self._shard_map))
+
+        # A read-only mirror accepts the ingest stream above but rejects
+        # every client-facing catalog write with a typed error the
+        # combined client (and users) can route on.  Re-registration
+        # replaces the handlers installed earlier in this method.
+        if self.config.mirror_of:
+            master = self.config.mirror_of
+
+            def read_only(method: str):
+                def handler(ctx: ConnectionContext, args: tuple) -> Any:
+                    raise ReadOnlyCatalogError(
+                        f"{method}: server {self.config.name!r} is a "
+                        f"read-only mirror of {master!r}; send writes to "
+                        "the shard master"
+                    )
+
+                return handler
+
+            for method in (
+                "lrc_create_mapping",
+                "lrc_add_mapping",
+                "lrc_delete_mapping",
+                "lrc_bulk_create",
+                "lrc_bulk_add",
+                "lrc_bulk_delete",
+                "lrc_attr_define",
+                "lrc_attr_undefine",
+                "lrc_attr_add",
+                "lrc_attr_modify",
+                "lrc_attr_remove",
+                "lrc_attr_bulk_add",
+            ):
+                r(method, read_only(method))
+
+    def _need_ingest(self) -> MirrorIngest:
+        if self.mirror_ingest is None:
+            raise NotConfiguredError(
+                f"server {self.config.name!r} is not a mirror "
+                "(no --mirror-of configured)"
+            )
+        return self.mirror_ingest
+
+    def _mirror_remove(self, name: str) -> None:
+        if self.mirror_manager is not None:
+            self.mirror_manager.remove_mirror(name)
+
+    def _mirror_list(self) -> dict[str, Any]:
+        if self.mirror_manager is None:
+            return {}
+        return self.mirror_manager.target_health()
+
+    def _mirror_sync(self) -> int:
+        """Force an immediate full sync to every registered mirror."""
+        if self.mirror_manager is None:
+            raise NotConfiguredError(
+                f"server {self.config.name!r} has no mirrors registered"
+            )
+        return self.mirror_manager.send_full_sync()
+
+    def _shard_map(self) -> dict[str, Any]:
+        """Topology answer any cluster member can serve (client bootstrap)."""
+        return {
+            "self": self.config.name,
+            "mirror_of": self.config.mirror_of,
+            "shard_map": (
+                self.config.cluster.to_dict()
+                if self.config.cluster is not None
+                else None
+            ),
+        }
 
     def _trigger_full_update(self) -> float:
         if self.update_manager is None:
@@ -419,6 +558,18 @@ class RLSServer:
                 "errors": s.errors,
                 "retries": s.retries,
                 "targets": self.update_manager.target_health(),
+            }
+        if self.mirror_ingest is not None:
+            stats["mirror"] = self.mirror_ingest.to_dict()
+        if self.mirror_manager is not None:
+            s = self.mirror_manager.stats
+            stats["mirrors"] = {
+                "full_syncs": s.full_syncs,
+                "incremental_pushes": s.incremental_pushes,
+                "pairs_sent": s.pairs_sent,
+                "errors": s.errors,
+                "retries": s.retries,
+                "targets": self.mirror_manager.target_health(),
             }
         stats["metrics"] = self.metrics.snapshot().to_dict()
         return stats

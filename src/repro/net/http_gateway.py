@@ -144,6 +144,8 @@ class HTTPGateway:
                     )
                 elif path == "/admin/stats":
                     self._handle(lambda c: (200, c.stats()))
+                elif path == "/admin/shard_map":
+                    self._handle(lambda c: (200, c.shard_map()))
                 elif path == "/admin/traces" or path.startswith("/admin/traces?"):
                     query = path.partition("?")[2]
                     limit = 100

@@ -59,14 +59,30 @@ class LocalTransport:
 
     The transport keeps a registry so clients can connect by name, the way
     TCP clients connect by host:port.
+
+    ``service_time`` models per-server *capacity* (as opposed to the
+    channel-level ``latency``, which models the network round trip and is
+    paid concurrently by every caller): requests serialize through one
+    modeled service stage of that duration, capping the endpoint at
+    ~1/service_time ops/s no matter how many client threads pile on — the
+    Figure 6 saturation plateau.  Multi-server experiments (shard
+    scale-out) rely on this: each in-process server gets its own stage,
+    so aggregate throughput genuinely scales with server count.
     """
 
     _registry: dict[str, "LocalTransport"] = {}
     _registry_lock = threading.Lock()
 
-    def __init__(self, server: "RPCServer", name: str | None = None) -> None:
+    def __init__(
+        self,
+        server: "RPCServer",
+        name: str | None = None,
+        service_time: float = 0.0,
+    ) -> None:
         self.server = server
         self.name = name
+        self.service_time = service_time
+        self._service_lock = threading.Lock()
         self.closed = False
         metrics = server.metrics
         self._m_bytes_in = metrics.counter("net.bytes_in", transport="local")
@@ -126,6 +142,13 @@ class LocalChannel(Channel):
             raise TransportClosedError("channel closed")
         if self._latency > 0:
             self._sleep(self._latency)
+        service_time = self._transport.service_time
+        if service_time > 0:
+            # Serialized modeled service stage: holding the lock while
+            # sleeping is the model — it is what bounds this endpoint's
+            # throughput at ~1/service_time regardless of caller count.
+            with self._transport._service_lock:
+                self._sleep(service_time)
         # Round-trip through the wire codec so the serialization cost and
         # type constraints are identical to the TCP path.
         wire = request.to_bytes()

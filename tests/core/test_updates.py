@@ -284,3 +284,78 @@ class TestPartitionRouter:
         target = RLITarget("a", patterns=("^x", "^y"))
         router = PartitionRouter([target])
         assert router.filter_names(target, ["x1", "y1", "z1"]) == ["x1", "y1"]
+
+
+class TestPartitionRouterFastPath:
+    """The compiled-alternation route plan must be invisible: identical
+    answers to the per-pattern path for every pattern class."""
+
+    LFNS = [
+        "site0/dir1/run42",
+        "site1/dir2/run7",
+        "elsewhere/dir3/run9",
+        "run42",
+        "xyy",
+        "abab",
+        "",
+    ]
+
+    def test_alternation_equivalent_to_per_pattern(self):
+        from repro.core.lrc import RLITarget
+
+        targets = [
+            RLITarget("a", patterns=("^site0/", "run4[0-9]$")),
+            RLITarget("b", patterns=("^site1/", "^elsewhere/")),
+            RLITarget("c", patterns=("dir[12]/",)),
+            RLITarget("all", patterns=()),
+        ]
+        router = PartitionRouter(targets)
+        for lfn in self.LFNS:
+            fast = {t.name for t in router.route(lfn)}
+            slow = {t.name for t in targets if router.matches(t, lfn)}
+            assert fast == slow, (lfn, fast, slow)
+
+    def test_backreference_patterns_fall_back(self):
+        """Group numbers shift inside a joined alternation, so a pattern
+        with a backreference must skip the combined plan — and still
+        route correctly."""
+        from repro.core.lrc import RLITarget
+        from repro.core.partition import _combine
+
+        assert _combine([r"(ab)\1"]) is None
+        assert _combine([r"(?P<d>x)(?P=d)"]) is None
+        assert _combine(["^plain", "no-backref"]) is not None
+
+        target = RLITarget("br", patterns=(r"(ab)\1",))
+        router = PartitionRouter([target, RLITarget("plain", patterns=("^x",))])
+        assert [t.name for t in router.route("abab")] == ["br"]
+        assert [t.name for t in router.route("xyy")] == ["plain"]
+        assert router.filter_names(target, ["abab", "abba"]) == ["abab"]
+
+    def test_match_all_target_in_route_and_filter(self):
+        from repro.core.lrc import RLITarget
+
+        everything = RLITarget("everything")
+        scoped = RLITarget("scoped", patterns=("^site0/",))
+        router = PartitionRouter([everything, scoped])
+        assert [t.name for t in router.route("unrelated")] == ["everything"]
+        assert {t.name for t in router.route("site0/f")} == {
+            "everything",
+            "scoped",
+        }
+        names = ["site0/a", "other/b"]
+        assert router.filter_names(everything, names) == names
+
+    def test_combined_pattern_matches_iff_any_member_matches(self):
+        import re
+
+        from repro.core.partition import _combine
+
+        patterns = ["^a+b", "c{2,3}$", "mid.dle"]
+        combined = _combine(patterns)
+        singles = [re.compile(p) for p in patterns]
+        probes = ["aab", "xcc", "xcccc", "midXdle", "middle", "none", "ab", ""]
+        for probe in probes:
+            assert bool(combined.search(probe)) == any(
+                p.search(probe) for p in singles
+            ), probe

@@ -1,0 +1,62 @@
+"""Virtual-time sharded-cluster experiments (determinism + claims)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.analyze import analyze_store
+from repro.sim.cluster_sim import cluster_experiment
+
+
+class TestScaleOut:
+    def test_aggregate_rate_scales_with_shards(self):
+        r1 = cluster_experiment(1, 0, duration=120.0)
+        r2 = cluster_experiment(2, 0, duration=120.0)
+        r4 = cluster_experiment(4, 0, duration=120.0)
+        assert r2.rate > 1.6 * r1.rate
+        assert r4.rate > 1.5 * r2.rate
+
+    def test_single_shard_saturates_at_service_rate(self):
+        r = cluster_experiment(1, 0, service_time=0.005, duration=120.0)
+        assert r.rate == pytest.approx(200.0, rel=0.05)
+
+    def test_mirrors_add_read_capacity(self):
+        r0 = cluster_experiment(2, 0, duration=120.0)
+        r2 = cluster_experiment(2, 2, duration=120.0)
+        assert r2.rate > 1.5 * r0.rate
+        assert r2.master_served == 0  # mirrors absorb every read
+        assert r0.mirror_served == 0
+
+    def test_deterministic(self):
+        a = cluster_experiment(2, 1, duration=60.0, seed=13)
+        b = cluster_experiment(2, 1, duration=60.0, seed=13)
+        assert a.queries_completed == b.queries_completed
+        assert a.mean_latency == b.mean_latency
+
+
+class TestStaleness:
+    def test_healthy_feed_sawtooths_under_interval(self):
+        r = cluster_experiment(2, 1, duration=120.0, push_interval=5.0)
+        assert max(r.peak_staleness.values()) <= 5.0 + 1.0
+
+    def test_stalled_feed_trips_burn_detector(self):
+        r = cluster_experiment(
+            2,
+            1,
+            duration=600.0,
+            push_interval=5.0,
+            stall_feed_of="shard0-m0",
+            stall_at=120.0,
+        )
+        assert r.peak_staleness["shard0-m0"] > 400.0
+        assert r.peak_staleness["shard1-m0"] <= 6.0
+        detections = analyze_store(r.store, staleness_slo=15.0)
+        burns = [d for d in detections if d.kind == "staleness_burn"]
+        assert burns, "stalled mirror feed must trip the burn detector"
+        assert all(
+            "shard0" in d.details["series"] for d in burns
+        ), [d.details for d in burns]
+
+    def test_unknown_stall_target_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_experiment(1, 1, stall_feed_of="nope")
