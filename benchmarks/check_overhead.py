@@ -215,6 +215,52 @@ def time_partition_route(n: int) -> float:
     return (time.perf_counter() - start) / n
 
 
+SLO_TICK_ROUNDS = 50
+
+#: The SLI recorder gate amortizes over this interval (the documented
+#: "SLO recorder on" setting from docs/OPERATIONS.md; the default
+#: ``slo_tick_interval=0`` runs no thread at all).
+SLO_TICK_INTERVAL = 10.0
+
+
+def time_slo_tick(rounds: int) -> float:
+    """Seconds per SLI-recorder tick over a populated registry.
+
+    Builds the same instrumented add-loop registry as the scrape gate —
+    plus per-method RPC counters/histograms, which is what the recorder
+    actually classifies — then times :meth:`SLIRecorder.tick` (snapshot +
+    delta + per-class classification + gauge export) in isolation.
+    """
+    from repro.obs.slo import OPERATION_CLASSES, SLIRecorder
+
+    registry = MetricsRegistry()
+    engine = MySQLEngine(
+        flush_on_commit=False, sync_latency=0.0, metrics=registry
+    )
+    lrc = LocalReplicaCatalog(
+        Connection(engine, "ovh-slo"), name="ovh-slo", metrics=registry
+    )
+    lrc.init_schema()
+    methods = (
+        "lrc_create_mapping", "lrc_get_mappings", "lrc_bulk_query",
+        "lrc_query_wildcard", "rli_query", "admin_stats",
+    )
+    for i in range(ADDS):
+        lrc.create_mapping(f"ovh-o-{i}", f"pfn://ovh-o-{i}")
+        method = methods[i % len(methods)]
+        registry.counter("rpc.requests", method=method).inc()
+        registry.histogram("rpc.latency", method=method).observe(
+            0.0001 * (1 + i % 7)
+        )
+    recorder = SLIRecorder(registry, shard="ovh", endpoint="ovh-slo")
+    recorder.tick(now=0.0)  # priming tick
+    assert len(recorder.trackers) == len(OPERATION_CLASSES)
+    start = time.perf_counter()
+    for i in range(rounds):
+        recorder.tick(now=float(i + 1) * SLO_TICK_INTERVAL)
+    return (time.perf_counter() - start) / rounds
+
+
 SCRAPE_ROUNDS = 50
 
 
@@ -294,6 +340,24 @@ def main() -> int:
         print("FAIL: background scraping exceeds the overhead budget")
         return 1
     print("OK: background scraping is within the overhead budget")
+
+    # SLI recorder: one tick per SLO_TICK_INTERVAL classifies every
+    # per-method counter/histogram delta into operation classes; its duty
+    # cycle gets the same cap as the scraper it imitates.
+    per_tick = time_slo_tick(SLO_TICK_ROUNDS)
+    tick_fraction = per_tick / SLO_TICK_INTERVAL
+    ticks_lost = per_tick / per_add
+    print(f"per SLI tick:       {per_tick * 1e6:8.2f} us "
+          f"(~{ticks_lost:.1f} adds of work)")
+    print(
+        f"SLI duty cycle:     {tick_fraction * 100:8.3f}% of a "
+        f"{SLO_TICK_INTERVAL:g}s interval (limit "
+        f"{MAX_OVERHEAD_FRACTION * 100:.0f}%)"
+    )
+    if tick_fraction >= MAX_OVERHEAD_FRACTION:
+        print("FAIL: SLI recorder exceeds the duty-cycle budget")
+        return 1
+    print("OK: SLI recorder is within the duty-cycle budget")
 
     # Wall-clock sampler: at the documented diagnostics rate the frame
     # walk must leave >95% of the wall clock to the threads being walked.

@@ -15,7 +15,9 @@ Subcommands mirror the operation classes of the paper's Table 1::
     rls stats   host:39281                         # live metrics summary
     rls stats   host:39281 --watch 2               # re-scrape every 2s
     rls trace   --server host:39281                # tail-retained spans
+    rls trace   --server host:39281 <trace-id> --distributed --critical-path
     rls slowlog --server host:39281                # slow/error statements
+    rls slo     host:39281 --watch 5               # SLIs, burn rates, budget
     rls profile host:39281 --seconds 5 --folded    # sampling profiler
     rls threads host:39281                         # thread dump + stuck check
     rls flight  host:39281                         # flight-recorder events
@@ -181,11 +183,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     trace = sub.add_parser(
-        "trace", help="tail-retained spans: errors and slow operations"
+        "trace",
+        help="tail-retained spans, or one stitched trace by id",
     )
     trace.add_argument("--server", required=True)
+    trace.add_argument(
+        "trace_id",
+        nargs="?",
+        default=None,
+        help="trace (or span) id to assemble — the ids printed by the "
+        "listing and by 'rls slowlog' both work",
+    )
     trace.add_argument("--limit", type=int, default=20)
     trace.add_argument(
+        "--distributed",
+        action="store_true",
+        help="with a trace id: gather fragments from every endpoint in "
+        "the cluster's shard map client-side instead of asking one "
+        "server to stitch",
+    )
+    trace.add_argument(
+        "--critical-path",
+        action="store_true",
+        help="with a trace id: also print the critical path with wall "
+        "time attributed per segment (routing, net wait, db, wal, ...)",
+    )
+    trace.add_argument(
+        "--json", action="store_true", help="raw JSON payload instead of a table"
+    )
+
+    slo = sub.add_parser(
+        "slo", help="SLO state: per-class SLIs, burn rates, error budget"
+    )
+    slo.add_argument("server", help="endpoint name or host:port")
+    slo.add_argument(
+        "--watch",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="keep polling every SECONDS, printing one burn-rate line "
+        "per round",
+    )
+    slo.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="with --watch: stop after N rounds (default: until ^C)",
+    )
+    slo.add_argument(
         "--json", action="store_true", help="raw JSON payload instead of a table"
     )
 
@@ -433,6 +478,8 @@ def _dispatch(args: argparse.Namespace, client: RLSClient, out) -> int:
         return _trace(args, client, out)
     elif args.command == "slowlog":
         return _slowlog(args, client, out)
+    elif args.command == "slo":
+        return _slo(args, client, out)
     elif args.command == "profile":
         return _profile(args, client, out)
     elif args.command == "threads":
@@ -617,7 +664,67 @@ def _watch_stats(args: argparse.Namespace, client: RLSClient, out) -> int:
     return 0
 
 
+def _distributed_trace(client: RLSClient, trace_id: str) -> dict:
+    """Client-side stitch: fan ``trace_fragments`` over the shard map.
+
+    Falls back to the server-side ``admin_trace`` assembly when the
+    connected server is not part of a cluster (no shard map).
+    """
+    from repro.obs.assemble import TraceAssembler, TraceSource
+
+    info = client.shard_map()
+    smap = info.get("shard_map") if isinstance(info, dict) else None
+    if not smap or not smap.get("shards"):
+        return client.trace(trace_id)
+    endpoints: list[str] = []
+    for shard in smap["shards"]:
+        endpoints.append(shard)
+        endpoints.extend(smap.get("mirrors", {}).get(shard, ()))
+
+    def remote_fetch(name: str):
+        def fetch(tid: str):
+            peer = connect(name)
+            try:
+                return peer.trace_fragments(tid).get("spans", [])
+            finally:
+                peer.close()
+
+        return fetch
+
+    sources = [
+        TraceSource(name=name, fetch=remote_fetch(name)) for name in endpoints
+    ]
+    # Resolve span-id references via the connected server so slowlog span
+    # ids can be pasted directly.
+    local = client.trace_fragments(trace_id)
+    resolved = local.get("trace_id") or trace_id
+    payload = TraceAssembler(sources).assemble(resolved).to_dict()
+    payload["enabled"] = bool(local.get("enabled", True))
+    return payload
+
+
 def _trace(args: argparse.Namespace, client: RLSClient, out) -> int:
+    if args.trace_id:
+        from repro.obs.assemble import render_critical_path, render_trace
+
+        if args.distributed:
+            payload = _distributed_trace(client, args.trace_id)
+        else:
+            payload = client.trace(args.trace_id)
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+            return 0
+        if not payload.get("enabled", True):
+            print(
+                "tracing not enabled on server "
+                "(start it with: rls serve --trace)",
+                file=out,
+            )
+            return 1
+        print(render_trace(payload), file=out)
+        if args.critical_path:
+            print(render_critical_path(payload), file=out)
+        return 0
     payload = client.traces(limit=args.limit)
     if args.json:
         print(json.dumps(payload, indent=2, sort_keys=True), file=out)
@@ -641,13 +748,16 @@ def _trace(args: argparse.Namespace, client: RLSClient, out) -> int:
         return 0
     for span_dict in spans:
         error = span_dict.get("error")
-        reason = f"ERROR:{error}" if error else "slow"
+        reason = span_dict.get("reason") or (
+            f"ERROR:{error}" if error else "slow"
+        )
         tags = " ".join(
             f"{k}={v}" for k, v in sorted(span_dict.get("tags", {}).items())
         )
         print(
             f"{span_dict.get('duration', 0.0) * 1e3:10.3f}ms  "
-            f"{span_dict.get('name', '?'):<20} {reason:<16} {tags}",
+            f"{span_dict.get('name', '?'):<20} {reason:<16} "
+            f"trace={span_dict.get('trace_id') or '-'} {tags}",
             file=out,
         )
     return 0
@@ -690,13 +800,14 @@ def _slowlog(args: argparse.Namespace, client: RLSClient, out) -> int:
         error = entry.get("error")
         reason = f"ERROR:{error}" if error else "slow"
         span = entry.get("span_id") or "-"
+        trace = entry.get("trace_id") or "-"
         print(
             f"{entry.get('duration', 0.0) * 1e3:10.3f}ms  "
             f"{entry.get('statement_class', '?'):<18} "
             f"rows={entry.get('rows_examined', 0)}/"
             f"{entry.get('rows_returned', 0)} "
             f"dead={entry.get('dead_index_hits', 0)} "
-            f"span={span}  {entry.get('sql', '')}",
+            f"trace={trace} span={span}  {entry.get('sql', '')}",
             file=out,
         )
         if args.plans:
@@ -704,6 +815,106 @@ def _slowlog(args: argparse.Namespace, client: RLSClient, out) -> int:
 
             for op in entry.get("plan", []):
                 print(f"    {OpStats(**op).render()}", file=out)
+    return 0
+
+
+def _fmt_sli(value) -> str:
+    return "-" if value is None else f"{value * 100:7.3f}%"
+
+
+def _print_slo(payload: dict, out) -> None:
+    policy = payload.get("policy", {})
+    ident = payload.get("endpoint") or "?"
+    shard = payload.get("shard") or ""
+    suffix = f" (shard {shard})" if shard and shard != ident else ""
+    print(
+        f"slo: {ident}{suffix}  targets: availability "
+        f"{policy.get('availability_target', 0.0) * 100:g}%  latency "
+        f"{policy.get('latency_target', 0.0) * 100:g}%",
+        file=out,
+    )
+    header = (
+        f"  {'class':<9} {'req(5m)':>8} {'avail(5m)':>9} {'latency(5m)':>11} "
+        f"{'burn[fast]':>10} {'burn[slow]':>10} {'budget':>7}"
+    )
+    print(header, file=out)
+    thresholds = policy.get("latency_thresholds", {})
+    for cls, state in payload.get("classes", {}).items():
+        windows = state.get("windows", {})
+        fast = windows.get("fast_short", {})
+        slow = windows.get("slow_short", {})
+        burn_fast = max(
+            fast.get("burn_availability", 0.0), fast.get("burn_latency", 0.0)
+        )
+        burn_slow = max(
+            slow.get("burn_availability", 0.0), slow.get("burn_latency", 0.0)
+        )
+        budget = state.get("budget", {})
+        remaining = min(
+            budget.get("availability_budget_remaining", 1.0),
+            budget.get("latency_budget_remaining", 1.0),
+        )
+        threshold = thresholds.get(cls)
+        extra = f"  (<{threshold * 1e3:g}ms)" if threshold else ""
+        print(
+            f"  {cls:<9} {fast.get('requests', 0):>8} "
+            f"{_fmt_sli(fast.get('availability')):>9} "
+            f"{_fmt_sli(fast.get('latency_sli')):>11} "
+            f"{burn_fast:>9.2f}x {burn_slow:>9.2f}x "
+            f"{remaining * 100:>6.1f}%{extra}",
+            file=out,
+        )
+    alerts = payload.get("alerts", [])
+    for alert in alerts:
+        print(
+            f"  ALERT [{alert.get('severity', '?')}] "
+            f"class={alert.get('class', '?')} {alert.get('kind', '?')} "
+            f"{alert.get('window', '?')}-window burn "
+            f"{alert.get('burn_short', 0.0):.1f}x/"
+            f"{alert.get('burn_long', 0.0):.1f}x "
+            f"(threshold {alert.get('threshold', 0.0):g}x)",
+            file=out,
+        )
+    if not alerts:
+        print("  no burn-rate alerts", file=out)
+
+
+def _slo(args: argparse.Namespace, client: RLSClient, out) -> int:
+    payload = client.slo()
+    if not payload.get("enabled", True):
+        print("slo recorder not enabled on server", file=out)
+        return 1
+    if args.json and args.watch is None:
+        print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+        return 0
+    _print_slo(payload, out)
+    if args.watch is None:
+        return 0
+    rounds = 0
+    try:
+        while args.iterations is None or rounds < args.iterations:
+            time.sleep(args.watch)
+            payload = client.slo()
+            rounds += 1
+            parts = []
+            for cls, state in payload.get("classes", {}).items():
+                fast = state.get("windows", {}).get("fast_short", {})
+                burn = max(
+                    fast.get("burn_availability", 0.0),
+                    fast.get("burn_latency", 0.0),
+                )
+                parts.append(f"{cls}={burn:.1f}x")
+            alerts = payload.get("alerts", [])
+            line = f"[{rounds}] burn: " + " ".join(parts)
+            if alerts:
+                worst = max(
+                    (a.get("severity", "warning") for a in alerts),
+                    key=lambda s: s == "critical",
+                )
+                line += f"  ALERTS={len(alerts)} ({worst})"
+            print(line, file=out)
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
     return 0
 
 

@@ -26,6 +26,7 @@ from typing import Any, Callable, Sequence
 
 from repro.cluster.ring import ShardMap
 from repro.core.errors import RLSError, ShardRoutingError
+from repro.obs import tracing
 from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 
 #: Catalog methods the client may serve from a read-only mirror.
@@ -182,18 +183,25 @@ class CombinedClient:
     def _write(self, shard: str, method: str, *args: Any) -> Any:
         """Run a write on the shard master; no failover (mirrors reject)."""
         self._count_route(shard, "write")
-        try:
-            result = getattr(self._client(shard), method)(*args)
-        except RLSError:
-            raise  # genuine server answer (exists/not-found/read-only)
-        except Exception as exc:
-            self._mark_failed(shard, exc)
-            raise ShardRoutingError(
-                f"shard master {shard!r} unreachable for {method}: "
-                f"{type(exc).__name__}: {exc}"
-            ) from exc
-        self._mark_ok(shard)
-        return result
+        # Span tags mirror the counters exactly: endpoint= is the server
+        # that answered, failover= the cluster.failovers increments this
+        # call contributed — so a stitched trace and the metrics agree.
+        with tracing.span(
+            "cluster.write", method=method, shard=shard,
+            endpoint=shard, failover=0,
+        ):
+            try:
+                result = getattr(self._client(shard), method)(*args)
+            except RLSError:
+                raise  # genuine server answer (exists/not-found/read-only)
+            except Exception as exc:
+                self._mark_failed(shard, exc)
+                raise ShardRoutingError(
+                    f"shard master {shard!r} unreachable for {method}: "
+                    f"{type(exc).__name__}: {exc}"
+                ) from exc
+            self._mark_ok(shard)
+            return result
 
     def _read(self, shard: str, method: str, *args: Any) -> Any:
         """Run a read on the shard, preferring mirrors, master as fallback.
@@ -212,29 +220,41 @@ class CombinedClient:
         ]
         benched = [n for n in order if n not in first]
         last_exc: BaseException | None = None
-        for attempt, name in enumerate(first + benched):
-            try:
-                result = getattr(self._client(name), method)(*args)
-            except RLSError:
-                raise  # a live server answered; not a routing failure
-            except Exception as exc:
-                last_exc = exc
-                self._mark_failed(name, exc)
-                self._count_failover(shard)
-                continue
-            self._mark_ok(name)
-            return result
-        raise ShardRoutingError(
-            f"no endpoint of shard {shard!r} reachable for {method} "
-            f"(tried {order})"
-        ) from last_exc
+        with tracing.span(
+            "cluster.read", method=method, shard=shard
+        ) as span:
+            failovers = 0
+            for name in first + benched:
+                try:
+                    result = getattr(self._client(name), method)(*args)
+                except RLSError:
+                    raise  # a live server answered; not a routing failure
+                except Exception as exc:
+                    last_exc = exc
+                    self._mark_failed(name, exc)
+                    self._count_failover(shard)
+                    failovers += 1
+                    continue
+                self._mark_ok(name)
+                span.set_tag("endpoint", name)
+                span.set_tag("mirror", name != shard)
+                span.set_tag("failover", failovers)
+                return result
+            span.set_tag("failover", failovers)
+            raise ShardRoutingError(
+                f"no endpoint of shard {shard!r} reachable for {method} "
+                f"(tried {order})"
+            ) from last_exc
 
     def _scatter(self, method: str, *args: Any) -> list[Any]:
         """Run a read on every shard (mirror-first each); list of results."""
         results = []
-        for shard in self.map.shards:
-            self._count_route(shard, "scatter")
-            results.append(self._read(shard, method, *args))
+        with tracing.span(
+            "cluster.scatter", method=method, shards=len(self.map.shards)
+        ):
+            for shard in self.map.shards:
+                self._count_route(shard, "scatter")
+                results.append(self._read(shard, method, *args))
         return results
 
     def _broadcast_write(self, method: str, *args: Any) -> list[Any]:

@@ -216,6 +216,36 @@ class RLSClient:
         """
         return self.rpc.call("admin_traces", limit)
 
+    def trace(self, trace_id: str) -> dict[str, Any]:
+        """Cluster-stitched view of one trace (tree + critical path).
+
+        Accepts a trace id or a span id (``rls slowlog`` prints both).
+        Returns ``{"enabled": bool, "trace_id": str, "spans": [...],
+        "tree": [...], "critical_path": [...], "nodes": {...},
+        "missing": {...}, ...}``; on a cluster member the server gathers
+        fragments from every endpoint in its shard map, tolerating
+        unreachable nodes (listed under ``missing``).
+        """
+        return self.rpc.call("admin_trace", trace_id)
+
+    def trace_fragments(self, trace_id: str) -> dict[str, Any]:
+        """This server's raw span fragments for one trace.
+
+        Returns ``{"enabled": bool, "node": str, "trace_id": str,
+        "spans": [...]}`` — the feed a client-side
+        :class:`~repro.obs.assemble.TraceAssembler` stitches across
+        endpoints.
+        """
+        return self.rpc.call("admin_trace_fragments", trace_id)
+
+    def slo(self) -> dict[str, Any]:
+        """SLO state: per-class SLIs, burn rates, budget and alerts.
+
+        Returns ``{"enabled": True, "shard": str, "endpoint": str,
+        "policy": {...}, "classes": {...}, "alerts": [...]}``.
+        """
+        return self.rpc.call("admin_slo")
+
     def slow_queries(self, limit: int = 50) -> dict[str, Any]:
         """Tail-retained slow/error statements from the engine's query log.
 

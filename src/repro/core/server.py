@@ -28,9 +28,11 @@ from repro.db.postgres_engine import PostgresEngine
 from repro.net.rpc import ConnectionContext, RPCServer
 from repro.net.transport import LocalTransport, TCPServerTransport
 from repro.obs import tracing
+from repro.obs.assemble import TraceAssembler, TraceSource, tracer_source
 from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import SamplingProfiler
+from repro.obs.slo import SLIRecorder, SLOPolicy
 from repro.security.acl import Privilege
 from repro.security.authorizer import Authorizer
 
@@ -138,11 +140,26 @@ class RLSServer:
             )
             self.rli.init_schema()
 
+        # --- service-level objectives (admin_slo / rls slo) ---
+        self.slo = SLIRecorder(
+            self.metrics,
+            policy=SLOPolicy(
+                availability_target=self.config.slo_availability_target,
+                latency_target=self.config.slo_latency_target,
+                latency_threshold=self.config.slo_latency_threshold,
+            ),
+            shard=self.config.mirror_of or (
+                self.config.name if self.config.cluster is not None else ""
+            ),
+            endpoint=self.config.name,
+        )
+
         # --- RPC front end ---
         self.rpc = RPCServer(
             authenticator=self.authorizer.authenticate,
             metrics=self.metrics,
             flight=self.flight,
+            name=self.config.name,
         )
         self._register_methods()
         self.local_transport = LocalTransport(
@@ -189,6 +206,12 @@ class RLSServer:
                 self._mirror_thread.start()
             if self.profiler.enabled:
                 self.profiler.start()
+            # Prime the SLI recorder so its first real tick (on demand at
+            # admin_slo time, or the background thread's) attributes all
+            # traffic since start instead of swallowing it as baseline.
+            self.slo.tick()
+            if self.config.slo_tick_interval > 0:
+                self.slo.start(self.config.slo_tick_interval)
             self._started = True
         return self
 
@@ -204,6 +227,7 @@ class RLSServer:
                 self._mirror_thread.stop()
                 self._mirror_thread = None
             self.profiler.stop()
+            self.slo.stop()
             self.local_transport.close()
             if self.tcp_transport is not None:
                 self.tcp_transport.close()
@@ -351,6 +375,9 @@ class RLSServer:
         r("admin_metrics", guarded(admin, lambda: self.metrics.snapshot().to_dict()))
         r("admin_metrics_text", guarded(admin, lambda: self.metrics.render_text()))
         r("admin_traces", guarded(admin, self._traces))
+        r("admin_trace", guarded(admin, self._trace))
+        r("admin_trace_fragments", guarded(admin, self._trace_fragments))
+        r("admin_slo", guarded(admin, self._slo))
         r("admin_slow_queries", guarded(admin, self._slow_queries))
         r("admin_profile", guarded(admin, self._profile))
         r("admin_threads", guarded(admin, self._threads))
@@ -467,6 +494,84 @@ class RLSServer:
         if sink is None:
             return {"enabled": False, "stats": {}, "spans": []}
         payload = sink.to_dict(limit=limit)
+        payload["enabled"] = True
+        return payload
+
+    def _slo(self) -> dict[str, Any]:
+        """Current SLO state: per-class SLIs, burn rates, budget, alerts.
+
+        With ``slo_tick_interval=0`` (the default) there is no recorder
+        thread; this handler ticks on demand, so the answer always covers
+        traffic up to now at the cost of one registry snapshot.
+        """
+        self.slo.tick()
+        return self.slo.to_dict()
+
+    def _trace_fragments(self, trace_id: str) -> dict[str, Any]:
+        """This node's raw span fragments for one trace.
+
+        Accepts a span id too (``rls slowlog`` prints both), resolving it
+        to its trace.  Gracefully reports ``enabled: False`` when no
+        process-wide tracer is installed, like ``admin_traces``.
+        """
+        tracer = tracing.current_tracer()
+        if tracer is None:
+            return {
+                "enabled": False,
+                "node": self.config.name,
+                "trace_id": trace_id,
+                "spans": [],
+            }
+        resolved = tracer.resolve_trace(trace_id) or trace_id
+        return {
+            "enabled": True,
+            "node": self.config.name,
+            "trace_id": resolved,
+            "spans": [s.to_dict() for s in tracer.fragments(resolved)],
+        }
+
+    def _trace(self, trace_id: str) -> dict[str, Any]:
+        """Cluster-stitched view of one trace (tree + critical path).
+
+        A cluster member fans ``admin_trace_fragments`` out to every
+        endpoint in its shard map; unreachable nodes are tolerated and
+        reported under ``missing``.  Outside a cluster the local
+        fragments are assembled alone.
+        """
+        tracer = tracing.current_tracer()
+        if tracer is None:
+            return {
+                "enabled": False,
+                "trace_id": trace_id,
+                "spans": [],
+                "tree": [],
+                "critical_path": [],
+                "nodes": {},
+                "missing": {},
+            }
+        resolved = tracer.resolve_trace(trace_id) or trace_id
+        sources = [tracer_source(self.config.name, tracer)]
+        if self.config.cluster is not None:
+            from repro.core.client import connect
+
+            def remote_fetch(name: str):
+                def fetch(tid: str) -> list[dict[str, Any]]:
+                    with connect(name) as peer:
+                        return peer.trace_fragments(tid).get("spans", [])
+
+                return fetch
+
+            smap = self.config.cluster
+            endpoints = [
+                n
+                for shard in smap.shards
+                for n in (shard, *smap.mirrors_of(shard))
+                if n != self.config.name
+            ]
+            sources.extend(
+                TraceSource(name=n, fetch=remote_fetch(n)) for n in endpoints
+            )
+        payload = TraceAssembler(sources).assemble(resolved).to_dict()
         payload["enabled"] = True
         return payload
 

@@ -19,7 +19,9 @@ path                  method  action
 /index/<lfn>          GET     RLI query (LRC names)
 /bulk/query           POST    {"lfns":[...]} -> {lfn: [pfn,...]}
 /admin/stats          GET     server statistics
+/admin/slo            GET     SLIs, burn rates, budget, alerts
 /admin/traces         GET     tail-retained spans (?limit=N)
+/admin/trace/<id>     GET     cluster-stitched trace + critical path
 /admin/queries        GET     slow/error statement log (?limit=N)
 /admin/profile        GET     sampling-profiler folded stacks
 /admin/threads        GET     thread dump + stuck-thread detections
@@ -144,6 +146,11 @@ class HTTPGateway:
                     )
                 elif path == "/admin/stats":
                     self._handle(lambda c: (200, c.stats()))
+                elif path == "/admin/slo":
+                    self._handle(lambda c: (200, c.slo()))
+                elif path.startswith("/admin/trace/"):
+                    trace_id = path[len("/admin/trace/"):].partition("?")[0]
+                    self._handle(lambda c: (200, c.trace(trace_id)))
                 elif path == "/admin/shard_map":
                     self._handle(lambda c: (200, c.shard_map()))
                 elif path == "/admin/traces" or path.startswith("/admin/traces?"):

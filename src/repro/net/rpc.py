@@ -56,12 +56,18 @@ class RPCServer:
         authenticator: Authenticator | None = None,
         metrics: MetricsRegistry | None = None,
         flight: Any = None,
+        name: str = "",
     ) -> None:
         self._methods: dict[str, Handler] = {}
         self._authenticator = authenticator
         self._lock = threading.Lock()
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.flight = flight
+        #: Server identity stamped as ``node=`` on every rpc.handle span,
+        #: so cross-node trace assembly can attribute fragments even when
+        #: several servers share one in-process tracer.
+        self.name = name
+        self._span_tags: dict[str, str] = {"node": name} if name else {}
         self._instruments: dict[str, tuple[Any, Any, Any]] = {}
         # Requests currently inside handlers: the dispatcher-level queue
         # signal the saturation detector watches (Fig. 13 contention).
@@ -117,7 +123,10 @@ class RPCServer:
         self._m_inflight.inc()
         try:
             with tracing.span(
-                "rpc.handle", parent=request.trace, method=request.method
+                "rpc.handle",
+                parent=request.trace,
+                method=request.method,
+                **self._span_tags,
             ) as span:
                 if self.flight is not None:
                     self.flight.record("rpc.in", detail=request.method)

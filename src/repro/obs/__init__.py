@@ -16,8 +16,15 @@ pipeline — and the *time* axis the paper's figures are drawn on:
 * :mod:`repro.obs.collector` — :class:`ClusterCollector`, scraping every
   LRC/RLI of a deployment and deriving cluster-wide signals;
 * :mod:`repro.obs.analyze` — pathology detectors (VACUUM sawtooth,
-  staleness-SLO burn, queue saturation, baseline regression, stuck
-  threads);
+  staleness-SLO burn, SLO burn-rate, queue saturation, baseline
+  regression, stuck threads);
+* :mod:`repro.obs.assemble` — :class:`TraceAssembler`, stitching span
+  fragments gathered from every node of a cluster into one cross-node
+  tree (explicit gap markers for missing fragments) and attributing the
+  trace's wall time to critical-path segments;
+* :mod:`repro.obs.slo` — per-operation-class SLIs from the metric
+  stream, multi-window multi-burn-rate alerting, and error-budget
+  accounting (:class:`SLITracker` / :class:`SLIRecorder`);
 * :mod:`repro.obs.profile` — wall-clock :class:`SamplingProfiler` over
   ``sys._current_frames()`` folding samples into a :class:`StackProfile`,
   a thread registry (:func:`register_thread` / :class:`thread_role`)
@@ -26,9 +33,11 @@ pipeline — and the *time* axis the paper's figures are drawn on:
   typed events (RPC dispatch, update delivery, WAL flush, errors) with
   error-preferential retention and automatic black-box dumps;
 * exposure surfaces wired elsewhere — the ``admin_stats``/``admin_metrics``
-  /``admin_traces``/``admin_profile``/``admin_flight`` RPCs,
-  ``GET /metrics`` on the HTTP gateway, and the ``rls stats`` / ``rls
-  top`` / ``rls trace`` / ``rls profile`` / ``rls flight`` CLI commands.
+  /``admin_traces``/``admin_trace``/``admin_slo``/``admin_profile``
+  /``admin_flight`` RPCs, ``GET /metrics`` and ``GET /admin/slo`` /
+  ``GET /admin/trace/<id>`` on the HTTP gateway, and the ``rls stats`` /
+  ``rls top`` / ``rls trace`` / ``rls slo`` / ``rls profile`` / ``rls
+  flight`` CLI commands.
 
 Everything defaults to off: with no registry passed and no tracer
 installed, instrumentation sites hit no-op singletons.  See
@@ -42,8 +51,20 @@ from repro.obs.analyze import (
     compare_baseline,
     detect_queue_saturation,
     detect_sawtooth,
+    detect_slo_burn,
     detect_staleness_burn,
     detect_stuck_threads,
+)
+from repro.obs.assemble import (
+    AssembledTrace,
+    Segment,
+    TraceAssembler,
+    TraceSource,
+    render_critical_path,
+    render_trace,
+    segment_kind,
+    sink_source,
+    tracer_source,
 )
 from repro.obs.flight import (
     FlightEvent,
@@ -81,6 +102,14 @@ from repro.obs.profile import (
     thread_role,
     unregister_thread,
 )
+from repro.obs.slo import (
+    DEFAULT_LATENCY_THRESHOLDS,
+    OPERATION_CLASSES,
+    SLIRecorder,
+    SLITracker,
+    SLOPolicy,
+    classify_method,
+)
 from repro.obs.timeseries import (
     ScrapeResult,
     Scraper,
@@ -101,10 +130,12 @@ from repro.obs.tracing import (
 )
 
 __all__ = [
+    "AssembledTrace",
     "BUCKET_BOUNDS",
     "ClusterCollector",
     "ClusterSample",
     "Counter",
+    "DEFAULT_LATENCY_THRESHOLDS",
     "Detection",
     "FlightEvent",
     "FlightRecorder",
@@ -118,22 +149,31 @@ __all__ = [
     "NodeSample",
     "NodeSource",
     "NullRegistry",
+    "OPERATION_CLASSES",
+    "SLIRecorder",
+    "SLITracker",
+    "SLOPolicy",
     "SamplingProfiler",
     "ScrapeResult",
     "Scraper",
+    "Segment",
     "SeriesStore",
     "Span",
     "SpanSink",
     "StackProfile",
     "TimeSeries",
+    "TraceAssembler",
+    "TraceSource",
     "Tracer",
     "analyze_store",
+    "classify_method",
     "client_source",
     "compare_baseline",
     "current_sink",
     "current_tracer",
     "detect_queue_saturation",
     "detect_sawtooth",
+    "detect_slo_burn",
     "detect_staleness_burn",
     "detect_stuck_threads",
     "fold_stack",
@@ -144,10 +184,15 @@ __all__ = [
     "register_thread",
     "registered_threads",
     "registry_source",
+    "render_critical_path",
+    "render_trace",
+    "segment_kind",
     "server_source",
+    "sink_source",
     "span",
     "split_metric_key",
     "thread_role",
+    "tracer_source",
     "unregister_thread",
     "walk_tree",
 ]

@@ -13,7 +13,10 @@ Each detector encodes one failure shape the paper's evaluation surfaces:
   baseline series (used by the benchmark trajectory artifacts);
 * :func:`detect_stuck_threads` — a server thread pinned on the same
   non-idle frame across consecutive profiler samples while requests are
-  in flight (fed by :class:`repro.obs.profile.SamplingProfiler`).
+  in flight (fed by :class:`repro.obs.profile.SamplingProfiler`);
+* :func:`detect_slo_burn` — sustained error-budget burn in a
+  ``slo.burn_rate`` series (fed by :class:`repro.obs.slo.SLIRecorder` or
+  the cluster simulator's fault runs).
 
 Thresholds are fixed defaults chosen to clear measurement noise, not
 tuning knobs the caller must supply: every detector is usable as
@@ -50,6 +53,13 @@ BASELINE_TOLERANCE = 0.15
 
 #: Consecutive identical non-idle top frames before a thread is "stuck".
 STUCK_MIN_SAMPLES = 5
+
+#: SLO burn-rate thresholds (see repro.obs.slo): fast burn is critical,
+#: sustained on-schedule burn is a warning.
+SLO_FAST_BURN = 14.4
+SLO_SLOW_BURN = 1.0
+#: Consecutive over-threshold samples before the burn detector fires.
+SLO_BURN_MIN_RUN = 3
 
 
 @dataclass
@@ -350,6 +360,67 @@ def detect_stuck_threads(
 
 
 # ---------------------------------------------------------------------------
+# SLO burn-rate (repro.obs.slo series)
+# ---------------------------------------------------------------------------
+
+
+def detect_slo_burn(
+    series: TimeSeries | Sequence[float] | Sequence[tuple[float, float]],
+    fast_burn: float = SLO_FAST_BURN,
+    slow_burn: float = SLO_SLOW_BURN,
+    min_run: int = SLO_BURN_MIN_RUN,
+) -> list[Detection]:
+    """Fire on sustained error-budget burn in a ``slo.burn_rate`` series.
+
+    The series values are burn rates ((1 - SLI)/(1 - target), 1.0 =
+    spending the budget exactly on schedule).  A run of at least
+    ``min_run`` consecutive samples at or above ``fast_burn`` is critical
+    (the multi-window fast alert, seen through the scrape pipeline); a
+    run at or above ``slow_burn`` that never reaches fast is a warning.
+    Each qualifying run yields one detection spanning it.
+    """
+    points = _as_points(series)
+    if len(points) < min_run:
+        return []
+    detections: list[Detection] = []
+    run: list[tuple[float, float]] = []
+
+    def flush() -> None:
+        if len(run) < min_run:
+            return
+        worst = max(v for _, v in run)
+        fast = worst >= fast_burn
+        detections.append(
+            Detection(
+                kind="slo_burn",
+                severity="critical" if fast else "warning",
+                summary=(
+                    f"error-budget burn {'>=' if fast else 'over'} "
+                    f"{(fast_burn if fast else slow_burn):g}x for "
+                    f"{len(run)} samples (worst {worst:.1f}x)"
+                ),
+                start=run[0][0],
+                end=run[-1][0],
+                details={
+                    "samples": len(run),
+                    "worst_burn": worst,
+                    "fast_threshold": fast_burn,
+                    "slow_threshold": slow_burn,
+                },
+            )
+        )
+
+    for t, v in points:
+        if v >= slow_burn:
+            run.append((t, v))
+        else:
+            flush()
+            run = []
+    flush()
+    return detections
+
+
+# ---------------------------------------------------------------------------
 # Store-wide sweep
 # ---------------------------------------------------------------------------
 
@@ -357,6 +428,7 @@ def detect_stuck_threads(
 _THROUGHPUT_MARKERS = ("ops:rate", "cluster.ops_rate", "add_rate")
 _QUEUE_MARKERS = ("queue_depth", "pending_changes", "inflight", "retry_backlog")
 _STALENESS_MARKERS = ("staleness_age",)
+_SLO_MARKERS = ("slo.burn_rate",)
 
 
 def analyze_store(
@@ -381,6 +453,8 @@ def analyze_store(
             marker in key for marker in _STALENESS_MARKERS
         ):
             found.extend(detect_staleness_burn(series, staleness_slo))
+        if any(marker in key for marker in _SLO_MARKERS):
+            found.extend(detect_slo_burn(series))
         for detection in found:
             detection.details.setdefault("series", key)
         detections.extend(found)

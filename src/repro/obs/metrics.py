@@ -380,6 +380,12 @@ _METRIC_HELP: dict[str, str] = {
     "obs_profiler_samples": "Thread stacks sampled by the wall-clock profiler",
     "obs_profiler_walk_latency": "Seconds per profiler frame-walk pass",
     "obs_profiler_duty_cycle": "Fraction of wall time the profiler spends walking",
+    "obs_slo_ticks": "SLI recorder passes over the metrics registry",
+    "obs_slo_tick_latency": "Seconds per SLI recorder pass",
+    "slo_availability": "Availability SLI per operation class (fast window)",
+    "slo_latency_sli": "Fraction of requests under the class latency threshold",
+    "slo_burn_rate": "Error-budget burn rate per operation class and window",
+    "slo_budget_remaining": "Fraction of the error budget left in the window",
 }
 
 

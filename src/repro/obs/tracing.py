@@ -120,8 +120,14 @@ class SpanSink:
         self._lock = threading.Lock()
         self._interesting: "OrderedDict[str, Span]" = OrderedDict()
         self._recent: "OrderedDict[str, Span]" = OrderedDict()
+        # Retention reason recorded at offer time, keyed by span_id.
+        # Recomputing from span fields at read time loses history: a child
+        # span retained as "slow" whose root trace was later evicted must
+        # report "slow,orphan" so assemblers know the fragment is partial.
+        self._reason: dict[str, str] = {}
         self.offered = 0
         self.retained = 0
+        self.orphans = 0
 
     def interesting_reason(self, span: Span) -> str | None:
         """Why this span is tail-retained, or ``None`` if it is not."""
@@ -138,12 +144,59 @@ class SpanSink:
             self.offered += 1
             self._recent[span.span_id] = span
             while len(self._recent) > self.recent_capacity:
-                self._recent.popitem(last=False)
+                old_id, _ = self._recent.popitem(last=False)
+                if old_id not in self._interesting:
+                    self._reason.pop(old_id, None)
             if reason is not None:
                 self.retained += 1
+                self._reason[span.span_id] = reason
                 self._interesting[span.span_id] = span
                 while len(self._interesting) > self.capacity:
-                    self._interesting.popitem(last=False)
+                    old_id, _ = self._interesting.popitem(last=False)
+                    if old_id not in self._recent:
+                        self._reason.pop(old_id, None)
+
+    def retention_reason(self, span_id: str) -> str | None:
+        """Recorded reason a span is retained ("error"/"slow", with an
+        ``,orphan`` suffix once its trace was evicted from the tracer)."""
+        with self._lock:
+            return self._reason.get(span_id)
+
+    def mark_orphaned(self, trace_id: str) -> None:
+        """Flag retained spans of an evicted trace as orphan fragments.
+
+        Called by the owning :class:`Tracer` when ``trace_id`` rolls out
+        of its per-trace store.  The tail-retained children survive here
+        with their original reason plus ``,orphan``, and stay fetchable
+        by trace id via :meth:`trace` so cross-node assembly can still
+        stitch partial trees around them.
+        """
+        with self._lock:
+            for span_id, span in self._interesting.items():
+                if span.trace_id != trace_id:
+                    continue
+                reason = self._reason.get(span_id, "slow")
+                if "orphan" not in reason:
+                    self._reason[span_id] = reason + ",orphan"
+                    self.orphans += 1
+
+    def trace(self, trace_id: str) -> list[Span]:
+        """Every retained span of one trace (interesting plus recent).
+
+        Orphan fragments — children whose root trace was evicted from the
+        tracer — are still returned here, which is what lets a
+        :class:`~repro.obs.assemble.TraceAssembler` fetch by trace id
+        after partial eviction.
+        """
+        with self._lock:
+            out: dict[str, Span] = {}
+            for span in self._interesting.values():
+                if span.trace_id == trace_id:
+                    out[span.span_id] = span
+            for span in self._recent.values():
+                if span.trace_id == trace_id and span.span_id not in out:
+                    out[span.span_id] = span
+            return sorted(out.values(), key=lambda s: s.start)
 
     def interesting(self) -> list[Span]:
         """Tail-retained spans (errors and slow), oldest first."""
@@ -163,22 +216,34 @@ class SpanSink:
                 "recent": len(self._recent),
                 "capacity": self.capacity,
                 "latency_threshold": self.latency_threshold,
+                "orphans": self.orphans,
             }
 
     def to_dict(self, limit: int | None = None) -> dict[str, Any]:
-        """RPC payload: stats plus the interesting spans (newest last)."""
+        """RPC payload: stats plus the interesting spans (newest last).
+
+        Each span dict carries a ``reason`` key (additive, so older
+        clients ignore it) with the recorded retention reason — including
+        the ``,orphan`` suffix for fragments whose trace was evicted.
+        """
         spans = self.interesting()
         if limit is not None and limit >= 0:
             spans = spans[-limit:]
+        out = []
+        for span in spans:
+            d = span.to_dict()
+            d["reason"] = self.retention_reason(span.span_id)
+            out.append(d)
         return {
             "stats": self.stats(),
-            "spans": [span.to_dict() for span in spans],
+            "spans": out,
         }
 
     def clear(self) -> None:
         with self._lock:
             self._interesting.clear()
             self._recent.clear()
+            self._reason.clear()
 
 
 class _NullSpan:
@@ -327,15 +392,24 @@ class Tracer:
             self._active_by_thread.pop(ident, None)
         if self.sink is not None:
             self.sink.offer(span)
+        evicted: list[str] = []
         with self._lock:
             spans = self._traces.get(span.trace_id)
             if spans is None:
                 self._traces[span.trace_id] = [span]
                 while len(self._traces) > self.max_traces:
-                    self._traces.popitem(last=False)
+                    old_tid, _ = self._traces.popitem(last=False)
+                    evicted.append(old_tid)
             else:
                 spans.append(span)
                 self._traces.move_to_end(span.trace_id)
+        # Outside the tracer lock: the sink takes its own lock and never
+        # calls back into the tracer, but keeping the ordering one-way is
+        # cheap insurance.  Tail-retained children of the evicted trace
+        # stay fetchable by trace id through the sink (reason "…,orphan").
+        if self.sink is not None:
+            for old_tid in evicted:
+                self.sink.mark_orphaned(old_tid)
 
     # -- inspection ------------------------------------------------------
 
@@ -366,6 +440,35 @@ class Tracer:
             else:
                 parent["children"].append(node)
         return roots
+
+    def resolve_trace(self, ref: str) -> str | None:
+        """Map a trace id *or* a span id onto its trace id.
+
+        Lets operators paste either column of ``rls slowlog`` / ``rls
+        trace`` output into ``rls trace <id>``.  Scans the bounded trace
+        store and, for orphaned fragments, the sink's retained spans.
+        """
+        with self._lock:
+            if ref in self._traces:
+                return ref
+            for trace_id, spans in self._traces.items():
+                for s in spans:
+                    if s.span_id == ref:
+                        return trace_id
+        if self.sink is not None:
+            for s in self.sink.interesting():
+                if s.span_id == ref or s.trace_id == ref:
+                    return s.trace_id
+        return None
+
+    def fragments(self, trace_id: str) -> list[Span]:
+        """All locally-known spans of a trace: the per-trace store plus
+        any sink-retained orphans, deduplicated by span id."""
+        out: dict[str, Span] = {s.span_id: s for s in self.spans(trace_id)}
+        if self.sink is not None:
+            for s in self.sink.trace(trace_id):
+                out.setdefault(s.span_id, s)
+        return sorted(out.values(), key=lambda s: s.start)
 
     def find_spans(self, name: str) -> list[Span]:
         """Every finished span with ``name``, across retained traces."""

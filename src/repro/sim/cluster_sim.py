@@ -16,6 +16,15 @@ simulation kernel, free of wall-clock noise:
   :class:`~repro.cluster.mirror.MirrorIngest` gauges, so
   :func:`repro.obs.analyze.analyze_store` runs the staleness-burn
   detector on it unchanged.
+* **SLO burn under faults** — a :class:`~repro.testing.faults.FailureSchedule`
+  can fail queries against one shard (each failed query still consumes
+  its service time — the server did the work, then errored).  A per-shard
+  :class:`~repro.obs.slo.SLITracker` runs on the *virtual* clock and the
+  resulting ``slo.burn_rate{class=query,shard=...,window=fast}`` series
+  lands in ``result.store`` under the same key the live
+  :class:`~repro.obs.slo.SLIRecorder` gauges, so
+  :func:`repro.obs.analyze.analyze_store` runs the burn detector on it
+  unchanged.
 """
 
 from __future__ import annotations
@@ -24,9 +33,11 @@ import random
 from dataclasses import dataclass, field
 
 from repro.cluster.ring import HashRing
+from repro.obs.slo import FAST_WINDOW, SLOPolicy, SLITracker
 from repro.obs.timeseries import SeriesStore
 from repro.sim.kernel import Simulator
 from repro.sim.resources import Resource
+from repro.testing.faults import FailureSchedule
 
 
 @dataclass
@@ -42,6 +53,10 @@ class ClusterResult:
     master_served: int
     #: Mean time a query spent queued+in service.
     mean_latency: float
+    #: Queries that consumed service time but failed (injected faults).
+    queries_failed: int = 0
+    #: Multi-window burn-rate alerts firing at end of run, per shard.
+    slo_alerts: list[dict] = field(default_factory=list)
     #: Peak staleness age (seconds) observed per mirror feed.
     peak_staleness: dict[str, float] = field(default_factory=dict)
     store: SeriesStore = field(default_factory=SeriesStore)
@@ -60,6 +75,11 @@ def cluster_experiment(
     duration: float = 300.0,
     stall_feed_of: str | None = None,
     stall_at: float | None = None,
+    faults: FailureSchedule | None = None,
+    fault_shard: str | None = None,
+    fault_after: float = 0.0,
+    slo_policy: SLOPolicy | None = None,
+    sli_sample_every: float = 15.0,
     seed: int = 7,
 ) -> ClusterResult:
     """Drive closed-loop clients against a simulated sharded cluster.
@@ -73,6 +93,14 @@ def cluster_experiment(
     ``stall_feed_of`` names a mirror whose master feed stops at
     ``stall_at`` (default: halfway); its ``mirror.staleness_age`` series
     then climbs linearly, which the staleness-burn detector must flag.
+
+    ``faults`` fails queries on schedule once ``sim.now >= fault_after``
+    (restricted to ``fault_shard`` when given; failed queries still
+    occupy the endpoint for their full service time so a dying shard does
+    not magically free capacity).  Per-shard SLI trackers sample every
+    ``sli_sample_every`` virtual seconds and record fast-window burn
+    rates into ``result.store``; the alerts firing at end of run land in
+    ``result.slo_alerts``.
     """
     sim = Simulator()
     rng = random.Random(seed)
@@ -138,6 +166,44 @@ def cluster_experiment(
     if mirrors_per_shard:
         sim.process(staleness_sampler())
 
+    # --- per-shard SLIs on the virtual clock ---
+    if fault_shard is not None and fault_shard not in masters:
+        raise ValueError(f"unknown shard {fault_shard!r}")
+    trackers = {s: SLITracker(slo_policy or SLOPolicy()) for s in shards}
+    window_counts = {s: [0, 0] for s in shards}  # [requests, errors]
+
+    def sli_sampler():
+        while True:
+            yield sim.timeout(sli_sample_every)
+            for shard in shards:
+                requests, errors = window_counts[shard]
+                window_counts[shard] = [0, 0]
+                trackers[shard].record(sim.now, requests, errors)
+                burn = max(
+                    trackers[shard].burn_rate(
+                        FAST_WINDOW.short, sim.now, "availability"
+                    ),
+                    trackers[shard].burn_rate(
+                        FAST_WINDOW.short, sim.now, "latency"
+                    ),
+                )
+                result.store.record(
+                    f"slo.burn_rate{{class=query,shard={shard},"
+                    f"window=fast}}",
+                    sim.now,
+                    burn,
+                )
+                avail = trackers[shard].availability(
+                    FAST_WINDOW.short, sim.now
+                )
+                result.store.record(
+                    f"slo.availability{{class=query,shard={shard}}}",
+                    sim.now,
+                    1.0 if avail is None else avail,
+                )
+
+    sim.process(sli_sampler())
+
     # --- closed-loop query clients ---
     def client_proc(client_id: int):
         nonlocal latency_total
@@ -155,9 +221,22 @@ def cluster_experiment(
             else:
                 resource = masters[shard]
                 served_by_mirror = False
+            fail = (
+                faults is not None
+                and sim.now >= fault_after
+                and (fault_shard is None or shard == fault_shard)
+                and faults.next_outcome()
+            )
             start = sim.now
+            # A failed query still holds the endpoint for its service
+            # time — the server did the work, then errored.
             yield resource.use(service_time)
             latency_total += sim.now - start
+            window_counts[shard][0] += 1
+            if fail:
+                window_counts[shard][1] += 1
+                result.queries_failed += 1
+                continue
             result.queries_completed += 1
             if served_by_mirror:
                 result.mirror_served += 1
@@ -167,6 +246,12 @@ def cluster_experiment(
     for c in range(num_clients):
         sim.process(client_proc(c))
     sim.run(until=duration)
-    if result.queries_completed:
-        result.mean_latency = latency_total / result.queries_completed
+    if result.queries_completed or result.queries_failed:
+        completed = result.queries_completed + result.queries_failed
+        result.mean_latency = latency_total / completed
+    for shard in shards:
+        for alert in trackers[shard].alerts(sim.now):
+            alert["shard"] = shard
+            alert["class"] = "query"
+            result.slo_alerts.append(alert)
     return result

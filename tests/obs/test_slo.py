@@ -1,0 +1,265 @@
+"""SLO engine: SLIs, multi-window burn rates, budgets, the recorder."""
+
+from __future__ import annotations
+
+from repro.obs.metrics import BUCKET_BOUNDS, MetricsRegistry, split_metric_key
+from repro.obs.slo import (
+    DEFAULT_LATENCY_THRESHOLDS,
+    FAST_WINDOW,
+    OPERATION_CLASSES,
+    SLIRecorder,
+    SLITracker,
+    SLOW_WINDOW,
+    SLOPolicy,
+    classify_method,
+    slow_observations,
+)
+
+
+class TestClassifyMethod:
+    def test_classes_cover_table1_operations(self):
+        assert classify_method("lrc_create_mapping") == "add"
+        assert classify_method("lrc_add_mapping") == "add"
+        assert classify_method("lrc_get_mappings") == "query"
+        assert classify_method("rli_query") == "query"
+        assert classify_method("lrc_bulk_query") == "bulk"
+        assert classify_method("rli_bulk_query") == "bulk"
+        assert classify_method("lrc_query_wildcard") == "wildcard"
+        assert classify_method("lrc_attr_query") == "wildcard"
+
+    def test_internal_traffic_is_unclassified(self):
+        assert classify_method("admin_stats") is None
+        assert classify_method("admin_slo") is None
+        assert classify_method("mirror_incremental") is None
+        assert classify_method("lrc_mirror_add") is None
+        assert classify_method("rli_lrc_update") is None
+
+    def test_unlisted_client_methods_classified_by_shape(self):
+        assert classify_method("lrc_bulk_frobnicate") == "bulk"
+        assert classify_method("lrc_new_wildcard_scan") == "wildcard"
+        assert classify_method("lrc_totally_new") is None
+
+    def test_every_class_has_a_latency_threshold(self):
+        for cls in OPERATION_CLASSES:
+            assert DEFAULT_LATENCY_THRESHOLDS[cls] > 0
+
+
+class TestSlowObservations:
+    def test_boundary_threshold_is_exact(self):
+        # On a log-2 bucket boundary the count of strictly-slower
+        # observations is exact; at-threshold requests are on time.
+        threshold = BUCKET_BOUNDS[16]  # 65.536 ms
+        registry = MetricsRegistry()
+        hist = registry.histogram("x")
+        for v in (threshold * 0.9, threshold, threshold * 1.1, 0.500):
+            hist.observe(v)
+        counts = registry.snapshot().histograms["x"].counts
+        assert slow_observations(counts, threshold) == 2
+
+    def test_mid_bucket_threshold_undercounts_conservatively(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("x")
+        hist.observe(0.060)  # same bucket as the 50ms default threshold
+        hist.observe(0.500)
+        counts = registry.snapshot().histograms["x"].counts
+        # 0.050 is mid-bucket: only buckets entirely above it are certain.
+        assert slow_observations(counts, 0.050) == 1
+
+    def test_overflow_bucket_counts(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("x")
+        hist.observe(BUCKET_BOUNDS[-1] * 10)
+        counts = registry.snapshot().histograms["x"].counts
+        assert slow_observations(counts, 0.050) == 1
+
+
+class TestSLITracker:
+    def test_no_traffic_means_undefined_sli_and_zero_burn(self):
+        tracker = SLITracker()
+        assert tracker.availability(300.0, now=1000.0) is None
+        assert tracker.latency_sli(300.0, now=1000.0) is None
+        assert tracker.burn_rate(300.0, 1000.0, "availability") == 0.0
+        assert tracker.alerts(now=1000.0) == []
+
+    def test_availability_and_burn(self):
+        tracker = SLITracker(SLOPolicy(availability_target=0.999))
+        tracker.record(100.0, requests=1000, errors=10)
+        assert tracker.availability(300.0, now=200.0) == 1.0 - 10 / 1000
+        burn = tracker.burn_rate(300.0, 200.0, "availability")
+        assert abs(burn - 10.0) < 1e-9  # 1% errors / 0.1% budget
+
+    def test_window_cutoff_excludes_old_records(self):
+        tracker = SLITracker()
+        tracker.record(0.0, requests=100, errors=100)
+        tracker.record(1000.0, requests=100, errors=0)
+        # 5m window at t=1100 sees only the clean record.
+        assert tracker.availability(300.0, now=1100.0) == 1.0
+        # 1h window still sees the outage.
+        assert tracker.availability(3600.0, now=1100.0) == 0.5
+
+    def test_fast_alert_needs_both_windows(self):
+        # Errors only in the last 5 minutes: short burn huge, 1h burn
+        # diluted below 14.4 -> the fast page must NOT fire.
+        tracker = SLITracker()
+        for i in range(60):
+            t = i * 60.0
+            errors = 100 if t > 3300.0 else 0
+            tracker.record(t, requests=1000, errors=errors)
+        fast = [
+            a for a in tracker.alerts(now=3600.0) if a["window"] == "fast"
+        ]
+        assert fast == []
+
+    def test_sustained_burn_fires_fast_and_slow(self):
+        tracker = SLITracker()
+        for i in range(61):
+            tracker.record(i * 60.0, requests=1000, errors=100)
+        alerts = tracker.alerts(now=3600.0)
+        windows = {a["window"] for a in alerts}
+        assert "fast" in windows and "slow" in windows
+        fast = next(a for a in alerts if a["window"] == "fast")
+        assert fast["severity"] == "critical"
+        assert fast["burn_short"] >= FAST_WINDOW.threshold
+        assert fast["burn_long"] >= FAST_WINDOW.threshold
+        slow = next(a for a in alerts if a["window"] == "slow")
+        assert slow["severity"] == "warning"
+        assert slow["burn_short"] >= SLOW_WINDOW.threshold
+
+    def test_latency_sli_separate_from_availability(self):
+        tracker = SLITracker(SLOPolicy(latency_target=0.99))
+        tracker.record(10.0, requests=100, errors=0, slow=50)
+        assert tracker.availability(300.0, now=20.0) == 1.0
+        assert tracker.latency_sli(300.0, now=20.0) == 0.5
+        assert abs(tracker.burn_rate(300.0, 20.0, "latency") - 50.0) < 1e-9
+
+    def test_budget_accounting(self):
+        tracker = SLITracker(
+            SLOPolicy(availability_target=0.999, latency_target=0.99)
+        )
+        tracker.record(10.0, requests=10_000, errors=5, slow=50)
+        budget = tracker.budget(now=20.0)
+        # 5 errors of 10 allowed; 50 slow of 100 allowed.
+        assert abs(budget["availability_budget_remaining"] - 0.5) < 1e-9
+        assert abs(budget["latency_budget_remaining"] - 0.5) < 1e-9
+        exhausted = SLITracker(SLOPolicy(availability_target=0.999))
+        exhausted.record(10.0, requests=1000, errors=500)
+        assert exhausted.budget(20.0)["availability_budget_remaining"] == 0.0
+
+    def test_horizon_trims_records(self):
+        tracker = SLITracker()
+        horizon = tracker.policy.horizon()
+        tracker.record(0.0, requests=1, errors=0)
+        tracker.record(horizon + 100.0, requests=1, errors=0)
+        assert len(tracker._records) == 1
+
+    def test_to_dict_window_keys(self):
+        tracker = SLITracker()
+        tracker.record(10.0, requests=10, errors=1)
+        d = tracker.to_dict(now=20.0)
+        assert set(d["windows"]) == {
+            "fast_short", "fast_long", "slow_short", "slow_long"
+        }
+        assert d["windows"]["fast_short"]["requests"] == 10
+        assert "budget" in d and "alerts" in d
+
+
+def _gauges_named(registry, name):
+    out = {}
+    for key, value in registry.snapshot().gauges.items():
+        base, labels = split_metric_key(key)
+        if base == name:
+            out[tuple(sorted(labels.items()))] = value
+    return out
+
+
+class TestSLIRecorder:
+    def _clock(self, start=0.0):
+        state = {"now": start}
+
+        def clock():
+            return state["now"]
+
+        return state, clock
+
+    def test_tick_classifies_and_records(self):
+        state, clock = self._clock()
+        registry = MetricsRegistry()
+        recorder = SLIRecorder(
+            registry, shard="s0", endpoint="s0", clock=clock
+        )
+        recorder.tick()  # priming
+        registry.counter("rpc.requests", method="lrc_get_mappings").inc(95)
+        registry.counter("rpc.errors", method="lrc_get_mappings").inc(5)
+        hist = registry.histogram("rpc.latency", method="lrc_get_mappings")
+        for _ in range(90):
+            hist.observe(0.001)
+        for _ in range(10):
+            hist.observe(0.200)  # above the 50ms query threshold
+        # Internal traffic must not pollute any class.
+        registry.counter("rpc.requests", method="admin_stats").inc(50)
+        state["now"] = 60.0
+        recorder.tick()
+        tracker = recorder.trackers["query"]
+        # Denominator is successes + errors.
+        assert tracker._records[-1] == (60.0, 100, 5, 10)
+        for cls in ("add", "bulk", "wildcard"):
+            assert recorder.trackers[cls].availability(300.0, 60.0) is None
+        assert recorder.ticks == 1
+
+    def test_tick_exports_gauges(self):
+        state, clock = self._clock()
+        registry = MetricsRegistry()
+        recorder = SLIRecorder(registry, endpoint="e0", clock=clock)
+        recorder.tick()
+        registry.counter("rpc.requests", method="lrc_create_mapping").inc(90)
+        registry.counter("rpc.errors", method="lrc_create_mapping").inc(10)
+        state["now"] = 60.0
+        recorder.tick()
+        avail = _gauges_named(registry, "slo.availability")
+        key = (("class", "add"), ("endpoint", "e0"))
+        assert abs(avail[key] - 0.9) < 1e-9
+        burns = _gauges_named(registry, "slo.burn_rate")
+        fast_key = (("class", "add"), ("endpoint", "e0"), ("window", "fast"))
+        assert burns[fast_key] > 14.4
+        budgets = _gauges_named(registry, "slo.budget_remaining")
+        assert budgets[key] == 0.0  # 10% errors vs 0.1% budget
+        # Self-metering rides the same registry.
+        snapshot = registry.snapshot()
+        assert snapshot.counters["obs.slo.ticks"] == 2
+
+    def test_alerts_and_to_dict(self):
+        state, clock = self._clock()
+        registry = MetricsRegistry()
+        recorder = SLIRecorder(registry, shard="s1", clock=clock)
+        recorder.tick()
+        for i in range(1, 62):
+            registry.counter(
+                "rpc.requests", method="lrc_get_mappings"
+            ).inc(90)
+            registry.counter("rpc.errors", method="lrc_get_mappings").inc(10)
+            state["now"] = i * 60.0
+            recorder.tick()
+        alerts = recorder.alerts()
+        assert any(
+            a["window"] == "fast" and a["class"] == "query" for a in alerts
+        )
+        assert all(a["shard"] == "s1" for a in alerts)
+        payload = recorder.to_dict()
+        assert payload["enabled"] is True
+        assert set(payload["classes"]) == set(OPERATION_CLASSES)
+        assert payload["alerts"] == alerts
+
+    def test_background_thread_lifecycle(self):
+        registry = MetricsRegistry()
+        recorder = SLIRecorder(registry)
+        recorder.start(interval=0.01)
+        try:
+            import time as _time
+
+            deadline = _time.time() + 2.0
+            while recorder.ticks < 2 and _time.time() < deadline:
+                _time.sleep(0.01)
+            assert recorder.ticks >= 2
+        finally:
+            recorder.stop()
+        assert recorder._thread is None

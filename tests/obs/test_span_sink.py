@@ -89,6 +89,82 @@ class TestPayload:
         assert sink.recent() == []
 
 
+class TestOrphanRetention:
+    def test_retention_reason_recorded_on_offer(self):
+        sink = SpanSink(latency_threshold=0.050)
+        sink.offer(make_span(0, error="Timeout"))
+        sink.offer(make_span(1, duration=0.200))
+        sink.offer(make_span(2, duration=0.0001))
+        assert sink.retention_reason("s0") == "error"
+        assert sink.retention_reason("s1") == "slow"
+        assert sink.retention_reason("s2") is None
+
+    def test_mark_orphaned_appends_suffix_once(self):
+        sink = SpanSink()
+        span = make_span(0, error="E")
+        sink.offer(span)
+        sink.mark_orphaned(span.trace_id)
+        assert sink.retention_reason(span.span_id) == "error,orphan"
+        sink.mark_orphaned(span.trace_id)  # idempotent
+        assert sink.retention_reason(span.span_id) == "error,orphan"
+
+    def test_mark_orphaned_only_touches_that_trace(self):
+        sink = SpanSink()
+        sink.offer(make_span(0, error="E"))
+        sink.offer(make_span(1, error="E"))
+        sink.mark_orphaned("t0")
+        assert sink.retention_reason("s0") == "error,orphan"
+        assert sink.retention_reason("s1") == "error"
+
+    def test_trace_fetches_across_both_rings(self):
+        sink = SpanSink(latency_threshold=0.050)
+        slow = Span(
+            name="slow", trace_id="tx", span_id="a", duration=0.200
+        )
+        fast = Span(
+            name="fast", trace_id="tx", span_id="b", duration=0.0001
+        )
+        other = make_span(9, duration=0.200)
+        for s in (slow, fast, other):
+            sink.offer(s)
+        got = {s.span_id for s in sink.trace("tx")}
+        assert got == {"a", "b"}
+
+    def test_tracer_eviction_marks_sink_orphans(self):
+        """Acceptance criterion: children retained for the tail survive
+        trace eviction, flagged ``,orphan`` and fetchable by trace id."""
+        sink = SpanSink(latency_threshold=0.0)  # retain everything
+        tracer = Tracer(sink=sink, max_traces=2)
+        with tracer.span("first-root") as h:
+            first_tid = h.trace_id
+            with tracer.span("first-child"):
+                pass
+        # Two more traces roll `first_tid` out of the tracer store.
+        for _ in range(2):
+            with tracer.span("filler"):
+                pass
+        assert first_tid not in tracer.trace_ids()
+        fragments = sink.trace(first_tid)
+        assert {s.name for s in fragments} == {"first-root", "first-child"}
+        for s in fragments:
+            assert sink.retention_reason(s.span_id).endswith(",orphan")
+        # The tracer still resolves the orphaned fragments by trace id...
+        assert {s.name for s in tracer.fragments(first_tid)} == {
+            "first-root", "first-child"
+        }
+        # ...and by span id, so slowlog output stays pasteable.
+        span_id = fragments[0].span_id
+        assert tracer.resolve_trace(span_id) == first_tid
+
+    def test_fragments_deduplicate_store_and_sink(self):
+        sink = SpanSink(latency_threshold=0.0)
+        tracer = Tracer(sink=sink)
+        with tracer.span("live") as h:
+            tid = h.trace_id
+        # The span sits in both the trace store and the sink.
+        assert len(tracer.fragments(tid)) == 1
+
+
 class TestTracerIntegration:
     def test_tracer_offers_finished_spans_to_sink(self):
         sink = SpanSink(latency_threshold=0.0)  # everything is "slow"

@@ -60,3 +60,42 @@ class TestStaleness:
     def test_unknown_stall_target_rejected(self):
         with pytest.raises(ValueError):
             cluster_experiment(1, 1, stall_feed_of="nope")
+
+
+class TestSLOBurn:
+    def test_shard_outage_fires_fast_burn_on_that_shard_only(self):
+        from repro.testing.faults import FailureSchedule
+
+        r = cluster_experiment(
+            2,
+            1,
+            duration=600.0,
+            faults=FailureSchedule.always(),
+            fault_shard="shard0",
+            fault_after=200.0,
+            seed=3,
+        )
+        assert r.queries_failed > 0
+        fast = [a for a in r.slo_alerts if a["window"] == "fast"]
+        assert fast, r.slo_alerts
+        assert all(a["shard"] == "shard0" for a in r.slo_alerts)
+        assert all(a["severity"] == "critical" for a in fast)
+        burns = [d for d in analyze_store(r.store) if d.kind == "slo_burn"]
+        assert burns, "recorded burn series must trip the analyzer"
+        assert all("shard0" in d.details["series"] for d in burns)
+
+    def test_fault_free_run_is_quiet(self):
+        r = cluster_experiment(2, 1, duration=600.0, seed=3)
+        assert r.queries_failed == 0
+        assert r.slo_alerts == []
+        assert not [
+            d for d in analyze_store(r.store) if d.kind == "slo_burn"
+        ]
+
+    def test_unknown_fault_shard_rejected(self):
+        from repro.testing.faults import FailureSchedule
+
+        with pytest.raises(ValueError):
+            cluster_experiment(
+                1, 1, faults=FailureSchedule.always(), fault_shard="nope"
+            )
