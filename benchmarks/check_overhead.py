@@ -105,6 +105,61 @@ def time_profiler_guard(n: int) -> float:
     return (time.perf_counter() - start) / (2 * n)
 
 
+CODEC_ROUNDS = 3_000
+#: Requests per batch frame in the codec gate (matches the pipelined
+#: hot path: UpdateManager chunks and CombinedClient scatters).
+CODEC_BATCH = 16
+
+
+def time_codec_roundtrip(rounds: int) -> float:
+    """Seconds per request for a full wire round trip through the codec.
+
+    Encodes a pipelined batch of representative requests into a reused
+    frame buffer, decodes it back, then does the same for the response
+    batch — the exact per-request serialization work a busy server
+    connection performs.  This must stay a small fraction of the add it
+    transports, or the RPC layer eats the gains of request batching.
+    """
+    from repro.net.messages import (
+        Batch,
+        Request,
+        Response,
+        encode_message_into,
+        message_from_bytes,
+    )
+
+    requests = Batch(
+        tuple(
+            Request(
+                "lrc_add_mapping",
+                (f"lfn-{i:06d}", f"pfn://host.example/path/{i:06d}"),
+                None,
+                i + 1,
+            )
+            for i in range(CODEC_BATCH)
+        )
+    )
+    responses = Batch(
+        tuple(Response(True, None, "", "", i + 1) for i in range(CODEC_BATCH))
+    )
+    buf = bytearray()
+    encode_message_into(buf, requests)
+    req_frame = bytes(buf)
+    buf.clear()
+    encode_message_into(buf, responses)
+    resp_frame = bytes(buf)
+    message_from_bytes(req_frame)  # priming pass
+    start = time.perf_counter()
+    for _ in range(rounds):
+        buf.clear()
+        encode_message_into(buf, requests)
+        message_from_bytes(req_frame)
+        buf.clear()
+        encode_message_into(buf, responses)
+        message_from_bytes(resp_frame)
+    return (time.perf_counter() - start) / (rounds * CODEC_BATCH)
+
+
 SAMPLE_ROUNDS = 200
 
 #: The wall-clock sampler gate runs at this rate (the documented
@@ -403,6 +458,24 @@ def main() -> int:
         print("FAIL: partition routing exceeds the overhead budget")
         return 1
     print("OK: partition routing is within the overhead budget")
+
+    # Pipelined codec: each request a batched connection carries costs one
+    # encode+decode on each side of the wire; that round trip must stay a
+    # small fraction of the add it transports or batching gains evaporate.
+    per_codec = time_codec_roundtrip(CODEC_ROUNDS)
+    codec_fraction = per_codec / per_add
+    print(
+        f"per codec roundtrip:{per_codec * 1e6:8.3f} us per request "
+        f"(batch of {CODEC_BATCH}, request+response)"
+    )
+    print(
+        f"codec overhead:     {codec_fraction * 100:8.3f}% of add "
+        f"(limit {MAX_OVERHEAD_FRACTION * 100:.0f}%)"
+    )
+    if codec_fraction >= MAX_OVERHEAD_FRACTION:
+        print("FAIL: pipelined codec exceeds the overhead budget")
+        return 1
+    print("OK: pipelined codec is within the overhead budget")
     return 0
 
 

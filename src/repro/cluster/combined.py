@@ -25,9 +25,20 @@ from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from repro.cluster.ring import ShardMap
+from repro.core.client import _objtype_wire
 from repro.core.errors import RLSError, ShardRoutingError
 from repro.obs import tracing
 from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
+
+#: Scatter-gather methods with a direct RPC equivalent; used by the
+#: pipelined fast path to put one request per shard in flight at once.
+_SCATTER_RPC = {
+    "get_lfns": "lrc_get_lfns",
+    "query_wildcard": "lrc_query_wildcard",
+    "lfn_count": "lrc_lfn_count",
+    "mapping_count": "lrc_mapping_count",
+    "query_by_attribute": "lrc_attr_query",
+}
 
 #: Catalog methods the client may serve from a read-only mirror.
 RO_METHODS = (
@@ -247,14 +258,82 @@ class CombinedClient:
             ) from last_exc
 
     def _scatter(self, method: str, *args: Any) -> list[Any]:
-        """Run a read on every shard (mirror-first each); list of results."""
-        results = []
+        """Run a read on every shard (mirror-first each); list of results.
+
+        Over pipelined (TCP v2) connections the per-shard requests go out
+        together — submit to every shard, flush, then collect — so the
+        scatter takes ~one round trip instead of one per shard.  Falls
+        back to the serial mirror-failover path per shard (or wholesale,
+        when an endpoint's client is not pipelined).
+        """
         with tracing.span(
             "cluster.scatter", method=method, shards=len(self.map.shards)
-        ):
-            for shard in self.map.shards:
-                self._count_route(shard, "scatter")
+        ) as span:
+            results = self._scatter_pipelined(method, *args)
+            span.set_tag("pipelined", results is not None)
+            if results is None:
+                results = []
+                for shard in self.map.shards:
+                    self._count_route(shard, "scatter")
+                    results.append(self._read(shard, method, *args))
+            return results
+
+    def _scatter_pipelined(self, method: str, *args: Any) -> list[Any] | None:
+        """One in-flight request per shard; ``None`` means fall back serial."""
+        rpc_method = _SCATTER_RPC.get(method)
+        if rpc_method is None or len(self.map.shards) <= 1:
+            return None
+        if method == "query_by_attribute":
+            name, objtype, value, op = args
+            rpc_args: tuple[Any, ...] = (name, _objtype_wire(objtype), value, op)
+        else:
+            rpc_args = args
+        plan: list[tuple[str, str, Any]] = []
+        now = self.clock()
+        for shard in self.map.shards:
+            # Same endpoint preference as _read: healthy (or retryable)
+            # mirrors first, master last.
+            order = self._read_order[shard]
+            candidates = [
+                n
+                for n in order
+                if self._health[n].healthy or now >= self._health[n].next_retry_at
+            ] or list(order)
+            endpoint = candidates[0]
+            try:
+                client = self._client(endpoint)
+            except Exception:
+                return None
+            rpc = getattr(client, "rpc", None)
+            if rpc is None or not getattr(rpc, "pipelined", False):
+                return None
+            plan.append((shard, endpoint, rpc))
+        for shard, _, _ in plan:
+            self._count_route(shard, "scatter")
+        pendings = [
+            rpc.call_async(rpc_method, *rpc_args) for _, _, rpc in plan
+        ]
+        for _, _, rpc in plan:
+            try:
+                rpc.flush()
+            except Exception:
+                # The failure is captured in that channel's pendings and
+                # handled per shard below.
+                pass
+        results: list[Any] = []
+        for (shard, endpoint, _), pending in zip(plan, pendings):
+            try:
+                results.append(pending.result())
+            except RLSError:
+                raise  # a live server answered; not a routing failure
+            except Exception as exc:
+                # Endpoint trouble: bench it and run this shard through
+                # the full mirror-failover read path.
+                self._mark_failed(endpoint, exc)
+                self._count_failover(shard)
                 results.append(self._read(shard, method, *args))
+            else:
+                self._mark_ok(endpoint)
         return results
 
     def _broadcast_write(self, method: str, *args: Any) -> list[Any]:

@@ -94,6 +94,28 @@ _ATTR_TABLE = {
     AttrType.DATE: "t_date_attr",
 }
 
+# Fixed IN-list chunk sizes for the vectorized bulk operations.  Keeping
+# the placeholder count constant keeps the SQL text constant, so the
+# executor's LRU statement cache hits instead of re-parsing per call;
+# short lists pad by repeating the last element (IN dedups, so padding is
+# semantically free).
+_IN_CHUNK = 256
+_SMALL_IN_CHUNK = 16
+# Multi-row INSERT chunk (rows per statement).
+_INSERT_CHUNK = 64
+
+
+def _in_chunks(values: Sequence[Any]) -> "Iterable[list[Any]]":
+    """Fixed-size chunks of ``values``, padded by repeating the last one."""
+    if not values:
+        return
+    size = _SMALL_IN_CHUNK if len(values) <= _SMALL_IN_CHUNK else _IN_CHUNK
+    for start in range(0, len(values), size):
+        chunk = list(values[start : start + size])
+        if len(chunk) < size:
+            chunk.extend(chunk[-1:] * (size - len(chunk)))
+        yield chunk
+
 # DDL matching Figure 3 of the paper.
 _SCHEMA_STATEMENTS = [
     """CREATE TABLE t_lfn (
@@ -327,16 +349,267 @@ class LocalReplicaCatalog:
         self._notify_mapping(lfn, pfn, False)
 
     # -- bulk variants ----------------------------------------------------
+    #
+    # The bulk mutations are *vectorized*: instead of replaying the
+    # single-pair code path per element (~6-8 statements each), they probe
+    # existence with chunked IN lists, write with multi-row INSERTs, and
+    # batch the orphan pruning — the amortization behind the paper's
+    # Figure 11 bulk-rate lift.  Observable behavior matches the serial
+    # path exactly: per-pair failure strings, change notifications in pair
+    # order, and reference counts.  The whole batch commits in one
+    # transaction (a crash mid-batch rolls back cleanly instead of leaving
+    # a prefix applied).
 
     def bulk_create(self, pairs: Sequence[tuple[str, str]]) -> list[tuple[str, str, str]]:
         """Create many mappings; returns per-pair failures (empty = all ok)."""
-        return self._bulk_apply(pairs, self.create_mapping)
+        pairs = [(lfn, pfn) for lfn, pfn in pairs]
+        if len(pairs) <= 1:
+            return self._bulk_apply(pairs, self.create_mapping)
+        failures_at: dict[int, str] = {}
+        valid: list[tuple[int, str, str]] = []
+        for i, (lfn, pfn) in enumerate(pairs):
+            try:
+                validate_name(lfn, "logical name")
+                validate_name(pfn, "target name")
+            except Exception as exc:
+                failures_at[i] = f"{type(exc).__name__}: {exc}"
+                continue
+            valid.append((i, lfn, pfn))
+        creations: list[tuple[int, str, str]] = []
+        with self._write_lock, self.conn.transaction():
+            taken = set(
+                self._name_rows_in("t_lfn", [lfn for _, lfn, _ in valid])
+            )
+            for i, lfn, pfn in valid:
+                # A duplicate inside the batch fails the same way a
+                # pre-existing name does, matching serial order semantics.
+                if lfn in taken:
+                    failures_at[i] = (
+                        f"MappingExistsError: logical name exists: {lfn}"
+                    )
+                    continue
+                taken.add(lfn)
+                creations.append((i, lfn, pfn))
+            if creations:
+                pfn_rows = self._name_rows_in(
+                    "t_pfn", [pfn for _, _, pfn in creations]
+                )
+                new_pfn_refs: dict[str, int] = {}
+                bumps: dict[str, int] = {}
+                for _, _, pfn in creations:
+                    if pfn in pfn_rows:
+                        bumps[pfn] = bumps.get(pfn, 0) + 1
+                    else:
+                        new_pfn_refs[pfn] = new_pfn_refs.get(pfn, 0) + 1
+                if new_pfn_refs:
+                    # New target names arrive with their final refcount —
+                    # no per-row bump statements afterwards.
+                    self._insert_rows(
+                        "t_pfn", ("name", "ref"), list(new_pfn_refs.items())
+                    )
+                    pfn_rows.update(
+                        self._name_rows_in("t_pfn", list(new_pfn_refs))
+                    )
+                # Every created logical name has exactly one mapping.
+                self._insert_rows(
+                    "t_lfn", ("name", "ref"), [(lfn, 1) for _, lfn, _ in creations]
+                )
+                lfn_rows = self._name_rows_in(
+                    "t_lfn", [lfn for _, lfn, _ in creations]
+                )
+                self._insert_rows(
+                    "t_map",
+                    ("lfn_id", "pfn_id"),
+                    [
+                        (lfn_rows[lfn][0], pfn_rows[pfn][0])
+                        for _, lfn, pfn in creations
+                    ],
+                )
+                for pfn, delta in bumps.items():
+                    pfn_id, ref = pfn_rows[pfn]
+                    self.conn.execute(
+                        "UPDATE t_pfn SET ref = ? WHERE id = ?",
+                        [ref + delta, pfn_id],
+                    )
+        if creations:
+            self._m_created.inc(len(creations))
+            for _, lfn, pfn in creations:
+                self._notify(lfn, True)
+                self._notify_mapping(lfn, pfn, True)
+        return [
+            (pairs[i][0], pairs[i][1], failures_at[i])
+            for i in sorted(failures_at)
+        ]
 
     def bulk_add(self, pairs: Sequence[tuple[str, str]]) -> list[tuple[str, str, str]]:
         return self._bulk_apply(pairs, self.add_mapping)
 
     def bulk_delete(self, pairs: Sequence[tuple[str, str]]) -> list[tuple[str, str, str]]:
-        return self._bulk_apply(pairs, self.delete_mapping)
+        pairs = [(lfn, pfn) for lfn, pfn in pairs]
+        if len(pairs) <= 1:
+            return self._bulk_apply(pairs, self.delete_mapping)
+        failures_at: dict[int, str] = {}
+        deletions: list[tuple[int, str, str, int, int]] = []
+        lfn_ref_left: dict[str, int] = {}
+        pfn_ref_left: dict[str, int] = {}
+        with self._write_lock, self.conn.transaction():
+            lfn_rows = self._name_rows_in("t_lfn", [l for l, _ in pairs])
+            pfn_rows = self._name_rows_in("t_pfn", [p for _, p in pairs])
+            lfn_ref_left = {name: ref for name, (_, ref) in lfn_rows.items()}
+            pfn_ref_left = {name: ref for name, (_, ref) in pfn_rows.items()}
+            # Which (lfn_id, pfn_id) associations actually exist, probed
+            # once for all involved logical names.
+            present: set[tuple[int, int]] = set()
+            lfn_ids = [row[0] for row in lfn_rows.values()]
+            for chunk in _in_chunks(lfn_ids):
+                qs = ", ".join("?" * len(chunk))
+                for a, b in self.conn.execute(
+                    f"SELECT lfn_id, pfn_id FROM t_map WHERE lfn_id IN ({qs})",
+                    chunk,
+                ).rows:
+                    present.add((a, b))
+            for i, (lfn, pfn) in enumerate(pairs):
+                lrow = lfn_rows.get(lfn)
+                prow = pfn_rows.get(pfn)
+                if (
+                    lrow is None
+                    or prow is None
+                    or (lrow[0], prow[0]) not in present
+                ):
+                    failures_at[i] = (
+                        "MappingNotFoundError: "
+                        f"mapping does not exist: {lfn} -> {pfn}"
+                    )
+                    continue
+                # Discarding makes a duplicate pair later in the batch
+                # fail, exactly like the serial second delete would.
+                present.discard((lrow[0], prow[0]))
+                lfn_ref_left[lfn] -= 1
+                pfn_ref_left[pfn] -= 1
+                deletions.append((i, lfn, pfn, lrow[0], prow[0]))
+            if deletions:
+                touched_lfns = {d[1] for d in deletions}
+                touched_pfns = {d[2] for d in deletions}
+                # t_map: logical names losing *all* replicas batch into IN
+                # deletes; partial deletes stay per-pair.
+                full_wipe_ids = [
+                    lfn_rows[n][0]
+                    for n in touched_lfns
+                    if lfn_ref_left[n] <= 0
+                ]
+                full_wipe = set(full_wipe_ids)
+                for chunk in _in_chunks(full_wipe_ids):
+                    qs = ", ".join("?" * len(chunk))
+                    self.conn.execute(
+                        f"DELETE FROM t_map WHERE lfn_id IN ({qs})", chunk
+                    )
+                for _, _, _, lfn_id, pfn_id in deletions:
+                    if lfn_id not in full_wipe:
+                        self.conn.execute(
+                            "DELETE FROM t_map WHERE lfn_id = ? AND pfn_id = ?",
+                            [lfn_id, pfn_id],
+                        )
+                # Prune orphaned name rows in batches; survivors get their
+                # final refcount in one UPDATE each.
+                self._prune_names(
+                    "t_lfn", ObjType.LFN, lfn_rows, lfn_ref_left, touched_lfns
+                )
+                self._prune_names(
+                    "t_pfn", ObjType.PFN, pfn_rows, pfn_ref_left, touched_pfns
+                )
+        if deletions:
+            self._m_deleted.inc(len(deletions))
+            last_for_lfn = {lfn: i for i, lfn, _, _, _ in deletions}
+            for i, lfn, pfn, _, _ in deletions:
+                if lfn_ref_left[lfn] <= 0 and last_for_lfn[lfn] == i:
+                    self._notify(lfn, False)
+                self._notify_mapping(lfn, pfn, False)
+        return [
+            (pairs[i][0], pairs[i][1], failures_at[i])
+            for i in sorted(failures_at)
+        ]
+
+    def _name_rows_in(
+        self, table: str, names: Sequence[str]
+    ) -> dict[str, tuple[int, int]]:
+        """``name -> (id, ref)`` for every existing row among ``names``."""
+        out: dict[str, tuple[int, int]] = {}
+        unique = list(dict.fromkeys(names))
+        for chunk in _in_chunks(unique):
+            qs = ", ".join("?" * len(chunk))
+            for row_id, name, ref in self.conn.execute(
+                f"SELECT id, name, ref FROM {table} WHERE name IN ({qs})",
+                chunk,
+            ).rows:
+                out[name] = (row_id, ref)
+        return out
+
+    def _insert_rows(
+        self,
+        table: str,
+        columns: tuple[str, str],
+        rows: Sequence[tuple[Any, Any]],
+    ) -> None:
+        """Multi-row INSERT in fixed-size chunks (statement-cache friendly)."""
+        start = 0
+        while start < len(rows):
+            chunk = rows[start : start + _INSERT_CHUNK]
+            placeholders = ", ".join(["(?, ?)"] * len(chunk))
+            params: list[Any] = []
+            for a, b in chunk:
+                params.append(a)
+                params.append(b)
+            self.conn.execute(
+                f"INSERT INTO {table} ({columns[0]}, {columns[1]}) "
+                f"VALUES {placeholders}",
+                params,
+            )
+            start += len(chunk)
+
+    def _prune_names(
+        self,
+        table: str,
+        objtype: "ObjType",
+        rows: dict[str, tuple[int, int]],
+        ref_left: dict[str, int],
+        touched: set[str],
+    ) -> None:
+        orphan_ids = [rows[n][0] for n in touched if ref_left[n] <= 0]
+        for chunk in _in_chunks(orphan_ids):
+            qs = ", ".join("?" * len(chunk))
+            self.conn.execute(
+                f"DELETE FROM {table} WHERE id IN ({qs})", chunk
+            )
+        self._delete_attr_values_bulk(orphan_ids, objtype)
+        for name in touched:
+            if ref_left[name] > 0:
+                self.conn.execute(
+                    f"UPDATE {table} SET ref = ? WHERE id = ?",
+                    [ref_left[name], rows[name][0]],
+                )
+
+    def _delete_attr_values_bulk(
+        self, obj_ids: Sequence[int], objtype: "ObjType"
+    ) -> None:
+        if not obj_ids:
+            return
+        attr_ids = [
+            row[0]
+            for row in self.conn.execute(
+                "SELECT id FROM t_attribute WHERE objtype = ?", [int(objtype)]
+            ).rows
+        ]
+        if not attr_ids:
+            return
+        for table in _ATTR_TABLE.values():
+            for attr_id in attr_ids:
+                for chunk in _in_chunks(obj_ids):
+                    qs = ", ".join("?" * len(chunk))
+                    self.conn.execute(
+                        f"DELETE FROM {table} "
+                        f"WHERE attr_id = ? AND obj_id IN ({qs})",
+                        [attr_id, *chunk],
+                    )
 
     def _bulk_apply(
         self,
@@ -460,14 +733,37 @@ class LocalReplicaCatalog:
         return [(r[0], r[1]) for r in rows]
 
     def bulk_query(self, lfns: Sequence[str]) -> dict[str, list[str]]:
-        """Mappings for many logical names; absent names are omitted."""
-        result: dict[str, list[str]] = {}
-        for lfn in lfns:
-            try:
-                result[lfn] = self.get_mappings(lfn)
-            except MappingNotFoundError:
-                continue
-        return result
+        """Mappings for many logical names; absent names are omitted.
+
+        Vectorized: one 3-way join per IN-list chunk instead of one per
+        name, which is where the Figure 11 bulk-query rate comes from.
+        """
+        lfns = list(lfns)
+        if len(lfns) <= 2:
+            result: dict[str, list[str]] = {}
+            for lfn in lfns:
+                try:
+                    result[lfn] = self.get_mappings(lfn)
+                except MappingNotFoundError:
+                    continue
+            return result
+        found: dict[str, list[str]] = {}
+        for chunk in _in_chunks(list(dict.fromkeys(lfns))):
+            qs = ", ".join("?" * len(chunk))
+            rows = self.conn.execute(
+                "SELECT l.name, p.name FROM t_lfn l "
+                "JOIN t_map m ON l.id = m.lfn_id "
+                "JOIN t_pfn p ON m.pfn_id = p.id "
+                f"WHERE l.name IN ({qs})",
+                chunk,
+            ).rows
+            for lname, pname in rows:
+                if lname in found:
+                    found[lname].append(pname)
+                else:
+                    found[lname] = [pname]
+        # Preserve the serial path's key order (input order, found only).
+        return {lfn: found[lfn] for lfn in lfns if lfn in found}
 
     def exists(self, lfn: str) -> bool:
         return self._lfn_id(lfn) is not None

@@ -92,10 +92,21 @@ class DirectSink:
 
 
 class RPCSink:
-    """Sink calling an RLI server through an :class:`~repro.net.rpc.RPCClient`."""
+    """Sink calling an RLI server through an :class:`~repro.net.rpc.RPCClient`.
 
-    def __init__(self, client) -> None:  # repro.net.rpc.RPCClient
+    Large incremental updates are split into ``chunk_size`` slices and
+    pipelined (``call_async`` + ``drain``) when the client's channel
+    supports it, so a burst of soft-state changes costs ~one round trip
+    instead of one per slice.  RLI set updates are idempotent, so a
+    partially delivered burst is safe: the update manager's redelivery
+    re-sends the whole batch.  Full updates replace the LRC's entry
+    wholesale and are never chunked.
+    """
+
+    def __init__(self, client, chunk_size: int = 5000) -> None:
+        # client: repro.net.rpc.RPCClient
         self.client = client
+        self.chunk_size = max(1, int(chunk_size))
 
     def full_update(self, lrc_name: str, lfns: Sequence[str]) -> None:
         self.client.call("rli_full_update", lrc_name, list(lfns))
@@ -103,9 +114,37 @@ class RPCSink:
     def incremental_update(
         self, lrc_name: str, added: Sequence[str], removed: Sequence[str]
     ) -> None:
-        self.client.call(
-            "rli_incremental_update", lrc_name, list(added), list(removed)
-        )
+        added = list(added)
+        removed = list(removed)
+        chunk = self.chunk_size
+        client = self.client
+        if len(added) + len(removed) <= chunk or not getattr(
+            client, "pipelined", False
+        ):
+            client.call("rli_incremental_update", lrc_name, added, removed)
+            return
+        pending = []
+        for start in range(0, len(added), chunk):
+            pending.append(
+                client.call_async(
+                    "rli_incremental_update",
+                    lrc_name,
+                    added[start : start + chunk],
+                    [],
+                )
+            )
+        for start in range(0, len(removed), chunk):
+            pending.append(
+                client.call_async(
+                    "rli_incremental_update",
+                    lrc_name,
+                    [],
+                    removed[start : start + chunk],
+                )
+            )
+        client.drain()
+        for call in pending:
+            call.result()
 
     def bloom_update(
         self,

@@ -710,15 +710,40 @@ class Executor:
 # ---------------------------------------------------------------------------
 
 
+_MISSING = object()
+
+
 class _Env:
     """Binds table aliases to the current row during evaluation."""
 
-    __slots__ = ("schemas", "rows", "_resolve_cache")
+    __slots__ = ("schemas", "rows", "_resolve_cache", "_in_sets")
 
     def __init__(self, schemas: dict[str, TableSchema]) -> None:
         self.schemas = schemas
         self.rows: dict[str, list[Any]] | None = None
         self._resolve_cache: dict[tuple[str | None, str], tuple[str, int]] = {}
+        self._in_sets: dict[int, frozenset | None] = {}
+
+    def in_probe(self, expr: "ast.InList", params: list[Any]) -> frozenset | None:
+        """Constant-time membership set for an IN list, built once per query.
+
+        An ``_Env`` lives for exactly one statement execution with fixed
+        params, so the item values cannot change under the cache.  Returns
+        ``None`` when any item is non-constant or unhashable, in which case
+        the caller falls back to the row-at-a-time scan.
+        """
+        key = id(expr)
+        probe = self._in_sets.get(key, _MISSING)
+        if probe is not _MISSING:
+            return probe
+        try:
+            built: frozenset | None = frozenset(
+                _eval_const(item, params) for item in expr.items
+            )
+        except (SQLSyntaxError, TypeError):
+            built = None
+        self._in_sets[key] = built
+        return built
 
     def set_row(self, binding: str, row: list[Any]) -> None:
         self.rows = {binding: row}
@@ -774,7 +799,16 @@ def _eval(expr: Any, env: _Env, params: list[Any]) -> Any:
         return not _truthy(_eval(expr.operand, env, params))
     if isinstance(expr, ast.InList):
         value = _eval(expr.expr, env, params)
-        found = any(value == _eval(item, env, params) for item in expr.items)
+        probe = env.in_probe(expr, params)
+        if probe is not None:
+            try:
+                found = value in probe
+            except TypeError:
+                found = any(
+                    value == _eval(item, env, params) for item in expr.items
+                )
+        else:
+            found = any(value == _eval(item, env, params) for item in expr.items)
         return found != expr.negated
     if isinstance(expr, ast.IsNull):
         value = _eval(expr.expr, env, params)

@@ -1,16 +1,55 @@
-"""Request/response message types for the RPC protocol."""
+"""Request/response message types for the RPC protocol.
+
+Protocol versions (negotiated via :class:`Hello`, see docs/PROTOCOL.md):
+
+* **v1** — one outstanding request per connection; ``Request`` envelopes
+  have 3-4 fields, ``Response`` envelopes exactly 5.
+* **v2** — adds an optional trailing *correlation id* to ``Request`` (5th
+  field) and ``Response`` (6th field) so many requests can be in flight
+  on one socket, a compact 4-field success form ``[kind, True, value,
+  id]`` for id-bearing responses, plus a :class:`Batch` envelope (kind 3)
+  that carries a burst of requests or responses in a single frame.
+
+A v2 peer never sends id-bearing or batch envelopes to a v1 peer, so the
+v1 decoder never sees them; the v2 decoder accepts both shapes.
+
+Every field of every message kind is validated defensively: a malformed
+envelope — wrong types, short lists, bogus nesting — raises
+:class:`~repro.net.errors.ProtocolError`, never ``IndexError`` or
+``TypeError``, so hostile frames cannot kill a server handler thread.
+"""
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.net.codec import decode, encode
+from repro.net.codec import (
+    _T_FALSE,
+    _T_INT,
+    _T_LIST,
+    _T_NONE,
+    _T_STR,
+    _T_TRUE,
+    decode,
+    encode,
+    encode_into,
+    make_reader,
+)
 from repro.net.errors import ProtocolError
+
+_I64 = struct.Struct("<q")
+_U32 = struct.Struct("<I")
 
 _REQUEST_KIND = 0
 _RESPONSE_KIND = 1
 _HELLO_KIND = 2
+_BATCH_KIND = 3
+
+#: Highest protocol version this build speaks.  Peers negotiate down to
+#: ``min(client version, server version)`` during the Hello handshake.
+PROTOCOL_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -21,45 +60,88 @@ class Request:
     server-side span can join the client's trace (see
     :mod:`repro.obs.tracing`).  It is omitted from the wire encoding when
     absent, keeping the frame identical to the pre-tracing protocol.
+
+    ``id`` is the v2 correlation id: when set, the matching ``Response``
+    echoes it so a pipelined client can dispatch replies that arrive
+    out of order with respect to its waiters.
     """
 
     method: str
     args: tuple[Any, ...] = ()
     trace: tuple[str, str] | None = None
+    id: int | None = None
+
+    def envelope(self) -> list[Any]:
+        # Tuples encode identically to lists, so args/trace ride as-is
+        # (the hot path encodes thousands of envelopes per burst).
+        if self.id is not None:
+            return [
+                _REQUEST_KIND,
+                self.method,
+                self.args,
+                self.trace or (),
+                self.id,
+            ]
+        if self.trace is None:
+            return [_REQUEST_KIND, self.method, self.args]
+        return [_REQUEST_KIND, self.method, self.args, self.trace]
 
     def to_bytes(self) -> bytes:
-        if self.trace is None:
-            return encode([_REQUEST_KIND, self.method, list(self.args)])
-        return encode(
-            [_REQUEST_KIND, self.method, list(self.args), list(self.trace)]
-        )
+        return encode(self.envelope())
 
 
 @dataclass(frozen=True)
 class Response:
-    """RPC result: either a value or a propagated error."""
+    """RPC result: either a value or a propagated error.
+
+    ``id`` echoes the correlation id of the request being answered
+    (v2 only; ``None`` on v1 connections and for connection-level errors
+    that cannot be attributed to a specific request).
+    """
 
     ok: bool
     value: Any = None
     error_type: str = ""
     error_message: str = ""
+    id: int | None = None
 
     @classmethod
-    def success(cls, value: Any) -> "Response":
-        return cls(ok=True, value=value)
+    def success(cls, value: Any, id: int | None = None) -> "Response":
+        return cls(ok=True, value=value, id=id)
 
     @classmethod
-    def failure(cls, exc: BaseException) -> "Response":
+    def failure(cls, exc: BaseException, id: int | None = None) -> "Response":
         return cls(
             ok=False,
             error_type=type(exc).__name__,
             error_message=str(exc),
+            id=id,
         )
 
+    def envelope(self) -> list[Any]:
+        if self.id is not None:
+            # v2 only (v1 peers never see correlation ids).  Successes use
+            # the compact 4-field form; failures carry the error fields.
+            if self.ok and not self.error_type and not self.error_message:
+                return [_RESPONSE_KIND, True, self.value, self.id]
+            return [
+                _RESPONSE_KIND,
+                self.ok,
+                self.value,
+                self.error_type,
+                self.error_message,
+                self.id,
+            ]
+        return [
+            _RESPONSE_KIND,
+            self.ok,
+            self.value,
+            self.error_type,
+            self.error_message,
+        ]
+
     def to_bytes(self) -> bytes:
-        return encode(
-            [_RESPONSE_KIND, self.ok, self.value, self.error_type, self.error_message]
-        )
+        return encode(self.envelope())
 
 
 @dataclass(frozen=True)
@@ -70,37 +152,318 @@ class Hello:
     credential: bytes | None = None
     attributes: dict[str, Any] = field(default_factory=dict)
 
+    def envelope(self) -> list[Any]:
+        return [_HELLO_KIND, self.version, self.credential, dict(self.attributes)]
+
     def to_bytes(self) -> bytes:
-        return encode(
-            [_HELLO_KIND, self.version, self.credential, dict(self.attributes)]
-        )
+        return encode(self.envelope())
 
 
-def message_from_bytes(data: bytes) -> Request | Response | Hello:
+@dataclass(frozen=True)
+class Batch:
+    """A burst of requests (or responses) carried in one frame (v2).
+
+    The server decodes the frame once, dispatches every request without
+    per-message thread handoff, and answers with a single ``Batch`` of
+    responses in the same order.  Nested batches are not allowed.
+    """
+
+    items: tuple[Any, ...] = ()
+
+    def envelope(self) -> list[Any]:
+        return [_BATCH_KIND, [item.envelope() for item in self.items]]
+
+    def to_bytes(self) -> bytes:
+        return encode(self.envelope())
+
+
+def encode_message_into(out: bytearray, message: Any) -> None:
+    """Append ``message``'s wire encoding to a reusable buffer.
+
+    Batches take a fused path that writes the envelope scaffold (list
+    headers, kinds, correlation ids) directly and only runs the generic
+    codec over the payload fields — byte-identical to the generic
+    encoding, but without materializing per-item envelope lists.
+    """
+    if type(message) is Batch:
+        _encode_batch_into(out, message)
+    else:
+        encode_into(out, message.envelope())
+
+
+#: ``[BATCH_KIND, [`` — list(2), int 3, opening item list tag.
+_BATCH_PREFIX = (
+    b"L" + _U32.pack(2) + b"I" + _I64.pack(_BATCH_KIND) + b"L"
+)
+#: ``[REQUEST_KIND,`` for the id-bearing 5-field request form.
+_REQ5_PREFIX = b"L" + _U32.pack(5) + b"I" + _I64.pack(_REQUEST_KIND)
+#: ``[RESPONSE_KIND, True,`` for the compact 4-field success form.
+_RESP4_PREFIX = (
+    b"L" + _U32.pack(4) + b"I" + _I64.pack(_RESPONSE_KIND) + b"T"
+)
+
+
+def _encode_batch_into(out: bytearray, batch: Batch) -> None:
+    pack_u32 = _U32.pack
+    pack_i64 = _I64.pack
+    items = batch.items
+    out += _BATCH_PREFIX
+    out += pack_u32(len(items))
+    for item in items:
+        t = type(item)
+        if t is Request and item.id is not None:
+            out += _REQ5_PREFIX
+            data = item.method.encode()
+            out += b"S"
+            out += pack_u32(len(data))
+            out += data
+            encode_into(out, item.args)
+            encode_into(out, item.trace or ())
+            out += b"I"
+            out += pack_i64(item.id)
+        elif (
+            t is Response
+            and item.id is not None
+            and item.ok
+            and not item.error_type
+            and not item.error_message
+        ):
+            out += _RESP4_PREFIX
+            encode_into(out, item.value)
+            out += b"I"
+            out += pack_i64(item.id)
+        else:
+            encode_into(out, item.envelope())
+
+
+def _check_id(value: Any) -> int | None:
+    if value is None:
+        return None
+    if type(value) is not int:
+        raise ProtocolError("malformed correlation id")
+    return value
+
+
+def _request_from_envelope(decoded: list[Any]) -> Request:
+    if not 3 <= len(decoded) <= 5:
+        raise ProtocolError("malformed request")
+    method = decoded[1]
+    args = decoded[2]
+    if not isinstance(method, str) or not isinstance(args, list):
+        raise ProtocolError("malformed request")
+    trace = None
+    if len(decoded) >= 4 and decoded[3]:
+        raw_trace = decoded[3]
+        if (
+            not isinstance(raw_trace, (list, tuple))
+            or len(raw_trace) < 2
+            or not isinstance(raw_trace[0], str)
+            or not isinstance(raw_trace[1], str)
+        ):
+            raise ProtocolError("malformed request trace")
+        trace = (raw_trace[0], raw_trace[1])
+    request_id = _check_id(decoded[4]) if len(decoded) == 5 else None
+    return Request(method, tuple(args), trace, request_id)
+
+
+def _response_from_envelope(decoded: list[Any]) -> Response:
+    if len(decoded) == 4:
+        # Compact v2 success: [kind, True, value, id]; id is mandatory.
+        if decoded[1] is not True or decoded[3] is None:
+            raise ProtocolError("malformed response")
+        return Response(True, decoded[2], "", "", _check_id(decoded[3]))
+    if len(decoded) not in (5, 6):
+        raise ProtocolError("malformed response")
+    ok, error_type, error_message = decoded[1], decoded[3], decoded[4]
+    if (
+        not isinstance(ok, bool)
+        or not isinstance(error_type, str)
+        or not isinstance(error_message, str)
+    ):
+        raise ProtocolError("malformed response")
+    response_id = _check_id(decoded[5]) if len(decoded) == 6 else None
+    return Response(ok, decoded[2], error_type, error_message, response_id)
+
+
+def _hello_from_envelope(decoded: list[Any]) -> Hello:
+    if len(decoded) != 4:
+        raise ProtocolError("malformed hello")
+    version, credential, attributes = decoded[1], decoded[2], decoded[3]
+    if type(version) is not int:
+        raise ProtocolError("malformed hello version")
+    if credential is not None and not isinstance(credential, bytes):
+        raise ProtocolError("malformed hello credential")
+    if not isinstance(attributes, dict):
+        raise ProtocolError("malformed hello attributes")
+    return Hello(version=version, credential=credential, attributes=attributes)
+
+
+def _batch_from_envelope(decoded: list[Any]) -> Batch:
+    if len(decoded) != 2 or not isinstance(decoded[1], list):
+        raise ProtocolError("malformed batch")
+    items = []
+    for env in decoded[1]:
+        if not isinstance(env, list) or not env:
+            raise ProtocolError("malformed batch item")
+        kind = env[0]
+        if kind == _REQUEST_KIND:
+            items.append(_request_from_envelope(env))
+        elif kind == _RESPONSE_KIND:
+            items.append(_response_from_envelope(env))
+        else:
+            raise ProtocolError(f"invalid message kind {kind!r} inside batch")
+    return Batch(items=tuple(items))
+
+
+def _parse_id_at(data: Any, pos: int) -> tuple[int | None, int]:
+    tag = data[pos]
+    if tag == _T_INT:
+        (value,) = _I64.unpack_from(data, pos + 1)
+        return value, pos + 9
+    if tag == _T_NONE:
+        return None, pos + 1
+    raise ProtocolError("malformed correlation id")
+
+
+def _parse_str_at(data: Any, pos: int) -> tuple[str, int]:
+    if data[pos] != _T_STR:
+        raise ProtocolError("malformed response")
+    (n,) = _U32.unpack_from(data, pos + 1)
+    stop = pos + 5 + n
+    if stop > len(data):
+        raise ProtocolError("truncated wire data")
+    return str(data[pos + 5 : stop], "utf-8"), stop
+
+
+def _parse_batch(data: Any) -> Batch:
+    """Fused scaffold parser for canonical batch frames.
+
+    Walks the wire bytes directly — list headers, kinds, ids — and only
+    hands payload fields (args, trace, value) to one shared codec reader,
+    skipping the intermediate envelope lists entirely.  Every
+    malformation surfaces as :class:`ProtocolError`, same as the generic
+    path.
+    """
+    end = len(data)
+    unpack_u32 = _U32.unpack_from
+    unpack_i64 = _I64.unpack_from
+    rd, tell, seek = make_reader(data)
+    try:
+        if data[14] != _T_LIST:
+            raise ProtocolError("malformed batch")
+        (count,) = unpack_u32(data, 15)
+        pos = 19
+        if count > end - pos:
+            raise ProtocolError("truncated wire data")
+        items = []
+        for _ in range(count):
+            if data[pos] != _T_LIST:
+                raise ProtocolError("malformed batch item")
+            (flen,) = unpack_u32(data, pos + 1)
+            pos += 5
+            if data[pos] != _T_INT:
+                raise ProtocolError("malformed batch item")
+            (kind,) = unpack_i64(data, pos + 1)
+            pos += 9
+            if kind == _RESPONSE_KIND:
+                if flen == 4:
+                    # Compact v2 success: [kind, True, value, id].
+                    if data[pos] != _T_TRUE:
+                        raise ProtocolError("malformed response")
+                    seek(pos + 1)
+                    value = rd()
+                    rid, pos = _parse_id_at(data, tell())
+                    if rid is None:
+                        raise ProtocolError("malformed response")
+                    items.append(Response(True, value, "", "", rid))
+                    continue
+                if flen not in (5, 6):
+                    raise ProtocolError("malformed response")
+                tag = data[pos]
+                if tag == _T_TRUE:
+                    ok = True
+                elif tag == _T_FALSE:
+                    ok = False
+                else:
+                    raise ProtocolError("malformed response")
+                seek(pos + 1)
+                value = rd()
+                error_type, pos = _parse_str_at(data, tell())
+                error_message, pos = _parse_str_at(data, pos)
+                rid = None
+                if flen == 6:
+                    rid, pos = _parse_id_at(data, pos)
+                items.append(
+                    Response(ok, value, error_type, error_message, rid)
+                )
+            elif kind == _REQUEST_KIND:
+                if not 3 <= flen <= 5:
+                    raise ProtocolError("malformed request")
+                if data[pos] != _T_STR:
+                    raise ProtocolError("malformed request")
+                (n,) = unpack_u32(data, pos + 1)
+                stop = pos + 5 + n
+                if stop > end:
+                    raise ProtocolError("truncated wire data")
+                method = str(data[pos + 5 : stop], "utf-8")
+                if data[stop] != _T_LIST:
+                    raise ProtocolError("malformed request")
+                seek(stop)
+                args = rd()
+                trace = None
+                if flen >= 4:
+                    raw_trace = rd()
+                    if raw_trace:
+                        if (
+                            not isinstance(raw_trace, (list, tuple))
+                            or len(raw_trace) < 2
+                            or not isinstance(raw_trace[0], str)
+                            or not isinstance(raw_trace[1], str)
+                        ):
+                            raise ProtocolError("malformed request trace")
+                        trace = (raw_trace[0], raw_trace[1])
+                rid = None
+                pos = tell()
+                if flen == 5:
+                    rid, pos = _parse_id_at(data, pos)
+                items.append(Request(method, tuple(args), trace, rid))
+            else:
+                raise ProtocolError(
+                    f"invalid message kind {kind!r} inside batch"
+                )
+        if pos != end:
+            raise ProtocolError("trailing bytes after decoded value")
+        return Batch(tuple(items))
+    except ProtocolError:
+        raise
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"invalid utf-8 on the wire: {exc}") from None
+    except (struct.error, IndexError):
+        raise ProtocolError("truncated wire data") from None
+
+
+def message_from_bytes(
+    data: "bytes | bytearray | memoryview",
+) -> Request | Response | Hello | Batch:
+    # Fused fast path for canonical batch frames: [kind=3, [items...]]
+    # encoded as L(2) I(3) ...  Non-canonical encodings of the same
+    # envelope (e.g. bigint kinds) still go through the generic decoder.
+    if len(data) >= 19 and data[0] == _T_LIST and data[5] == _T_INT:
+        (n,) = _U32.unpack_from(data, 1)
+        if n == 2:
+            (kind,) = _I64.unpack_from(data, 6)
+            if kind == _BATCH_KIND:
+                return _parse_batch(data)
     decoded = decode(data)
     if not isinstance(decoded, list) or not decoded:
         raise ProtocolError("malformed message envelope")
     kind = decoded[0]
     if kind == _REQUEST_KIND:
-        if len(decoded) not in (3, 4):
-            raise ProtocolError("malformed request")
-        trace = None
-        if len(decoded) == 4 and decoded[3]:
-            trace = (decoded[3][0], decoded[3][1])
-        return Request(method=decoded[1], args=tuple(decoded[2]), trace=trace)
+        return _request_from_envelope(decoded)
     if kind == _RESPONSE_KIND:
-        if len(decoded) != 5:
-            raise ProtocolError("malformed response")
-        return Response(
-            ok=decoded[1],
-            value=decoded[2],
-            error_type=decoded[3],
-            error_message=decoded[4],
-        )
+        return _response_from_envelope(decoded)
     if kind == _HELLO_KIND:
-        if len(decoded) != 4:
-            raise ProtocolError("malformed hello")
-        return Hello(
-            version=decoded[1], credential=decoded[2], attributes=decoded[3]
-        )
+        return _hello_from_envelope(decoded)
+    if kind == _BATCH_KIND:
+        return _batch_from_envelope(decoded)
     raise ProtocolError(f"unknown message kind {kind!r}")

@@ -3,6 +3,12 @@
 The server owns a method table and an optional authenticator; the client
 wraps a channel with a convenient ``call()`` that re-raises remote errors
 as typed exceptions (registered via :func:`register_error_type`).
+
+Pipelining: ``call_async()`` queues a request without waiting,
+``flush()`` pushes queued requests onto the wire (one ``Batch`` frame on
+a v2 TCP connection), and ``drain()`` blocks until every outstanding
+response has arrived.  ``PendingCall.result()`` yields the value (or
+raises the typed error) exactly like ``call()``.
 """
 
 from __future__ import annotations
@@ -12,10 +18,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.net.errors import RemoteError
-from repro.net.messages import Hello, Request, Response
+from repro.net.errors import ProtocolError, RemoteError
+from repro.net.messages import Batch, Hello, Request, Response
 from repro.net.retry import RetryPolicy, is_retryable, retry_call
-from repro.net.transport import Channel
+from repro.net.transport import Channel, PendingResponse
 from repro.obs import tracing
 from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 
@@ -31,6 +37,11 @@ class ConnectionContext:
 
 Handler = Callable[[ConnectionContext, tuple], Any]
 Authenticator = Callable[[Hello, str], str | None]
+
+#: Bounded label for requests naming a method the server doesn't have.
+#: Using the client-supplied name would let a hostile or typo'd client
+#: mint unbounded ``rpc.errors{method=...}`` label cardinality.
+UNKNOWN_METHOD_LABEL = "<unknown>"
 
 
 class RPCServer:
@@ -69,6 +80,9 @@ class RPCServer:
         self.name = name
         self._span_tags: dict[str, str] = {"node": name} if name else {}
         self._instruments: dict[str, tuple[Any, Any, Any]] = {}
+        self._m_unknown_method = self.metrics.counter(
+            "rpc.errors", method=UNKNOWN_METHOD_LABEL
+        )
         # Requests currently inside handlers: the dispatcher-level queue
         # signal the saturation detector watches (Fig. 13 contention).
         self._m_inflight = self.metrics.gauge("rpc.inflight")
@@ -111,16 +125,35 @@ class RPCServer:
         handler = self._methods.get(request.method)
         if handler is None:
             self.errors_returned += 1
-            self.metrics.counter("rpc.errors", method=request.method).inc()
+            self._m_unknown_method.inc()
             return Response(
                 ok=False,
                 error_type="NoSuchMethodError",
                 error_message=f"unknown method {request.method!r}",
+                id=request.id,
             )
         requests, errors, latency = self._method_instruments(request.method)
         timed = not latency.noop
         start = time.perf_counter() if timed else 0.0
         self._m_inflight.inc()
+        if not tracing.active() and self.flight is None:
+            # Hot path: no tracer and no flight recorder installed means
+            # the span and every record() below are no-ops — skip them.
+            try:
+                value = handler(ctx, request.args)
+            except Exception as exc:
+                self.errors_returned += 1
+                errors.inc()
+                if timed:
+                    latency.observe(time.perf_counter() - start)
+                return Response.failure(exc, id=request.id)
+            finally:
+                self._m_inflight.dec()
+            self.requests_served += 1
+            requests.inc()
+            if timed:
+                latency.observe(time.perf_counter() - start)
+            return Response(True, value, "", "", request.id)
         try:
             with tracing.span(
                 "rpc.handle",
@@ -152,14 +185,28 @@ class RPCServer:
                         self.flight.dump(
                             reason=f"{request.method}: {type(exc).__name__}"
                         )
-                    return Response.failure(exc)
+                    return Response.failure(exc, id=request.id)
         finally:
             self._m_inflight.dec()
         self.requests_served += 1
         requests.inc()
         if timed:
             latency.observe(time.perf_counter() - start)
-        return Response.success(value)
+        return Response(True, value, "", "", request.id)
+
+    def handle_batch(self, ctx: ConnectionContext, batch: Batch) -> Batch:
+        """Dispatch a pipelined burst on the calling thread.
+
+        The transport decoded the whole frame once; every item must be a
+        :class:`Request`.  Responses come back in request order, each
+        echoing its correlation id, as one :class:`Batch`.
+        """
+        replies = []
+        for item in batch.items:
+            if not isinstance(item, Request):
+                raise ProtocolError("batch items must be requests")
+            replies.append(self.handle(ctx, item))
+        return Batch(tuple(replies))
 
 
 # Registry mapping remote error type names back to local exception classes,
@@ -173,8 +220,52 @@ def register_error_type(exc_type: type[Exception]) -> type[Exception]:
     return exc_type
 
 
+# A server that rejects a frame answers with a typed ProtocolError response;
+# re-raising it as ProtocolError client-side keeps it out of the retryable
+# set (see repro.net.retry._FATAL) so the client never blindly re-sends a
+# possibly-completed mutation over a conversation the server gave up on.
+register_error_type(ProtocolError)
+
+
+class PendingCall:
+    """Handle to an in-flight ``call_async``; ``result()`` completes it."""
+
+    __slots__ = ("_client", "_pending", "method")
+
+    def __init__(
+        self, client: "RPCClient", pending: PendingResponse, method: str
+    ) -> None:
+        self._client = client
+        self._pending = pending
+        self.method = method
+
+    @property
+    def done(self) -> bool:
+        return self._pending.done
+
+    def result(self) -> Any:
+        if not self._pending.done:
+            self._client.drain()
+        return _unwrap(self._pending.get())
+
+
+def _unwrap(response: Response) -> Any:
+    if response.ok:
+        return response.value
+    exc_type = _ERROR_TYPES.get(response.error_type)
+    if exc_type is not None:
+        raise exc_type(response.error_message)
+    raise RemoteError(response.error_type, response.error_message)
+
+
 class RPCClient:
     """Typed convenience wrapper over a :class:`Channel`.
+
+    Safe to share across threads: the underlying channels lock their
+    sockets, and channel replacement / retry accounting here is guarded
+    by a client-level lock (a failed attempt in one thread must not yank
+    the channel out from under another thread's attempt, and lifetime
+    retry counts are incremented atomically).
 
     Parameters
     ----------
@@ -202,37 +293,55 @@ class RPCClient:
         self.retry = retry
         self.reconnect = reconnect
         self._sleep = sleep
+        self._lock = threading.Lock()
         #: Transport-level retries performed over this client's lifetime.
+        #: Guarded by ``_lock``; per-call deltas are counted locally in
+        #: ``call()`` rather than diffing this shared counter.
         self.retries = 0
 
-    def _request(self, request: Request) -> Response:
+    def _current_channel(self) -> Channel:
+        with self._lock:
+            return self.channel
+
+    def _request(
+        self, request: Request, retry_count: list[int] | None = None
+    ) -> Response:
         if self.retry is None:
-            return self.channel.request(request)
+            return self._current_channel().request(request)
         tracer = tracing.current_tracer()
         attempt_no = [1]
 
         def attempt() -> Response:
+            channel = self._current_channel()
             if tracer is None:
-                return self.channel.request(request)
+                return channel.request(request)
             # One child span per attempt under the enclosing rpc.call, so
             # a retried request shows its full timeline: failed attempts
             # carry the transport error, the last one carries the answer.
             with tracer.span(
                 "rpc.attempt", method=request.method, attempt=attempt_no[0]
             ):
-                return self.channel.request(request)
+                return channel.request(request)
 
         def on_retry(attempt: int, exc: BaseException) -> None:
-            self.retries += 1
             # retry_call's attempt is the 0-based index of the attempt
             # that just failed; the next span is 1-based attempt + 2.
             attempt_no[0] = attempt + 2
-            if self.reconnect is not None:
+            if retry_count is not None:
+                retry_count[0] += 1
+            with self._lock:
+                self.retries += 1
+                if self.reconnect is None:
+                    return
+                old = self.channel
                 try:
-                    self.channel.close()
+                    old.close()
                 except Exception:
                     pass
                 try:
+                    # Holding the lock during reconnect also collapses a
+                    # thundering herd: one thread dials while the others
+                    # queue up to reuse the fresh channel.
                     self.channel = self.reconnect()
                 except Exception:
                     # Leave the dead channel in place; the next attempt
@@ -253,21 +362,52 @@ class RPCClient:
             response = self._request(Request(method, args))
         else:
             with tracer.span("rpc.call", method=method) as span:
-                before = self.retries
+                retry_count = [0]
                 response = self._request(
-                    Request(method, args, trace=(span.trace_id, span.span_id))
+                    Request(method, args, trace=(span.trace_id, span.span_id)),
+                    retry_count,
                 )
                 if self.retry is not None:
-                    span.set_tag("retries", self.retries - before)
-        if response.ok:
-            return response.value
-        exc_type = _ERROR_TYPES.get(response.error_type)
-        if exc_type is not None:
-            raise exc_type(response.error_message)
-        raise RemoteError(response.error_type, response.error_message)
+                    span.set_tag("retries", retry_count[0])
+        return _unwrap(response)
+
+    # -- pipelined surface ------------------------------------------------
+
+    def call_async(self, method: str, *args: Any) -> PendingCall:
+        """Queue a call without waiting for its response.
+
+        On a pipelined (TCP v2) channel the request is buffered and goes
+        out on the next :meth:`flush`/:meth:`drain`, many per frame; on
+        synchronous channels it completes immediately.  Async calls do
+        not reconnect-retry — a transport failure surfaces from
+        ``result()``, and callers that need redelivery wrap the whole
+        burst (as :class:`~repro.core.updates.UpdateManager` does).
+        """
+        channel = self._current_channel()
+        pending = channel.submit(Request(method, args))
+        return PendingCall(self, pending, method)
+
+    def flush(self) -> None:
+        """Push queued async calls onto the wire without waiting."""
+        self._current_channel().flush()
+
+    def drain(self) -> None:
+        """Flush, then block until every outstanding response arrived."""
+        channel = self._current_channel()
+        tracer = tracing.current_tracer()
+        if tracer is None:
+            channel.drain()
+            return
+        with tracer.span("rpc.drain"):
+            channel.drain()
+
+    @property
+    def pipelined(self) -> bool:
+        """True when async calls genuinely overlap on the wire."""
+        return getattr(self._current_channel(), "pipelined", False)
 
     def close(self) -> None:
-        self.channel.close()
+        self._current_channel().close()
 
     def __enter__(self) -> "RPCClient":
         return self

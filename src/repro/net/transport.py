@@ -11,6 +11,14 @@ Two interchangeable ways for a client to reach an RPC server:
 * :class:`TCPServerTransport` / :func:`connect_tcp` — a real socket server
   with length-prefixed frames and a handler thread per connection, used by
   the examples to run a genuinely distributed RLS on localhost.
+
+The TCP path speaks protocol v2 when both ends do (negotiated in the
+Hello handshake, see docs/PROTOCOL.md): requests carry correlation ids so
+one socket can have many requests in flight, and bursts of requests
+coalesce into a single :class:`~repro.net.messages.Batch` frame that the
+server decodes once and answers in one frame.  Receive paths fill
+preallocated per-connection buffers via ``recv_into`` instead of
+allocating per read.
 """
 
 from __future__ import annotations
@@ -22,7 +30,15 @@ import time
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.net.errors import ProtocolError, TransportClosedError
-from repro.net.messages import Hello, Request, Response, message_from_bytes
+from repro.net.messages import (
+    PROTOCOL_VERSION,
+    Batch,
+    Hello,
+    Request,
+    Response,
+    encode_message_into,
+    message_from_bytes,
+)
 from repro.net.retry import RetryPolicy, retry_call
 from repro.obs import tracing
 
@@ -33,11 +49,67 @@ _FRAME = struct.Struct("<I")
 _MAX_FRAME = 256 * 1024 * 1024  # 256 MiB: a 5M-entry Bloom filter is ~6 MiB
 
 
+class PendingResponse:
+    """Placeholder for the response to a pipelined request.
+
+    Completed by the channel (immediately for synchronous channels; by
+    the response-dispatch reader for pipelined TCP).  ``get()`` never
+    blocks — call :meth:`Channel.drain` first.
+    """
+
+    __slots__ = ("response", "exc", "done")
+
+    def __init__(self) -> None:
+        self.response: Response | None = None
+        self.exc: BaseException | None = None
+        self.done = False
+
+    def _set(self, response: Response) -> None:
+        self.response = response
+        self.done = True
+
+    def _set_exc(self, exc: BaseException) -> None:
+        self.exc = exc
+        self.done = True
+
+    def get(self) -> Response:
+        if not self.done:
+            raise RuntimeError("pending response not complete; drain() first")
+        if self.exc is not None:
+            raise self.exc
+        assert self.response is not None
+        return self.response
+
+
 class Channel:
-    """Client-side handle to a server: synchronous request/response."""
+    """Client-side handle to a server: synchronous request/response,
+    plus a pipelined ``submit``/``flush``/``drain`` surface.
+
+    The base implementation completes each submit synchronously, so
+    callers can use the pipelined API uniformly over any channel; only
+    transports that really pipeline (TCP v2) override it.
+    """
+
+    #: True when submit() genuinely overlaps requests on the wire.
+    pipelined = False
 
     def request(self, request: Request) -> Response:
         raise NotImplementedError
+
+    def submit(self, request: Request) -> PendingResponse:
+        pending = PendingResponse()
+        try:
+            pending._set(self.request(request))
+        except Exception as exc:
+            pending._set_exc(exc)
+        return pending
+
+    def flush(self) -> None:
+        """Write any buffered submits to the wire (no-op when synchronous)."""
+
+    def drain(self) -> None:
+        """Flush, then wait until every outstanding submit has completed."""
+        self.flush()
 
     def close(self) -> None:  # pragma: no cover - trivial default
         pass
@@ -203,11 +275,65 @@ def _recv_frame(sock: socket.socket) -> bytes:
     return _recv_exact(sock, length)
 
 
+def _recv_exact_into(sock: socket.socket, view: memoryview) -> None:
+    offset = 0
+    end = len(view)
+    while offset < end:
+        n = sock.recv_into(view[offset:])
+        if n == 0:
+            raise TransportClosedError("peer closed connection")
+        offset += n
+
+
+class _FrameIO:
+    """Per-connection reusable frame buffers (one reader/writer at a time).
+
+    Receives fill a preallocated ``bytearray`` via ``recv_into`` — no
+    per-read chunk allocation or join — and hand back a ``memoryview``
+    that is valid until the next ``recv_frame`` call (the codec
+    materializes decoded values, so this is safe).  Sends build the
+    4-byte length prefix and payload in one reused buffer so each frame
+    is a single ``sendall``.
+    """
+
+    __slots__ = ("_recv_buf", "_header", "_send_buf")
+
+    def __init__(self) -> None:
+        self._recv_buf = bytearray(64 * 1024)
+        self._header = bytearray(_FRAME.size)
+        self._send_buf = bytearray()
+
+    def recv_frame(self, sock: socket.socket) -> memoryview:
+        header = memoryview(self._header)
+        _recv_exact_into(sock, header)
+        (length,) = _FRAME.unpack(header)
+        if length > _MAX_FRAME:
+            raise ProtocolError(f"frame of {length} bytes exceeds limit")
+        if length > len(self._recv_buf):
+            self._recv_buf = bytearray(length)
+        view = memoryview(self._recv_buf)[:length]
+        _recv_exact_into(sock, view)
+        return view
+
+    def send_message(self, sock: socket.socket, message: Any) -> int:
+        """Encode ``message`` and send it as one frame; returns frame size."""
+        buf = self._send_buf
+        del buf[:]
+        buf += b"\x00\x00\x00\x00"
+        encode_message_into(buf, message)
+        _FRAME.pack_into(buf, 0, len(buf) - _FRAME.size)
+        sock.sendall(buf)
+        return len(buf)
+
+
 class TCPServerTransport:
     """Socket listener feeding connections to an RPC server.
 
     One handler thread per connection, like the Globus RLS server's
-    thread-per-connection model.
+    thread-per-connection model.  A pipelined (v2) client may have many
+    requests in flight; the connection thread answers them in arrival
+    order, and whole bursts arrive as one ``Batch`` frame that is decoded
+    once and answered with one ``Batch`` frame.
     """
 
     def __init__(self, server: "RPCServer", host: str = "127.0.0.1", port: int = 0):
@@ -220,6 +346,10 @@ class TCPServerTransport:
         )
         self._m_conns_active = metrics.gauge(
             "net.connections_active", transport="tcp"
+        )
+        self._m_batches = metrics.counter("net.batch_frames", transport="tcp")
+        self._m_protocol_errors = metrics.counter(
+            "net.protocol_errors", transport="tcp"
         )
         self._listener = socket.create_server((host, port))
         self.host, self.port = self._listener.getsockname()[:2]
@@ -238,6 +368,10 @@ class TCPServerTransport:
                 conn, addr = self._listener.accept()
             except OSError:
                 return
+            try:
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:  # pragma: no cover - platform without NODELAY
+                pass
             with self._conns_lock:
                 if self._closed.is_set():
                     conn.close()
@@ -262,33 +396,72 @@ class TCPServerTransport:
         register_thread("rpc.worker")
         self._m_conns_total.inc()
         self._m_conns_active.inc()
+        io = _FrameIO()
         try:
             with conn:
-                hello = message_from_bytes(_recv_frame(conn))
-                if not isinstance(hello, Hello):
-                    raise ProtocolError("expected Hello")
                 try:
-                    ctx = self.server.handshake(hello, peer=peer)
-                except Exception as exc:  # auth failure -> error + close
-                    _send_frame(conn, Response.failure(exc).to_bytes())
+                    hello = message_from_bytes(io.recv_frame(conn))
+                    if not isinstance(hello, Hello):
+                        raise ProtocolError("expected Hello")
+                    try:
+                        ctx = self.server.handshake(hello, peer=peer)
+                    except Exception as exc:  # auth failure -> error + close
+                        io.send_message(conn, Response.failure(exc))
+                        return
+                    proto = max(1, min(hello.version, PROTOCOL_VERSION))
+                    # v1 clients ignore the welcome value; v2 clients read
+                    # the negotiated protocol version out of the dict.
+                    io.send_message(
+                        conn,
+                        Response.success({"message": "welcome", "proto": proto}),
+                    )
+                    while not self._closed.is_set():
+                        frame = io.recv_frame(conn)
+                        self._m_bytes_in.inc(len(frame) + _FRAME.size)
+                        with tracing.span("transport.decode"):
+                            message = message_from_bytes(frame)
+                        if isinstance(message, Request):
+                            reply = self.server.handle(ctx, message)
+                            if message.id is not None:
+                                reply = _with_id(reply, message.id)
+                            self._m_bytes_out.inc(io.send_message(conn, reply))
+                        elif isinstance(message, Batch) and proto >= 2:
+                            # Decoded once above; dispatch the whole burst
+                            # on this thread — no per-message handoff —
+                            # and answer with a single frame.
+                            self._m_batches.inc()
+                            replies = self.server.handle_batch(ctx, message)
+                            self._m_bytes_out.inc(
+                                io.send_message(conn, replies)
+                            )
+                        else:
+                            raise ProtocolError(
+                                f"unexpected {type(message).__name__} frame"
+                            )
+                except ProtocolError as exc:
+                    # Malformed or oversized frame.  Tell the client with a
+                    # typed, non-retryable error before closing — a silent
+                    # drop looks like a network failure, and a retrying
+                    # client would re-send a possibly-completed mutation.
+                    # The listener and every other connection stay healthy.
+                    self._m_protocol_errors.inc()
+                    try:
+                        io.send_message(conn, Response.failure(exc))
+                    except OSError:
+                        pass
                     return
-                _send_frame(conn, Response.success("welcome").to_bytes())
-                while not self._closed.is_set():
-                    frame = _recv_frame(conn)
-                    self._m_bytes_in.inc(len(frame) + _FRAME.size)
-                    with tracing.span("transport.decode"):
-                        request = message_from_bytes(frame)
-                    if not isinstance(request, Request):
-                        raise ProtocolError("expected Request")
-                    response = self.server.handle(ctx, request)
-                    reply = response.to_bytes()
-                    self._m_bytes_out.inc(len(reply) + _FRAME.size)
-                    _send_frame(conn, reply)
+                except (TransportClosedError, ConnectionError, OSError):
+                    raise
+                except Exception as exc:  # defense in depth: keep the
+                    # listener and sibling connections alive no matter
+                    # what escapes a handler.
+                    self._m_protocol_errors.inc()
+                    try:
+                        io.send_message(conn, Response.failure(exc))
+                    except OSError:
+                        pass
+                    return
         except (TransportClosedError, ConnectionError, OSError):
-            return
-        except ProtocolError:
-            # Malformed or oversized frame: drop this connection; the
-            # listener and every other connection stay healthy.
             return
         finally:
             unregister_thread()
@@ -336,27 +509,198 @@ class TCPServerTransport:
             thread.join(timeout=join_timeout)
 
 
+def _with_id(response: Response, request_id: int) -> Response:
+    if response.id == request_id:
+        return response
+    return Response(
+        ok=response.ok,
+        value=response.value,
+        error_type=response.error_type,
+        error_message=response.error_message,
+        id=request_id,
+    )
+
+
 class TCPChannel(Channel):
-    """Client side of one TCP connection."""
+    """Client side of one TCP connection.
 
-    def __init__(self, sock: socket.socket) -> None:
+    On a v2 connection many requests can be in flight at once: writers
+    append to a send queue under a short lock, ``flush`` coalesces queued
+    requests into one ``Batch`` frame, and whichever waiter arrives first
+    becomes the *response-dispatch reader* — it reads frames off the
+    socket and completes pending requests by correlation id until its own
+    answer shows up, then hands the reader role to the next waiter.  No
+    background thread, no lock held across a round trip.
+
+    On a v1 connection (old peer) the channel falls back to the classic
+    one-outstanding-request behavior under a single lock.
+    """
+
+    def __init__(self, sock: socket.socket, proto: int = 1) -> None:
         self._sock = sock
-        self._lock = threading.Lock()
+        self.proto = proto
         self._closed = False
+        self._lock = threading.Lock()  # v1 round trip; v2 socket writes
+        self._io = _FrameIO()
+        # v2 pipelining state, all guarded by _cv's lock.
+        self._cv = threading.Condition()
+        self._pending: dict[int, PendingResponse] = {}
+        self._queue: list[Request] = []
+        self._next_id = 1
+        self._reader_active = False
+        self._broken: BaseException | None = None
 
-    def request(self, request: Request) -> Response:
-        if self._closed:
-            raise TransportClosedError("channel closed")
+    @property
+    def pipelined(self) -> bool:
+        return self.proto >= 2
+
+    # -- v1 path ---------------------------------------------------------
+
+    def _request_serial(self, request: Request) -> Response:
         with self._lock:
             _send_frame(self._sock, request.to_bytes())
-            message = message_from_bytes(_recv_frame(self._sock))
+            message = message_from_bytes(self._io.recv_frame(self._sock))
         if not isinstance(message, Response):
             raise ProtocolError("expected Response")
         return message
 
+    # -- v2 pipelined path ----------------------------------------------
+
+    def submit(self, request: Request) -> PendingResponse:
+        if self.proto < 2:
+            return super().submit(request)
+        pending = PendingResponse()
+        with self._cv:
+            if self._closed or self._broken is not None:
+                pending._set_exc(
+                    self._broken or TransportClosedError("channel closed")
+                )
+                return pending
+            request_id = self._next_id
+            self._next_id += 1
+            self._pending[request_id] = pending
+            # submit() takes ownership of the request object: stamp the
+            # correlation id in place rather than rebuilding the (frozen)
+            # dataclass — callers hand over freshly built requests.
+            object.__setattr__(request, "id", request_id)
+            self._queue.append(request)
+        return pending
+
+    def flush(self) -> None:
+        if self.proto < 2:
+            return
+        with self._cv:
+            if not self._queue:
+                return
+            batch = self._queue
+            self._queue = []
+        message: Any = batch[0] if len(batch) == 1 else Batch(tuple(batch))
+        try:
+            with self._lock:
+                self._io.send_message(self._sock, message)
+        except (OSError, ConnectionError) as exc:
+            self._fail_all(exc)
+            raise
+
+    def drain(self) -> None:
+        if self.proto < 2:
+            return
+        self.flush()
+        while True:
+            with self._cv:
+                target = next(iter(self._pending.values()), None)
+            if target is None:
+                return
+            self._await(target)
+
+    def request(self, request: Request) -> Response:
+        if self._closed:
+            raise TransportClosedError("channel closed")
+        if self.proto < 2:
+            return self._request_serial(request)
+        pending = self.submit(request)
+        self.flush()
+        return self._await(pending)
+
+    def _await(self, pending: PendingResponse) -> Response:
+        """Wait for ``pending``, taking the reader role when it is free."""
+        while True:
+            with self._cv:
+                while True:
+                    if pending.done:
+                        return pending.get()
+                    if not self._reader_active:
+                        self._reader_active = True
+                        break
+                    self._cv.wait()
+            # Reader role: read and dispatch frames until our response
+            # arrives.  The socket is only ever read by the one thread
+            # holding the reader role, so the reused recv buffer is safe.
+            try:
+                while not pending.done:
+                    frame = self._io.recv_frame(self._sock)
+                    with tracing.span("transport.decode"):
+                        message = message_from_bytes(frame)
+                    self._dispatch(message)
+            except BaseException as exc:
+                self._fail_all(exc)
+            finally:
+                with self._cv:
+                    self._reader_active = False
+                    self._cv.notify_all()
+            return pending.get()
+
+    def _dispatch(self, message: Any) -> None:
+        if isinstance(message, Batch):
+            # One lock round and one wake-up for the whole burst.
+            plain = []
+            with self._cv:
+                for item in message.items:
+                    if (
+                        isinstance(item, Response)
+                        and item.id is not None
+                    ):
+                        pending = self._pending.pop(item.id, None)
+                        if pending is not None:
+                            pending._set(item)
+                    else:
+                        plain.append(item)
+                self._cv.notify_all()
+            for item in plain:
+                self._dispatch(item)
+            return
+        if not isinstance(message, Response):
+            raise ProtocolError("expected Response")
+        if message.id is None:
+            # Connection-level failure (e.g. the server could not frame or
+            # parse something we sent): no request can be matched, and the
+            # server closes after sending, so fail everything in flight.
+            if not message.ok:
+                from repro.net.errors import RemoteError
+
+                raise RemoteError(message.error_type, message.error_message)
+            raise ProtocolError("response without correlation id")
+        with self._cv:
+            pending = self._pending.pop(message.id, None)
+            if pending is not None:
+                pending._set(message)
+                self._cv.notify_all()
+
+    def _fail_all(self, exc: BaseException) -> None:
+        with self._cv:
+            if self._broken is None:
+                self._broken = exc
+            for pending in self._pending.values():
+                if not pending.done:
+                    pending._set_exc(exc)
+            self._pending.clear()
+            self._queue.clear()
+            self._cv.notify_all()
+
     def close(self) -> None:
         if not self._closed:
             self._closed = True
+            self._fail_all(TransportClosedError("channel closed"))
             try:
                 self._sock.close()
             except OSError:  # pragma: no cover
@@ -373,6 +717,11 @@ def connect_tcp(
 ) -> TCPChannel:
     """Open a TCP channel and perform the Hello handshake.
 
+    The Hello advertises :data:`~repro.net.messages.PROTOCOL_VERSION`;
+    the server answers with the version it will speak (old servers answer
+    a bare ``"welcome"`` string, which negotiates down to v1), so old and
+    new peers interoperate in both directions.
+
     With a :class:`~repro.net.retry.RetryPolicy`, connection establishment
     (socket connect + handshake) is retried with backoff — the reconnect
     path an LRC takes when its RLI restarts mid-deployment.  The policy's
@@ -387,7 +736,14 @@ def connect_tcp(
         sock = socket.create_connection((host, port), timeout=attempt_timeout)
         sock.settimeout(attempt_timeout)
         try:
-            _send_frame(sock, Hello(credential=credential).to_bytes())
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover - platform without NODELAY
+            pass
+        try:
+            _send_frame(
+                sock,
+                Hello(version=PROTOCOL_VERSION, credential=credential).to_bytes(),
+            )
             reply = message_from_bytes(_recv_frame(sock))
         except BaseException:
             sock.close()
@@ -400,7 +756,12 @@ def connect_tcp(
             from repro.net.errors import RemoteError
 
             raise RemoteError(reply.error_type, reply.error_message)
-        return TCPChannel(sock)
+        proto = 1
+        if isinstance(reply.value, dict):
+            advertised = reply.value.get("proto", 1)
+            if type(advertised) is int:
+                proto = max(1, min(advertised, PROTOCOL_VERSION))
+        return TCPChannel(sock, proto=proto)
 
     if retry is None:
         return attempt()

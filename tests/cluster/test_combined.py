@@ -214,3 +214,72 @@ class TestMethodTables:
 
     def test_tables_disjoint(self):
         assert not set(RO_METHODS) & set(WRITE_METHODS)
+
+
+@pytest.fixture
+def tcp_cluster():
+    """2 mirror-less shards over real TCP: the pipelined scatter path."""
+    smap = ShardMap(shards=("tc-s0", "tc-s1"), mirrors={})
+    servers = {}
+    for shard in smap.shards:
+        servers[shard] = RLSServer(
+            ServerConfig(
+                name=shard,
+                role=ServerRole.LRC,
+                cluster=smap,
+                sync_latency=0.0,
+                tcp=True,
+            )
+        ).start()
+
+    from repro.core.client import connect_tcp_server
+
+    def connect_fn(name):
+        host, port = servers[name].tcp_address
+        return connect_tcp_server(host, port)
+
+    cc = CombinedClient(smap, connect_fn=connect_fn, rng=random.Random(7))
+    pairs = [(f"tc-lfn{i:03d}", f"pfn://tc/{i}") for i in range(40)]
+    assert cc.bulk_create(pairs) == []
+    yield smap, servers, cc, pairs
+    cc.close()
+    for server in servers.values():
+        server.stop()
+
+
+class TestPipelinedScatter:
+    def test_scatter_uses_pipelined_connections(self, tcp_cluster):
+        smap, servers, cc, pairs = tcp_cluster
+        # The TCP connect path negotiated v2 on every shard client.
+        for shard in smap.shards:
+            assert cc._client(shard).rpc.pipelined
+        assert cc._scatter_pipelined("lfn_count") is not None
+
+    def test_wildcard_and_counts_match_serial_path(self, tcp_cluster):
+        smap, servers, cc, pairs = tcp_cluster
+        assert sorted(tuple(p) for p in cc.query_wildcard("tc-lfn*")) == sorted(
+            pairs
+        )
+        assert cc.lfn_count() == len(pairs)
+        assert cc.mapping_count() == len(pairs)
+        # Ground truth straight from the shard catalogs.
+        assert cc.lfn_count() == sum(
+            servers[s].lrc.lfn_count() for s in smap.shards
+        )
+
+    def test_get_lfns_scatters_over_tcp(self, tcp_cluster):
+        smap, servers, cc, pairs = tcp_cluster
+        cc.create("shared-a", "pfn://shared")
+        cc.add("shared-a", "pfn://shared2")
+        assert sorted(cc.get_mappings("shared-a")) == [
+            "pfn://shared",
+            "pfn://shared2",
+        ]
+
+    def test_dead_shard_with_no_fallback_raises_routing_error(
+        self, tcp_cluster
+    ):
+        smap, servers, cc, pairs = tcp_cluster
+        servers["tc-s1"].stop()
+        with pytest.raises(ShardRoutingError):
+            cc.lfn_count()

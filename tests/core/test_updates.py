@@ -359,3 +359,85 @@ class TestPartitionRouterFastPath:
             assert bool(combined.search(probe)) == any(
                 p.search(probe) for p in singles
             ), probe
+
+
+class _FakePipelinedClient:
+    """Records calls; mimics the RPCClient pipelined surface."""
+
+    def __init__(self, pipelined=True):
+        self.pipelined = pipelined
+        self.sync_calls = []
+        self.async_calls = []
+        self.drains = 0
+
+    def call(self, method, *args):
+        self.sync_calls.append((method, args))
+
+    def call_async(self, method, *args):
+        self.async_calls.append((method, args))
+
+        class _Done:
+            done = True
+
+            @staticmethod
+            def result():
+                return None
+
+        return _Done()
+
+    def drain(self):
+        self.drains += 1
+
+
+class TestRPCSinkChunking:
+    def test_small_update_single_call(self):
+        from repro.core.updates import RPCSink
+
+        client = _FakePipelinedClient()
+        sink = RPCSink(client, chunk_size=10)
+        sink.incremental_update("lrc", ["a", "b"], ["c"])
+        assert client.sync_calls == [
+            ("rli_incremental_update", ("lrc", ["a", "b"], ["c"]))
+        ]
+        assert client.async_calls == [] and client.drains == 0
+
+    def test_large_update_chunks_and_drains_once(self):
+        from repro.core.updates import RPCSink
+
+        client = _FakePipelinedClient()
+        sink = RPCSink(client, chunk_size=10)
+        added = [f"a{i}" for i in range(25)]
+        removed = [f"r{i}" for i in range(12)]
+        sink.incremental_update("lrc", added, removed)
+        assert client.sync_calls == []
+        assert client.drains == 1
+        # 3 add chunks then 2 removal chunks, covering every element in
+        # order with nothing dropped or duplicated.
+        adds = [c for c in client.async_calls if c[1][1]]
+        rems = [c for c in client.async_calls if c[1][2]]
+        assert len(adds) == 3 and len(rems) == 2
+        assert [x for c in adds for x in c[1][1]] == added
+        assert [x for c in rems for x in c[1][2]] == removed
+        assert all(c[0] == "rli_incremental_update" for c in client.async_calls)
+        assert all(c[1][0] == "lrc" for c in client.async_calls)
+
+    def test_non_pipelined_client_never_chunks(self):
+        from repro.core.updates import RPCSink
+
+        client = _FakePipelinedClient(pipelined=False)
+        sink = RPCSink(client, chunk_size=2)
+        added = [f"a{i}" for i in range(7)]
+        sink.incremental_update("lrc", added, [])
+        assert client.sync_calls == [
+            ("rli_incremental_update", ("lrc", added, []))
+        ]
+        assert client.async_calls == []
+
+    def test_full_update_never_chunked(self):
+        from repro.core.updates import RPCSink
+
+        client = _FakePipelinedClient()
+        sink = RPCSink(client, chunk_size=2)
+        sink.full_update("lrc", [f"l{i}" for i in range(9)])
+        assert len(client.sync_calls) == 1
+        assert client.async_calls == []

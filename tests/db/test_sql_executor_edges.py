@@ -148,3 +148,79 @@ class TestMultiRowAndErrors:
     def test_insert_expression_rejected(self, db):
         with pytest.raises(SQLSyntaxError):
             db.execute("INSERT INTO t_lfn (name, ref) VALUES ('a', ref)")
+
+
+class TestInListProbe:
+    """The executor builds a constant-time set per IN list (built once per
+    statement); these pin its semantics to the row-at-a-time scan."""
+
+    def _fill(self, db, n=40):
+        for i in range(n):
+            db.execute(
+                "INSERT INTO t_lfn (name, ref) VALUES (?, ?)",
+                [f"lfn{i}", i % 10],
+            )
+
+    def test_large_literal_in_list(self, db):
+        self._fill(db)
+        wanted = ", ".join(f"'lfn{i}'" for i in range(0, 40, 3))
+        rows = db.execute(
+            f"SELECT name FROM t_lfn WHERE name IN ({wanted})"
+        ).rows
+        assert sorted(r[0] for r in rows) == sorted(
+            f"lfn{i}" for i in range(0, 40, 3)
+        )
+
+    def test_parameterized_in_list_rebinds_per_execution(self, db):
+        self._fill(db, 10)
+        sql = "SELECT name FROM t_lfn WHERE ref IN (?, ?)"
+        first = db.execute(sql, [1, 2]).rows
+        second = db.execute(sql, [7, 8]).rows
+        # Same cached statement, different params: the probe set must be
+        # rebuilt per execution, not remembered from the first run.
+        assert sorted(r[0] for r in first) == ["lfn1", "lfn2"]
+        assert sorted(r[0] for r in second) == ["lfn7", "lfn8"]
+
+    def test_duplicate_and_padded_items(self, db):
+        self._fill(db, 5)
+        rows = db.execute(
+            "SELECT name FROM t_lfn WHERE name IN "
+            "('lfn1', 'lfn1', 'lfn1', 'lfn3')"
+        ).rows
+        assert sorted(r[0] for r in rows) == ["lfn1", "lfn3"]
+
+    def test_non_constant_item_falls_back_to_scan(self, db):
+        self._fill(db, 6)
+        # A column reference among the items defeats the constant probe;
+        # the row-at-a-time path must produce the same answer.
+        rows = db.execute(
+            "SELECT name FROM t_lfn WHERE ref IN (id, 3)"
+        ).rows
+        by_scan = db.execute(
+            "SELECT name, id, ref FROM t_lfn"
+        ).rows
+        expected = sorted(
+            name for name, row_id, ref in by_scan if ref in (row_id, 3)
+        )
+        assert sorted(r[0] for r in rows) == expected
+
+    def test_not_in(self, db):
+        self._fill(db, 6)
+        rows = db.execute(
+            "SELECT name FROM t_lfn WHERE name NOT IN ('lfn0', 'lfn5')"
+        ).rows
+        assert sorted(r[0] for r in rows) == [f"lfn{i}" for i in range(1, 5)]
+
+    def test_null_never_matches_literals(self, db):
+        db.execute("INSERT INTO t_lfn (name) VALUES ('nullref')")  # ref NULL
+        rows = db.execute(
+            "SELECT name FROM t_lfn WHERE ref IN (0, 1, 2)"
+        ).rows
+        assert rows == []
+
+    def test_mixed_numeric_types_match(self, db):
+        self._fill(db, 4)
+        rows = db.execute(
+            "SELECT name FROM t_lfn WHERE ref IN (1.0, 2)"
+        ).rows
+        assert sorted(r[0] for r in rows) == ["lfn1", "lfn2"]

@@ -1,0 +1,452 @@
+"""Pipelined RPC tests: correlation ids, batching, interop, races.
+
+Covers the v2 hot path end to end over real sockets — many requests in
+flight on one connection, whole bursts as single Batch frames — plus the
+compatibility matrix (old client ↔ new server, new client ↔ old server)
+and the client-side races the rewrite fixed (channel swap during retry,
+lifetime retry accounting).
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.net.errors import (
+    ProtocolError,
+    RemoteError,
+    TransportClosedError,
+)
+from repro.net.messages import (
+    PROTOCOL_VERSION,
+    Batch,
+    Hello,
+    Request,
+    Response,
+    message_from_bytes,
+)
+from repro.net.retry import RetryPolicy
+from repro.net.rpc import RPCClient, RPCServer, UNKNOWN_METHOD_LABEL
+from repro.net.transport import (
+    TCPServerTransport,
+    _recv_frame,
+    _send_frame,
+    connect_tcp,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def make_server(metrics=None):
+    server = RPCServer(metrics=metrics)
+    server.register("echo", lambda ctx, args: args[0])
+    server.register("add", lambda ctx, args: args[0] + args[1])
+    server.register("boom", lambda ctx, args: 1 / 0)
+    return server
+
+
+@pytest.fixture
+def tcp_server():
+    registry = MetricsRegistry()
+    server = make_server(metrics=registry)
+    transport = TCPServerTransport(server, "127.0.0.1", 0)
+    yield server, transport, registry
+    transport.close()
+
+
+class TestNegotiation:
+    def test_new_client_new_server_speaks_v2(self, tcp_server):
+        _, transport, _ = tcp_server
+        channel = connect_tcp(transport.host, transport.port)
+        try:
+            assert channel.proto == PROTOCOL_VERSION == 2
+            assert channel.pipelined
+        finally:
+            channel.close()
+
+    def test_client_caps_at_own_version(self, tcp_server):
+        # A server advertising a *higher* version than we speak must be
+        # negotiated down to ours, never up.
+        _, transport, _ = tcp_server
+        channel = connect_tcp(transport.host, transport.port)
+        try:
+            assert channel.proto <= PROTOCOL_VERSION
+        finally:
+            channel.close()
+
+
+class TestPipelining:
+    def test_async_burst_roundtrip(self, tcp_server):
+        _, transport, _ = tcp_server
+        with RPCClient(connect_tcp(transport.host, transport.port)) as client:
+            assert client.pipelined
+            calls = [client.call_async("echo", i) for i in range(50)]
+            client.drain()
+            assert all(c.done for c in calls)
+            assert [c.result() for c in calls] == list(range(50))
+
+    def test_burst_travels_as_one_batch_frame(self, tcp_server):
+        _, transport, registry = tcp_server
+        batches = registry.counter("net.batch_frames", transport="tcp")
+        before = batches.value
+        with RPCClient(connect_tcp(transport.host, transport.port)) as client:
+            for i in range(16):
+                client.call_async("echo", i)
+            client.drain()
+        assert batches.value == before + 1
+
+    def test_result_drains_implicitly(self, tcp_server):
+        _, transport, _ = tcp_server
+        with RPCClient(connect_tcp(transport.host, transport.port)) as client:
+            pending = client.call_async("add", 2, 3)
+            assert pending.result() == 5
+
+    def test_error_mid_burst_does_not_poison_neighbors(self, tcp_server):
+        _, transport, _ = tcp_server
+        with RPCClient(connect_tcp(transport.host, transport.port)) as client:
+            before = client.call_async("echo", "a")
+            bad = client.call_async("boom")
+            after = client.call_async("echo", "z")
+            client.drain()
+            assert before.result() == "a"
+            with pytest.raises(RemoteError) as err:
+                bad.result()
+            assert err.value.error_type == "ZeroDivisionError"
+            assert after.result() == "z"
+
+    def test_sync_calls_still_work_on_pipelined_channel(self, tcp_server):
+        _, transport, _ = tcp_server
+        with RPCClient(connect_tcp(transport.host, transport.port)) as client:
+            assert client.call("add", 1, 2) == 3
+            assert client.call("echo", "x") == "x"
+
+    def test_concurrent_threads_share_one_connection(self, tcp_server):
+        _, transport, _ = tcp_server
+        with RPCClient(connect_tcp(transport.host, transport.port)) as client:
+            results: dict[int, list] = {}
+            errors: list = []
+
+            def worker(tid: int) -> None:
+                try:
+                    calls = [
+                        client.call_async("echo", (tid, i)) for i in range(40)
+                    ]
+                    client.drain()
+                    results[tid] = [c.result() for c in calls]
+                except Exception as exc:  # pragma: no cover - fail loudly
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=worker, args=(t,)) for t in range(6)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            for tid in range(6):
+                # The codec decodes tuples as lists.
+                assert results[tid] == [[tid, i] for i in range(40)]
+
+    def test_submit_after_close_fails_fast(self, tcp_server):
+        _, transport, _ = tcp_server
+        channel = connect_tcp(transport.host, transport.port)
+        channel.close()
+        pending = channel.submit(Request("echo", (1,)))
+        assert pending.done
+        with pytest.raises(TransportClosedError):
+            pending.get()
+
+
+class TestOldServerNewClient:
+    """A v1-era server answers the Hello with a bare welcome string and
+    speaks one-request-at-a-time; the new client must fall back."""
+
+    @pytest.fixture
+    def v1_server(self):
+        server = make_server()
+        listener = socket.create_server(("127.0.0.1", 0))
+        port = listener.getsockname()[1]
+        stop = threading.Event()
+
+        def serve():
+            while not stop.is_set():
+                try:
+                    conn, addr = listener.accept()
+                except OSError:
+                    return
+                with conn:
+                    try:
+                        hello = message_from_bytes(_recv_frame(conn))
+                        ctx = server.handshake(hello, peer=str(addr))
+                        # Old wire shape: a plain string, no proto field.
+                        _send_frame(
+                            conn, Response.success("welcome").to_bytes()
+                        )
+                        while True:
+                            message = message_from_bytes(_recv_frame(conn))
+                            assert isinstance(message, Request)
+                            reply = server.handle(ctx, message)
+                            _send_frame(conn, reply.to_bytes())
+                    except (TransportClosedError, OSError):
+                        continue
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        yield port
+        stop.set()
+        listener.close()
+        thread.join(timeout=5)
+
+    def test_falls_back_to_v1(self, v1_server):
+        channel = connect_tcp("127.0.0.1", v1_server)
+        try:
+            assert channel.proto == 1
+            assert not channel.pipelined
+        finally:
+            channel.close()
+
+    def test_calls_and_async_surface_work_serially(self, v1_server):
+        with RPCClient(connect_tcp("127.0.0.1", v1_server)) as client:
+            assert not client.pipelined
+            assert client.call("add", 20, 22) == 42
+            # The pipelined API degrades to synchronous completion.
+            calls = [client.call_async("echo", i) for i in range(5)]
+            client.drain()
+            assert [c.result() for c in calls] == list(range(5))
+
+
+class TestOldClientNewServer:
+    """A v1-era client never sends ids or batches; the new server must
+    answer with plain 5-field responses."""
+
+    def _v1_call(self, sock, request: Request) -> Response:
+        _send_frame(sock, request.to_bytes())
+        message = message_from_bytes(_recv_frame(sock))
+        assert isinstance(message, Response)
+        return message
+
+    def test_v1_session_against_new_server(self, tcp_server):
+        _, transport, _ = tcp_server
+        with socket.create_connection(
+            (transport.host, transport.port), timeout=5
+        ) as sock:
+            _send_frame(sock, Hello(version=1).to_bytes())
+            welcome = message_from_bytes(_recv_frame(sock))
+            assert welcome.ok
+            resp = self._v1_call(sock, Request("add", (3, 4)))
+            assert resp.ok and resp.value == 7
+            # No correlation id came back: the reply is a v1 envelope.
+            assert resp.id is None
+            wire = resp.to_bytes()
+            from repro.net.codec import decode
+
+            assert len(decode(wire)) == 5
+
+    def test_v1_client_never_sees_batch_frames(self, tcp_server):
+        _, transport, registry = tcp_server
+        batches = registry.counter("net.batch_frames", transport="tcp")
+        before = batches.value
+        with socket.create_connection(
+            (transport.host, transport.port), timeout=5
+        ) as sock:
+            _send_frame(sock, Hello(version=1).to_bytes())
+            message_from_bytes(_recv_frame(sock))
+            for i in range(10):
+                assert self._v1_call(sock, Request("echo", (i,))).value == i
+        assert batches.value == before
+
+
+class TestProtocolErrorResponses:
+    def test_malformed_frame_gets_typed_error_then_close(self, tcp_server):
+        _, transport, registry = tcp_server
+        with socket.create_connection(
+            (transport.host, transport.port), timeout=5
+        ) as sock:
+            _send_frame(sock, Hello(version=1).to_bytes())
+            message_from_bytes(_recv_frame(sock))
+            _send_frame(sock, b"\xffgarbage")
+            reply = message_from_bytes(_recv_frame(sock))
+            assert isinstance(reply, Response) and not reply.ok
+            assert reply.error_type == "ProtocolError"
+            # The server closes the conversation after answering.
+            assert sock.recv(1) == b""
+        assert (
+            registry.counter("net.protocol_errors", transport="tcp").value
+            >= 1
+        )
+
+    def test_client_raises_typed_error_not_retryable(self, tcp_server):
+        # The server's id-less ProtocolError response cannot be matched to
+        # a pending request, so the reader surfaces it as a RemoteError
+        # carrying the remote type — which the retry layer treats as
+        # fatal, so a possibly-completed mutation is never blindly
+        # re-sent over a conversation the server gave up on.
+        from repro.net.retry import is_retryable
+
+        _, transport, _ = tcp_server
+        channel = connect_tcp(transport.host, transport.port)
+        try:
+            with pytest.raises(RemoteError) as err:
+                # Batch items must be requests; a response inside the
+                # batch is a protocol violation the server rejects.
+                channel._io.send_message(
+                    channel._sock,
+                    Batch((Response.success(1, id=9),)),
+                )
+                message = message_from_bytes(
+                    channel._io.recv_frame(channel._sock)
+                )
+                channel._dispatch(message)
+            assert err.value.error_type == "ProtocolError"
+            assert not is_retryable(err.value)
+            assert not is_retryable(ProtocolError("local decode failure"))
+        finally:
+            channel.close()
+
+    def test_server_survives_malformed_frames(self, tcp_server):
+        _, transport, _ = tcp_server
+        for _ in range(5):
+            with socket.create_connection(
+                (transport.host, transport.port), timeout=5
+            ) as sock:
+                _send_frame(sock, Hello(version=1).to_bytes())
+                message_from_bytes(_recv_frame(sock))
+                _send_frame(sock, b"\x00" * 7)
+                message_from_bytes(_recv_frame(sock))
+        # Fresh connections still serve.
+        with RPCClient(connect_tcp(transport.host, transport.port)) as client:
+            assert client.call("echo", "alive") == "alive"
+
+
+class TestUnknownMethodLabel:
+    def test_unknown_method_uses_bounded_label(self):
+        registry = MetricsRegistry()
+        server = make_server(metrics=registry)
+        ctx = server.handshake(Hello(), "test")
+        hostile = "method-" + "x" * 200
+        resp = server.handle(ctx, Request(hostile, ()))
+        assert not resp.ok and resp.error_type == "NoSuchMethodError"
+        assert hostile in resp.error_message
+        assert (
+            registry.counter(
+                "rpc.errors", method=UNKNOWN_METHOD_LABEL
+            ).value
+            == 1
+        )
+        # The hostile name must not have minted a metric label.
+        assert all(
+            hostile not in key
+            for key in registry.snapshot().counters
+            if key.startswith("rpc.errors")
+        )
+
+    def test_label_cardinality_stays_bounded(self):
+        registry = MetricsRegistry()
+        server = make_server(metrics=registry)
+        ctx = server.handshake(Hello(), "test")
+        for i in range(100):
+            server.handle(ctx, Request(f"no-such-{i}", ()))
+        error_series = [
+            key
+            for key in registry.snapshot().counters
+            if key.startswith("rpc.errors")
+        ]
+        assert len(error_series) == 1
+        assert (
+            registry.counter(
+                "rpc.errors", method=UNKNOWN_METHOD_LABEL
+            ).value
+            == 100
+        )
+
+
+class _FlakyChannel:
+    """Channel whose first ``fail_first`` requests raise a retryable
+    transport error; thereafter it answers."""
+
+    pipelined = False
+
+    def __init__(self, fail_first: int) -> None:
+        self._lock = threading.Lock()
+        self.failures_left = fail_first
+        self.requests_seen = 0
+        self.closed = False
+
+    def request(self, request: Request) -> Response:
+        with self._lock:
+            self.requests_seen += 1
+            if self.failures_left > 0:
+                self.failures_left -= 1
+                raise TransportClosedError("injected failure")
+        return Response.success(list(request.args))
+
+    def flush(self) -> None:
+        pass
+
+    def drain(self) -> None:
+        pass
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class TestRetryAccounting:
+    def test_reconnect_swaps_channel_under_lock(self):
+        good = _FlakyChannel(fail_first=0)
+        bad = _FlakyChannel(fail_first=10_000)
+        client = RPCClient(
+            bad,
+            retry=RetryPolicy(max_attempts=3, backoff_base=0.0, jitter=0.0),
+            reconnect=lambda: good,
+            sleep=lambda _s: None,
+        )
+        assert client.call("echo", 1) == [1]
+        assert client.channel is good
+        assert bad.closed  # the dead channel was closed, not leaked
+        assert client.retries == 1
+
+    def test_concurrent_retries_account_exactly(self):
+        # Two threads each hit one transport failure; lifetime retries
+        # must equal the number of failed attempts, not lose increments
+        # to a read-modify-write race.
+        flaky = _FlakyChannel(fail_first=2)
+        client = RPCClient(
+            flaky,
+            retry=RetryPolicy(max_attempts=5, backoff_base=0.0, jitter=0.0),
+            sleep=lambda _s: None,
+        )
+        barrier = threading.Barrier(2)
+        outcomes: list = []
+
+        def worker() -> None:
+            barrier.wait()
+            outcomes.append(client.call("echo", "ok"))
+
+        threads = [threading.Thread(target=worker) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert outcomes == [["ok"], ["ok"]]
+        assert client.retries == 2
+
+    def test_failed_reconnect_leaves_channel_for_next_attempt(self):
+        flaky = _FlakyChannel(fail_first=1)
+        attempts: list[int] = []
+
+        def dial():
+            attempts.append(1)
+            raise OSError("dial failed")
+
+        client = RPCClient(
+            flaky,
+            retry=RetryPolicy(max_attempts=3, backoff_base=0.0, jitter=0.0),
+            reconnect=dial,
+            sleep=lambda _s: None,
+        )
+        # Reconnect fails, but the original (now healthy) channel answers
+        # on the next attempt instead of the client deadlocking or
+        # dropping the call.
+        assert client.call("echo", 7) == [7]
+        assert attempts == [1]
+        assert client.retries == 1
