@@ -41,9 +41,12 @@ MAX_OVERHEAD_FRACTION = 0.05
 #: engine/WAL, the RPC-layer latency ``noop`` test, plus the query-level
 #: observability hooks — per statement a cache hit/miss counter inc and a
 #: ``profiler.enabled`` check, per latch/WAL-lock acquisition a histogram
-#: ``noop`` check (an add touches t_lfn/t_pfn/t_map several times).
+#: ``noop`` check (an add touches t_lfn/t_pfn/t_map several times), and
+#: the request-context ``getattr`` probes on the WAL/profiler paths
+#: (``reqctx.add_wal_bytes``/``reqctx.current`` cost one thread-local
+#: getattr each when no request context is active).
 #: Counted generously; overestimating only makes the check stricter.
-HOOKS_PER_ADD = 40
+HOOKS_PER_ADD = 44
 
 ADDS = 3_000
 NOOP_CALLS = 200_000
@@ -103,6 +106,44 @@ def time_profiler_guard(n: int) -> float:
         with latch:
             pass
     return (time.perf_counter() - start) / (2 * n)
+
+
+USAGE_CALLS = 50_000
+
+
+def time_usage_account(n: int) -> float:
+    """Seconds per full request-accounting pass, in isolation.
+
+    One enabled-accounting RPC pays: a thread-local context
+    activate/deactivate pair, two ``perf_counter`` reads, a method
+    classification, and one :meth:`UsageAccountant.account` call
+    (cell update, counter incs, both sketch offers).  Measure the whole
+    sequence per iteration against a warmed accountant, the way a busy
+    connection replays one hot (principal, class) cell.
+    """
+    from repro.obs import reqctx
+    from repro.obs.slo import classify_method
+    from repro.obs.usage import UsageAccountant
+
+    accountant = UsageAccountant()  # no registry: live-instrument floor
+    lfns = [f"/grid/data/f{i:03d}" for i in range(100)]
+    perf_counter = time.perf_counter
+    start = perf_counter()
+    for i in range(n):
+        begin = perf_counter()
+        costs = reqctx.activate("cms-prod")
+        costs.rows_examined += 3
+        costs.wal_bytes += 120
+        reqctx.deactivate()
+        accountant.account(
+            "cms-prod",
+            classify_method("lrc_add_mapping"),
+            wall_time=perf_counter() - begin,
+            rows_examined=costs.rows_examined,
+            wal_bytes=costs.wal_bytes,
+            lfn=lfns[i % len(lfns)],
+        )
+    return (perf_counter() - start) / n
 
 
 CODEC_ROUNDS = 3_000
@@ -362,6 +403,21 @@ def main() -> int:
         print("FAIL: disabled instrumentation exceeds the overhead budget")
         return 1
     print("OK: disabled instrumentation is within the overhead budget")
+
+    # Per-principal accounting: every RPC pays one context pair plus one
+    # account() call when usage accounting is on (the default); the whole
+    # enabled path must stay under the same per-add budget.
+    per_account = time_usage_account(USAGE_CALLS)
+    account_fraction = per_account / per_add
+    print(f"per usage account:  {per_account * 1e6:8.3f} us")
+    print(
+        f"accounting overhead:{account_fraction * 100:8.3f}% of add "
+        f"(limit {MAX_OVERHEAD_FRACTION * 100:.0f}%)"
+    )
+    if account_fraction >= MAX_OVERHEAD_FRACTION:
+        print("FAIL: usage accounting exceeds the overhead budget")
+        return 1
+    print("OK: usage accounting is within the overhead budget")
 
     # Query profiler: disabled by default on bare engines; its guards
     # (enabled flag + latch noop checks) get their own budget line.

@@ -174,6 +174,15 @@ def main(argv: list[str] | None = None) -> int:
     else:
         detections, compared = compare_trajectory(current_dir, args.tolerance)
 
+    if compared == 0:
+        # A fresh checkout or first CI run has no second data point yet;
+        # that is not a regression and must not fail the step.
+        print(
+            "no baseline to compare against "
+            "(no artifact with both a current and a baseline run); "
+            "nothing compared"
+        )
+        return 0
     for detection in detections:
         print(f"REGRESSION [{detection.severity}] {detection.summary}")
     print(

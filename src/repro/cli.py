@@ -18,11 +18,13 @@ Subcommands mirror the operation classes of the paper's Table 1::
     rls trace   --server host:39281 <trace-id> --distributed --critical-path
     rls slowlog --server host:39281                # slow/error statements
     rls slo     host:39281 --watch 5               # SLIs, burn rates, budget
+    rls usage   host:39281 --watch 5               # per-principal usage
     rls profile host:39281 --seconds 5 --folded    # sampling profiler
     rls threads host:39281                         # thread dump + stuck check
     rls flight  host:39281                         # flight-recorder events
     rls explain mysite-dsn "SELECT ... WHERE ..."  # EXPLAIN ANALYZE a query
     rls top     --servers a:39281,b:39282,r:39283  # live cluster rates
+    rls top     --servers ... --principals         # + cluster heavy hitters
     rls workload --server host:39281 --op query --seed 7
 
 ``--server`` accepts either an in-process endpoint name or ``host:port``.
@@ -234,6 +236,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="raw JSON payload instead of a table"
     )
 
+    usage = sub.add_parser(
+        "usage", help="per-principal resource usage and heavy hitters"
+    )
+    usage.add_argument("server", help="endpoint name or host:port")
+    usage.add_argument(
+        "--watch",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="keep polling every SECONDS, printing per-interval request "
+        "rates by principal",
+    )
+    usage.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="with --watch: stop after N rounds (default: until ^C)",
+    )
+    usage.add_argument(
+        "--json", action="store_true", help="raw JSON payload instead of a table"
+    )
+
     slowlog = sub.add_parser(
         "slowlog", help="tail-retained slow/error SQL statements"
     )
@@ -312,6 +336,18 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="stop after N scrape rounds (default: until ^C)",
+    )
+    top.add_argument(
+        "--principals",
+        action="store_true",
+        help="also print the cluster's top principals (admin_usage "
+        "sketches merged across all servers)",
+    )
+    top.add_argument(
+        "--prefixes",
+        action="store_true",
+        help="also print the cluster's hot LFN prefixes (merged "
+        "admin_usage sketches)",
     )
 
     workload = sub.add_parser(
@@ -480,6 +516,8 @@ def _dispatch(args: argparse.Namespace, client: RLSClient, out) -> int:
         return _slowlog(args, client, out)
     elif args.command == "slo":
         return _slo(args, client, out)
+    elif args.command == "usage":
+        return _usage(args, client, out)
     elif args.command == "profile":
         return _profile(args, client, out)
     elif args.command == "threads":
@@ -807,6 +845,7 @@ def _slowlog(args: argparse.Namespace, client: RLSClient, out) -> int:
             f"rows={entry.get('rows_examined', 0)}/"
             f"{entry.get('rows_returned', 0)} "
             f"dead={entry.get('dead_index_hits', 0)} "
+            f"who={entry.get('principal') or '-'} "
             f"trace={trace} span={span}  {entry.get('sql', '')}",
             file=out,
         )
@@ -913,6 +952,117 @@ def _slo(args: argparse.Namespace, client: RLSClient, out) -> int:
                 )
                 line += f"  ALERTS={len(alerts)} ({worst})"
             print(line, file=out)
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    return 0
+
+
+def _principal_request_totals(payload: dict) -> dict[str, float]:
+    """Requests per principal, summed across op classes."""
+    totals: dict[str, float] = {}
+    for principal, classes in payload.get("principals", {}).items():
+        totals[principal] = sum(
+            row.get("requests", 0.0) for row in classes.values()
+        )
+    return totals
+
+
+def _fmt_hitters(rows: list[dict], key: str, limit: int = 5) -> str:
+    """Render sketch rows as ``name=count`` (±error when inexact)."""
+    parts = []
+    for row in rows[:limit]:
+        text = f"{row.get(key, '?')}={row.get('count', 0)}"
+        if row.get("error"):
+            text += f"±{row['error']}"
+        parts.append(text)
+    return " ".join(parts) or "-"
+
+
+def _print_usage(payload: dict, out) -> None:
+    sketch = payload.get("sketch", {})
+    print(
+        f"usage accounting: {payload.get('principals_tracked', 0)} "
+        f"principals tracked (cap {payload.get('max_principals', 0)}), "
+        f"{payload.get('overflowed', 0)} requests folded into <other>, "
+        f"sketch capacity {sketch.get('capacity', 0)} "
+        f"({sketch.get('offered', 0)} offered)",
+        file=out,
+    )
+    principals = payload.get("principals", {})
+    if not principals:
+        print("no requests accounted", file=out)
+        return
+    fields = payload.get("fields", [])
+    totals: dict[str, dict[str, float]] = {}
+    for principal, classes in principals.items():
+        row = dict.fromkeys(fields, 0.0)
+        for vec in classes.values():
+            for name in fields:
+                row[name] = row.get(name, 0.0) + vec.get(name, 0.0)
+        totals[principal] = row
+    header = (
+        f"  {'principal':<24} {'req':>8} {'err':>6} {'wall(s)':>9} "
+        f"{'queue(s)':>9} {'rows':>9} {'bytes in/out':>17} {'wal':>9}"
+    )
+    print(header, file=out)
+    for principal, row in sorted(
+        totals.items(), key=lambda kv: -kv[1].get("requests", 0.0)
+    ):
+        bytes_io = f"{row.get('bytes_in', 0.0):.0f}/{row.get('bytes_out', 0.0):.0f}"
+        print(
+            f"  {principal:<24} {row.get('requests', 0.0):>8.0f} "
+            f"{row.get('errors', 0.0):>6.0f} {row.get('wall_time', 0.0):>9.3f} "
+            f"{row.get('queue_wait', 0.0):>9.3f} "
+            f"{row.get('rows_examined', 0.0):>9.0f} {bytes_io:>17} "
+            f"{row.get('wal_bytes', 0.0):>9.0f}",
+            file=out,
+        )
+    print(
+        f"  top principals: "
+        f"{_fmt_hitters(payload.get('top_principals', []), 'principal')}",
+        file=out,
+    )
+    print(
+        f"  hot prefixes:   "
+        f"{_fmt_hitters(payload.get('top_prefixes', []), 'prefix')}",
+        file=out,
+    )
+
+
+def _usage(args: argparse.Namespace, client: RLSClient, out) -> int:
+    payload = client.usage()
+    if not payload.get("enabled", True):
+        print("usage accounting not enabled on server", file=out)
+        return 1
+    if args.json and args.watch is None:
+        print(json.dumps(payload, indent=2, sort_keys=True), file=out)
+        return 0
+    _print_usage(payload, out)
+    if args.watch is None:
+        return 0
+    previous = _principal_request_totals(payload)
+    rounds = 0
+    try:
+        while args.iterations is None or rounds < args.iterations:
+            time.sleep(args.watch)
+            payload = client.usage()
+            rounds += 1
+            current = _principal_request_totals(payload)
+            rates = sorted(
+                (
+                    ((count - previous.get(principal, 0.0)) / args.watch,
+                     principal)
+                    for principal, count in current.items()
+                ),
+                reverse=True,
+            )
+            previous = current
+            detail = " ".join(
+                f"{principal}={rate:.1f}/s"
+                for rate, principal in rates[:4]
+                if rate > 0
+            )
+            print(f"[{rounds}] req rate: {detail or 'idle'}", file=out)
     except KeyboardInterrupt:  # pragma: no cover - interactive path
         pass
     return 0
@@ -1097,6 +1247,28 @@ def _top(args: argparse.Namespace, out) -> int:
                         f"  {name:<24} ops/s={node.ops_rate:>8.1f}{extra}",
                         file=out,
                     )
+                if args.principals or args.prefixes:
+                    from repro.obs.usage import merge_usage_dicts
+
+                    payloads = []
+                    for client in clients:
+                        try:
+                            payloads.append(client.usage())
+                        except Exception:
+                            continue  # a down node loses its sketch rows
+                    merged = merge_usage_dicts(payloads)
+                    if args.principals:
+                        print(
+                            f"  top principals: "
+                            f"{_fmt_hitters(merged.get('top_principals', []), 'principal')}",
+                            file=out,
+                        )
+                    if args.prefixes:
+                        print(
+                            f"  hot prefixes:   "
+                            f"{_fmt_hitters(merged.get('top_prefixes', []), 'prefix')}",
+                            file=out,
+                        )
         except KeyboardInterrupt:  # pragma: no cover - interactive path
             pass
         return 0

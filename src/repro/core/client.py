@@ -246,6 +246,16 @@ class RLSClient:
         """
         return self.rpc.call("admin_slo")
 
+    def usage(self) -> dict[str, Any]:
+        """Per-principal usage accounting table and heavy-hitter sketches.
+
+        Returns ``{"enabled": bool, "fields": [...], "principals":
+        {principal: {op_class: {field: value}}}, "top_principals": [...],
+        "top_prefixes": [...], "overflowed": int, ...}``; ``enabled`` is
+        False when the server runs with ``usage_accounting=False``.
+        """
+        return self.rpc.call("admin_usage")
+
     def slow_queries(self, limit: int = 50) -> dict[str, Any]:
         """Tail-retained slow/error statements from the engine's query log.
 
@@ -312,17 +322,26 @@ def connect(
     name: str,
     credential: bytes | None = None,
     retry: RetryPolicy | None = None,
+    principal: str | None = None,
 ) -> RLSClient:
     """Connect to an in-process server endpoint by name.
 
     With ``retry``, transport-level call failures reconnect to the
-    endpoint and retry with the policy's backoff.
+    endpoint and retry with the policy's backoff.  ``principal`` is the
+    declared usage-accounting identity for unauthenticated connections
+    (ignored when a credential authenticates — the gridmap wins).
     """
     reconnect = None
     if retry is not None:
-        reconnect = lambda: connect_local(name, credential)  # noqa: E731
+        reconnect = lambda: connect_local(  # noqa: E731
+            name, credential, principal=principal
+        )
     return RLSClient(
-        RPCClient(connect_local(name, credential), retry=retry, reconnect=reconnect)
+        RPCClient(
+            connect_local(name, credential, principal=principal),
+            retry=retry,
+            reconnect=reconnect,
+        )
     )
 
 
@@ -331,16 +350,18 @@ def connect_tcp_server(
     port: int,
     credential: bytes | None = None,
     retry: RetryPolicy | None = None,
+    principal: str | None = None,
 ) -> RLSClient:
     """Connect to a TCP server.
 
     With ``retry``, both the initial connect and later calls are retried
-    with backoff; failed calls re-dial the server first.
+    with backoff; failed calls re-dial the server first.  ``principal``
+    declares the usage-accounting identity (see :func:`connect`).
     """
-    channel = connect_tcp(host, port, credential, retry=retry)
+    channel = connect_tcp(host, port, credential, retry=retry, principal=principal)
     reconnect = None
     if retry is not None:
         reconnect = lambda: connect_tcp(  # noqa: E731
-            host, port, credential, retry=retry
+            host, port, credential, retry=retry, principal=principal
         )
     return RLSClient(RPCClient(channel, retry=retry, reconnect=reconnect))

@@ -110,6 +110,16 @@ class ServerConfig:
     #: runs no thread and ticks on demand at ``admin_slo`` time — the
     #: window arithmetic is identical, only the gauge export lags.
     slo_tick_interval: float = 0.0
+    #: Per-principal usage accounting (``admin_usage`` / ``rls usage``):
+    #: charge every request's cost vector — wall time, queue wait, rows
+    #: examined, bytes, WAL bytes — to ``(principal, op_class)``.
+    usage_accounting: bool = True
+    #: Capacity of the heavy-hitter sketches (top-K principals and LFN
+    #: prefixes); per-entry error is bounded by N/capacity.
+    usage_top_k: int = 32
+    #: Distinct principals given exact accounting rows and metric labels;
+    #: later arrivals aggregate under the bounded ``<other>`` label.
+    usage_max_principals: int = 64
 
     def __post_init__(self) -> None:
         self.backend = Backend.parse(self.backend)

@@ -33,6 +33,7 @@ from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import SamplingProfiler
 from repro.obs.slo import SLIRecorder, SLOPolicy
+from repro.obs.usage import UsageAccountant
 from repro.security.acl import Privilege
 from repro.security.authorizer import Authorizer
 
@@ -154,12 +155,25 @@ class RLSServer:
             endpoint=self.config.name,
         )
 
+        # --- per-principal usage accounting (admin_usage / rls usage) ---
+        self.usage: UsageAccountant | None = (
+            UsageAccountant(
+                metrics=self.metrics,
+                top_k=self.config.usage_top_k,
+                max_principals=self.config.usage_max_principals,
+            )
+            if self.config.usage_accounting
+            else None
+        )
+
         # --- RPC front end ---
         self.rpc = RPCServer(
             authenticator=self.authorizer.authenticate,
             metrics=self.metrics,
             flight=self.flight,
             name=self.config.name,
+            usage=self.usage,
+            principal_mapper=self.authorizer.account_principal,
         )
         self._register_methods()
         self.local_transport = LocalTransport(
@@ -378,6 +392,7 @@ class RLSServer:
         r("admin_trace", guarded(admin, self._trace))
         r("admin_trace_fragments", guarded(admin, self._trace_fragments))
         r("admin_slo", guarded(admin, self._slo))
+        r("admin_usage", guarded(admin, self._usage))
         r("admin_slow_queries", guarded(admin, self._slow_queries))
         r("admin_profile", guarded(admin, self._profile))
         r("admin_threads", guarded(admin, self._threads))
@@ -506,6 +521,22 @@ class RLSServer:
         """
         self.slo.tick()
         return self.slo.to_dict()
+
+    def _usage(self) -> dict[str, Any]:
+        """Per-principal usage table, heavy-hitter sketches included.
+
+        Accounting is a per-server knob (``ServerConfig.usage_accounting``,
+        on by default); when disabled this reports ``enabled: False`` so
+        ``rls usage`` degrades gracefully.
+        """
+        if self.usage is None:
+            return {
+                "enabled": False,
+                "principals": {},
+                "top_principals": [],
+                "top_prefixes": [],
+            }
+        return self.usage.to_dict()
 
     def _trace_fragments(self, trace_id: str) -> dict[str, Any]:
         """This node's raw span fragments for one trace.

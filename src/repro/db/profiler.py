@@ -37,6 +37,7 @@ import time
 from collections import OrderedDict
 from typing import Any, Callable
 
+from repro.obs import reqctx
 from repro.obs.metrics import (
     NULL_HISTOGRAM,
     NULL_REGISTRY,
@@ -230,6 +231,7 @@ class QueryLogEntry:
         "error",
         "trace_id",
         "span_id",
+        "principal",
         "plan",
     )
 
@@ -245,6 +247,7 @@ class QueryLogEntry:
         error: str | None = None,
         trace_id: str | None = None,
         span_id: str | None = None,
+        principal: str | None = None,
         plan: list[dict[str, Any]] | None = None,
     ) -> None:
         self.seq = seq
@@ -257,6 +260,9 @@ class QueryLogEntry:
         self.error = error
         self.trace_id = trace_id
         self.span_id = span_id
+        #: Usage principal of the enclosing RPC (``rls slowlog`` shows
+        #: who issued the statement); ``None`` outside any request.
+        self.principal = principal
         self.plan = plan or []
 
     def to_dict(self) -> dict[str, Any]:
@@ -272,6 +278,7 @@ class QueryLogEntry:
             "error": self.error,
             "trace_id": self.trace_id,
             "span_id": self.span_id,
+            "principal": self.principal,
             "plan": list(self.plan),
         }
 
@@ -288,6 +295,7 @@ class QueryLogEntry:
             error=data.get("error"),
             trace_id=data.get("trace_id"),
             span_id=data.get("span_id"),
+            principal=data.get("principal"),
             plan=list(data.get("plan", [])),
         )
 
@@ -463,17 +471,25 @@ class QueryProfiler:
         latency.observe(duration)
         if error is None and duration >= self.log.slow_threshold:
             self._m_slow.inc()
+        rows_examined = profile.rows_examined
+        # Charge the enclosing request's cost context (profiled path
+        # only — bare engines never reach here, so they pay nothing).
+        costs = reqctx.current()
+        if costs is not None:
+            costs.rows_examined += rows_examined
+            costs.db_time += duration
         entry = QueryLogEntry(
             seq=next(self._seq),
             sql=self._normalized(sql),
             statement_class=cls,
             duration=duration,
-            rows_examined=profile.rows_examined,
+            rows_examined=rows_examined,
             rows_returned=profile.rows_returned,
             dead_index_hits=profile.dead_index_hits,
             error=error,
             trace_id=trace[0] if trace else None,
             span_id=trace[1] if trace else None,
+            principal=costs.principal if costs is not None else None,
             plan=profile.to_dict(),
         )
         self.log.offer(entry)

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
 from repro.db.profiler import TimedLatch
-from repro.obs import tracing
+from repro.obs import reqctx, tracing
 from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
 
 _HEADER = struct.Struct("<QBI")  # lsn, opcode, payload length
@@ -279,7 +279,9 @@ class WriteAheadLog:
         with self._lock:
             lsn = self._next_lsn
             self._next_lsn += 1
-            self.device.append(encode_record(WALRecord(lsn, op, table, payload)))
+            data = encode_record(WALRecord(lsn, op, table, payload))
+            self.device.append(data)
+            reqctx.add_wal_bytes(len(data))
             self.records_appended += 1
             self._m_records.inc()
             self._buffered += 1

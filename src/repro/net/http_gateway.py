@@ -20,6 +20,8 @@ path                  method  action
 /bulk/query           POST    {"lfns":[...]} -> {lfn: [pfn,...]}
 /admin/stats          GET     server statistics
 /admin/slo            GET     SLIs, burn rates, budget, alerts
+/admin/usage          GET     per-principal usage + heavy hitters
+/admin/shard_map      GET     cluster shard map (when clustered)
 /admin/traces         GET     tail-retained spans (?limit=N)
 /admin/trace/<id>     GET     cluster-stitched trace + critical path
 /admin/queries        GET     slow/error statement log (?limit=N)
@@ -148,9 +150,21 @@ class HTTPGateway:
                     self._handle(lambda c: (200, c.stats()))
                 elif path == "/admin/slo":
                     self._handle(lambda c: (200, c.slo()))
+                elif path == "/admin/usage":
+                    self._handle(lambda c: (200, c.usage()))
                 elif path.startswith("/admin/trace/"):
                     trace_id = path[len("/admin/trace/"):].partition("?")[0]
-                    self._handle(lambda c: (200, c.trace(trace_id)))
+
+                    def fetch_trace(c: RLSClient):
+                        payload = c.trace(trace_id)
+                        # With a tracer installed, an id no node retains
+                        # is a miss; with none, the surface degrades to
+                        # {"enabled": false} like the other admin routes.
+                        if payload.get("enabled") and not payload.get("spans"):
+                            return 404, payload
+                        return 200, payload
+
+                    self._handle(fetch_trace)
                 elif path == "/admin/shard_map":
                     self._handle(lambda c: (200, c.shard_map()))
                 elif path == "/admin/traces" or path.startswith("/admin/traces?"):

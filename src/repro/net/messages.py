@@ -144,13 +144,30 @@ class Response:
         return encode(self.envelope())
 
 
+#: Hello attribute naming the client's declared accounting principal.
+PRINCIPAL_ATTRIBUTE = "principal"
+
+
 @dataclass(frozen=True)
 class Hello:
-    """Connection handshake: protocol version + optional credential blob."""
+    """Connection handshake: protocol version + optional credential blob.
+
+    ``attributes`` may carry a ``principal`` string — the client's
+    *declared* accounting identity, used only when no credential is
+    presented (an authenticated DN always wins).  The attribute dict has
+    been part of the Hello envelope since v1, so principal-bearing
+    Hellos interoperate with every protocol version: a v1 peer simply
+    ignores the key.
+    """
 
     version: int = 1
     credential: bytes | None = None
     attributes: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def principal(self) -> str | None:
+        """The declared accounting principal, if any."""
+        return self.attributes.get(PRINCIPAL_ATTRIBUTE)
 
     def envelope(self) -> list[Any]:
         return [_HELLO_KIND, self.version, self.credential, dict(self.attributes)]
@@ -295,6 +312,9 @@ def _hello_from_envelope(decoded: list[Any]) -> Hello:
         raise ProtocolError("malformed hello credential")
     if not isinstance(attributes, dict):
         raise ProtocolError("malformed hello attributes")
+    declared = attributes.get(PRINCIPAL_ATTRIBUTE)
+    if declared is not None and not isinstance(declared, str):
+        raise ProtocolError("malformed hello principal")
     return Hello(version=version, credential=credential, attributes=attributes)
 
 

@@ -22,17 +22,27 @@ from repro.net.errors import ProtocolError, RemoteError
 from repro.net.messages import Batch, Hello, Request, Response
 from repro.net.retry import RetryPolicy, is_retryable, retry_call
 from repro.net.transport import Channel, PendingResponse
-from repro.obs import tracing
+from repro.obs import reqctx, tracing
 from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
+from repro.obs.slo import classify_method
+from repro.obs.usage import ANONYMOUS_PRINCIPAL
 
 
 @dataclass
 class ConnectionContext:
-    """Per-connection state created at handshake time."""
+    """Per-connection state created at handshake time.
+
+    ``principal`` is the *authenticated* identity (subject DN) and feeds
+    authorization checks; ``usage_principal`` is the bounded accounting
+    label (gridmap local user, sanitized declared name, or
+    ``anonymous``) and feeds only attribution — keeping the two separate
+    means accounting can never widen or narrow what a caller may do.
+    """
 
     peer: str
     principal: str | None = None
     attributes: dict[str, Any] = field(default_factory=dict)
+    usage_principal: str = ANONYMOUS_PRINCIPAL
 
 
 Handler = Callable[[ConnectionContext, tuple], Any]
@@ -68,9 +78,18 @@ class RPCServer:
         metrics: MetricsRegistry | None = None,
         flight: Any = None,
         name: str = "",
+        usage: Any = None,
+        principal_mapper: Callable[[str | None, str | None], str] | None = None,
     ) -> None:
         self._methods: dict[str, Handler] = {}
         self._authenticator = authenticator
+        #: Optional :class:`~repro.obs.usage.UsageAccountant`; when set,
+        #: every request is charged to ``(usage_principal, op_class)``.
+        self.usage = usage
+        #: Maps ``(authenticated_dn, declared_principal)`` to the bounded
+        #: accounting label (the server passes the authorizer's gridmap
+        #: mapping; bare test servers fall back to the declared name).
+        self._principal_mapper = principal_mapper
         self._lock = threading.Lock()
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.flight = flight
@@ -119,9 +138,59 @@ class RPCServer:
         principal = None
         if self._authenticator is not None:
             principal = self._authenticator(hello, peer)
-        return ConnectionContext(peer=peer, principal=principal)
+        declared = hello.principal
+        if self._principal_mapper is not None:
+            usage_principal = self._principal_mapper(principal, declared)
+        else:
+            usage_principal = declared or principal or ANONYMOUS_PRINCIPAL
+        return ConnectionContext(
+            peer=peer,
+            principal=principal,
+            attributes=dict(hello.attributes),
+            usage_principal=usage_principal,
+        )
 
-    def handle(self, ctx: ConnectionContext, request: Request) -> Response:
+    def handle(
+        self,
+        ctx: ConnectionContext,
+        request: Request,
+        queue_wait: float = 0.0,
+    ) -> Response:
+        """Dispatch one request, charging its cost vector when accounting
+        is on.  ``queue_wait`` is the time the request sat decoded but
+        unserviced (batch items behind their predecessors)."""
+        usage = self.usage
+        if usage is None:
+            return self._dispatch(ctx, request)
+        start = time.perf_counter()
+        costs = reqctx.activate(ctx.usage_principal)
+        try:
+            response = self._dispatch(ctx, request)
+        finally:
+            reqctx.deactivate()
+        op_class = classify_method(request.method)
+        args = request.args
+        # Namespace heat: sample the LFN argument of classified calls
+        # (add/query/wildcard lead with the name; bulk payloads are
+        # lists and are skipped rather than walked on the hot path).
+        lfn = (
+            args[0]
+            if op_class is not None and args and type(args[0]) is str
+            else None
+        )
+        usage.account(
+            ctx.usage_principal,
+            op_class,
+            wall_time=time.perf_counter() - start,
+            queue_wait=queue_wait,
+            rows_examined=costs.rows_examined,
+            wal_bytes=costs.wal_bytes,
+            error=not response.ok,
+            lfn=lfn,
+        )
+        return response
+
+    def _dispatch(self, ctx: ConnectionContext, request: Request) -> Response:
         handler = self._methods.get(request.method)
         if handler is None:
             self.errors_returned += 1
@@ -162,7 +231,11 @@ class RPCServer:
                 **self._span_tags,
             ) as span:
                 if self.flight is not None:
-                    self.flight.record("rpc.in", detail=request.method)
+                    self.flight.record(
+                        "rpc.in",
+                        detail=request.method,
+                        principal=ctx.usage_principal,
+                    )
                 try:
                     value = handler(ctx, request.args)
                     if self.flight is not None:
@@ -202,10 +275,15 @@ class RPCServer:
         echoing its correlation id, as one :class:`Batch`.
         """
         replies = []
+        accounted = self.usage is not None
+        arrival = time.perf_counter() if accounted else 0.0
         for item in batch.items:
             if not isinstance(item, Request):
                 raise ProtocolError("batch items must be requests")
-            replies.append(self.handle(ctx, item))
+            # Queue wait: a batch item's dwell time behind its
+            # predecessors in the same frame (0 for the first item).
+            wait = time.perf_counter() - arrival if accounted else 0.0
+            replies.append(self.handle(ctx, item, queue_wait=wait))
         return Batch(tuple(replies))
 
 

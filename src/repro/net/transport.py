@@ -31,6 +31,7 @@ from typing import TYPE_CHECKING, Any, Callable
 
 from repro.net.errors import ProtocolError, TransportClosedError
 from repro.net.messages import (
+    PRINCIPAL_ATTRIBUTE,
     PROTOCOL_VERSION,
     Batch,
     Hello,
@@ -179,10 +180,16 @@ class LocalTransport:
         credential: bytes | None = None,
         latency: float = 0.0,
         sleep: Callable[[float], None] = time.sleep,
+        principal: str | None = None,
     ) -> "LocalChannel":
         if self.closed:
             raise TransportClosedError("transport closed")
-        ctx = self.server.handshake(Hello(credential=credential), peer="local")
+        attributes = (
+            {PRINCIPAL_ATTRIBUTE: principal} if principal is not None else {}
+        )
+        ctx = self.server.handshake(
+            Hello(credential=credential, attributes=attributes), peer="local"
+        )
         self._m_connections.inc()
         return LocalChannel(self, ctx, latency, sleep)
 
@@ -228,9 +235,15 @@ class LocalChannel(Channel):
             decoded = message_from_bytes(wire)
         assert isinstance(decoded, Request)
         self._transport._m_bytes_in.inc(len(wire))
-        response = self._transport.server.handle(self._ctx, decoded)
+        server = self._transport.server
+        response = server.handle(self._ctx, decoded)
         reply_wire = response.to_bytes()
         self._transport._m_bytes_out.inc(len(reply_wire))
+        usage = server.usage
+        if usage is not None:
+            usage.record_bytes(
+                self._ctx.usage_principal, len(wire), len(reply_wire)
+            )
         return message_from_bytes(reply_wire)  # type: ignore[return-value]
 
     def close(self) -> None:
@@ -241,9 +254,12 @@ def connect_local(
     name: str,
     credential: bytes | None = None,
     latency: float = 0.0,
+    principal: str | None = None,
 ) -> LocalChannel:
     """Connect to a named in-process server endpoint."""
-    return LocalTransport.lookup(name).open_channel(credential, latency)
+    return LocalTransport.lookup(name).open_channel(
+        credential, latency, principal=principal
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -415,25 +431,35 @@ class TCPServerTransport:
                         conn,
                         Response.success({"message": "welcome", "proto": proto}),
                     )
+                    usage = self.server.usage
                     while not self._closed.is_set():
                         frame = io.recv_frame(conn)
-                        self._m_bytes_in.inc(len(frame) + _FRAME.size)
+                        frame_in = len(frame) + _FRAME.size
+                        self._m_bytes_in.inc(frame_in)
                         with tracing.span("transport.decode"):
                             message = message_from_bytes(frame)
                         if isinstance(message, Request):
                             reply = self.server.handle(ctx, message)
                             if message.id is not None:
                                 reply = _with_id(reply, message.id)
-                            self._m_bytes_out.inc(io.send_message(conn, reply))
+                            sent = io.send_message(conn, reply)
+                            self._m_bytes_out.inc(sent)
+                            if usage is not None:
+                                usage.record_bytes(
+                                    ctx.usage_principal, frame_in, sent
+                                )
                         elif isinstance(message, Batch) and proto >= 2:
                             # Decoded once above; dispatch the whole burst
                             # on this thread — no per-message handoff —
                             # and answer with a single frame.
                             self._m_batches.inc()
                             replies = self.server.handle_batch(ctx, message)
-                            self._m_bytes_out.inc(
-                                io.send_message(conn, replies)
-                            )
+                            sent = io.send_message(conn, replies)
+                            self._m_bytes_out.inc(sent)
+                            if usage is not None:
+                                usage.record_bytes(
+                                    ctx.usage_principal, frame_in, sent
+                                )
                         else:
                             raise ProtocolError(
                                 f"unexpected {type(message).__name__} frame"
@@ -714,6 +740,7 @@ def connect_tcp(
     timeout: float = 10.0,
     retry: RetryPolicy | None = None,
     sleep: Callable[[float], None] = time.sleep,
+    principal: str | None = None,
 ) -> TCPChannel:
     """Open a TCP channel and perform the Hello handshake.
 
@@ -739,10 +766,17 @@ def connect_tcp(
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         except OSError:  # pragma: no cover - platform without NODELAY
             pass
+        attributes = (
+            {PRINCIPAL_ATTRIBUTE: principal} if principal is not None else {}
+        )
         try:
             _send_frame(
                 sock,
-                Hello(version=PROTOCOL_VERSION, credential=credential).to_bytes(),
+                Hello(
+                    version=PROTOCOL_VERSION,
+                    credential=credential,
+                    attributes=attributes,
+                ).to_bytes(),
             )
             reply = message_from_bytes(_recv_frame(sock))
         except BaseException:

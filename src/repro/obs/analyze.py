@@ -16,7 +16,11 @@ Each detector encodes one failure shape the paper's evaluation surfaces:
   in flight (fed by :class:`repro.obs.profile.SamplingProfiler`);
 * :func:`detect_slo_burn` — sustained error-budget burn in a
   ``slo.burn_rate`` series (fed by :class:`repro.obs.slo.SLIRecorder` or
-  the cluster simulator's fault runs).
+  the cluster simulator's fault runs);
+* :func:`detect_noisy_neighbor` — a queue-saturation or SLO-burn window
+  whose request traffic is dominated by one principal (fed by the
+  per-principal ``usage.requests`` series from
+  :class:`repro.obs.usage.UsageAccountant`).
 
 Thresholds are fixed defaults chosen to clear measurement noise, not
 tuning knobs the caller must supply: every detector is usable as
@@ -29,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
+from repro.obs.metrics import split_metric_key
 from repro.obs.timeseries import SeriesStore, TimeSeries
 
 #: A sawtooth recovery must jump at least this fraction in one step.
@@ -60,6 +65,13 @@ SLO_FAST_BURN = 14.4
 SLO_SLOW_BURN = 1.0
 #: Consecutive over-threshold samples before the burn detector fires.
 SLO_BURN_MIN_RUN = 3
+
+#: Noisy neighbor: one principal must hold at least this request share
+#: inside a saturation/burn window to be named the dominant consumer...
+NOISY_NEIGHBOR_SHARE = 0.5
+#: ... and the window must contain at least this many requests in total
+#: (an idle cluster where one probe issued 3 of 4 requests is not noisy).
+NOISY_NEIGHBOR_MIN_REQUESTS = 20.0
 
 
 @dataclass
@@ -421,6 +433,86 @@ def detect_slo_burn(
 
 
 # ---------------------------------------------------------------------------
+# Noisy neighbor (per-principal usage attribution)
+# ---------------------------------------------------------------------------
+
+#: Detections of these kinds define the windows a neighbor can pollute.
+_NOISY_TRIGGER_KINDS = ("queue_saturation", "slo_burn")
+
+
+def detect_noisy_neighbor(
+    store: SeriesStore,
+    triggers: Sequence[Detection],
+    share_threshold: float = NOISY_NEIGHBOR_SHARE,
+    min_requests: float = NOISY_NEIGHBOR_MIN_REQUESTS,
+) -> list[Detection]:
+    """Attribute saturation/burn windows to a dominant principal.
+
+    For every queue-saturation or SLO-burn detection in ``triggers``, sum
+    each principal's ``usage.requests{principal=...}`` samples inside the
+    detection window.  If one principal holds at least ``share_threshold``
+    of a window containing ``min_requests`` or more requests, that window
+    has a noisy neighbor — the dominant consumer is named, which is the
+    evidence ROADMAP item 4's admission control needs.  With traffic spread
+    evenly (or no usage series recorded) nothing fires.
+    """
+    usage: dict[str, list[tuple[float, float]]] = {}
+    for key, series in store.items():
+        if "usage.requests" not in key:
+            continue
+        _, labels = split_metric_key(key)
+        principal = labels.get("principal")
+        if principal is None:
+            continue
+        usage.setdefault(principal, []).extend(series.points())
+    if not usage:
+        return []
+    detections: list[Detection] = []
+    attributed: set[tuple[str, float, float]] = set()
+    for trigger in triggers:
+        if trigger.kind not in _NOISY_TRIGGER_KINDS:
+            continue
+        start, end = trigger.start, trigger.end
+        totals: dict[str, float] = {}
+        for principal, points in usage.items():
+            in_window = [v for t, v in points if start <= t <= end]
+            totals[principal] = sum(in_window)
+        total = sum(totals.values())
+        if total < min_requests:
+            continue
+        principal, count = max(totals.items(), key=lambda item: item[1])
+        share = count / total
+        if share < share_threshold:
+            continue
+        window = (principal, start, end)
+        if window in attributed:
+            continue  # several shards can flag the same window
+        attributed.add(window)
+        detections.append(
+            Detection(
+                kind="noisy_neighbor",
+                severity=trigger.severity,
+                summary=(
+                    f"principal {principal} issued {share * 100:.0f}% of "
+                    f"{total:g} requests during {trigger.kind} window "
+                    f"t={start:g}..{end:g}"
+                ),
+                start=start,
+                end=end,
+                details={
+                    "principal": principal,
+                    "share": share,
+                    "requests": count,
+                    "total_requests": total,
+                    "trigger": trigger.kind,
+                    "trigger_series": trigger.details.get("series"),
+                },
+            )
+        )
+    return detections
+
+
+# ---------------------------------------------------------------------------
 # Store-wide sweep
 # ---------------------------------------------------------------------------
 
@@ -440,7 +532,8 @@ def analyze_store(
     Throughput-shaped keys get sawtooth detection, queue-depth keys get
     saturation detection, staleness keys get SLO-burn detection (when a
     budget is supplied).  Each detection's details carry the series key it
-    came from.
+    came from.  A final pass attributes any saturation/burn windows to a
+    dominant principal when per-principal usage series are present.
     """
     detections: list[Detection] = []
     for key, series in store.items():
@@ -458,4 +551,5 @@ def analyze_store(
         for detection in found:
             detection.details.setdefault("series", key)
         detections.extend(found)
+    detections.extend(detect_noisy_neighbor(store, detections))
     return detections

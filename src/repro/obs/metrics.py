@@ -386,6 +386,13 @@ _METRIC_HELP: dict[str, str] = {
     "slo_latency_sli": "Fraction of requests under the class latency threshold",
     "slo_burn_rate": "Error-budget burn rate per operation class and window",
     "slo_budget_remaining": "Fraction of the error budget left in the window",
+    "usage_requests": "Requests accounted per principal and operation class",
+    "usage_errors": "Failed requests accounted per principal and class",
+    "usage_wall_time": "Handler wall seconds charged per principal and class",
+    "usage_rows_examined": "DB rows examined charged per principal and class",
+    "usage_wal_bytes": "WAL bytes appended charged per principal and class",
+    "usage_bytes_in": "Request bytes received per principal (class net)",
+    "usage_bytes_out": "Response bytes sent per principal (class net)",
 }
 
 

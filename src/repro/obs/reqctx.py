@@ -1,0 +1,92 @@
+"""Per-request cost context (thread-local, zero-cost when inactive).
+
+The accounting layer needs one place where deep subsystems — the SQL
+profiler, the WAL — can charge costs to *the request currently
+executing* without threading a context object through every call
+signature.  This module is that place: a thread-local
+:class:`RequestCosts` record activated by the RPC server for the span of
+one handler call and read back when the request completes.
+
+Design constraints (mirroring :mod:`repro.obs.tracing`):
+
+* **Bare paths stay bare.**  Code that merely *might* run under a
+  request (``WriteAheadLog.log``, ``QueryProfiler.record``) guards with
+  a single ``current()`` call — one thread-local attribute read — and
+  pays nothing else when no context is active (embedded engines, tests,
+  background threads).
+* **Nesting is safe.**  ``activate`` saves the previous context and
+  ``deactivate`` restores it, so a handler that locally re-enters the
+  RPC layer (e.g. the combined client inside a server process) never
+  corrupts its caller's attribution.
+* **No locking.**  The context is thread-local by construction;
+  transports run one request per connection thread at a time.
+"""
+
+from __future__ import annotations
+
+import threading
+
+_tls = threading.local()
+
+
+class RequestCosts:
+    """Mutable cost vector for one in-flight request."""
+
+    __slots__ = ("principal", "rows_examined", "wal_bytes", "db_time")
+
+    def __init__(self, principal: str = "anonymous") -> None:
+        self.principal = principal
+        self.rows_examined = 0
+        self.wal_bytes = 0
+        self.db_time = 0.0
+
+
+def activate(principal: str) -> RequestCosts:
+    """Install a fresh cost context for the current thread.
+
+    Returns the new context; the caller must pair this with
+    :func:`deactivate` (in a ``finally``) to restore the previous one.
+    """
+    ctx = RequestCosts(principal)
+    ctx_prev = getattr(_tls, "ctx", None)
+    _tls.prev = ctx_prev
+    _tls.ctx = ctx
+    return ctx
+
+
+def deactivate() -> None:
+    """Remove the active context, restoring any enclosing one."""
+    _tls.ctx = getattr(_tls, "prev", None)
+    _tls.prev = None
+
+
+def current() -> RequestCosts | None:
+    """The active context, or ``None`` outside any request."""
+    return getattr(_tls, "ctx", None)
+
+
+def principal() -> str | None:
+    """Accounting principal of the active request, or ``None``."""
+    ctx = getattr(_tls, "ctx", None)
+    return ctx.principal if ctx is not None else None
+
+
+def add_rows(n: int) -> None:
+    """Charge ``n`` examined rows to the active request, if any."""
+    ctx = getattr(_tls, "ctx", None)
+    if ctx is not None:
+        ctx.rows_examined += n
+
+
+def add_wal_bytes(n: int) -> None:
+    """Charge ``n`` WAL bytes to the active request, if any."""
+    ctx = getattr(_tls, "ctx", None)
+    if ctx is not None:
+        ctx.wal_bytes += n
+
+
+def add_db_time(seconds: float) -> None:
+    """Charge profiled statement time to the active request, if any."""
+    ctx = getattr(_tls, "ctx", None)
+    if ctx is not None:
+        ctx.db_time += seconds

@@ -14,6 +14,35 @@ from repro.security.credentials import (
 )
 from repro.security.gridmap import Gridmap
 
+#: Stable accounting label for unauthenticated or unmapped connections.
+#: A raw DN (or a client-declared string) must never become a metric
+#: label without a gridmap mapping — labels are bounded, DNs are not.
+ANONYMOUS_PRINCIPAL = "anonymous"
+
+#: Longest declared-principal label accepted before falling back to
+#: ``anonymous`` (matches the bounded-cardinality rule for rpc labels).
+_MAX_PRINCIPAL_LEN = 64
+
+#: Characters with structural meaning in flattened metric keys.
+_UNSAFE_CHARS = set(',={}"\n')
+
+
+def sanitize_principal(declared: str | None) -> str:
+    """Bounded, metric-safe form of a client-declared principal.
+
+    Empty, oversized, or structurally unsafe declarations (characters
+    that would corrupt a ``name{k=v}`` metric key) collapse to
+    ``anonymous`` rather than being escaped — a declared identity is a
+    courtesy label, not a credential, so there is nothing to preserve.
+    """
+    if (
+        not declared
+        or len(declared) > _MAX_PRINCIPAL_LEN
+        or any(c in _UNSAFE_CHARS for c in declared)
+    ):
+        return ANONYMOUS_PRINCIPAL
+    return declared
+
 
 @dataclass
 class SecurityPolicy:
@@ -78,3 +107,19 @@ class Authorizer:
         if dn is None:
             return None
         return self.policy.gridmap.map_dn(dn)
+
+    # -- accounting identity (per connection) -----------------------------
+
+    def account_principal(
+        self, dn: str | None, declared: str | None = None
+    ) -> str:
+        """Bounded usage-accounting principal for one connection.
+
+        An authenticated DN maps through the gridmap to its local user;
+        an unmapped DN becomes the stable ``anonymous`` label (never the
+        raw DN — DN cardinality is unbounded).  Without a DN, a sanitized
+        client-declared principal is accepted, else ``anonymous``.
+        """
+        if dn is not None:
+            return self.policy.gridmap.map_dn(dn) or ANONYMOUS_PRINCIPAL
+        return sanitize_principal(declared)

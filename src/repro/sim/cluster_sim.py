@@ -59,6 +59,8 @@ class ClusterResult:
     slo_alerts: list[dict] = field(default_factory=list)
     #: Peak staleness age (seconds) observed per mirror feed.
     peak_staleness: dict[str, float] = field(default_factory=dict)
+    #: Total queries issued per principal (multi-principal workloads only).
+    usage_by_principal: dict[str, int] = field(default_factory=dict)
     store: SeriesStore = field(default_factory=SeriesStore)
 
     @property
@@ -80,6 +82,7 @@ def cluster_experiment(
     fault_after: float = 0.0,
     slo_policy: SLOPolicy | None = None,
     sli_sample_every: float = 15.0,
+    principals: dict[str, float] | None = None,
     seed: int = 7,
 ) -> ClusterResult:
     """Drive closed-loop clients against a simulated sharded cluster.
@@ -101,6 +104,15 @@ def cluster_experiment(
     ``sli_sample_every`` virtual seconds and record fast-window burn
     rates into ``result.store``; the alerts firing at end of run land in
     ``result.slo_alerts``.
+
+    ``principals`` maps principal names to traffic weights; clients are
+    split across principals proportionally (largest remainder, so the
+    split is deterministic) and each principal's queries go to its own
+    LFN namespace ``/<principal>/data/...``.  Per-window request counts
+    land in ``result.store`` under ``usage.requests{principal=...}`` —
+    the same key shape the live :class:`~repro.obs.usage.UsageAccountant`
+    exports — so :func:`repro.obs.analyze.detect_noisy_neighbor` can
+    attribute any saturation/burn windows to the dominant consumer.
     """
     sim = Simulator()
     rng = random.Random(seed)
@@ -172,6 +184,26 @@ def cluster_experiment(
     trackers = {s: SLITracker(slo_policy or SLOPolicy()) for s in shards}
     window_counts = {s: [0, 0] for s in shards}  # [requests, errors]
 
+    # --- weighted client->principal assignment (largest remainder) ---
+    client_principal: list[str | None]
+    if principals:
+        names = list(principals)
+        weights = [float(principals[name]) for name in names]
+        total_weight = sum(weights)
+        if total_weight <= 0:
+            raise ValueError("principal weights must sum to > 0")
+        quotas = [num_clients * w / total_weight for w in weights]
+        shares = [int(q) for q in quotas]
+        while sum(shares) < num_clients:
+            i = max(range(len(names)), key=lambda j: quotas[j] - shares[j])
+            shares[i] += 1
+        client_principal = [
+            name for name, n in zip(names, shares) for _ in range(n)
+        ]
+    else:
+        client_principal = [None] * num_clients
+    principal_window = {name: 0 for name in (principals or ())}
+
     def sli_sampler():
         while True:
             yield sim.timeout(sli_sample_every)
@@ -201,14 +233,28 @@ def cluster_experiment(
                     sim.now,
                     1.0 if avail is None else avail,
                 )
+            for principal, issued in principal_window.items():
+                result.store.record(
+                    f"usage.requests{{principal={principal}}}",
+                    sim.now,
+                    issued,
+                )
+                result.usage_by_principal[principal] = (
+                    result.usage_by_principal.get(principal, 0) + issued
+                )
+                principal_window[principal] = 0
 
     sim.process(sli_sampler())
 
     # --- closed-loop query clients ---
     def client_proc(client_id: int):
         nonlocal latency_total
+        principal = client_principal[client_id]
         while True:
-            lfn = f"lfn-{rng.randrange(1_000_000)}"
+            if principal is None:
+                lfn = f"lfn-{rng.randrange(1_000_000)}"
+            else:
+                lfn = f"/{principal}/data/f{rng.randrange(1_000_000)}"
             shard = ring.owner(lfn)
             candidates = mirrors[shard]
             if candidates:
@@ -233,6 +279,8 @@ def cluster_experiment(
             yield resource.use(service_time)
             latency_total += sim.now - start
             window_counts[shard][0] += 1
+            if principal is not None:
+                principal_window[principal] += 1
             if fail:
                 window_counts[shard][1] += 1
                 result.queries_failed += 1

@@ -239,3 +239,59 @@ class TestTop:
         code, out = run_cli("top", "--servers", ",", "--iterations", "1")
         assert code == 2
         assert "no servers" in out
+
+
+class TestUsageCLI:
+    def drive(self, name, principal, n=3):
+        client = connect(name, principal=principal)
+        try:
+            for i in range(n):
+                client.create(f"/{principal}/data/f{i}", f"pfn-{principal}-{i}")
+        finally:
+            client.close()
+
+    def test_usage_table(self, server_name):
+        self.drive(server_name, "cms-prod", n=5)
+        self.drive(server_name, "atlas", n=1)
+        code, output = run_cli("usage", server_name)
+        assert code == 0
+        assert "usage accounting:" in output
+        assert "cms-prod" in output and "atlas" in output
+        assert "top principals:" in output
+        assert "hot prefixes:" in output
+        assert "/cms-prod/data" in output
+
+    def test_usage_json(self, server_name):
+        self.drive(server_name, "cms-prod")
+        code, output = run_cli("usage", server_name, "--json")
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["enabled"] is True
+        assert "cms-prod" in payload["principals"]
+
+    def test_usage_disabled_fails_with_hint(self, make_server):
+        server = make_server(ServerRole.BOTH, usage_accounting=False)
+        code, output = run_cli("usage", server.config.name)
+        assert code == 1
+        assert "usage accounting" in output
+
+    def test_top_principals_and_prefixes(self, make_server):
+        a = make_server(ServerRole.BOTH)
+        b = make_server(ServerRole.BOTH)
+        self.drive(a.config.name, "cms-prod", n=4)
+        self.drive(b.config.name, "cms-prod", n=3)
+        self.drive(b.config.name, "ligo", n=1)
+        code, output = run_cli(
+            "top",
+            "--servers",
+            f"{a.config.name},{b.config.name}",
+            "--iterations",
+            "1",
+            "--principals",
+            "--prefixes",
+        )
+        assert code == 0
+        # Merged across both servers: 7 cms-prod creates rank first.
+        assert "top principals:" in output
+        assert re.search(r"top principals:.*cms-prod=7", output)
+        assert "/cms-prod/data" in output

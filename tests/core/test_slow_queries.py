@@ -215,3 +215,59 @@ class TestGatewayQueries:
         assert body["enabled"] is True
         assert 0 < len(body["queries"]) <= 3
         assert all("statement_class" in q for q in body["queries"])
+
+
+class TestPrincipalAttribution:
+    """Satellite surfaces: slowlog and flight events say *who* asked."""
+
+    def test_entries_carry_the_connection_principal(self, profiled_server):
+        client = connect(profiled_server.config.name, principal="cms-prod")
+        try:
+            client.create("who-lfn", "who-pfn")
+            payload = client.slow_queries(limit=50)
+        finally:
+            client.close()
+        principals = {q.get("principal") for q in payload["queries"]}
+        assert "cms-prod" in principals
+
+    def test_anonymous_without_declared_principal(self, profiled_server):
+        client = connect(profiled_server.config.name)
+        try:
+            client.create("anon-lfn", "anon-pfn")
+            payload = client.slow_queries(limit=50)
+        finally:
+            client.close()
+        # Client-issued statements account as anonymous; statements the
+        # server runs outside any request (startup, updates) stay None.
+        inserts = [
+            q for q in payload["queries"]
+            if q["statement_class"] == "insert:t_lfn"
+        ]
+        assert inserts
+        assert {q.get("principal") for q in inserts} == {"anonymous"}
+
+    def test_slowlog_cli_shows_who(self, profiled_server):
+        client = connect(profiled_server.config.name, principal="cms-prod")
+        try:
+            client.create("who-cli", "who-pfn")
+        finally:
+            client.close()
+        code, output = run_cli(
+            "slowlog", "--server", profiled_server.config.name
+        )
+        assert code == 0
+        assert "who=cms-prod" in output
+
+    def test_flight_rpc_in_events_carry_principal(self, make_server):
+        server = make_server(ServerRole.BOTH)
+        client = connect(server.config.name, principal="cms-prod")
+        try:
+            client.create("fl-lfn", "fl-pfn")
+            payload = client.flight(limit=50)
+        finally:
+            client.close()
+        ins = [e for e in payload["events"] if e["kind"] == "rpc.in"]
+        assert ins, payload["events"]
+        assert any(
+            e["data"].get("principal") == "cms-prod" for e in ins
+        )

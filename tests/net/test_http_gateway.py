@@ -131,6 +131,85 @@ class TestIndexAndBulk:
         assert status == 404
 
 
+class TestAdminRoutes:
+    def test_usage_shape_after_traffic(self, gateway):
+        gw, _ = gateway
+        http("POST", f"{gw.url}/mappings", {"lfn": "/cms/data/f1", "pfn": "p"})
+        http("GET", f"{gw.url}/mappings//cms/data/f1")
+        status, body = http("GET", f"{gw.url}/admin/usage")
+        assert status == 200
+        assert body["enabled"] is True
+        assert set(body["fields"]) >= {"requests", "wall_time", "wal_bytes"}
+        # The gateway's own client connections carry no credential and
+        # declare no principal, so everything accounts as anonymous.
+        totals = body["principals"]["anonymous"]
+        assert sum(c["requests"] for c in totals.values()) >= 2
+        assert body["top_principals"][0]["principal"] == "anonymous"
+        assert {"capacity", "offered"} <= set(body["sketch"])
+        assert body["principals_tracked"] >= 1
+
+    def test_usage_disabled_degrades(self, make_server):
+        from repro.net.http_gateway import HTTPGateway
+
+        server = make_server(ServerRole.BOTH, usage_accounting=False)
+        with HTTPGateway(server.config.name) as gw:
+            status, body = http("GET", f"{gw.url}/admin/usage")
+        assert status == 200
+        assert body["enabled"] is False and body["top_principals"] == []
+
+    def test_slo_shape(self, gateway):
+        gw, _ = gateway
+        status, body = http("GET", f"{gw.url}/admin/slo")
+        assert status == 200
+        assert body["enabled"] is True
+        assert set(body["classes"]) == {"add", "query", "bulk", "wildcard"}
+        assert isinstance(body["alerts"], list)
+
+    def test_queries_shape_and_limit(self, gateway):
+        gw, server = gateway
+        # Everything retains with a zero threshold: drive one statement.
+        server.engine.profiler.log.slow_threshold = 0.0
+        http("POST", f"{gw.url}/mappings", {"lfn": "slow", "pfn": "p"})
+        status, body = http("GET", f"{gw.url}/admin/queries?limit=1")
+        assert status == 200
+        assert body["enabled"] is True
+        assert len(body["queries"]) == 1
+        assert {"sql", "statement_class", "duration"} <= set(
+            body["queries"][0]
+        )
+        assert body["stats"]["retained"] >= 1
+
+    def test_shard_map_outside_a_cluster(self, gateway):
+        gw, server = gateway
+        status, body = http("GET", f"{gw.url}/admin/shard_map")
+        assert status == 200
+        assert body["self"] == server.config.name
+        assert body["shard_map"] is None
+
+    def test_unknown_trace_is_404_when_tracing(self, gateway):
+        from repro.obs.tracing import SpanSink, Tracer, install_tracer
+
+        gw, _ = gateway
+        install_tracer(Tracer(sink=SpanSink()))
+        try:
+            status, body = http("GET", f"{gw.url}/admin/trace/deadbeef")
+        finally:
+            install_tracer(None)
+        assert status == 404
+        assert body["spans"] == []
+
+    def test_unknown_trace_without_tracer_degrades(self, gateway):
+        gw, _ = gateway
+        status, body = http("GET", f"{gw.url}/admin/trace/deadbeef")
+        assert status == 200
+        assert body["enabled"] is False
+
+    def test_unknown_admin_route_404(self, gateway):
+        gw, _ = gateway
+        status, body = http("GET", f"{gw.url}/admin/nope")
+        assert status == 404 and "error" in body
+
+
 class TestTraces:
     def test_disabled_without_tracer(self, gateway):
         gw, _ = gateway

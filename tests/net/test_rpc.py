@@ -249,3 +249,91 @@ class TestTCPLifecycle:
         tcp.close()
         with pytest.raises((TransportClosedError, ConnectionError, OSError)):
             client.call("echo", 2)
+
+
+class TestPrincipalAccounting:
+    """Declared principal negotiation + per-request cost attribution."""
+
+    def test_hello_principal_attribute(self):
+        hello = Hello(attributes={"principal": "cms-prod"})
+        decoded = message_from_bytes(hello.to_bytes())
+        assert decoded.principal == "cms-prod"
+        assert Hello().principal is None
+
+    def test_non_string_principal_is_protocol_error(self):
+        from repro.net.errors import ProtocolError
+
+        hello = Hello(attributes={"principal": 42})
+        with pytest.raises(ProtocolError):
+            message_from_bytes(hello.to_bytes())
+
+    def test_handshake_binds_declared_principal(self):
+        server = make_server()
+        ctx = server.handshake(
+            Hello(attributes={"principal": "cms-prod"}), "test"
+        )
+        assert ctx.usage_principal == "cms-prod"
+        assert ctx.principal is None  # declared label is not an identity
+
+    def test_handshake_without_principal_is_anonymous(self):
+        server = make_server()
+        ctx = server.handshake(Hello(), "test")
+        assert ctx.usage_principal == "anonymous"
+
+    def test_handle_charges_the_connection_principal(self):
+        from repro.obs.usage import UsageAccountant
+
+        usage = UsageAccountant()
+        server = RPCServer(usage=usage)
+        server.register("lrc_get_mappings", lambda ctx, args: [])
+        server.register("boom", lambda ctx, args: 1 / 0)
+        ctx = server.handshake(
+            Hello(attributes={"principal": "cms-prod"}), "test"
+        )
+        server.handle(ctx, Request("lrc_get_mappings", ("/cms/data/f1",)))
+        server.handle(ctx, Request("boom", ()))
+        payload = usage.to_dict()
+        query = payload["principals"]["cms-prod"]["query"]
+        assert query["requests"] == 1
+        assert query["wall_time"] > 0
+        # The failing unclassified call lands in class "other" with an error.
+        other = payload["principals"]["cms-prod"]["other"]
+        assert other["requests"] == 1 and other["errors"] == 1
+        assert payload["top_principals"][0]["principal"] == "cms-prod"
+        assert payload["top_prefixes"][0]["prefix"] == "/cms/data"
+
+    def test_principal_mapper_overrides_declared_label(self):
+        from repro.obs.usage import UsageAccountant
+
+        server = RPCServer(
+            usage=UsageAccountant(),
+            principal_mapper=lambda dn, declared: "mapped",
+        )
+        ctx = server.handshake(
+            Hello(attributes={"principal": "spoofed"}), "test"
+        )
+        assert ctx.usage_principal == "mapped"
+
+    def test_metric_label_cardinality_is_bounded(self):
+        # Mirrors the bounded `<unknown>` rpc.errors label: a flood of
+        # distinct client-declared principals must not mint unbounded
+        # metric label sets.
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.usage import UsageAccountant
+
+        registry = MetricsRegistry()
+        usage = UsageAccountant(metrics=registry, max_principals=2)
+        server = RPCServer(metrics=registry, usage=usage)
+        server.register("echo", lambda ctx, args: list(args))
+        for i in range(10):
+            ctx = server.handshake(
+                Hello(attributes={"principal": f"tenant-{i}"}), "test"
+            )
+            server.handle(ctx, Request("echo", ()))
+        keys = [
+            key
+            for key in registry.snapshot().counters
+            if key.startswith("usage.requests")
+        ]
+        assert len(keys) == 3  # 2 exact labels + <other>
+        assert any("<other>" in key for key in keys)

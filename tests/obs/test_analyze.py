@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.obs.analyze import (
     Detection,
     analyze_store,
     compare_baseline,
+    detect_noisy_neighbor,
     detect_queue_saturation,
     detect_sawtooth,
     detect_staleness_burn,
@@ -162,6 +165,80 @@ class TestAnalyzeStore:
             "cluster.ops_rate",
             "lrc.add_rate",
         }
+
+
+class TestNoisyNeighbor:
+    def usage_store(self, shares: dict[str, float], per_tick=10.0):
+        """usage.requests series, one point per second for t=0..9."""
+        store = SeriesStore()
+        for principal, share in shares.items():
+            for t in range(10):
+                store.record(
+                    f"usage.requests{{principal={principal}}}",
+                    float(t),
+                    per_tick * share,
+                )
+        return store
+
+    def trigger(self, kind="queue_saturation", start=2.0, end=8.0, **details):
+        return Detection(
+            kind=kind,
+            summary="t",
+            severity="critical",
+            start=start,
+            end=end,
+            details=details,
+        )
+
+    def test_dominated_window_names_the_principal(self):
+        store = self.usage_store({"cms": 0.8, "atlas": 0.1, "ligo": 0.1})
+        [d] = detect_noisy_neighbor(
+            store, [self.trigger(series="wal.queue_depth")]
+        )
+        assert d.kind == "noisy_neighbor"
+        assert d.details["principal"] == "cms"
+        assert d.details["share"] == pytest.approx(0.8)
+        assert d.details["trigger"] == "queue_saturation"
+        assert d.details["trigger_series"] == "wal.queue_depth"
+        assert d.severity == "critical"  # inherited from the trigger
+        assert (d.start, d.end) == (2.0, 8.0)
+
+    def test_even_spread_is_quiet(self):
+        store = self.usage_store({"a": 0.34, "b": 0.33, "c": 0.33})
+        assert detect_noisy_neighbor(store, [self.trigger()]) == []
+
+    def test_no_usage_series_is_quiet(self):
+        store = SeriesStore()
+        store.record("wal.queue_depth", 0.0, 100.0)
+        assert detect_noisy_neighbor(store, [self.trigger()]) == []
+
+    def test_below_min_requests_is_quiet(self):
+        # One probe dominating an idle window is not a noisy neighbor.
+        store = self.usage_store({"probe": 1.0}, per_tick=0.5)
+        assert detect_noisy_neighbor(store, [self.trigger()]) == []
+
+    def test_only_saturation_and_burn_windows_attribute(self):
+        store = self.usage_store({"cms": 1.0})
+        assert detect_noisy_neighbor(store, [self.trigger("sawtooth")]) == []
+        assert detect_noisy_neighbor(store, [self.trigger("slo_burn")]) != []
+
+    def test_same_window_attributed_once(self):
+        # Several shards flagging one window must not duplicate the blame.
+        store = self.usage_store({"cms": 0.9, "ops": 0.1})
+        triggers = [self.trigger(), self.trigger(kind="slo_burn")]
+        detections = detect_noisy_neighbor(store, triggers)
+        assert len(detections) == 1
+
+    def test_analyze_store_runs_the_attribution_pass(self):
+        store = self.usage_store({"cms": 0.9, "ops": 0.1})
+        for i, v in enumerate([1.0, 2.0, 4.0, 8.0, 16.0, 32.0]):
+            store.record("wal.queue_depth", float(i), v)
+        detections = analyze_store(store)
+        kinds = [d.kind for d in detections]
+        assert "queue_saturation" in kinds
+        noisy = [d for d in detections if d.kind == "noisy_neighbor"]
+        assert len(noisy) == 1
+        assert noisy[0].details["principal"] == "cms"
 
 
 def test_detection_to_dict_round_trip():

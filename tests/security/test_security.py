@@ -5,7 +5,12 @@ import pytest
 from repro.net.errors import AuthenticationError, AuthorizationError
 from repro.net.messages import Hello
 from repro.security.acl import AccessControlList, Privilege
-from repro.security.authorizer import Authorizer, SecurityPolicy
+from repro.security.authorizer import (
+    ANONYMOUS_PRINCIPAL,
+    Authorizer,
+    SecurityPolicy,
+    sanitize_principal,
+)
 from repro.security.credentials import (
     Certificate,
     CertificateAuthority,
@@ -182,3 +187,46 @@ class TestAuthorizer:
         _, policy = self.make_policy()
         with pytest.raises(AuthorizationError):
             Authorizer(policy).check(Privilege.LRC_READ, None)
+
+
+class TestAccountPrincipal:
+    """Bounded usage-accounting identity (never a raw DN or junk label)."""
+
+    def test_sanitize_accepts_plain_names(self):
+        assert sanitize_principal("cms-prod") == "cms-prod"
+        assert sanitize_principal("user_42") == "user_42"
+
+    def test_sanitize_rejects_empty_and_none(self):
+        assert sanitize_principal(None) == ANONYMOUS_PRINCIPAL
+        assert sanitize_principal("") == ANONYMOUS_PRINCIPAL
+
+    def test_sanitize_rejects_oversized(self):
+        assert sanitize_principal("x" * 65) == ANONYMOUS_PRINCIPAL
+        assert sanitize_principal("x" * 64) == "x" * 64
+
+    def test_sanitize_rejects_metric_unsafe_characters(self):
+        # Anything that would corrupt a name{k=v} metric key collapses.
+        for bad in ("a=b", "a,b", "a{b", "a}b", 'a"b', "a\nb"):
+            assert sanitize_principal(bad) == ANONYMOUS_PRINCIPAL
+
+    def test_mapped_dn_becomes_local_user(self):
+        policy = SecurityPolicy(enabled=True, gridmap=Gridmap({DN: "annc"}))
+        auth = Authorizer(policy)
+        # Authenticated identity always wins over any declared label.
+        assert auth.account_principal(DN, declared="spoofed") == "annc"
+
+    def test_unmapped_dn_is_stable_anonymous_not_the_dn(self):
+        auth = Authorizer(SecurityPolicy(enabled=True))
+        assert auth.account_principal("/CN=Nobody") == ANONYMOUS_PRINCIPAL
+
+    def test_without_dn_declared_principal_is_sanitized(self):
+        auth = Authorizer(SecurityPolicy.open())
+        assert auth.account_principal(None, declared="cms-prod") == "cms-prod"
+        assert (
+            auth.account_principal(None, declared="e=vil")
+            == ANONYMOUS_PRINCIPAL
+        )
+
+    def test_nothing_at_all_is_anonymous(self):
+        auth = Authorizer(SecurityPolicy.open())
+        assert auth.account_principal(None) == ANONYMOUS_PRINCIPAL

@@ -99,3 +99,69 @@ class TestSLOBurn:
             cluster_experiment(
                 1, 1, faults=FailureSchedule.always(), fault_shard="nope"
             )
+
+
+class TestNoisyNeighbor:
+    SKEWED = {"cms-prod": 8.0, "atlas": 1.0, "ligo": 1.0}
+    EVEN = {"a": 1.0, "b": 1.0, "c": 1.0}
+
+    def test_usage_split_follows_weights(self):
+        r = cluster_experiment(2, 0, duration=300.0, principals=self.SKEWED)
+        total = sum(r.usage_by_principal.values())
+        assert total > 0
+        share = r.usage_by_principal["cms-prod"] / total
+        assert share == pytest.approx(0.8, abs=0.05)
+        # Per-principal series landed under the live accountant's key shape.
+        keys = [k for k, _ in r.store.items()]
+        assert "usage.requests{principal=cms-prod}" in keys
+
+    def test_deterministic_usage(self):
+        a = cluster_experiment(2, 1, duration=60.0, principals=self.SKEWED)
+        b = cluster_experiment(2, 1, duration=60.0, principals=self.SKEWED)
+        assert a.usage_by_principal == b.usage_by_principal
+
+    def test_skewed_overload_names_the_dominant_principal(self):
+        from repro.testing.faults import FailureSchedule
+
+        r = cluster_experiment(
+            2,
+            1,
+            duration=600.0,
+            faults=FailureSchedule.always(),
+            fault_shard="shard0",
+            fault_after=200.0,
+            principals=self.SKEWED,
+            seed=3,
+        )
+        detections = analyze_store(r.store)
+        noisy = [d for d in detections if d.kind == "noisy_neighbor"]
+        assert noisy, [d.kind for d in detections]
+        assert all(d.details["principal"] == "cms-prod" for d in noisy)
+        assert all(d.details["share"] >= 0.5 for d in noisy)
+
+    def test_even_traffic_never_fires_even_under_overload(self):
+        from repro.testing.faults import FailureSchedule
+
+        r = cluster_experiment(
+            2,
+            1,
+            duration=600.0,
+            faults=FailureSchedule.always(),
+            fault_shard="shard0",
+            fault_after=200.0,
+            principals=self.EVEN,
+            seed=3,
+        )
+        detections = analyze_store(r.store)
+        assert [d for d in detections if d.kind == "slo_burn"]
+        assert not [d for d in detections if d.kind == "noisy_neighbor"]
+
+    def test_baseline_run_is_quiet(self):
+        r = cluster_experiment(2, 1, duration=600.0, principals=self.SKEWED)
+        assert not [
+            d for d in analyze_store(r.store) if d.kind == "noisy_neighbor"
+        ]
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_experiment(1, 0, principals={"a": 0.0})

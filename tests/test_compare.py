@@ -144,3 +144,23 @@ class TestMain:
 
     def test_missing_directory_is_usage_error(self, tmp_path):
         assert main([str(tmp_path / "nope")]) == 2
+
+    def test_empty_baseline_dir_exits_zero_with_note(self, tmp_path, capsys):
+        # First CI run: current artifacts exist, the baseline cache is
+        # empty.  Nothing compared is not a regression.
+        cur, base = tmp_path / "cur", tmp_path / "base"
+        cur.mkdir(), base.mkdir()
+        write_artifact(cur, "f", {"r": points([100])})
+        assert main([str(cur), str(base)]) == 0
+        assert "no baseline to compare against" in capsys.readouterr().out
+
+    def test_single_run_trajectory_exits_zero_with_note(
+        self, tmp_path, capsys
+    ):
+        # Fresh checkout self-compare: every artifact has one run.
+        write_artifact(
+            tmp_path, "f", {"r": points([100])},
+            runs=[{"series": {"r": points([100])}}],
+        )
+        assert main([str(tmp_path)]) == 0
+        assert "no baseline to compare against" in capsys.readouterr().out
